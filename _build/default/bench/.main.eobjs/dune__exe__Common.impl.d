@@ -1,0 +1,1 @@
+bench/common.ml: Abp Format Int64 List Option Printf String

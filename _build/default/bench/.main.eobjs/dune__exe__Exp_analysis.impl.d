@@ -1,0 +1,1 @@
+bench/exp_analysis.ml: Abp Array Char Common Float Format Int64 List

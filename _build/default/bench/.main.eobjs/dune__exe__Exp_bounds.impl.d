@@ -1,0 +1,1 @@
+bench/exp_bounds.ml: Abp Array Common List Printf

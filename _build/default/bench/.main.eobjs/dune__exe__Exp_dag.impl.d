@@ -1,0 +1,1 @@
+bench/exp_dag.ml: Abp Common Format Printf

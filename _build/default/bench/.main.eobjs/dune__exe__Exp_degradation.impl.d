@@ -1,0 +1,1 @@
+bench/exp_degradation.ml: Abp Common List Printf

@@ -1,0 +1,1 @@
+bench/exp_invariants.ml: Abp Common List

@@ -1,0 +1,1 @@
+bench/exp_lemma7.ml: Abp Array Common List

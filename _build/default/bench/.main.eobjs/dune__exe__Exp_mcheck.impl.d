@@ -1,0 +1,1 @@
+bench/exp_mcheck.ml: Abp Common List Printf

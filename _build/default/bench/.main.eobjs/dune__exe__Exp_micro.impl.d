@@ -1,0 +1,1 @@
+bench/exp_micro.ml: Abp Analyze Bechamel Benchmark Common Hashtbl Instance List Measure Printf Staged Test Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/exp_theorems.ml: Abp Array Char Common Format Int64 List Printf String

@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_analysis Exp_bounds Exp_dag Exp_degradation Exp_invariants Exp_lemma7 Exp_mcheck Exp_micro Exp_theorems Format List Sys Unix

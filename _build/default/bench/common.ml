@@ -1,0 +1,68 @@
+(* Shared helpers for the experiment harness: section headers, aligned
+   tables, and simulator sweep plumbing. *)
+
+let section id title =
+  Format.printf "@.==================================================================@.";
+  Format.printf "%s — %s@." id title;
+  Format.printf "==================================================================@."
+
+let note fmt = Format.printf ("  " ^^ fmt ^^ "@.")
+
+(* Render an aligned table: header row + string rows. *)
+let table ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init cols width in
+  let print_row row =
+    Format.printf "  ";
+    List.iteri
+      (fun c cell ->
+        let w = List.nth widths c in
+        Format.printf "%s%s  " cell (String.make (w - String.length cell) ' '))
+      row;
+    Format.printf "@."
+  in
+  print_row header;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let f2 x = Printf.sprintf "%.2f" x
+let f3 x = Printf.sprintf "%.3f" x
+let i d = string_of_int d
+
+(* Run the work-stealing simulator with the common knobs. *)
+let run_ws ?(yield_kind = Abp.Yield.Yield_to_all) ?(deque_model = Abp.Engine.Nonblocking)
+    ?(spawn_policy = Abp.Engine.Child_first) ?(check = false) ?(max_rounds = 5_000_000)
+    ?(seed = 1L) ~p ~adversary dag =
+  Abp.Engine.run
+    {
+      Abp.Engine.num_processes = p;
+      adversary;
+      yield_kind;
+      deque_model;
+      spawn_policy;
+      victim_policy = Abp.Engine.Random_victim;
+      actions_per_round = 1;
+      max_rounds;
+      seed;
+      check_invariants = check;
+    }
+    dag
+
+(* Average the execution time over [reps] seeds; returns mean rounds and
+   the last result for static fields. *)
+let mean_rounds ?yield_kind ?deque_model ?spawn_policy ?max_rounds ~reps ~p ~adversary dag =
+  let total = ref 0 in
+  let last = ref None in
+  for rep = 1 to reps do
+    let r =
+      run_ws ?yield_kind ?deque_model ?spawn_policy ?max_rounds ~seed:(Int64.of_int (1000 + rep))
+        ~p ~adversary dag
+    in
+    total := !total + r.Abp.Run_result.rounds;
+    last := Some r
+  done;
+  (float_of_int !total /. float_of_int reps, Option.get !last)

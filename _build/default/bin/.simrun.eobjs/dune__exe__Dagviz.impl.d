@@ -1,0 +1,1 @@
+bin/dagviz.ml: Abp Arg Array Cmd Cmdliner Term

@@ -1,0 +1,1 @@
+bin/hoodrun.ml: Abp Arg Cmd Cmdliner Format Term Unix

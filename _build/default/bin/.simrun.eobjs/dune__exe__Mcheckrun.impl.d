@@ -1,0 +1,1 @@
+bin/mcheckrun.ml: Abp Arg Cmd Cmdliner Format List Term

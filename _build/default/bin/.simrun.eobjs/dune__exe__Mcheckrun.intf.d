@@ -1,0 +1,1 @@
+bin/mcheckrun.mli:

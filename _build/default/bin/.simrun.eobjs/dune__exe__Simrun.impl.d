@@ -1,0 +1,1 @@
+bin/simrun.ml: Abp Arg Cmd Cmdliner Format Int64 List Term

@@ -1,0 +1,1 @@
+bin/sweeprun.ml: Abp Arg Cmd Cmdliner Format Int64 List Printf String Term

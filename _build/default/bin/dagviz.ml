@@ -1,0 +1,61 @@
+(* dagviz: emit Graphviz dot for a generated dag (and optionally the
+   enabling tree of one simulated execution).
+
+   Examples:
+     dagviz --dag figure1 > figure1.dot && dot -Tsvg figure1.dot -o figure1.svg
+     dagviz --dag tree --depth 3 --enabling *)
+
+open Cmdliner
+
+let run dag_family depth leaf width work enabling =
+  let dag =
+    match dag_family with
+    | "figure1" -> Abp.Figure1.dag ()
+    | "tree" -> Abp.Generators.spawn_tree ~depth ~leaf_work:leaf
+    | "wide" -> Abp.Generators.wide ~width ~work
+    | "pipe" -> Abp.Generators.pipeline ~stages:width ~items:work
+    | other -> raise (Invalid_argument ("unknown dag family: " ^ other))
+  in
+  if enabling then begin
+    (* Run once on 2 processes to produce an enabling tree, replaying the
+       execution through a fresh tree recorded from a traced run. *)
+    let p = 2 in
+    let cfg =
+      Abp.Engine.default_config ~num_processes:p
+        ~adversary:(Abp.Adversary.dedicated ~num_processes:p)
+    in
+    let _, trace = Abp.Engine.run_traced cfg dag in
+    let tree = Abp.Enabling_tree.create dag in
+    let executed = Array.make (Abp.Dag.num_nodes dag) false in
+    executed.(Abp.Dag.root dag) <- true;
+    Array.iter
+      (fun nodes ->
+        Array.iter
+          (fun v ->
+            executed.(v) <- true;
+            Array.iter
+              (fun (w, _) ->
+                let preds = Abp.Dag.preds dag w in
+                if
+                  (not (Abp.Enabling_tree.recorded tree w))
+                  && Array.for_all (fun u -> executed.(u)) preds
+                then Abp.Enabling_tree.record tree ~parent:v ~child:w)
+              (Abp.Dag.succs dag v))
+          nodes)
+      trace.Abp.Engine.steps;
+    print_string (Abp.Dot.enabling_tree_to_dot dag tree)
+  end
+  else print_string (Abp.Dot.to_dot dag)
+
+let cmd =
+  let dag_family = Arg.(value & opt string "figure1" & info [ "dag" ] ~doc:"figure1|tree|wide|pipe") in
+  let depth = Arg.(value & opt int 3 & info [ "depth" ] ~doc:"tree depth") in
+  let leaf = Arg.(value & opt int 2 & info [ "leaf" ] ~doc:"leaf work") in
+  let width = Arg.(value & opt int 4 & info [ "width" ] ~doc:"wide fan / pipe stages") in
+  let work = Arg.(value & opt int 3 & info [ "work" ] ~doc:"per-chain work / pipe items") in
+  let enabling = Arg.(value & flag & info [ "enabling" ] ~doc:"emit an execution's enabling tree") in
+  Cmd.v
+    (Cmd.info "dagviz" ~doc:"Graphviz export of computation dags")
+    Term.(const run $ dag_family $ depth $ leaf $ width $ work $ enabling)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,54 @@
+(* hoodrun: run workloads on the real Hood runtime and report timing and
+   steal counters.
+
+   Examples:
+     hoodrun fib -n 30 -p 4
+     hoodrun nqueens -n 11 -p 4
+     hoodrun reduce -n 5000000 -p 2 *)
+
+open Cmdliner
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let run workload n p grain deque =
+  let deque_impl =
+    match deque with
+    | "abp" -> Abp.Pool.Abp
+    | "circular" -> Abp.Pool.Circular
+    | "locked" -> Abp.Pool.Locked
+    | other -> raise (Invalid_argument ("unknown deque impl: " ^ other))
+  in
+  let pool = Abp.Pool.create ~processes:p ~deque_impl () in
+  let result, elapsed =
+    Abp.Pool.run pool (fun () ->
+        time (fun () ->
+            match workload with
+            | "fib" -> Abp.Par.fib n
+            | "nqueens" -> Abp.Par.nqueens n
+            | "reduce" ->
+                Abp.Par.parallel_reduce ~grain ~lo:0 ~hi:n ~init:0
+                  ~map:(fun i -> (i * i) mod 97)
+                  ~combine:( + )
+            | other -> raise (Invalid_argument ("unknown workload: " ^ other))))
+  in
+  Abp.Pool.shutdown pool;
+  Format.printf "%s(%d) = %d  on P=%d in %.3fs  steals %d/%d@." workload n result p elapsed
+    (Abp.Pool.successful_steals pool)
+    (Abp.Pool.steal_attempts pool)
+
+let cmd =
+  let workload =
+    Arg.(value & pos 0 string "fib" & info [] ~docv:"WORKLOAD" ~doc:"fib|nqueens|reduce")
+  in
+  let n = Arg.(value & opt int 25 & info [ "n" ] ~doc:"problem size") in
+  let p = Arg.(value & opt int 4 & info [ "p"; "processes" ] ~doc:"worker processes") in
+  let grain = Arg.(value & opt int 64 & info [ "grain" ] ~doc:"sequential grain for reduce") in
+  let deque = Arg.(value & opt string "abp" & info [ "deque" ] ~doc:"abp|circular|locked") in
+  Cmd.v
+    (Cmd.info "hoodrun" ~doc:"Run workloads on the Hood work-stealing runtime")
+    Term.(const run $ workload $ n $ p $ grain $ deque)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,127 @@
+(* simrun: drive the multiprogramming simulator from the command line.
+
+   Examples:
+     simrun --dag tree --depth 8 -p 8 --adversary dedicated
+     simrun --dag wide --width 32 --work 16 -p 8 --adversary benign --avail 4
+     simrun --dag tree -p 8 --adversary starve-workers --yield all --check
+     simrun --dag pipe -p 4 --adversary rotor --yield random --deque locked *)
+
+open Cmdliner
+
+let make_dag family ~depth ~leaf ~width ~work ~stages ~items ~size ~n ~seed =
+  let rng = Abp.Rng.create ~seed:(Int64.of_int seed) () in
+  match family with
+  | "tree" -> Abp.Generators.spawn_tree ~depth ~leaf_work:leaf
+  | "wide" -> Abp.Generators.wide ~width ~work
+  | "pipe" -> Abp.Generators.pipeline ~stages ~items
+  | "sp" -> Abp.Generators.random_sp ~rng ~size
+  | "chain" -> Abp.Generators.chain ~n
+  | "figure1" -> Abp.Figure1.dag ()
+  | "irregular" -> Abp.Generators.irregular_tree ~rng ~depth ~max_branch:3 ~leaf_work_max:leaf
+  | other -> raise (Invalid_argument ("unknown dag family: " ^ other))
+
+let make_adversary kind ~p ~avail ~rotor_run ~seed =
+  let rng = Abp.Rng.create ~seed:(Int64.of_int (seed + 1)) () in
+  match kind with
+  | "dedicated" -> Abp.Adversary.dedicated ~num_processes:p
+  | "benign" -> Abp.Adversary.benign ~num_processes:p ~sizes:(fun _ -> avail) ~rng
+  | "rotor" -> Abp.Adversary.oblivious_rotor ~num_processes:p ~run:rotor_run
+  | "half" -> Abp.Adversary.oblivious_half_alternating ~num_processes:p ~run:rotor_run
+  | "starve-workers" -> Abp.Adversary.starve_workers ~num_processes:p ~width:avail ~rng
+  | "starve-thieves" -> Abp.Adversary.starve_thieves ~num_processes:p ~width:avail ~rng
+  | "preempt-locks" -> Abp.Adversary.preempt_lock_holders ~num_processes:p ~width:avail ~rng
+  | "markov" -> Abp.Adversary.markov_load ~num_processes:p ~up:0.2 ~down:0.2 ~rng
+  | other -> raise (Invalid_argument ("unknown adversary: " ^ other))
+
+let make_yield = function
+  | "none" -> Abp.Yield.No_yield
+  | "random" -> Abp.Yield.Yield_to_random
+  | "all" -> Abp.Yield.Yield_to_all
+  | other -> raise (Invalid_argument ("unknown yield kind: " ^ other))
+
+let run dag_family depth leaf width work stages items size n p adversary avail rotor_run yield
+    deque cs spawn_policy victims rounds_cap seed check trace_rounds =
+  let dag = make_dag dag_family ~depth ~leaf ~width ~work ~stages ~items ~size ~n ~seed in
+  let adversary = make_adversary adversary ~p ~avail ~rotor_run ~seed in
+  let cfg =
+    {
+      Abp.Engine.num_processes = p;
+      adversary;
+      yield_kind = make_yield yield;
+      deque_model = (if deque = "locked" then Abp.Engine.Locked cs else Abp.Engine.Nonblocking);
+      spawn_policy =
+        (if spawn_policy = "parent" then Abp.Engine.Parent_first else Abp.Engine.Child_first);
+      victim_policy =
+        (if victims = "roundrobin" then Abp.Engine.Round_robin_victim else Abp.Engine.Random_victim);
+      actions_per_round = 1;
+      max_rounds = rounds_cap;
+      seed = Int64.of_int seed;
+      check_invariants = check;
+    }
+  in
+  Format.printf "dag: %a  T1=%d Tinf=%d parallelism=%.2f@." Abp.Dag.pp_stats dag
+    (Abp.Metrics.work dag) (Abp.Metrics.span dag) (Abp.Metrics.parallelism dag);
+  let r =
+    if trace_rounds > 0 then begin
+      let r, trace, sets = Abp.Engine.run_traced_with_sets cfg dag in
+      Format.printf "%a"
+        (Abp.Engine.pp_trace_table ~num_processes:p ~rounds:trace_rounds ~sets)
+        trace;
+      r
+    end
+    else Abp.Engine.run cfg dag
+  in
+  Format.printf "%a@." Abp.Run_result.pp r;
+  Format.printf "bound T1/Pbar + Tinf*P/Pbar = %.1f rounds@." (Abp.Run_result.bound_prediction r);
+  if check then
+    if r.Abp.Run_result.invariant_violations = [] then
+      Format.printf "invariants: structural lemma + potential monotonicity hold on every round@."
+    else begin
+      Format.printf "INVARIANT VIOLATIONS:@.";
+      List.iter (Format.printf "  %s@.") r.Abp.Run_result.invariant_violations
+    end;
+  if not r.Abp.Run_result.completed then exit 2
+
+let int_flag name default doc = Arg.(value & opt int default & info [ name ] ~doc)
+
+let cmd =
+  let dag_family =
+    Arg.(value & opt string "tree" & info [ "dag" ] ~doc:"tree|wide|pipe|sp|chain|figure1|irregular")
+  in
+  let depth = int_flag "depth" 8 "spawn-tree / irregular depth" in
+  let leaf = int_flag "leaf" 4 "leaf work" in
+  let width = int_flag "width" 32 "wide fan-out" in
+  let work = int_flag "work" 16 "per-chain work for wide" in
+  let stages = int_flag "stages" 8 "pipeline stages" in
+  let items = int_flag "items" 32 "pipeline items" in
+  let size = int_flag "size" 1000 "random series-parallel size" in
+  let n = int_flag "n" 256 "chain length" in
+  let p = Arg.(value & opt int 8 & info [ "p"; "processes" ] ~doc:"number of processes") in
+  let adversary =
+    Arg.(
+      value & opt string "dedicated"
+      & info [ "adversary" ]
+          ~doc:"dedicated|benign|rotor|half|starve-workers|starve-thieves|preempt-locks|markov")
+  in
+  let avail = int_flag "avail" 4 "processes per round (benign) / width (adaptive)" in
+  let rotor_run = int_flag "run" 4 "rounds per rotor/half phase" in
+  let yield = Arg.(value & opt string "all" & info [ "yield" ] ~doc:"none|random|all") in
+  let deque = Arg.(value & opt string "nonblocking" & info [ "deque" ] ~doc:"nonblocking|locked") in
+  let cs = int_flag "cs" 2 "critical-section length for locked deques" in
+  let spawn_policy = Arg.(value & opt string "child" & info [ "spawn" ] ~doc:"child|parent") in
+  let victims = Arg.(value & opt string "random" & info [ "victims" ] ~doc:"random|roundrobin") in
+  let rounds_cap = int_flag "cap" 1_000_000 "round cap" in
+  let seed = int_flag "seed" 1 "random seed" in
+  let check = Arg.(value & flag & info [ "check" ] ~doc:"check structural lemma + potential") in
+  let trace_rounds =
+    Arg.(value & opt int 0 & info [ "trace" ] ~doc:"print the first N rounds, Figure 2(b)-style")
+  in
+  let term =
+    Term.(
+      const run $ dag_family $ depth $ leaf $ width $ work $ stages $ items $ size $ n $ p
+      $ adversary $ avail $ rotor_run $ yield $ deque $ cs $ spawn_policy $ victims $ rounds_cap
+      $ seed $ check $ trace_rounds)
+  in
+  Cmd.v (Cmd.info "simrun" ~doc:"Run the ABP work stealer in the multiprogramming simulator") term
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,105 @@
+(* sweeprun: run a simulator parameter sweep and emit CSV for external
+   plotting.
+
+   Examples:
+     sweeprun --dag tree --depth 9 --processes 1,2,4,8,16 --reps 5 > sweep.csv
+     sweeprun --dag wide --adversary benign --avail 2,4,8 -p 8 *)
+
+open Cmdliner
+
+let parse_int_list s =
+  String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "")
+  |> List.map int_of_string
+
+let header =
+  String.concat ","
+    [
+      "dag"; "adversary"; "yield"; "P"; "avail"; "seed"; "rounds"; "completed"; "tokens"; "pbar";
+      "t1"; "tinf"; "steal_attempts"; "successful_steals"; "yield_calls"; "bound"; "ratio";
+    ]
+
+let emit ~dag_name ~adv_name ~yield_name ~p ~avail ~seed (r : Abp.Run_result.t) =
+  Printf.printf "%s,%s,%s,%d,%d,%d,%d,%b,%d,%.4f,%d,%d,%d,%d,%d,%.2f,%.4f\n" dag_name adv_name
+    yield_name p avail seed r.Abp.Run_result.rounds r.Abp.Run_result.completed
+    r.Abp.Run_result.tokens r.Abp.Run_result.pbar r.Abp.Run_result.work r.Abp.Run_result.span
+    r.Abp.Run_result.steal_attempts r.Abp.Run_result.successful_steals
+    r.Abp.Run_result.yield_calls
+    (Abp.Run_result.bound_prediction r)
+    (Abp.Run_result.bound_ratio r)
+
+let run dag_family depth leaf width work size processes avails adversary yield reps cap =
+  let yield_kind =
+    match yield with
+    | "none" -> Abp.Yield.No_yield
+    | "random" -> Abp.Yield.Yield_to_random
+    | "all" -> Abp.Yield.Yield_to_all
+    | other -> raise (Invalid_argument ("unknown yield kind: " ^ other))
+  in
+  print_endline header;
+  List.iter
+    (fun p ->
+      List.iter
+        (fun avail ->
+          for rep = 1 to reps do
+            let seed = (1000 * rep) + p + avail in
+            let rng = Abp.Rng.create ~seed:(Int64.of_int seed) () in
+            let dag =
+              match dag_family with
+              | "tree" -> Abp.Generators.spawn_tree ~depth ~leaf_work:leaf
+              | "wide" -> Abp.Generators.wide ~width ~work
+              | "pipe" -> Abp.Generators.pipeline ~stages:width ~items:work
+              | "sp" -> Abp.Generators.random_sp ~rng ~size
+              | other -> raise (Invalid_argument ("unknown dag family: " ^ other))
+            in
+            let adv =
+              match adversary with
+              | "dedicated" -> Abp.Adversary.dedicated ~num_processes:p
+              | "benign" -> Abp.Adversary.benign ~num_processes:p ~sizes:(fun _ -> max 1 avail) ~rng
+              | "rotor" -> Abp.Adversary.oblivious_rotor ~num_processes:p ~run:(max 1 avail)
+              | "starve-workers" ->
+                  Abp.Adversary.starve_workers ~num_processes:p ~width:(max 1 avail) ~rng
+              | "markov" -> Abp.Adversary.markov_load ~num_processes:p ~up:0.2 ~down:0.2 ~rng
+              | other -> raise (Invalid_argument ("unknown adversary: " ^ other))
+            in
+            let cfg =
+              {
+                (Abp.Engine.default_config ~num_processes:p ~adversary:adv) with
+                Abp.Engine.yield_kind;
+                max_rounds = cap;
+                seed = Int64.of_int seed;
+              }
+            in
+            emit ~dag_name:dag_family ~adv_name:adversary ~yield_name:yield ~p ~avail ~seed
+              (Abp.Engine.run cfg dag)
+          done)
+        avails)
+    processes
+
+let cmd =
+  let ilist name default doc =
+    Arg.(value & opt (conv ((fun s -> Ok (parse_int_list s)), fun ppf l ->
+        Format.pp_print_string ppf (String.concat "," (List.map string_of_int l)))) default
+      & info [ name ] ~doc)
+  in
+  let dag_family = Arg.(value & opt string "tree" & info [ "dag" ] ~doc:"tree|wide|pipe|sp") in
+  let depth = Arg.(value & opt int 9 & info [ "depth" ] ~doc:"tree depth") in
+  let leaf = Arg.(value & opt int 4 & info [ "leaf" ] ~doc:"leaf work") in
+  let width = Arg.(value & opt int 32 & info [ "width" ] ~doc:"wide fan / pipe stages") in
+  let work = Arg.(value & opt int 16 & info [ "work" ] ~doc:"per-chain work / pipe items") in
+  let size = Arg.(value & opt int 2000 & info [ "size" ] ~doc:"sp size") in
+  let processes = ilist "processes" [ 1; 2; 4; 8; 16 ] "comma-separated process counts" in
+  let avails = ilist "avail" [ 0 ] "comma-separated avail/width values (adversary-specific)" in
+  let adversary =
+    Arg.(value & opt string "dedicated"
+         & info [ "adversary" ] ~doc:"dedicated|benign|rotor|starve-workers|markov")
+  in
+  let yield = Arg.(value & opt string "all" & info [ "yield" ] ~doc:"none|random|all") in
+  let reps = Arg.(value & opt int 3 & info [ "reps" ] ~doc:"repetitions per point") in
+  let cap = Arg.(value & opt int 2_000_000 & info [ "cap" ] ~doc:"round cap") in
+  Cmd.v
+    (Cmd.info "sweeprun" ~doc:"Parameter sweeps of the simulator, as CSV")
+    Term.(
+      const run $ dag_family $ depth $ leaf $ width $ work $ size $ processes $ avails $ adversary
+      $ yield $ reps $ cap)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/analytics.ml: Abp Array Format Sys Unix

@@ -1,0 +1,1 @@
+examples/deque_anatomy.ml: Abp Format

@@ -1,0 +1,1 @@
+examples/deque_anatomy.mli:

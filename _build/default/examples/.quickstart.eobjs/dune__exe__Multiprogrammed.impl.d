@@ -1,0 +1,1 @@
+examples/multiprogrammed.ml: Abp Format Printf

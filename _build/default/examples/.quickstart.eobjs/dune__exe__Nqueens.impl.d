@@ -1,0 +1,1 @@
+examples/nqueens.ml: Abp Array Format Sys Unix

@@ -1,0 +1,33 @@
+(* A small data-analytics pipeline on the Hood runtime: generate records,
+   filter, sort, and prefix-scan them in parallel — the composed
+   application-level API (Par + Algos) a library user would touch.
+
+   Run with: dune exec examples/analytics.exe -- [n] [processes] *)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 200_000 in
+  let processes = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  let rng = Abp.Rng.create ~seed:2026L () in
+  let latencies_ms = Array.init n (fun _ -> Abp.Rng.int rng 5000) in
+  let pool = Abp.Pool.create ~processes () in
+  let t0 = Unix.gettimeofday () in
+  let slow, sorted, cumulative =
+    Abp.Pool.run pool (fun () ->
+        (* Keep the slow requests, sort them, and compute running totals. *)
+        let slow = Abp.Algos.filter ~grain:2048 (fun ms -> ms >= 4000) latencies_ms in
+        let sorted = Abp.Algos.merge_sort ~grain:1024 ~cmp:compare slow in
+        let cumulative = Abp.Algos.scan_inclusive ~grain:2048 ~op:( + ) sorted in
+        (slow, sorted, cumulative))
+  in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Abp.Pool.shutdown pool;
+  let count = Array.length slow in
+  Format.printf "records:   %d, slow (>= 4000 ms): %d (%.1f%%)@." n count
+    (100.0 *. float_of_int count /. float_of_int n);
+  if count > 0 then begin
+    Format.printf "slowest:   %d ms, p50 of slow: %d ms@." sorted.(count - 1) sorted.(count / 2);
+    Format.printf "total slow time: %d ms@." cumulative.(count - 1)
+  end;
+  Format.printf "pipeline on %d processes in %.3fs (steals %d/%d)@." processes elapsed
+    (Abp.Pool.successful_steals pool)
+    (Abp.Pool.steal_attempts pool)

@@ -1,0 +1,18 @@
+(* Irregular task parallelism on the Hood runtime: n-queens backtracking,
+   the kind of workload (unpredictable task sizes, deep spawn trees) that
+   motivates randomized work stealing over static partitioning.
+
+   Run with: dune exec examples/nqueens.exe -- [n] [processes] *)
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 10 in
+  let processes = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 4 in
+  let pool = Abp.Pool.create ~processes () in
+  let t0 = Unix.gettimeofday () in
+  let solutions = Abp.Pool.run pool (fun () -> Abp.Par.nqueens n) in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Abp.Pool.shutdown pool;
+  Format.printf "%d-queens: %d solutions on %d processes in %.3fs (steals %d/%d)@." n solutions
+    processes elapsed
+    (Abp.Pool.successful_steals pool)
+    (Abp.Pool.steal_attempts pool)

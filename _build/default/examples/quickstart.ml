@@ -1,0 +1,43 @@
+(* Quickstart: the two faces of the library in ~40 lines.
+
+   1. Run real parallel code on the Hood runtime (the paper's user-level
+      scheduler on OCaml 5 domains).
+   2. Replay the same algorithm inside the multiprogramming simulator,
+      where an adversarial kernel controls which processes run, and
+      check the measured time against the paper's bound.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* --- 1. The runtime --- *)
+  let pool = Abp.Pool.create ~processes:4 () in
+  let fib25, sum =
+    Abp.Pool.run pool (fun () ->
+        Abp.Future.both
+          (fun () -> Abp.Par.fib 25)
+          (fun () ->
+            Abp.Par.parallel_reduce ~grain:256 ~lo:0 ~hi:1_000_000 ~init:0
+              ~map:(fun i -> i land 15) ~combine:( + )))
+  in
+  Abp.Pool.shutdown pool;
+  Format.printf "Hood runtime:  fib 25 = %d, reduce = %d (steals: %d/%d)@." fib25 sum
+    (Abp.Pool.successful_steals pool)
+    (Abp.Pool.steal_attempts pool);
+
+  (* --- 2. The simulator --- *)
+  let dag = Abp.Generators.spawn_tree ~depth:8 ~leaf_work:4 in
+  Format.printf "Computation:   T1 = %d, Tinf = %d, parallelism = %.1f@." (Abp.Metrics.work dag)
+    (Abp.Metrics.span dag) (Abp.Metrics.parallelism dag);
+  let p = 8 in
+  (* A multiprogrammed kernel: only half the processes run each round. *)
+  let adversary =
+    Abp.Adversary.benign ~num_processes:p
+      ~sizes:(fun _ -> p / 2)
+      ~rng:(Abp.Rng.create ~seed:42L ())
+  in
+  let cfg = Abp.Engine.default_config ~num_processes:p ~adversary in
+  let r = Abp.Engine.run cfg dag in
+  Format.printf "Simulator:     %a@." Abp.Run_result.pp r;
+  Format.printf "Paper's bound: T1/Pbar + Tinf*P/Pbar = %.0f rounds; measured/bound = %.2f@."
+    (Abp.Run_result.bound_prediction r)
+    (Abp.Run_result.bound_ratio r)

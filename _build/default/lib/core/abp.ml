@@ -1,0 +1,81 @@
+(** Single entry point for the reproduction of Arora, Blumofe, Plaxton,
+    "Thread Scheduling for Multiprogrammed Multiprocessors" (SPAA 1998).
+
+    The paper's contribution — the non-blocking work stealer over the ABP
+    deque, analyzed against an adversarial kernel — is spread over the
+    sublibraries re-exported here:
+
+    - {!Dag}, {!Builder}, {!Metrics}, {!Generators}, {!Enabling_tree},
+      {!Figure1}: multithreaded computations as dags (Sections 1-2).
+    - {!Deque_spec}, {!Age}, {!Atomic_deque}, {!Locked_deque},
+      {!Step_deque}, {!Bounded_tag}: the Figure 4/5 deque (Section 3.2-3.3).
+    - {!Schedule}, {!Adversary}, {!Yield}: the kernel model (Sections 2, 4.4).
+    - {!Exec_schedule}, {!Greedy}, {!Brent}, {!Bounds}: off-line
+      scheduling, Theorems 1-2.
+    - {!Engine}, {!Central_sched}, {!Invariants}, {!Run_result}: the
+      two-level simulator reproducing Theorems 9-12 and the Hood
+      empirical claims.
+    - {!Explorer}, {!Mcheck_props}: exhaustive interleaving verification
+      of the deque's relaxed semantics (the TR-99-11 substitute).
+    - {!Pool}, {!Future}, {!Par}: Hood, the real runtime on OCaml 5
+      domains.
+    - {!Rng}, {!Descriptive}, {!Regression}, {!Histogram}, {!Montecarlo}:
+      deterministic randomness and statistics for the experiments. *)
+
+(* Statistics substrate *)
+module Rng = Abp_stats.Rng
+module Descriptive = Abp_stats.Descriptive
+module Regression = Abp_stats.Regression
+module Histogram = Abp_stats.Histogram
+module Montecarlo = Abp_stats.Montecarlo
+module Ascii_plot = Abp_stats.Ascii_plot
+
+(* Computation dags *)
+module Dag = Abp_dag.Dag
+module Builder = Abp_dag.Builder
+module Metrics = Abp_dag.Metrics
+module Generators = Abp_dag.Generators
+module Enabling_tree = Abp_dag.Enabling_tree
+module Figure1 = Abp_dag.Figure1
+module Dot = Abp_dag.Dot
+module Sp = Abp_dag.Sp
+module Strictness = Abp_dag.Strictness
+module Script = Abp_dag.Script
+
+(* Deques *)
+module Deque_spec = Abp_deque.Spec
+module Age = Abp_deque.Age
+module Atomic_deque = Abp_deque.Atomic_deque
+module Locked_deque = Abp_deque.Locked_deque
+module Step_deque = Abp_deque.Step_deque
+module Bounded_tag = Abp_deque.Bounded_tag
+module Circular_deque = Abp_deque.Circular_deque
+
+(* Kernel model *)
+module Schedule = Abp_kernel.Schedule
+module Adversary = Abp_kernel.Adversary
+module Yield = Abp_kernel.Yield
+
+(* Off-line scheduling *)
+module Exec_schedule = Abp_sched.Exec_schedule
+module Greedy = Abp_sched.Greedy
+module Brent = Abp_sched.Brent
+module Bounds = Abp_sched.Bounds
+module Optimal = Abp_sched.Optimal
+
+(* Simulator *)
+module Engine = Abp_sim.Engine
+module Central_sched = Abp_sim.Central_sched
+module Invariants = Abp_sim.Invariants
+module Run_result = Abp_sim.Run_result
+
+(* Model checker *)
+module Explorer = Abp_mcheck.Explorer
+module Mcheck_props = Abp_mcheck.Props
+
+(* Hood runtime *)
+module Pool = Abp_hood.Pool
+module Future = Abp_hood.Future
+module Par = Abp_hood.Par
+module Algos = Abp_hood.Algos
+module Central_pool = Abp_hood.Central_pool

@@ -1,0 +1,1 @@
+lib/dag/builder.ml: Array Dag List Printf

@@ -1,0 +1,1 @@
+lib/dag/enabling_tree.ml: Array Dag Printf

@@ -1,0 +1,1 @@
+lib/dag/figure1.ml: Builder

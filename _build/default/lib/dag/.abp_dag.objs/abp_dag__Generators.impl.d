@@ -1,0 +1,1 @@
+lib/dag/generators.ml: Abp_stats Array Builder Dag Figure1 List

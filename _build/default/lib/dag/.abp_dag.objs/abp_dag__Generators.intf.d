@@ -1,0 +1,1 @@
+lib/dag/generators.mli: Abp_stats Dag

@@ -1,0 +1,1 @@
+lib/dag/script.ml: Builder Dag List Printf

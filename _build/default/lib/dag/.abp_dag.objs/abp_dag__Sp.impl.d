@@ -1,0 +1,1 @@
+lib/dag/sp.ml: Abp_stats Builder Fmt List

@@ -1,0 +1,1 @@
+lib/dag/strictness.ml: Dag

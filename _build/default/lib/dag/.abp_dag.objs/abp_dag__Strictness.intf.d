@@ -1,0 +1,1 @@
+lib/dag/strictness.mli: Dag

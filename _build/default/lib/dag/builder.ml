@@ -1,0 +1,103 @@
+type pending_thread = { mutable nodes_rev : Dag.node list; mutable length : int }
+
+type t = {
+  mutable out_edges : (Dag.node * Dag.edge_kind) list array;  (* reversed per node *)
+  mutable count : int;  (* nodes allocated so far *)
+  mutable thread_of : Dag.thread array;
+  mutable threads : pending_thread array;
+  mutable nthreads : int;
+}
+
+let root : Dag.thread = 0
+
+let create () =
+  let threads = Array.make 8 { nodes_rev = []; length = 0 } in
+  (* Array.make shares one record across all slots; give thread 0 its own.
+     Other slots are always overwritten by [spawn] before use. *)
+  threads.(0) <- { nodes_rev = []; length = 0 };
+  { out_edges = Array.make 64 []; count = 0; thread_of = Array.make 64 (-1); threads; nthreads = 1 }
+
+let nth_thread t th =
+  if th < 0 || th >= t.nthreads then invalid_arg "Builder: no such thread";
+  t.threads.(th)
+
+let ensure_node_capacity t =
+  let cap = Array.length t.out_edges in
+  if t.count = cap then begin
+    let out = Array.make (cap * 2) [] in
+    Array.blit t.out_edges 0 out 0 cap;
+    t.out_edges <- out;
+    let tof = Array.make (cap * 2) (-1) in
+    Array.blit t.thread_of 0 tof 0 cap;
+    t.thread_of <- tof
+  end
+
+let ensure_thread_capacity t =
+  let cap = Array.length t.threads in
+  if t.nthreads = cap then begin
+    let ths = Array.make (cap * 2) { nodes_rev = []; length = 0 } in
+    Array.blit t.threads 0 ths 0 cap;
+    t.threads <- ths
+  end
+
+let fresh_node t th =
+  ensure_node_capacity t;
+  let v = t.count in
+  t.count <- t.count + 1;
+  t.thread_of.(v) <- th;
+  v
+
+let add_edge t u v kind =
+  let existing = t.out_edges.(u) in
+  (match existing with
+  | _ :: _ :: _ -> invalid_arg (Printf.sprintf "Builder: node %d already has out-degree 2" u)
+  | [] | [ _ ] -> ());
+  t.out_edges.(u) <- (v, kind) :: existing
+
+let add_node t th =
+  let pt = nth_thread t th in
+  let v = fresh_node t th in
+  (match pt.nodes_rev with [] -> () | prev :: _ -> add_edge t prev v Dag.Continue);
+  pt.nodes_rev <- v :: pt.nodes_rev;
+  pt.length <- pt.length + 1;
+  v
+
+let spawn t ~parent =
+  if parent < 0 || parent >= t.count then invalid_arg "Builder.spawn: unknown parent node";
+  ensure_thread_capacity t;
+  let th = t.nthreads in
+  let pt = { nodes_rev = []; length = 0 } in
+  t.threads.(th) <- pt;
+  t.nthreads <- t.nthreads + 1;
+  let first = fresh_node t th in
+  pt.nodes_rev <- [ first ];
+  pt.length <- 1;
+  add_edge t parent first Dag.Spawn;
+  (th, first)
+
+let sync t ~signal ~wait =
+  if signal < 0 || signal >= t.count || wait < 0 || wait >= t.count then
+    invalid_arg "Builder.sync: unknown node";
+  if signal = wait then invalid_arg "Builder.sync: self edge";
+  add_edge t signal wait Dag.Sync
+
+let join t ~last_of ~wait =
+  let pt = nth_thread t last_of in
+  match pt.nodes_rev with
+  | [] -> invalid_arg "Builder.join: thread has no nodes"
+  | last :: _ -> sync t ~signal:last ~wait
+
+let node_count t = t.count
+
+let finish t =
+  let n = t.count in
+  let succs = Array.init n (fun v -> Array.of_list (List.rev t.out_edges.(v))) in
+  let thread_of = Array.sub t.thread_of 0 n in
+  let threads =
+    Array.init t.nthreads (fun th ->
+        Array.of_list (List.rev t.threads.(th).nodes_rev))
+  in
+  let dag = Dag.unsafe_make ~succs ~thread_of ~threads in
+  match Dag.validate dag with
+  | Ok () -> dag
+  | Error msg -> invalid_arg ("Builder.finish: invalid dag: " ^ msg)

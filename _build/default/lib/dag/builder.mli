@@ -1,0 +1,48 @@
+(** Imperative construction of computation dags.
+
+    A builder maintains a set of growing thread chains.  The typical
+    pattern mirrors a multithreaded program:
+
+    {[
+      let b = Builder.create () in
+      let v1 = Builder.add_node b Builder.root in
+      let v2 = Builder.add_node b Builder.root in
+      let child, c1 = Builder.spawn b ~parent:v2 in
+      let c2 = Builder.add_node b child in
+      Builder.sync b ~signal:c2 ~wait:(Builder.add_node b Builder.root);
+      let dag = Builder.finish b
+    ]}
+
+    [finish] freezes the structure and validates it ({!Dag.validate});
+    construction errors therefore surface eagerly. *)
+
+type t
+
+val root : Dag.thread
+(** The root thread (always thread 0). *)
+
+val create : unit -> t
+
+val add_node : t -> Dag.thread -> Dag.node
+(** Append an instruction to a thread's chain; adds the [Continue] edge
+    from the previous node of that thread, if any. *)
+
+val spawn : t -> parent:Dag.node -> Dag.thread * Dag.node
+(** [spawn b ~parent] creates a new thread whose first node is the target
+    of a [Spawn] edge from [parent].  [parent] must already exist and must
+    have room for another out-edge. *)
+
+val sync : t -> signal:Dag.node -> wait:Dag.node -> unit
+(** [sync b ~signal ~wait] adds a [Sync] edge: [wait] cannot execute until
+    [signal] has.  Used for joins and semaphore-style dependencies. *)
+
+val join : t -> last_of:Dag.thread -> wait:Dag.node -> unit
+(** Convenience: [Sync] edge from the current last node of [last_of] to
+    [wait] — the join of a child thread into a continuation node. *)
+
+val node_count : t -> int
+
+val finish : t -> Dag.t
+(** Freeze and validate.  Raises [Invalid_argument] with the validation
+    message if the dag violates a structural rule (out-degree > 2,
+    multiple roots/finals, cycles, ...). *)

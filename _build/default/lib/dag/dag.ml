@@ -1,0 +1,211 @@
+type node = int
+type thread = int
+type edge_kind = Continue | Spawn | Sync
+
+type t = {
+  succs : (node * edge_kind) array array;
+  preds : node array array;
+  thread_of : thread array;
+  threads : node array array;
+  root : node;
+  final : node;
+  spawn_parents : node option array;  (* per thread *)
+}
+
+let num_nodes t = Array.length t.succs
+let num_threads t = Array.length t.threads
+let root t = t.root
+let final t = t.final
+let succs t v = t.succs.(v)
+let preds t v = t.preds.(v)
+let in_degree t v = Array.length t.preds.(v)
+let out_degree t v = Array.length t.succs.(v)
+let thread_of t v = t.thread_of.(v)
+let thread_nodes t th = t.threads.(th)
+
+let thread_first t th =
+  let nodes = t.threads.(th) in
+  if Array.length nodes = 0 then invalid_arg "Dag.thread_first: empty thread";
+  nodes.(0)
+
+let thread_last t th =
+  let nodes = t.threads.(th) in
+  if Array.length nodes = 0 then invalid_arg "Dag.thread_last: empty thread";
+  nodes.(Array.length nodes - 1)
+
+let next_in_thread t v =
+  let rec find i edges =
+    if i >= Array.length edges then None
+    else
+      match edges.(i) with
+      | w, Continue -> Some w
+      | _ -> find (i + 1) edges
+  in
+  find 0 t.succs.(v)
+
+let spawn_parent t th = t.spawn_parents.(th)
+
+let iter_nodes t f =
+  for v = 0 to num_nodes t - 1 do
+    f v
+  done
+
+let iter_edges t f =
+  iter_nodes t (fun u -> Array.iter (fun (v, k) -> f u v k) t.succs.(u))
+
+let topological_order t =
+  let n = num_nodes t in
+  let indeg = Array.init n (fun v -> in_degree t v) in
+  let order = Array.make n (-1) in
+  let queue = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  let count = ref 0 in
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    order.(!count) <- u;
+    incr count;
+    Array.iter
+      (fun (v, _) ->
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.add v queue)
+      t.succs.(u)
+  done;
+  if !count <> n then invalid_arg "Dag.topological_order: graph has a cycle";
+  order
+
+let compute_preds succs =
+  let n = Array.length succs in
+  let counts = Array.make n 0 in
+  Array.iter (Array.iter (fun (v, _) -> counts.(v) <- counts.(v) + 1)) succs;
+  let preds = Array.map (fun c -> Array.make c (-1)) counts in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun u edges ->
+      Array.iter
+        (fun (v, _) ->
+          preds.(v).(fill.(v)) <- u;
+          fill.(v) <- fill.(v) + 1)
+        edges)
+    succs;
+  preds
+
+let find_spawn_parents succs threads thread_of =
+  let spawn_parents = Array.make (Array.length threads) None in
+  Array.iteri
+    (fun u edges ->
+      Array.iter
+        (fun (v, k) ->
+          match k with
+          | Spawn -> spawn_parents.(thread_of.(v)) <- Some u
+          | Continue | Sync -> ())
+        edges)
+    succs;
+  spawn_parents
+
+let unsafe_make ~succs ~thread_of ~threads =
+  let preds = compute_preds succs in
+  let n = Array.length succs in
+  let roots = ref [] and finals = ref [] in
+  for v = 0 to n - 1 do
+    if Array.length preds.(v) = 0 then roots := v :: !roots;
+    if Array.length succs.(v) = 0 then finals := v :: !finals
+  done;
+  let root = match !roots with [ r ] -> r | _ -> -1 in
+  let final = match !finals with [ f ] -> f | _ -> -1 in
+  let spawn_parents = find_spawn_parents succs threads thread_of in
+  { succs; preds; thread_of; threads; root; final; spawn_parents }
+
+let validate t =
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let n = num_nodes t in
+  let* () = if n > 0 then Ok () else Error "empty dag" in
+  let* () =
+    if t.root >= 0 then Ok () else Error "dag must have exactly one root (in-degree-0) node"
+  in
+  let* () =
+    if t.final >= 0 then Ok () else Error "dag must have exactly one final (out-degree-0) node"
+  in
+  let* () =
+    if Array.length t.threads.(0) > 0 && t.threads.(0).(0) = t.root then Ok ()
+    else Error "root node must be the first node of the root thread"
+  in
+  (* Out-degree at most 2, and at most one Continue edge per node. *)
+  let rec check_degrees v =
+    if v >= n then Ok ()
+    else if out_degree t v > 2 then Error (Printf.sprintf "node %d has out-degree > 2" v)
+    else
+      let continues =
+        Array.fold_left (fun acc (_, k) -> if k = Continue then acc + 1 else acc) 0 t.succs.(v)
+      in
+      if continues > 1 then Error (Printf.sprintf "node %d has two Continue successors" v)
+      else check_degrees (v + 1)
+  in
+  let* () = check_degrees 0 in
+  (* Thread chains: consecutive nodes linked by Continue edges; every node in
+     exactly one thread; spawn edges target first nodes; non-root threads have
+     a spawn parent. *)
+  let seen = Array.make n false in
+  let rec check_threads th =
+    if th >= num_threads t then Ok ()
+    else
+      let nodes = t.threads.(th) in
+      if Array.length nodes = 0 then Error (Printf.sprintf "thread %d is empty" th)
+      else begin
+        let bad = ref None in
+        Array.iteri
+          (fun i v ->
+            if !bad = None then begin
+              if seen.(v) then bad := Some (Printf.sprintf "node %d appears in two threads" v);
+              seen.(v) <- true;
+              if t.thread_of.(v) <> th then
+                bad := Some (Printf.sprintf "node %d has wrong thread_of" v);
+              if i + 1 < Array.length nodes then
+                match next_in_thread t v with
+                | Some w when w = nodes.(i + 1) -> ()
+                | _ ->
+                    bad :=
+                      Some
+                        (Printf.sprintf "thread %d: nodes %d,%d not linked by Continue" th v
+                           nodes.(i + 1))
+            end)
+          nodes;
+        match !bad with
+        | Some msg -> Error msg
+        | None ->
+            if th > 0 && t.spawn_parents.(th) = None then
+              Error (Printf.sprintf "thread %d has no spawn edge" th)
+            else check_threads (th + 1)
+      end
+  in
+  let* () = check_threads 0 in
+  let* () =
+    if Array.for_all (fun b -> b) seen then Ok ()
+    else Error "some node belongs to no thread"
+  in
+  (* Spawn edges must point at the first node of the target thread, and
+     Continue edges must stay within a thread. *)
+  let edge_err = ref None in
+  iter_edges t (fun u v k ->
+      if !edge_err = None then
+        match k with
+        | Spawn ->
+            if thread_first t t.thread_of.(v) <> v then
+              edge_err := Some (Printf.sprintf "spawn edge %d->%d not at thread start" u v)
+            else if t.thread_of.(u) = t.thread_of.(v) then
+              edge_err := Some (Printf.sprintf "spawn edge %d->%d within one thread" u v)
+        | Continue ->
+            if t.thread_of.(u) <> t.thread_of.(v) then
+              edge_err := Some (Printf.sprintf "continue edge %d->%d crosses threads" u v)
+        | Sync -> ());
+  let* () = match !edge_err with Some msg -> Error msg | None -> Ok () in
+  (* Acyclicity. *)
+  match topological_order t with
+  | _ -> Ok ()
+  | exception Invalid_argument _ -> Error "dag has a cycle"
+
+let pp_stats ppf t =
+  let edges = ref 0 in
+  iter_edges t (fun _ _ _ -> incr edges);
+  Fmt.pf ppf "nodes=%d threads=%d edges=%d" (num_nodes t) (num_threads t) !edges

@@ -1,0 +1,88 @@
+(** Multithreaded computations as dags (paper, Section 1).
+
+    A computation is a dag whose nodes are single instructions and whose
+    edges are ordering constraints.  Nodes are grouped into {e threads}:
+    the nodes of a thread form a chain of [Continue] edges giving the
+    thread's dynamic instruction order.  A [Spawn] edge runs from the
+    spawning instruction in a parent thread to the first node of the child
+    thread.  A [Sync] edge runs from an instruction that must happen
+    before (e.g. a semaphore V, or the last node of a joining thread) to
+    the instruction that waits for it.
+
+    Structural assumptions of the paper, enforced by {!validate} and by
+    {!Builder}:
+    - every node has out-degree at most 2;
+    - there is exactly one {e root} node (in-degree 0), the first node of
+      thread 0 (the root thread);
+    - there is exactly one {e final} node (out-degree 0);
+    - the dag is acyclic. *)
+
+type node = int
+(** Nodes are dense indices [0 .. num_nodes-1].  Index order has no
+    semantic meaning; use edges. *)
+
+type thread = int
+(** Threads are dense indices [0 .. num_threads-1]; thread 0 is the root
+    thread. *)
+
+type edge_kind =
+  | Continue  (** next instruction within the same thread *)
+  | Spawn  (** parent instruction to first instruction of child thread *)
+  | Sync  (** synchronization: join or semaphore-style dependency *)
+
+type t
+
+val num_nodes : t -> int
+val num_threads : t -> int
+
+val root : t -> node
+(** The unique in-degree-0 node. *)
+
+val final : t -> node
+(** The unique out-degree-0 node. *)
+
+val succs : t -> node -> (node * edge_kind) array
+(** Out-edges of a node, in insertion order.  Length at most 2. *)
+
+val preds : t -> node -> node array
+(** In-neighbours of a node. *)
+
+val in_degree : t -> node -> int
+val out_degree : t -> node -> int
+
+val thread_of : t -> node -> thread
+val thread_nodes : t -> thread -> node array
+(** The chain of nodes of a thread, in program order. *)
+
+val thread_first : t -> thread -> node
+val thread_last : t -> thread -> node
+
+val next_in_thread : t -> node -> node option
+(** Successor along the thread's [Continue] chain, if any. *)
+
+val spawn_parent : t -> thread -> node option
+(** The node whose [Spawn] edge created this thread; [None] for the root
+    thread. *)
+
+val iter_nodes : t -> (node -> unit) -> unit
+val iter_edges : t -> (node -> node -> edge_kind -> unit) -> unit
+
+val topological_order : t -> node array
+(** Some topological order of all nodes.  Raises [Invalid_argument] if the
+    graph has a cycle (cannot happen for a dag built by {!Builder}). *)
+
+val validate : t -> (unit, string) result
+(** Check every structural assumption listed above; [Error msg] pinpoints
+    the first violation. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line summary: nodes, threads, edges. *)
+
+(**/**)
+
+(* Internal constructor used by Builder; not part of the public API. *)
+val unsafe_make :
+  succs:(node * edge_kind) array array ->
+  thread_of:thread array ->
+  threads:node array array ->
+  t

@@ -1,0 +1,37 @@
+let node_name v = Printf.sprintf "v%d" (v + 1)
+
+let to_dot ?(graph_name = "computation") dag =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph %s {\n" graph_name;
+  out "  rankdir=TB;\n  node [shape=circle, fontsize=10];\n";
+  for th = 0 to Dag.num_threads dag - 1 do
+    out "  subgraph cluster_thread%d {\n" th;
+    out "    label=\"thread %d%s\";\n    style=rounded;\n" th (if th = 0 then " (root)" else "");
+    Array.iter (fun v -> out "    %s;\n" (node_name v)) (Dag.thread_nodes dag th);
+    out "  }\n"
+  done;
+  Dag.iter_edges dag (fun u v kind ->
+      let style =
+        match kind with
+        | Dag.Continue -> ""
+        | Dag.Spawn -> " [style=dashed, label=\"spawn\"]"
+        | Dag.Sync -> " [style=dotted, label=\"sync\"]"
+      in
+      out "  %s -> %s%s;\n" (node_name u) (node_name v) style);
+  out "}\n";
+  Buffer.contents buf
+
+let enabling_tree_to_dot ?(graph_name = "enabling_tree") dag tree =
+  let buf = Buffer.create 1024 in
+  let out fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  out "digraph %s {\n  node [shape=box, fontsize=10];\n" graph_name;
+  Dag.iter_nodes dag (fun v ->
+      if Enabling_tree.recorded tree v then begin
+        out "  %s [label=\"%s d=%d\"];\n" (node_name v) (node_name v) (Enabling_tree.depth tree v);
+        match Enabling_tree.parent tree v with
+        | Some p -> out "  %s -> %s;\n" (node_name p) (node_name v)
+        | None -> ()
+      end);
+  out "}\n";
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Graphviz export of computation dags.
+
+    Renders a dag in the style of the paper's Figure 1: one cluster per
+    thread (nodes in program order), solid edges for [Continue], dashed
+    for [Spawn], dotted for [Sync].  Node names are the paper's 1-based
+    [v1..vn]. *)
+
+val to_dot : ?graph_name:string -> Dag.t -> string
+(** A complete [digraph] document, renderable with [dot -Tsvg]. *)
+
+val enabling_tree_to_dot : ?graph_name:string -> Dag.t -> Enabling_tree.t -> string
+(** The enabling tree of an execution (every recorded node), with each
+    node labeled by its weight-relevant depth. *)

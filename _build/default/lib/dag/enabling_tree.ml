@@ -1,0 +1,43 @@
+type t = {
+  dag : Dag.t;
+  parents : Dag.node array;  (* -1 = unrecorded, self = root *)
+  depths : int array;
+}
+
+let create dag =
+  let n = Dag.num_nodes dag in
+  let parents = Array.make n (-1) in
+  let depths = Array.make n (-1) in
+  let root = Dag.root dag in
+  parents.(root) <- root;
+  depths.(root) <- 0;
+  { dag; parents; depths }
+
+let recorded t v = t.parents.(v) >= 0
+
+let record t ~parent ~child =
+  if child = Dag.root t.dag then invalid_arg "Enabling_tree.record: root has no parent";
+  if t.parents.(child) >= 0 then
+    invalid_arg (Printf.sprintf "Enabling_tree.record: node %d already has a parent" child);
+  if t.parents.(parent) < 0 then
+    invalid_arg (Printf.sprintf "Enabling_tree.record: parent %d not yet recorded" parent);
+  t.parents.(child) <- parent;
+  t.depths.(child) <- t.depths.(parent) + 1
+
+let depth t v =
+  if t.depths.(v) < 0 then invalid_arg (Printf.sprintf "Enabling_tree.depth: node %d unrecorded" v);
+  t.depths.(v)
+
+let parent t v =
+  if t.parents.(v) < 0 then
+    invalid_arg (Printf.sprintf "Enabling_tree.parent: node %d unrecorded" v)
+  else if t.parents.(v) = v then None
+  else Some t.parents.(v)
+
+let weight t ~span v = span - depth t v
+
+let is_ancestor t ~anc ~desc =
+  if t.parents.(anc) < 0 || t.parents.(desc) < 0 then
+    invalid_arg "Enabling_tree.is_ancestor: unrecorded node";
+  let rec climb v = if v = anc then true else if t.parents.(v) = v then false else climb t.parents.(v) in
+  climb desc

@@ -1,0 +1,38 @@
+(** The enabling tree of an execution (paper, Section 3.4).
+
+    If the execution of node [u] makes node [v] ready, edge [(u, v)] is an
+    {e enabling edge} and [u] is the {e designated parent} of [v].  Every
+    node but the root has exactly one designated parent, so enabling edges
+    form a tree rooted at the dag's root.  The tree depends on the
+    execution (which parent executed last), so it is recorded online by
+    the scheduler/simulator.
+
+    The {e weight} of a node is [w(u) = Tinf - d(u)] where [d(u)] is its
+    enabling-tree depth; the root has weight [Tinf] and all weights are
+    at least 1 (an enabling path is a dag path, so [d(u) < Tinf]).  The
+    potential function of Section 4.2 is built on these weights. *)
+
+type t
+
+val create : Dag.t -> t
+(** Fresh tree for one execution: the dag's root is pre-recorded at
+    depth 0; all other nodes are unrecorded. *)
+
+val record : t -> parent:Dag.node -> child:Dag.node -> unit
+(** Record that executing [parent] enabled [child].  Raises
+    [Invalid_argument] if [child] already has a designated parent or is
+    the root. *)
+
+val recorded : t -> Dag.node -> bool
+
+val depth : t -> Dag.node -> int
+(** Enabling-tree depth; raises [Invalid_argument] if unrecorded. *)
+
+val parent : t -> Dag.node -> Dag.node option
+(** Designated parent ([None] for the root). *)
+
+val weight : t -> span:int -> Dag.node -> int
+(** [weight t ~span u = span - depth t u]. *)
+
+val is_ancestor : t -> anc:Dag.node -> desc:Dag.node -> bool
+(** Reflexive ancestor test along designated-parent links. *)

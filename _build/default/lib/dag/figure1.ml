@@ -1,0 +1,32 @@
+let v i =
+  if i < 1 || i > 11 then invalid_arg "Figure1.v: node names are v1..v11";
+  i - 1
+
+let expected_work = 11
+let expected_span = 9
+
+let dag () =
+  let b = Builder.create () in
+  (* Root thread: v1 v2 v3 v4 v10 v11.  Nodes must be allocated in the order
+     v1..v11 for the ids to match the paper's names, so the two chains are
+     interleaved with explicit allocation order. *)
+  let v1 = Builder.add_node b Builder.root in
+  let v2 = Builder.add_node b Builder.root in
+  let v3 = Builder.add_node b Builder.root in
+  let v4 = Builder.add_node b Builder.root in
+  ignore v1;
+  ignore v3;
+  (* Child thread: v5 v6 v7 v8 v9, spawned by v2. *)
+  let child, v5 = Builder.spawn b ~parent:v2 in
+  ignore v5;
+  let v6 = Builder.add_node b child in
+  let _v7 = Builder.add_node b child in
+  let _v8 = Builder.add_node b child in
+  let v9 = Builder.add_node b child in
+  let v10 = Builder.add_node b Builder.root in
+  let _v11 = Builder.add_node b Builder.root in
+  (* Semaphore: v6 signals, v4 waits. *)
+  Builder.sync b ~signal:v6 ~wait:v4;
+  (* Join: the child's last node enables the root's continuation. *)
+  Builder.sync b ~signal:v9 ~wait:v10;
+  Builder.finish b

@@ -1,0 +1,30 @@
+(** Reconstruction of the paper's Figure 1 example computation.
+
+    The available transcription of the paper loses the glyphs of Figure 1,
+    so the dag is reconstructed from the prose, which constrains it
+    tightly; every Section 3.1 walk-through holds for this reconstruction:
+
+    - two threads: the root thread [v1 v2 v3 v4 v10 v11] and a child
+      thread [v5 v6 v7 v8 v9];
+    - a spawn edge [v2 -> v5] ("when an instruction in one thread spawns a
+      new child thread, the dag has an edge from the spawning node to the
+      first node of the child");
+    - a semaphore edge [v6 -> v4]: [v6] is the V (signal), [v4] the P
+      (wait) — executing the root past [v3] before [v6] has run blocks
+      the root thread exactly as described in Section 3.1 ("Block");
+    - a join edge [v9 -> v10]: when a process executes [v9], the child
+      enables the root and dies simultaneously ("Die"/"Enable" example).
+
+    Measures: work [T1 = 11], critical path [Tinf = 9]
+    (path v1 v2 v5 v6 v7 v8 v9 v10 v11), parallelism [T1/Tinf ~= 1.22]. *)
+
+val dag : unit -> Dag.t
+(** Build a fresh copy of the Figure 1 dag.  Node numbering matches the
+    description above with [v1 = 0, ..., v11 = 10]. *)
+
+val v : int -> Dag.node
+(** [v i] translates the paper's 1-based node names to node ids:
+    [v 1 = 0].  Requires [1 <= i <= 11]. *)
+
+val expected_work : int
+val expected_span : int

@@ -1,0 +1,176 @@
+module Rng = Abp_stats.Rng
+
+let chain ~n =
+  if n < 1 then invalid_arg "Generators.chain: n >= 1 required";
+  let b = Builder.create () in
+  for _ = 1 to n do
+    ignore (Builder.add_node b Builder.root)
+  done;
+  Builder.finish b
+
+(* A fib-shaped binary divide-and-conquer tree.  Each internal thread:
+   spawn node (left), spawn node (right), wait node (left join), wait node
+   (right join), combine node.  Leaves are serial chains. *)
+let spawn_tree ~depth ~leaf_work =
+  if depth < 0 then invalid_arg "Generators.spawn_tree: depth >= 0 required";
+  if leaf_work < 1 then invalid_arg "Generators.spawn_tree: leaf_work >= 1 required";
+  let b = Builder.create () in
+  (* [body th first d]: thread [th] already contains node [first]; for an
+     internal thread [first] doubles as the left spawn site, for a leaf it
+     is the first unit of work. *)
+  let rec body th first d =
+    if d = 0 then
+      for _ = 2 to leaf_work do
+        ignore (Builder.add_node b th)
+      done
+    else begin
+      let left, left_first = Builder.spawn b ~parent:first in
+      body left left_first (d - 1);
+      let s2 = Builder.add_node b th in
+      let right, right_first = Builder.spawn b ~parent:s2 in
+      body right right_first (d - 1);
+      let w1 = Builder.add_node b th in
+      Builder.join b ~last_of:left ~wait:w1;
+      let w2 = Builder.add_node b th in
+      Builder.join b ~last_of:right ~wait:w2;
+      ignore (Builder.add_node b th)
+    end
+  in
+  let first = Builder.add_node b Builder.root in
+  body Builder.root first depth;
+  Builder.finish b
+
+let wide ~width ~work =
+  if width < 1 then invalid_arg "Generators.wide: width >= 1 required";
+  if work < 1 then invalid_arg "Generators.wide: work >= 1 required";
+  let b = Builder.create () in
+  let children = Array.make width (-1) in
+  for i = 0 to width - 1 do
+    let s = Builder.add_node b Builder.root in
+    let child, _ = Builder.spawn b ~parent:s in
+    for _ = 2 to work do
+      ignore (Builder.add_node b child)
+    done;
+    children.(i) <- child
+  done;
+  Array.iter
+    (fun child ->
+      let w = Builder.add_node b Builder.root in
+      Builder.join b ~last_of:child ~wait:w)
+    children;
+  ignore (Builder.add_node b Builder.root);
+  Builder.finish b
+
+let pipeline ~stages ~items =
+  if stages < 1 then invalid_arg "Generators.pipeline: stages >= 1 required";
+  if items < 1 then invalid_arg "Generators.pipeline: items >= 1 required";
+  let b = Builder.create () in
+  (* Stage threads: stage 0 is the root thread; stage s is spawned by the
+     first node of stage s-1 (a first node has room for continue + spawn).
+     Each stage then runs [items] item nodes. *)
+  let item_nodes = Array.make_matrix stages items (-1) in
+  let stage_threads = Array.make stages Builder.root in
+  let stage_firsts = Array.make stages (-1) in
+  stage_firsts.(0) <- Builder.add_node b Builder.root;
+  for s = 1 to stages - 1 do
+    let th, first = Builder.spawn b ~parent:stage_firsts.(s - 1) in
+    stage_threads.(s) <- th;
+    stage_firsts.(s) <- first
+  done;
+  (* Now append item nodes to every stage.  For spawned stages, the thread
+     already has its first node (the spawn target), which we treat as a
+     prologue; item nodes follow it. *)
+  for s = 0 to stages - 1 do
+    for i = 0 to items - 1 do
+      item_nodes.(s).(i) <- Builder.add_node b stage_threads.(s)
+    done
+  done;
+  (* Cross-stage semaphore edges: item i of stage s waits on item i of
+     stage s-1. *)
+  for s = 1 to stages - 1 do
+    for i = 0 to items - 1 do
+      Builder.sync b ~signal:item_nodes.(s - 1).(i) ~wait:item_nodes.(s).(i)
+    done
+  done;
+  Builder.finish b
+
+let random_sp ~rng ~size =
+  if size < 1 then invalid_arg "Generators.random_sp: size >= 1 required";
+  let b = Builder.create () in
+  (* [fill th budget] appends roughly [budget] nodes of computation to
+     thread [th]; recursively decides between serial work and a spawned
+     parallel subcomputation. *)
+  let rec fill th budget =
+    if budget <= 3 then
+      for _ = 1 to max 1 budget do
+        ignore (Builder.add_node b th)
+      done
+    else if Rng.bool rng then begin
+      (* Serial split. *)
+      let k = 1 + Rng.int rng (budget - 1) in
+      for _ = 1 to k do
+        ignore (Builder.add_node b th)
+      done;
+      fill th (budget - k)
+    end
+    else begin
+      (* Parallel split: spawn a child computing about half, run the rest
+         locally, then join. *)
+      let s = Builder.add_node b th in
+      let child_budget = 1 + Rng.int rng (budget - 3) in
+      let child, _ = Builder.spawn b ~parent:s in
+      if child_budget > 1 then fill child (child_budget - 1);
+      fill th (budget - child_budget - 2);
+      let w = Builder.add_node b th in
+      Builder.join b ~last_of:child ~wait:w
+    end
+  in
+  fill Builder.root size;
+  Builder.finish b
+
+let irregular_tree ~rng ~depth ~max_branch ~leaf_work_max =
+  if depth < 0 then invalid_arg "Generators.irregular_tree: depth >= 0 required";
+  if max_branch < 1 then invalid_arg "Generators.irregular_tree: max_branch >= 1 required";
+  if leaf_work_max < 1 then invalid_arg "Generators.irregular_tree: leaf_work_max >= 1 required";
+  let b = Builder.create () in
+  let rec body th d ~has_first =
+    (* Guarantee the thread has at least one node. *)
+    if not has_first then ignore (Builder.add_node b th);
+    if d = 0 then
+      for _ = 1 to Rng.int_in rng ~lo:0 ~hi:(leaf_work_max - 1) do
+        ignore (Builder.add_node b th)
+      done
+    else begin
+      let branch = Rng.int_in rng ~lo:0 ~hi:max_branch in
+      let children = ref [] in
+      for _ = 1 to branch do
+        let s = Builder.add_node b th in
+        let child, _ = Builder.spawn b ~parent:s in
+        body child (d - 1) ~has_first:true;
+        children := child :: !children
+      done;
+      List.iter
+        (fun child ->
+          let w = Builder.add_node b th in
+          Builder.join b ~last_of:child ~wait:w)
+        !children
+    end
+  in
+  body Builder.root depth ~has_first:false;
+  ignore (Builder.add_node b Builder.root);
+  Builder.finish b
+
+type named = { name : string; dag : Dag.t }
+
+let standard_suite ?(seed = 42L) () =
+  let rng = Rng.create ~seed () in
+  [
+    { name = "figure1"; dag = Figure1.dag () };
+    { name = "chain-256"; dag = chain ~n:256 };
+    { name = "spawn-tree-d6"; dag = spawn_tree ~depth:6 ~leaf_work:4 };
+    { name = "spawn-tree-d8"; dag = spawn_tree ~depth:8 ~leaf_work:2 };
+    { name = "wide-32x16"; dag = wide ~width:32 ~work:16 };
+    { name = "pipeline-8x32"; dag = pipeline ~stages:8 ~items:32 };
+    { name = "random-sp-1k"; dag = random_sp ~rng ~size:1000 };
+    { name = "irregular-d5"; dag = irregular_tree ~rng ~depth:5 ~max_branch:3 ~leaf_work_max:6 };
+  ]

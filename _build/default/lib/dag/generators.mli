@@ -1,0 +1,50 @@
+(** Workload dag generators.
+
+    Each generator produces a validated {!Dag.t}.  The families cover the
+    kinds of computations the paper's introduction motivates: fully strict
+    fork-join divide-and-conquer (Cilk-style), wide data-parallel fans,
+    serial chains (no parallelism), pipelines with semaphore-style cross
+    edges (non-fully-strict, exercising the paper's generalization beyond
+    [8]), and randomized series-parallel compositions. *)
+
+val chain : n:int -> Dag.t
+(** A single thread of [n] nodes: [T1 = n], [Tinf = n], parallelism 1.
+    Requires [n >= 1]. *)
+
+val spawn_tree : depth:int -> leaf_work:int -> Dag.t
+(** Binary divide-and-conquer of the classic fib shape: a thread at depth
+    [> 0] spawns two subtrees (at successive spawn nodes), then waits for
+    each on its own wait node and finishes with a combine node; a leaf
+    thread runs [leaf_work] serial nodes.  [depth = 0] is a single leaf.
+    [T1] grows as [2^depth]; parallelism is high.  Requires [depth >= 0],
+    [leaf_work >= 1]. *)
+
+val wide : width:int -> work:int -> Dag.t
+(** The root thread spawns [width] child threads, each a serial chain of
+    [work] nodes, then joins them all.  Parallelism approaches [width] for
+    large [work].  Requires [width >= 1], [work >= 1]. *)
+
+val pipeline : stages:int -> items:int -> Dag.t
+(** [stages] threads each processing [items] items; item [i] of stage [s]
+    synchronizes on item [i] of stage [s-1] (a semaphore-style dag that is
+    not fully strict).  [T1 = stages * (items + 1)] roughly;
+    [Tinf ~= stages + items].  Requires [stages >= 1], [items >= 1]. *)
+
+val random_sp : rng:Abp_stats.Rng.t -> size:int -> Dag.t
+(** Randomized series-parallel fork-join computation with approximately
+    [size] nodes: threads recursively either run serially or spawn a
+    subcomputation and join it.  Requires [size >= 1]. *)
+
+val irregular_tree :
+  rng:Abp_stats.Rng.t -> depth:int -> max_branch:int -> leaf_work_max:int -> Dag.t
+(** Randomized spawn tree: each internal thread spawns between 0 and
+    [max_branch] children (at successive spawn nodes) and joins them; leaf
+    work is uniform in [1 .. leaf_work_max].  Models irregular task
+    parallelism (backtracking search etc.).  Requires [depth >= 0],
+    [max_branch >= 1], [leaf_work_max >= 1]. *)
+
+type named = { name : string; dag : Dag.t }
+
+val standard_suite : ?seed:int64 -> unit -> named list
+(** The fixed mix of small/medium instances used across tests and
+    experiments (deterministic given [seed]). *)

@@ -1,0 +1,33 @@
+let work d = Dag.num_nodes d
+
+let depth d =
+  let order = Dag.topological_order d in
+  let dep = Array.make (Dag.num_nodes d) 0 in
+  Array.iter
+    (fun u ->
+      Array.iter (fun (v, _) -> if dep.(u) + 1 > dep.(v) then dep.(v) <- dep.(u) + 1) (Dag.succs d u))
+    order;
+  dep
+
+let span d =
+  let dep = depth d in
+  1 + Array.fold_left max 0 dep
+
+let parallelism d = float_of_int (work d) /. float_of_int (span d)
+
+let levels d =
+  let dep = depth d in
+  let height = 1 + Array.fold_left max 0 dep in
+  let counts = Array.make height 0 in
+  Array.iter (fun k -> counts.(k) <- counts.(k) + 1) dep;
+  let result = Array.map (fun c -> Array.make c (-1)) counts in
+  let fill = Array.make height 0 in
+  Array.iteri
+    (fun v k ->
+      result.(k).(fill.(k)) <- v;
+      fill.(k) <- fill.(k) + 1)
+    dep;
+  result
+
+let avg_parallelism_profile d =
+  Array.map (fun nodes -> float_of_int (Array.length nodes)) (levels d)

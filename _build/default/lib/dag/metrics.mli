@@ -1,0 +1,27 @@
+(** Work, critical-path length, and related measures (paper, Section 1).
+
+    The {e work} [T1] of a computation is the number of nodes in the dag;
+    the {e critical-path length} [Tinf] is the number of nodes on a
+    longest directed path; the {e parallelism} is [T1 / Tinf]. *)
+
+val work : Dag.t -> int
+(** [T1]: the number of nodes. *)
+
+val span : Dag.t -> int
+(** [Tinf]: nodes on a longest directed path (so a single node has span 1,
+    matching the paper's count of Figure 1). *)
+
+val parallelism : Dag.t -> float
+(** [T1 / Tinf]. *)
+
+val depth : Dag.t -> int array
+(** [depth d].(v) is the length (in edges) of a longest path from the root
+    to [v]; [depth.(root) = 0] and [span = 1 + max depth]. *)
+
+val levels : Dag.t -> Dag.node array array
+(** Level decomposition by {!depth}: [levels.(k)] holds the nodes at depth
+    [k].  Used by the Brent level-by-level scheduler. *)
+
+val avg_parallelism_profile : Dag.t -> float array
+(** Number of nodes per level — a crude parallelism profile used in
+    experiment reports. *)

@@ -1,0 +1,69 @@
+type sem_state = {
+  mutable pending_signals : Dag.node list;  (* signaled, not yet matched (FIFO, reversed) *)
+  mutable pending_waits : Dag.node list;  (* waiting, not yet matched (FIFO, reversed) *)
+}
+
+type program = { builder : Builder.t; mutable unmatched_waits : int }
+
+type ctx = { program : program; thread : Dag.thread }
+
+type handle = { child : Dag.thread; mutable joined : bool }
+
+type sem = { program' : program; state : sem_state }
+
+let compute ctx n =
+  if n < 1 then invalid_arg "Script.compute: n >= 1 required";
+  for _ = 1 to n do
+    ignore (Builder.add_node ctx.program.builder ctx.thread)
+  done
+
+let spawn ctx body =
+  let site = Builder.add_node ctx.program.builder ctx.thread in
+  let child, _first = Builder.spawn ctx.program.builder ~parent:site in
+  body { ctx with thread = child };
+  { child; joined = false }
+
+let join ctx handle =
+  if handle.joined then invalid_arg "Script.join: thread already joined";
+  handle.joined <- true;
+  let w = Builder.add_node ctx.program.builder ctx.thread in
+  Builder.join ctx.program.builder ~last_of:handle.child ~wait:w
+
+let semaphore ctx =
+  { program' = ctx.program; state = { pending_signals = []; pending_waits = [] } }
+
+(* FIFO pairing: take the oldest entry of a reversed-list queue. *)
+let pop_oldest q =
+  match List.rev q with [] -> None | oldest :: rest -> Some (oldest, List.rev rest)
+
+let signal ctx sem =
+  if sem.program' != ctx.program then invalid_arg "Script.signal: semaphore of another program";
+  let s = Builder.add_node ctx.program.builder ctx.thread in
+  match pop_oldest sem.state.pending_waits with
+  | Some (w, rest) ->
+      sem.state.pending_waits <- rest;
+      ctx.program.unmatched_waits <- ctx.program.unmatched_waits - 1;
+      Builder.sync ctx.program.builder ~signal:s ~wait:w
+  | None -> sem.state.pending_signals <- s :: sem.state.pending_signals
+
+let wait ctx sem =
+  if sem.program' != ctx.program then invalid_arg "Script.wait: semaphore of another program";
+  let w = Builder.add_node ctx.program.builder ctx.thread in
+  match pop_oldest sem.state.pending_signals with
+  | Some (s, rest) ->
+      sem.state.pending_signals <- rest;
+      Builder.sync ctx.program.builder ~signal:s ~wait:w
+  | None ->
+      sem.state.pending_waits <- w :: sem.state.pending_waits;
+      ctx.program.unmatched_waits <- ctx.program.unmatched_waits + 1
+
+let to_dag body =
+  let program = { builder = Builder.create (); unmatched_waits = 0 } in
+  body { program; thread = Builder.root };
+  if program.unmatched_waits > 0 then
+    invalid_arg
+      (Printf.sprintf "Script.to_dag: %d wait(s) with no matching signal (the program deadlocks)"
+         program.unmatched_waits);
+  if Builder.node_count program.builder = 0 then
+    invalid_arg "Script.to_dag: empty program (the root thread must execute something)";
+  Builder.finish program.builder

@@ -1,0 +1,69 @@
+(** The paper's programming model as an embedded DSL.
+
+    Section 1 describes computations produced by threads that {e
+    compute}, {e spawn} children, {e join} them, and synchronize through
+    {e semaphores} (the P/V edge of Figure 1).  This module elaborates
+    such a program description into a validated {!Dag.t}:
+
+    {[
+      let dag =
+        Script.to_dag (fun ctx ->
+            Script.compute ctx 2;
+            let sem = Script.semaphore ctx in
+            let child =
+              Script.spawn ctx (fun ctx ->
+                  Script.compute ctx 1;
+                  Script.signal ctx sem;
+                  Script.compute ctx 3)
+            in
+            Script.wait ctx sem;
+            Script.compute ctx 1;
+            Script.join ctx child)
+    ]}
+
+    Elaboration is a single sequential pass: [spawn] elaborates the child
+    body at the spawn point and returns a handle for [join].  [wait]s and
+    [signal]s on a semaphore are paired FIFO across the whole program;
+    each [wait] node receives a [Sync] edge from its paired [signal]
+    node.  Programs whose semaphore protocol is circular elaborate to a
+    cyclic graph and are rejected by validation; a [wait] with no
+    matching [signal] anywhere raises at {!to_dag}.
+
+    This DSL {e describes} dags (for the simulator and the off-line
+    schedulers); to {e run} real parallel code, use {!Abp_hood}. *)
+
+type ctx
+(** The elaboration context of one thread. *)
+
+type handle
+(** A spawned thread, joinable once. *)
+
+type sem
+(** A counting semaphore with initial value 0. *)
+
+val compute : ctx -> int -> unit
+(** [compute ctx n] appends [n] serial instruction nodes ([n >= 1]). *)
+
+val spawn : ctx -> (ctx -> unit) -> handle
+(** Spawn a child thread; the child body is elaborated immediately.  The
+    spawn instruction itself is one node of the current thread. *)
+
+val join : ctx -> handle -> unit
+(** Wait for the child to die: one node synchronized on the child's last
+    node.  Raises [Invalid_argument] if the handle was already joined. *)
+
+val semaphore : ctx -> sem
+(** Create a semaphore (usable from any thread of the same program). *)
+
+val signal : ctx -> sem -> unit
+(** The V operation: one node; enables the FIFO-paired [wait]. *)
+
+val wait : ctx -> sem -> unit
+(** The P operation: one node that cannot execute until its paired
+    [signal] has. *)
+
+val to_dag : (ctx -> unit) -> Dag.t
+(** Elaborate the program (the function is the root thread's body) and
+    validate the dag.  Raises [Invalid_argument] on structural errors:
+    an unmatched [wait], a circular semaphore protocol (cycle), several
+    final nodes (e.g. an unjoined, unsynchronized child), etc. *)

@@ -1,0 +1,81 @@
+module Rng = Abp_stats.Rng
+
+type t = Work of int | Seq of t list | Par of t list
+
+let work_node n =
+  if n < 1 then invalid_arg "Sp.work_node: n >= 1 required";
+  Work n
+
+let seq = function [] -> invalid_arg "Sp.seq: empty" | es -> Seq es
+let par = function [] -> invalid_arg "Sp.par: empty" | es -> Par es
+
+let rec work = function
+  | Work n -> n
+  | Seq es -> List.fold_left (fun acc e -> acc + work e) 0 es
+  | Par es -> (3 * List.length es) + List.fold_left (fun acc e -> acc + work e) 0 es
+
+let rec span = function
+  | Work n -> n
+  | Seq es -> List.fold_left (fun acc e -> acc + span e) 0 es
+  | Par es ->
+      let k = List.length es in
+      let max_child = List.fold_left (fun acc e -> max acc (span e)) 0 es in
+      max (2 * k) (k + 2 + max_child)
+
+let parallelism e = float_of_int (work e) /. float_of_int (span e)
+
+let rec depth = function
+  | Work _ -> 0
+  | Seq es | Par es -> 1 + List.fold_left (fun acc e -> max acc (depth e)) 0 es
+
+let to_dag e =
+  let b = Builder.create () in
+  (* [realize th e] appends the realization of [e] to thread [th]. *)
+  let rec realize th = function
+    | Work n ->
+        for _ = 1 to n do
+          ignore (Builder.add_node b th)
+        done
+    | Seq es -> List.iter (realize th) es
+    | Par es ->
+        let children =
+          List.map
+            (fun child_exp ->
+              let s = Builder.add_node b th in
+              let child, _first = Builder.spawn b ~parent:s in
+              (* The child's first node is its prologue; the body follows. *)
+              realize child child_exp;
+              child)
+            es
+        in
+        List.iter
+          (fun child ->
+            let w = Builder.add_node b th in
+            Builder.join b ~last_of:child ~wait:w)
+          children
+  in
+  realize Builder.root e;
+  Builder.finish b
+
+let random ~rng ~size =
+  if size < 1 then invalid_arg "Sp.random: size >= 1 required";
+  let rec gen budget nesting =
+    if budget <= 2 || nesting > 8 then Work (max 1 budget)
+    else
+      match Rng.int rng 3 with
+      | 0 -> Work (max 1 budget)
+      | 1 ->
+          let k = 2 + Rng.int rng 2 in
+          let share = max 1 (budget / k) in
+          Seq (List.init k (fun _ -> gen share (nesting + 1)))
+      | _ ->
+          let k = 2 + Rng.int rng 2 in
+          let share = max 1 (budget / k) in
+          Par (List.init k (fun _ -> gen share (nesting + 1)))
+  in
+  gen size 0
+
+let rec pp ppf = function
+  | Work n -> Fmt.pf ppf "%d" n
+  | Seq es -> Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any " ; ") pp) es
+  | Par es -> Fmt.pf ppf "(%a)" (Fmt.list ~sep:(Fmt.any " | ") pp) es

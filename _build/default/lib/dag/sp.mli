@@ -1,0 +1,52 @@
+(** Series-parallel computation algebra.
+
+    A high-level way to describe fully strict fork-join computations and
+    realize them as dags:
+
+    {[
+      let comp = Sp.(par [ seq [ work 5; par [ work 3; work 3 ] ]; work 10 ]) in
+      let dag = Sp.to_dag comp
+    ]}
+
+    The realization is fixed precisely enough that {!work} and {!span}
+    are computed {e algebraically} and match {!Abp_dag.Metrics} on the
+    realized dag exactly (a property the test suite checks).  A [par] of
+    [k] branches realizes as [k] spawn nodes, one first node per child
+    thread, and [k] join-wait nodes, so:
+
+    - [work (par es) = 3k + sum work es]
+    - [span (par es) = max (2k) (k + 2 + max span es)]
+    - [seq] concatenates: work and span both add. *)
+
+type t
+
+val work_node : int -> t
+(** [work_node n] is [n] serial instructions.  Requires [n >= 1]. *)
+
+val seq : t list -> t
+(** Series composition.  Requires a non-empty list. *)
+
+val par : t list -> t
+(** Parallel composition (spawn all, join all).  Requires a non-empty
+    list. *)
+
+val work : t -> int
+(** Algebraic [T1] of the realized dag. *)
+
+val span : t -> int
+(** Algebraic [Tinf] of the realized dag. *)
+
+val parallelism : t -> float
+
+val to_dag : t -> Dag.t
+(** Realize as a validated dag (root thread = outermost term). *)
+
+val random : rng:Abp_stats.Rng.t -> size:int -> t
+(** Random term with approximately [size] work nodes; useful for
+    property tests.  Requires [size >= 1]. *)
+
+val depth : t -> int
+(** Nesting depth of the term (diagnostics). *)
+
+val pp : Format.formatter -> t -> unit
+(** Algebraic rendering, e.g. [(5 ; (3 | 3)) | 10]. *)

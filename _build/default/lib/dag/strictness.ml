@@ -1,0 +1,28 @@
+type t = Fully_strict | Strict | General
+
+let to_string = function
+  | Fully_strict -> "fully strict"
+  | Strict -> "strict"
+  | General -> "general"
+
+let thread_parent d th =
+  match Dag.spawn_parent d th with None -> None | Some node -> Some (Dag.thread_of d node)
+
+let thread_is_ancestor d ~anc ~desc =
+  let rec climb th = th = anc || (match thread_parent d th with None -> false | Some p -> climb p) in
+  climb desc
+
+let classify d =
+  let fully = ref true and strict = ref true in
+  Dag.iter_edges d (fun u v kind ->
+      match kind with
+      | Dag.Continue | Dag.Spawn -> ()
+      | Dag.Sync ->
+          let tu = Dag.thread_of d u and tv = Dag.thread_of d v in
+          if tu <> tv then begin
+            (match thread_parent d tu with
+            | Some p when p = tv -> ()
+            | _ -> fully := false);
+            if not (thread_is_ancestor d ~anc:tv ~desc:tu) then strict := false
+          end);
+  if !fully then Fully_strict else if !strict then Strict else General

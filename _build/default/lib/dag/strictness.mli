@@ -1,0 +1,29 @@
+(** Strictness classification of multithreaded computations.
+
+    The prior work the paper improves on ([Blumofe-Leiserson 1994])
+    analyzes work stealing only for {e fully strict} computations; this
+    paper's bounds hold for {e arbitrary} (general) multithreaded
+    computations (Section 1: "First, we consider arbitrary multithreaded
+    computations as opposed to the special case of fully strict
+    computations").  This module classifies a dag so experiments can
+    demonstrate that generalization:
+
+    - {b fully strict}: every synchronization ([Sync]) edge goes from a
+      thread to its {e spawn parent} (all joins resolve to the immediate
+      parent — Cilk-style fork-join);
+    - {b strict}: every [Sync] edge goes from a thread to one of its
+      spawn {e ancestors};
+    - {b general}: anything else (e.g. pipeline dataflow edges between
+      sibling or descendant threads, semaphores across the tree). *)
+
+type t = Fully_strict | Strict | General
+
+val to_string : t -> string
+
+val classify : Dag.t -> t
+
+val thread_parent : Dag.t -> Dag.thread -> Dag.thread option
+(** The thread that spawned this one ([None] for the root thread). *)
+
+val thread_is_ancestor : Dag.t -> anc:Dag.thread -> desc:Dag.thread -> bool
+(** Reflexive ancestry in the spawn tree. *)

@@ -1,0 +1,1 @@
+lib/deque/age.ml: Fmt

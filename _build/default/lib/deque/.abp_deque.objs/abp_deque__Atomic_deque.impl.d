@@ -1,0 +1,1 @@
+lib/deque/atomic_deque.ml: Age Array Atomic

@@ -1,0 +1,1 @@
+lib/deque/bounded_tag.mli:

@@ -1,0 +1,1 @@
+lib/deque/circular_deque.mli: Spec

@@ -1,0 +1,1 @@
+lib/deque/spec.mli:

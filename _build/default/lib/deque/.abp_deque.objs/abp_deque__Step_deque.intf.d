@@ -1,0 +1,1 @@
+lib/deque/step_deque.mli:

@@ -1,0 +1,18 @@
+type t = int
+
+let bits = 31
+let mask = (1 lsl bits) - 1
+let max_top = mask
+
+let pack ~tag ~top =
+  if top < 0 || top > max_top then invalid_arg "Age.pack: top out of range";
+  if tag < 0 || tag > max_top then invalid_arg "Age.pack: tag out of range";
+  (tag lsl bits) lor top
+
+let of_packed (w : int) : t = w
+let top t = t land mask
+let tag t = (t lsr bits) land mask
+let with_top t new_top = pack ~tag:(tag t) ~top:new_top
+let bump_tag t = pack ~tag:((tag t + 1) land mask) ~top:0
+let equal (a : t) (b : t) = a = b
+let pp ppf t = Fmt.pf ppf "{tag=%d; top=%d}" (tag t) (top t)

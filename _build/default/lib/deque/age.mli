@@ -1,0 +1,40 @@
+(** The packed [age] word of the ABP deque (paper, Figure 4).
+
+    [age] holds two fields — [top], the index of the topmost node, and
+    [tag], a "uniquifier" that rules out the ABA problem when the owner
+    resets [top] to zero — and must fit in a single word that [load],
+    [store] and [cas] manipulate atomically.  OCaml's immediate [int]
+    gives us 63 bits: [top] occupies the low 31, [tag] the next 31.
+
+    The tag is manipulated as a counter here; {!Bounded_tag} implements
+    the wraparound-safe scheme the paper cites ([Moir 1997]) and the
+    model checker demonstrates why omitting the tag is unsound. *)
+
+type t = private int
+(** A packed (tag, top) pair; immediate, hence CAS-able by value. *)
+
+val bits : int
+(** Width of each field (31). *)
+
+val max_top : int
+(** Largest representable top index. *)
+
+val pack : tag:int -> top:int -> t
+(** Requires [0 <= tag <= max_top] and [0 <= top <= max_top]. *)
+
+val of_packed : int -> t
+(** Re-interpret a word previously obtained via the [(t :> int)]
+    coercion, e.g. when reading back from an [int Atomic.t].  The word
+    must originate from {!pack} (unchecked). *)
+
+val top : t -> int
+val tag : t -> int
+
+val with_top : t -> int -> t
+(** Same tag, new top. *)
+
+val bump_tag : t -> t
+(** Tag + 1 (mod 2{^31}), top reset to 0 — the [popBottom] reset step. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

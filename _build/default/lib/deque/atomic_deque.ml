@@ -1,0 +1,92 @@
+type 'a t = {
+  deq : 'a option array;
+  bot : int Atomic.t;
+  age : int Atomic.t;  (* packed Age.t *)
+}
+
+let default_capacity = 1 lsl 16
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Atomic_deque.create: capacity >= 1 required";
+  if capacity > Age.max_top then invalid_arg "Atomic_deque.create: capacity too large";
+  {
+    deq = Array.make capacity None;
+    bot = Atomic.make 0;
+    age = Atomic.make (Age.pack ~tag:0 ~top:0 :> int);
+  }
+
+(* pushBottom (Figure 5):
+     1  load  localBot <- bot
+     2  store node -> deq[localBot]
+     3  localBot <- localBot + 1
+     4  store localBot -> bot *)
+let push_bottom t node =
+  let local_bot = Atomic.get t.bot in
+  if local_bot >= Array.length t.deq then failwith "Atomic_deque: overflow";
+  t.deq.(local_bot) <- Some node;
+  Atomic.set t.bot (local_bot + 1)
+
+(* popTop (Figure 5):
+     1  load oldAge <- age
+     2  load localBot <- bot
+     3  if localBot <= oldAge.top: return NIL
+     4  load node <- deq[oldAge.top]
+     5  newAge <- oldAge; newAge.top++
+     6  cas (age, oldAge, newAge)
+     7  if success: return node
+     8  return NIL *)
+let pop_top t =
+  let old_word = Atomic.get t.age in
+  let old_age = Age.of_packed old_word in
+  let local_bot = Atomic.get t.bot in
+  if local_bot <= Age.top old_age then None
+  else begin
+    let node = t.deq.(Age.top old_age) in
+    let new_word = (Age.with_top old_age (Age.top old_age + 1) :> int) in
+    if Atomic.compare_and_set t.age old_word new_word then node else None
+  end
+
+(* popBottom (Figure 5):
+     1  load localBot <- bot
+     2  if localBot = 0: return NIL
+     3  localBot--
+     4  store localBot -> bot
+     5  load node <- deq[localBot]
+     6  load oldAge <- age
+     7  if localBot > oldAge.top: return node
+     8  store 0 -> bot
+     9  newAge.top <- 0; newAge.tag <- oldAge.tag + 1
+     10 if localBot = oldAge.top:
+     11   cas (age, oldAge, newAge); if success: return node
+     12 store newAge -> age
+     13 return NIL *)
+let pop_bottom t =
+  let local_bot = Atomic.get t.bot in
+  if local_bot = 0 then None
+  else begin
+    let local_bot = local_bot - 1 in
+    Atomic.set t.bot local_bot;
+    let node = t.deq.(local_bot) in
+    let old_word = Atomic.get t.age in
+    let old_age = Age.of_packed old_word in
+    if local_bot > Age.top old_age then node
+    else begin
+      Atomic.set t.bot 0;
+      let new_word = (Age.bump_tag old_age :> int) in
+      if local_bot = Age.top old_age && Atomic.compare_and_set t.age old_word new_word then node
+      else begin
+        Atomic.set t.age new_word;
+        None
+      end
+    end
+  end
+
+let top_of t = Age.top (Age.of_packed (Atomic.get t.age))
+let tag_of t = Age.tag (Age.of_packed (Atomic.get t.age))
+let bot_of t = Atomic.get t.bot
+
+let size t =
+  let b = bot_of t and tp = top_of t in
+  max 0 (b - tp)
+
+let is_empty t = size t = 0

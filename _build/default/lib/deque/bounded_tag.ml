@@ -1,0 +1,20 @@
+let max_width = 31
+
+let check_width width =
+  if width < 0 || width > max_width then invalid_arg "Bounded_tag: width out of range"
+
+let modulus width = 1 lsl width
+
+let succ ~width tag =
+  check_width width;
+  if tag < 0 then invalid_arg "Bounded_tag.succ: negative tag";
+  if width = 0 then 0 else (tag + 1) land (modulus width - 1)
+
+let distance ~width a b =
+  check_width width;
+  if width = 0 then 0 else (b - a) land (modulus width - 1)
+
+let safe_window ~width ~in_flight_resets =
+  check_width width;
+  if in_flight_resets < 0 then invalid_arg "Bounded_tag.safe_window: negative count";
+  in_flight_resets < modulus width

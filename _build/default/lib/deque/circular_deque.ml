@@ -1,0 +1,101 @@
+(* Chase-Lev dynamic circular deque on OCaml 5 atomics.
+
+   [top] and [bottom] are monotone absolute indices ([top] only ever
+   increases, so a thief's CAS cannot be fooled by recycling — no tag).
+   The buffer is published through an Atomic so thieves always read a
+   coherent (array, mask) pair; growth copies the live logical range
+   [top, bottom) into a doubled array at the same logical indices, which
+   keeps a concurrent thief's pre-growth read of slot [top] valid: its
+   CAS on [top] validates that the element was not already taken. *)
+
+type 'a buffer = { mask : int; seg : 'a option array }
+
+type 'a t = {
+  top : int Atomic.t;
+  bottom : int Atomic.t;
+  active : 'a buffer Atomic.t;
+  grow_count : int Atomic.t;
+}
+
+let make_buffer cap = { mask = cap - 1; seg = Array.make cap None }
+
+let create ?(capacity = 16) () =
+  if capacity < 2 then invalid_arg "Circular_deque.create: capacity >= 2 required";
+  (* Round up to a power of two. *)
+  let cap = ref 2 in
+  while !cap < capacity do
+    cap := !cap * 2
+  done;
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    active = Atomic.make (make_buffer !cap);
+    grow_count = Atomic.make 0;
+  }
+
+let put buf i x = buf.seg.(i land buf.mask) <- x
+let get buf i = buf.seg.(i land buf.mask)
+
+let grow t ~bottom ~top =
+  let old_buf = Atomic.get t.active in
+  let bigger = make_buffer (2 * (old_buf.mask + 1)) in
+  for i = top to bottom - 1 do
+    put bigger i (get old_buf i)
+  done;
+  Atomic.set t.active bigger;
+  Atomic.incr t.grow_count;
+  bigger
+
+let push_bottom t x =
+  let b = Atomic.get t.bottom in
+  let tp = Atomic.get t.top in
+  let buf = Atomic.get t.active in
+  let buf = if b - tp > buf.mask then grow t ~bottom:b ~top:tp else buf in
+  put buf b (Some x);
+  Atomic.set t.bottom (b + 1)
+
+let pop_bottom t =
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    (* Deque was empty; restore the canonical empty state. *)
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let buf = Atomic.get t.active in
+    let x = get buf b in
+    if b > tp then begin
+      put buf b None;
+      x
+    end
+    else begin
+      (* Last element: race the thieves for it with a CAS on top. *)
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        put buf b None;
+        x
+      end
+      else None
+    end
+  end
+
+let pop_top t =
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if b <= tp then None
+  else begin
+    let buf = Atomic.get t.active in
+    let x = get buf tp in
+    if Atomic.compare_and_set t.top tp (tp + 1) then x else None
+  end
+
+let size t =
+  let b = Atomic.get t.bottom and tp = Atomic.get t.top in
+  max 0 (b - tp)
+
+let is_empty t = size t = 0
+let capacity t = (Atomic.get t.active).mask + 1
+let grows t = Atomic.get t.grow_count

@@ -1,0 +1,25 @@
+(** Growable circular work-stealing deque (extension beyond the paper).
+
+    The ABP deque ({!Atomic_deque}) uses a fixed array with absolute
+    indices, so it can overflow, and its [popBottom] reset path is what
+    forces the [tag] machinery.  This module implements the successor
+    design from the literature the paper seeded (Chase and Lev,
+    "Dynamic Circular Work-Stealing Deques", SPAA 2005): indices grow
+    monotonically over a circular buffer that doubles on demand, so
+
+    - [push_bottom] never fails (the buffer grows, preserving logical
+      indices), and
+    - [top] never decreases, which eliminates the ABA hazard without any
+      tag.
+
+    Same owner/thief discipline and relaxed [pop_top] semantics as
+    {!Spec.S}.  Included as the natural "future work" of Section 6 and
+    benchmarked against the fixed-array original in E15. *)
+
+include Spec.S
+
+val capacity : 'a t -> int
+(** Current buffer capacity (a power of two; grows, never shrinks). *)
+
+val grows : 'a t -> int
+(** Number of buffer-doubling events so far (diagnostics). *)

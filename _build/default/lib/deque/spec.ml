@@ -1,0 +1,37 @@
+module type S = sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  val push_bottom : 'a t -> 'a -> unit
+  val pop_bottom : 'a t -> 'a option
+  val pop_top : 'a t -> 'a option
+  val is_empty : 'a t -> bool
+  val size : 'a t -> int
+end
+
+module Reference = struct
+  (* Items are kept in a list with the TOP at the head: pop_top is O(1),
+     owner methods are O(n) - fine for an oracle. *)
+  type 'a t = { mutable items : 'a list }
+
+  let create ?capacity:_ () = { items = [] }
+  let push_bottom t x = t.items <- t.items @ [ x ]
+
+  let pop_bottom t =
+    match List.rev t.items with
+    | [] -> None
+    | last :: rest_rev ->
+        t.items <- List.rev rest_rev;
+        Some last
+
+  let pop_top t =
+    match t.items with
+    | [] -> None
+    | top :: rest ->
+        t.items <- rest;
+        Some top
+
+  let is_empty t = t.items = []
+  let size t = List.length t.items
+  let to_list t = t.items
+end

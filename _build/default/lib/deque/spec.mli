@@ -1,0 +1,52 @@
+(** Deque method specification (paper, Section 3.2) and the serial
+    reference implementation used as a test oracle.
+
+    A work-stealing deque supports three methods: [push_bottom] and
+    [pop_bottom], invoked only by the owner, and [pop_top], invoked by
+    thieves.  ([push_top] is not needed by the algorithm and not
+    supported.)
+
+    {b Ideal semantics}: every invocation is linearizable.
+
+    {b Relaxed semantics}: [pop_top] may additionally return [None] if at
+    some instant during the invocation the deque was empty {e or} the
+    topmost item was removed by another process.  A constant-time
+    implementation meeting the relaxed semantics is non-blocking and
+    suffices for the performance bounds; the paper's Figure 5 (our
+    {!Abp}, {!Atomic_deque}) is such an implementation. *)
+
+module type S = sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  (** [capacity] bounds the number of simultaneously stored items for the
+      fixed-array implementations; the reference implementation ignores
+      it. *)
+
+  val push_bottom : 'a t -> 'a -> unit
+  (** Owner only.  Raises [Failure] on overflow for fixed-capacity
+      implementations. *)
+
+  val pop_bottom : 'a t -> 'a option
+  (** Owner only; [None] iff the deque is empty (ideal semantics for
+      owner methods). *)
+
+  val pop_top : 'a t -> 'a option
+  (** Thief method; may spuriously return [None] under contention per the
+      relaxed semantics. *)
+
+  val is_empty : 'a t -> bool
+  (** Advisory snapshot; racy under concurrency. *)
+
+  val size : 'a t -> int
+  (** Advisory snapshot; racy under concurrency. *)
+end
+
+module Reference : sig
+  include S
+
+  val to_list : 'a t -> 'a list
+  (** Contents from top to bottom (test helper). *)
+end
+(** Serial deque with the ideal semantics; the oracle for unit,
+    property, and model-checking tests. *)

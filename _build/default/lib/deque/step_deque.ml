@@ -1,0 +1,142 @@
+type value = int
+type age = { tag : int; top : int }
+
+type state = {
+  deq : value option array;
+  mutable bot : int;
+  mutable age : age;
+  tag_width : int;
+}
+
+let create_state ?(tag_width = Bounded_tag.max_width) ~capacity () =
+  if capacity < 1 then invalid_arg "Step_deque.create_state: capacity >= 1 required";
+  if tag_width < 0 || tag_width > Bounded_tag.max_width then
+    invalid_arg "Step_deque.create_state: bad tag_width";
+  { deq = Array.make capacity None; bot = 0; age = { tag = 0; top = 0 }; tag_width }
+
+let copy_state s = { s with deq = Array.copy s.deq }
+
+let state_equal a b =
+  a.bot = b.bot && a.age = b.age && a.tag_width = b.tag_width && a.deq = b.deq
+
+let abstract_size s = max 0 (s.bot - s.age.top)
+
+let abstract_top s =
+  if abstract_size s > 0 && s.age.top < Array.length s.deq then s.deq.(s.age.top) else None
+
+type op = Push_bottom of value | Pop_bottom | Pop_top
+type outcome = Unit | Nil | Value of value
+
+type ctx = {
+  op : op;
+  mutable pc : int;
+  mutable r_bot : int;
+  mutable r_age : age;
+  mutable r_node : value option;
+  mutable result : outcome option;
+}
+
+let start op = { op; pc = 0; r_bot = 0; r_age = { tag = 0; top = 0 }; r_node = None; result = None }
+let copy_ctx c = { c with op = c.op }
+let ctx_equal (a : ctx) (b : ctx) = a = b
+let finished c = c.result
+
+let bump_tag s a = { tag = Bounded_tag.succ ~width:s.tag_width a.tag; top = 0 }
+
+let cas_age s ~old_age ~new_age =
+  if s.age = old_age then begin
+    s.age <- new_age;
+    true
+  end
+  else false
+
+(* Each pc value is one shared-memory access; line numbers refer to
+   Figure 5. *)
+
+let step_push_bottom s c =
+  match c.pc with
+  | 0 ->
+      (* line 1: load bot *)
+      c.r_bot <- s.bot;
+      c.pc <- 1
+  | 1 ->
+      (* line 2: store deq[localBot] *)
+      let v = match c.op with Push_bottom v -> v | _ -> assert false in
+      if c.r_bot >= Array.length s.deq then failwith "Step_deque: overflow";
+      s.deq.(c.r_bot) <- Some v;
+      c.pc <- 2
+  | 2 ->
+      (* lines 3-4: store bot = localBot + 1 *)
+      s.bot <- c.r_bot + 1;
+      c.result <- Some Unit
+  | _ -> assert false
+
+let step_pop_top s c =
+  match c.pc with
+  | 0 ->
+      (* line 1: load age *)
+      c.r_age <- s.age;
+      c.pc <- 1
+  | 1 ->
+      (* lines 2-4: load bot, test *)
+      c.r_bot <- s.bot;
+      if c.r_bot <= c.r_age.top then c.result <- Some Nil else c.pc <- 2
+  | 2 ->
+      (* line 5: load deq[oldAge.top] *)
+      c.r_node <- s.deq.(c.r_age.top);
+      c.pc <- 3
+  | 3 ->
+      (* lines 6-11: cas and return *)
+      let new_age = { c.r_age with top = c.r_age.top + 1 } in
+      if cas_age s ~old_age:c.r_age ~new_age then
+        c.result <- Some (match c.r_node with Some v -> Value v | None -> Nil)
+      else c.result <- Some Nil
+  | _ -> assert false
+
+let step_pop_bottom s c =
+  match c.pc with
+  | 0 ->
+      (* lines 1-3: load bot, empty test, decrement register *)
+      c.r_bot <- s.bot;
+      if c.r_bot = 0 then c.result <- Some Nil
+      else begin
+        c.r_bot <- c.r_bot - 1;
+        c.pc <- 1
+      end
+  | 1 ->
+      (* line 5: store bot = localBot *)
+      s.bot <- c.r_bot;
+      c.pc <- 2
+  | 2 ->
+      (* line 6: load deq[localBot] *)
+      c.r_node <- s.deq.(c.r_bot);
+      c.pc <- 3
+  | 3 ->
+      (* lines 7-9: load age, fast path *)
+      c.r_age <- s.age;
+      if c.r_bot > c.r_age.top then
+        c.result <- Some (match c.r_node with Some v -> Value v | None -> Nil)
+      else c.pc <- 4
+  | 4 ->
+      (* line 10: store bot = 0 *)
+      s.bot <- 0;
+      c.pc <- 5
+  | 5 ->
+      (* lines 11-16: build newAge; if localBot = oldAge.top, cas *)
+      if c.r_bot = c.r_age.top && cas_age s ~old_age:c.r_age ~new_age:(bump_tag s c.r_age) then
+        c.result <- Some (match c.r_node with Some v -> Value v | None -> Nil)
+      else c.pc <- 6
+  | 6 ->
+      (* lines 17-18: store newAge -> age; return NIL *)
+      s.age <- bump_tag s c.r_age;
+      c.result <- Some Nil
+  | _ -> assert false
+
+let step s c =
+  if c.result <> None then invalid_arg "Step_deque.step: invocation already finished";
+  match c.op with
+  | Push_bottom _ -> step_push_bottom s c
+  | Pop_bottom -> step_pop_bottom s c
+  | Pop_top -> step_pop_top s c
+
+let steps_bound = function Push_bottom _ -> 3 | Pop_top -> 4 | Pop_bottom -> 7

@@ -1,0 +1,77 @@
+(** Instruction-granular model of the Figure 5 deque.
+
+    Each deque method is rendered as a small state machine whose
+    transitions are the method's {e shared-memory accesses} (loads,
+    stores, and the [cas]); purely local computation is folded into the
+    adjacent access, which is the standard reduction for interleaving
+    exploration.  The model checker ({!Abp_mcheck}) drives any number of
+    these machines concurrently, enumerating all interleavings, to verify
+    the relaxed deque semantics that the paper asserts and proves in the
+    companion technical report (TR-99-11).
+
+    The tag field width is configurable: [tag_width = 0] models the
+    deque {e without} the age tag, for which the checker exhibits the ABA
+    violation described in Section 3.3 (a preempted thief's [cas]
+    succeeds on a recycled top index and returns an already-consumed
+    node); small widths exhibit wraparound aliasing, demonstrating the
+    bounded-tags safety condition of {!Bounded_tag}. *)
+
+type value = int
+
+type age = { tag : int; top : int }
+(** The model's age word; compared by value in [cas], exactly like the
+    packed machine word. *)
+
+type state = {
+  deq : value option array;
+  mutable bot : int;
+  mutable age : age;
+  tag_width : int;
+}
+(** Shared memory.  Mutated in place by {!step}; use {!copy_state} for
+    exploration. *)
+
+val create_state : ?tag_width:int -> capacity:int -> unit -> state
+(** [tag_width] defaults to {!Bounded_tag.max_width}. *)
+
+val copy_state : state -> state
+val state_equal : state -> state -> bool
+
+val abstract_size : state -> int
+(** [max 0 (bot - age.top)]: the deque's abstract occupancy. *)
+
+val abstract_top : state -> value option
+(** The topmost value if the abstract size is positive. *)
+
+type op = Push_bottom of value | Pop_bottom | Pop_top
+
+type outcome = Unit | Nil | Value of value
+
+type ctx = {
+  op : op;
+  mutable pc : int;
+  mutable r_bot : int;
+  mutable r_age : age;
+  mutable r_node : value option;
+  mutable result : outcome option;
+}
+(** One in-flight method invocation: program counter plus register file.
+    Exposed transparently for the checker's state hashing. *)
+
+val start : op -> ctx
+val copy_ctx : ctx -> ctx
+val ctx_equal : ctx -> ctx -> bool
+
+val finished : ctx -> outcome option
+(** [Some outcome] once the invocation has completed. *)
+
+val step : state -> ctx -> unit
+(** Execute the next atomic instruction of [ctx] against [state].
+    Raises [Invalid_argument] if the invocation already finished, and
+    [Failure] on deque overflow (checker programs should stay within
+    capacity). *)
+
+val steps_bound : op -> int
+(** Upper bound on the number of {!step} calls any invocation of [op] can
+    take — witnesses the constant-time (loop-free) property the paper
+    requires of the implementation. *)

@@ -1,0 +1,1 @@
+lib/hood/algos.ml: Array Future Par

@@ -1,0 +1,1 @@
+lib/hood/central_pool.ml: Array Atomic Domain Fun Mutex Option Queue

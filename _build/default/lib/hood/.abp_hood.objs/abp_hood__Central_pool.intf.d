@@ -1,0 +1,1 @@
+lib/hood/central_pool.mli:

@@ -1,0 +1,1 @@
+lib/hood/future.ml: Atomic Pool

@@ -1,0 +1,1 @@
+lib/hood/par.ml: Array Future List

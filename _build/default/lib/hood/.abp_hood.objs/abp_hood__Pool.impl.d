@@ -1,0 +1,1 @@
+lib/hood/pool.ml: Abp_deque Abp_stats Array Atomic Domain Fun Int64 Mutex Option

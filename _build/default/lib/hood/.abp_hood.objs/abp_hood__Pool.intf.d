@@ -1,0 +1,1 @@
+lib/hood/pool.mli:

@@ -1,0 +1,110 @@
+let merge ~cmp left right =
+  let nl = Array.length left and nr = Array.length right in
+  if nl = 0 then right
+  else if nr = 0 then left
+  else begin
+    let out = Array.make (nl + nr) left.(0) in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to nl + nr - 1 do
+      if !i < nl && (!j >= nr || cmp left.(!i) right.(!j) <= 0) then begin
+        out.(k) <- left.(!i);
+        incr i
+      end
+      else begin
+        out.(k) <- right.(!j);
+        incr j
+      end
+    done;
+    out
+  end
+
+let merge_sort ?(grain = 512) ~cmp a =
+  if grain < 1 then invalid_arg "Algos.merge_sort: grain >= 1 required";
+  let rec go lo hi =
+    if hi - lo <= grain then begin
+      let sub = Array.sub a lo (hi - lo) in
+      Array.stable_sort cmp sub;
+      sub
+    end
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      let left_fut = Future.spawn (fun () -> go lo mid) in
+      let right = go mid hi in
+      let left = Future.force left_fut in
+      merge ~cmp left right
+    end
+  in
+  go 0 (Array.length a)
+
+let scan_inclusive ?(grain = 1024) ~op a =
+  if grain < 1 then invalid_arg "Algos.scan_inclusive: grain >= 1 required";
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let blocks = (n + grain - 1) / grain in
+    let out = Array.make n a.(0) in
+    (* Phase 1: per-block inclusive scans (independent, parallel). *)
+    Par.parallel_for ~grain:1 ~lo:0 ~hi:blocks (fun b ->
+        let lo = b * grain and hi = min n ((b + 1) * grain) in
+        let acc = ref a.(lo) in
+        out.(lo) <- !acc;
+        for i = lo + 1 to hi - 1 do
+          acc := op !acc a.(i);
+          out.(i) <- !acc
+        done);
+    (* Phase 2: serial exclusive scan over block totals. *)
+    let offsets = Array.make blocks None in
+    let running = ref None in
+    for b = 0 to blocks - 1 do
+      offsets.(b) <- !running;
+      let hi = min n ((b + 1) * grain) in
+      let total = out.(hi - 1) in
+      running := Some (match !running with None -> total | Some r -> op r total)
+    done;
+    (* Phase 3: parallel downsweep adds each block's prefix offset. *)
+    Par.parallel_for ~grain:1 ~lo:0 ~hi:blocks (fun b ->
+        match offsets.(b) with
+        | None -> ()
+        | Some off ->
+            let lo = b * grain and hi = min n ((b + 1) * grain) in
+            for i = lo to hi - 1 do
+              out.(i) <- op off out.(i)
+            done);
+    out
+  end
+
+let filter ?(grain = 1024) keep a =
+  if grain < 1 then invalid_arg "Algos.filter: grain >= 1 required";
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let blocks = (n + grain - 1) / grain in
+    let counts = Array.make blocks 0 in
+    Par.parallel_for ~grain:1 ~lo:0 ~hi:blocks (fun b ->
+        let lo = b * grain and hi = min n ((b + 1) * grain) in
+        let c = ref 0 in
+        for i = lo to hi - 1 do
+          if keep a.(i) then incr c
+        done;
+        counts.(b) <- !c);
+    let offsets = Array.make blocks 0 in
+    let total = ref 0 in
+    for b = 0 to blocks - 1 do
+      offsets.(b) <- !total;
+      total := !total + counts.(b)
+    done;
+    if !total = 0 then [||]
+    else begin
+      let out = Array.make !total a.(0) in
+      Par.parallel_for ~grain:1 ~lo:0 ~hi:blocks (fun b ->
+          let lo = b * grain and hi = min n ((b + 1) * grain) in
+          let cursor = ref offsets.(b) in
+          for i = lo to hi - 1 do
+            if keep a.(i) then begin
+              out.(!cursor) <- a.(i);
+              incr cursor
+            end
+          done);
+      out
+    end
+  end

@@ -1,0 +1,96 @@
+type t = {
+  queue : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  shutdown_flag : bool Atomic.t;
+  run_lock : Mutex.t;
+  mutable domains : unit Domain.t array;
+  size : int;
+  acquisitions : int Atomic.t;
+}
+
+type 'a state = Pending | Done of 'a | Failed of exn
+type 'a future = 'a state Atomic.t
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Atomic.incr t.acquisitions;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let size t = t.size
+let lock_acquisitions t = Atomic.get t.acquisitions
+
+let spawn t f =
+  let promise = Atomic.make Pending in
+  let task () =
+    let result = try Done (f ()) with e -> Failed e in
+    Atomic.set promise result
+  in
+  with_lock t (fun () -> Queue.add task t.queue);
+  promise
+
+let try_get_task t = with_lock t (fun () -> Queue.take_opt t.queue)
+
+let force t promise =
+  let rec wait () =
+    match Atomic.get promise with
+    | Done v -> v
+    | Failed e -> raise e
+    | Pending -> (
+        match try_get_task t with
+        | Some task ->
+            task ();
+            wait ()
+        | None ->
+            Domain.cpu_relax ();
+            wait ())
+  in
+  wait ()
+
+let worker_loop t =
+  while not (Atomic.get t.shutdown_flag) do
+    match try_get_task t with Some task -> task () | None -> Domain.cpu_relax ()
+  done
+
+let create ?processes () =
+  let processes = Option.value processes ~default:(Domain.recommended_domain_count ()) in
+  if processes < 1 then invalid_arg "Central_pool.create: processes >= 1 required";
+  let t =
+    {
+      queue = Queue.create ();
+      lock = Mutex.create ();
+      shutdown_flag = Atomic.make false;
+      run_lock = Mutex.create ();
+      domains = [||];
+      size = processes;
+      acquisitions = Atomic.make 0;
+    }
+  in
+  t.domains <- Array.init (processes - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let run t f =
+  if Atomic.get t.shutdown_flag then failwith "Central_pool.run: pool is shut down";
+  if not (Mutex.try_lock t.run_lock) then failwith "Central_pool.run: already running";
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.run_lock) f
+
+let shutdown t =
+  if not (Atomic.get t.shutdown_flag) then begin
+    Atomic.set t.shutdown_flag true;
+    Array.iter Domain.join t.domains;
+    t.domains <- [||]
+  end
+
+let rec fib_seq n = if n < 2 then n else fib_seq (n - 1) + fib_seq (n - 2)
+
+let fib t n =
+  if n < 0 then invalid_arg "Central_pool.fib: n >= 0 required";
+  let cutoff = 12 in
+  let rec go n =
+    if n <= cutoff then fib_seq n
+    else begin
+      let a = spawn t (fun () -> go (n - 1)) in
+      let b = go (n - 2) in
+      force t a + b
+    end
+  in
+  go n

@@ -1,0 +1,40 @@
+(** Work-sharing baseline runtime: one mutex-protected central task
+    queue shared by all workers.
+
+    The foil to {!Pool}: same domains, same futures discipline, but
+    every [spawn] and every task acquisition goes through a single lock
+    — the design the work-stealing literature (and this paper's
+    distributed non-blocking deques) exists to avoid.  Used by the E15
+    microbenchmarks for a real-runtime contention comparison; results
+    are of course identical, only the synchronization structure
+    differs. *)
+
+type t
+
+val create : ?processes:int -> unit -> t
+(** [processes - 1] worker domains plus the {!run} caller.  Requires
+    [processes >= 1]. *)
+
+val size : t -> int
+
+type 'a future
+
+val spawn : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task on the central queue (any thread may call this). *)
+
+val force : t -> 'a future -> 'a
+(** Wait for the value, helping by running queued tasks. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** Evaluate [f] with the calling domain participating as a worker;
+    serialized like {!Pool.run}. *)
+
+val shutdown : t -> unit
+
+val lock_acquisitions : t -> int
+(** Total successful queue-lock acquisitions — the contention-surface
+    counter compared against the work stealer's per-deque operations. *)
+
+val fib : t -> int -> int
+(** The canonical spawn-heavy microbenchmark on this runtime (same
+    cutoff as {!Par.fib}). *)

@@ -1,0 +1,37 @@
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a t = 'a state Atomic.t
+
+let spawn f =
+  let w = Pool.current () in
+  let promise = Atomic.make Pending in
+  Pool.push_task w (fun () ->
+      let result = try Done (f ()) with e -> Failed e in
+      Atomic.set promise result);
+  promise
+
+let is_resolved p = match Atomic.get p with Pending -> false | Done _ | Failed _ -> true
+
+let force p =
+  let w = Pool.current () in
+  let rec wait () =
+    match Atomic.get p with
+    | Done v -> v
+    | Failed e -> raise e
+    | Pending -> (
+        (* Help: run local or stolen tasks while waiting. *)
+        match Pool.try_get_task w with
+        | Some task ->
+            task ();
+            wait ()
+        | None ->
+            Pool.relax ();
+            wait ())
+  in
+  wait ()
+
+let both f g =
+  let fa = spawn f in
+  let b = g () in
+  let a = force fa in
+  (a, b)

@@ -1,0 +1,26 @@
+(** Futures over the Hood pool: the user-facing spawn/join of the
+    work-stealing runtime.
+
+    [spawn] pushes a task onto the calling worker's deque bottom (the
+    thread-creation action of the scheduling loop); [force] joins: while
+    the value is pending, the worker {e helps} — it executes tasks from
+    its own deque and steals from others — so a blocked join never
+    wastes its process, mirroring how a blocked thread's process pops a
+    new assigned thread in the paper's loop. *)
+
+type 'a t
+
+val spawn : (unit -> 'a) -> 'a t
+(** Must be called from inside {!Pool.run} (or a task).  The computation
+    may run on any worker.  Exceptions are captured and re-raised at
+    {!force}. *)
+
+val force : 'a t -> 'a
+(** Wait for (and help compute) the value.  Re-raises the task's
+    exception if it failed. *)
+
+val is_resolved : 'a t -> bool
+
+val both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** [both f g] = fork-join: spawn [f], run [g] inline, force — the
+    canonical two-way spawn of the paper's dag model. *)

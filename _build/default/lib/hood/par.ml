@@ -1,0 +1,94 @@
+let default_grain = 32
+
+let parallel_for ?(grain = default_grain) ~lo ~hi f =
+  if grain < 1 then invalid_arg "Par.parallel_for: grain >= 1 required";
+  let rec go lo hi =
+    if hi - lo <= grain then
+      for i = lo to hi - 1 do
+        f i
+      done
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      let right = Future.spawn (fun () -> go mid hi) in
+      go lo mid;
+      Future.force right
+    end
+  in
+  if hi > lo then go lo hi
+
+let parallel_reduce ?(grain = default_grain) ~lo ~hi ~init ~map ~combine =
+  if grain < 1 then invalid_arg "Par.parallel_reduce: grain >= 1 required";
+  let rec go lo hi =
+    if hi - lo <= grain then begin
+      let acc = ref init in
+      for i = lo to hi - 1 do
+        acc := combine !acc (map i)
+      done;
+      !acc
+    end
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      let right = Future.spawn (fun () -> go mid hi) in
+      let left_v = go lo mid in
+      combine left_v (Future.force right)
+    end
+  in
+  if hi <= lo then init else go lo hi
+
+let parallel_map_array ?grain f a =
+  let n = Array.length a in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f a.(0)) in
+    parallel_for ?grain ~lo:0 ~hi:n (fun i -> out.(i) <- f a.(i));
+    out
+  end
+
+let rec fib_seq n = if n < 2 then n else fib_seq (n - 1) + fib_seq (n - 2)
+
+let fib n =
+  if n < 0 then invalid_arg "Par.fib: n >= 0 required";
+  let cutoff = 12 in
+  let rec go n =
+    if n <= cutoff then fib_seq n
+    else
+      let a, b = Future.both (fun () -> go (n - 1)) (fun () -> go (n - 2)) in
+      a + b
+  in
+  go n
+
+let nqueens n =
+  if n < 1 || n > 13 then invalid_arg "Par.nqueens: 1 <= n <= 13 required";
+  (* [placement] is the partial assignment, one column per placed row. *)
+  let safe placement col =
+    let row = Array.length placement in
+    let ok = ref true in
+    Array.iteri
+      (fun r c -> if c = col || abs (c - col) = row - r then ok := false)
+      placement;
+    !ok
+  in
+  let cutoff = max 0 (n - 3) in
+  let rec count placement =
+    let row = Array.length placement in
+    if row = n then 1
+    else if row >= cutoff then begin
+      (* Sequential tail to keep task granularity reasonable. *)
+      let total = ref 0 in
+      for col = 0 to n - 1 do
+        if safe placement col then total := !total + count (Array.append placement [| col |])
+      done;
+      !total
+    end
+    else begin
+      let futures = ref [] in
+      for col = 0 to n - 1 do
+        if safe placement col then begin
+          let child = Array.append placement [| col |] in
+          futures := Future.spawn (fun () -> count child) :: !futures
+        end
+      done;
+      List.fold_left (fun acc fut -> acc + Future.force fut) 0 !futures
+    end
+  in
+  count [||]

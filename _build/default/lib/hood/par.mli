@@ -1,0 +1,24 @@
+(** Parallel skeletons built on {!Future}: the application-level
+    interface a Hood user programs against.  All functions must be called
+    inside {!Pool.run}. *)
+
+val parallel_for : ?grain:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for ~grain ~lo ~hi f] applies [f] to [lo..hi-1] by
+    recursive halving; ranges of at most [grain] (default 32) indices run
+    serially. *)
+
+val parallel_reduce :
+  ?grain:int -> lo:int -> hi:int -> init:'a -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> 'a
+(** Tree reduction of [combine (map lo) (... (map (hi-1)))]; [combine]
+    must be associative with unit [init]. *)
+
+val parallel_map_array : ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
+
+val fib : int -> int
+(** The canonical spawn-tree microbenchmark (naive Fibonacci with a
+    spawn at every internal node).  Requires [n >= 0]. *)
+
+val nqueens : int -> int
+(** Count the solutions of the n-queens problem with one spawn per row
+    placement above the sequential cutoff — the irregular backtracking
+    workload of the paper's motivation.  Requires [1 <= n <= 13]. *)

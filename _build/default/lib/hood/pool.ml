@@ -1,0 +1,124 @@
+type deque_impl = Abp | Circular | Locked
+
+(* Each worker's deque behind a closure record, so one pool type serves
+   every implementation. *)
+type task_deque = {
+  push : (unit -> unit) -> unit;
+  pop_bottom : unit -> (unit -> unit) option;
+  pop_top : unit -> (unit -> unit) option;
+}
+
+let make_deque ?capacity = function
+  | Abp ->
+      let module D = Abp_deque.Atomic_deque in
+      let d = D.create ?capacity () in
+      { push = D.push_bottom d; pop_bottom = (fun () -> D.pop_bottom d); pop_top = (fun () -> D.pop_top d) }
+  | Circular ->
+      let module D = Abp_deque.Circular_deque in
+      let d = D.create ?capacity () in
+      { push = D.push_bottom d; pop_bottom = (fun () -> D.pop_bottom d); pop_top = (fun () -> D.pop_top d) }
+  | Locked ->
+      let module D = Abp_deque.Locked_deque in
+      let d = D.create ?capacity () in
+      { push = D.push_bottom d; pop_bottom = (fun () -> D.pop_bottom d); pop_top = (fun () -> D.pop_top d) }
+
+type t = {
+  deques : task_deque array;
+  shutdown_flag : bool Atomic.t;
+  run_lock : Mutex.t;
+  mutable domains : unit Domain.t array;
+  size : int;
+  attempts : int Atomic.t;
+  successes : int Atomic.t;
+  yield_between_steals : bool;
+}
+
+type worker = { pool : t; id : int; rng_state : Abp_stats.Rng.t }
+
+(* Per-domain worker identity. *)
+let context_key : worker option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let current () =
+  match !(Domain.DLS.get context_key) with
+  | Some w -> w
+  | None -> failwith "Hood: not inside a pool worker (use Pool.run)"
+
+let pool_of w = w.pool
+let size t = t.size
+let relax () = Domain.cpu_relax ()
+
+(* The yield between steal attempts (Figure 3 line 15): on the runtime we
+   lower the thief's claim to the processor between failed attempts.  The
+   E15y ablation disables this to reproduce, on real hardware, the
+   paper's finding that omitting the yields degrades performance whenever
+   processes outnumber processors. *)
+let thief_yield pool = if pool.yield_between_steals then Domain.cpu_relax ()
+let steal_attempts t = Atomic.get t.attempts
+let successful_steals t = Atomic.get t.successes
+
+let push_task w task = w.pool.deques.(w.id).push task
+
+let try_get_task w =
+  let pool = w.pool in
+  match pool.deques.(w.id).pop_bottom () with
+  | Some _ as task -> task
+  | None ->
+      if pool.size = 1 then None
+      else begin
+        (* One steal attempt from a uniformly random other victim. *)
+        let v = Abp_stats.Rng.int w.rng_state (pool.size - 1) in
+        let victim = if v >= w.id then v + 1 else v in
+        Atomic.incr pool.attempts;
+        match pool.deques.(victim).pop_top () with
+        | Some _ as task ->
+            Atomic.incr pool.successes;
+            task
+        | None -> None
+      end
+
+let with_context w f =
+  let slot = Domain.DLS.get context_key in
+  let saved = !slot in
+  slot := Some w;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let worker_loop pool id =
+  let w = { pool; id; rng_state = Abp_stats.Rng.create ~seed:(Int64.of_int (0x9E37 + id)) () } in
+  with_context w (fun () ->
+      while not (Atomic.get pool.shutdown_flag) do
+        match try_get_task w with Some task -> task () | None -> thief_yield pool
+      done)
+
+let create ?processes ?deque_capacity ?(yield_between_steals = true) ?(deque_impl = Abp) () =
+  let processes = Option.value processes ~default:(Domain.recommended_domain_count ()) in
+  if processes < 1 then invalid_arg "Pool.create: processes >= 1 required";
+  let pool =
+    {
+      deques = Array.init processes (fun _ -> make_deque ?capacity:deque_capacity deque_impl);
+      shutdown_flag = Atomic.make false;
+      run_lock = Mutex.create ();
+      domains = [||];
+      size = processes;
+      attempts = Atomic.make 0;
+      successes = Atomic.make 0;
+      yield_between_steals;
+    }
+  in
+  pool.domains <- Array.init (processes - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
+  pool
+
+let run pool f =
+  if Atomic.get pool.shutdown_flag then failwith "Pool.run: pool is shut down";
+  if not (Mutex.try_lock pool.run_lock) then failwith "Pool.run: already running";
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock pool.run_lock)
+    (fun () ->
+      let w = { pool; id = 0; rng_state = Abp_stats.Rng.create ~seed:0x9E36L () } in
+      with_context w f)
+
+let shutdown pool =
+  if not (Atomic.get pool.shutdown_flag) then begin
+    Atomic.set pool.shutdown_flag true;
+    Array.iter Domain.join pool.domains;
+    pool.domains <- [||]
+  end

@@ -1,0 +1,83 @@
+(** Hood: the non-blocking work stealer as a real shared-memory runtime.
+
+    The paper's prototype is the Hood C++ threads library; this module is
+    its OCaml 5 counterpart.  A pool owns [processes] workers (OCaml
+    domains — the paper's "processes", i.e. kernel threads the OS
+    schedules onto processors), each with its own non-blocking
+    {!Abp_deque.Atomic_deque} of tasks.  Each worker runs the Figure 3
+    scheduling loop: pop the bottom of its own deque; when empty, become
+    a thief — pick a uniformly random victim, [popTop] its deque, and
+    back off ([Domain.cpu_relax], the portable stand-in for the paper's
+    [yield]) between failed attempts.
+
+    Tasks are spawned {e parent-first}: [spawn] pushes the child task and
+    the parent continues — one of the two orders the paper proves the
+    bounds for (Section 3.1); the simulator's ablation covers both.
+
+    Typical use:
+    {[
+      let pool = Pool.create ~processes:4 () in
+      let result = Pool.run pool (fun () -> ... Future.spawn ... ) in
+      Pool.shutdown pool
+    ]} *)
+
+type t
+
+type deque_impl =
+  | Abp  (** the paper's fixed-array deque ({!Abp_deque.Atomic_deque}) *)
+  | Circular
+      (** the growable Chase-Lev-style extension
+          ({!Abp_deque.Circular_deque}) — never overflows *)
+  | Locked  (** mutex-protected baseline ({!Abp_deque.Locked_deque}) *)
+
+val create :
+  ?processes:int ->
+  ?deque_capacity:int ->
+  ?yield_between_steals:bool ->
+  ?deque_impl:deque_impl ->
+  unit ->
+  t
+(** Start a pool with [processes] workers total (default:
+    [Domain.recommended_domain_count ()]).  [processes - 1] domains are
+    spawned eagerly; the final worker identity is assumed by the caller
+    of {!run}.  [deque_capacity] bounds each worker's task deque (the
+    ABP deque is a fixed array, as in the paper; default
+    {!Abp_deque.Atomic_deque.default_capacity} = 65536 slots, plenty for
+    divide-and-conquer workloads whose deque depth is logarithmic).
+    [yield_between_steals] (default true) controls the Figure 3 yield
+    between failed steal attempts ([Domain.cpu_relax]); disabling it is
+    the E15 ablation showing thieves monopolizing the processor.
+    [deque_impl] selects the worker-deque implementation (default
+    {!Abp}).  Requires [processes >= 1]. *)
+
+val size : t -> int
+(** The number of processes [P]. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** [run pool f] enters the pool as worker 0 and evaluates [f]; inside
+    [f] the {!Future} and {!Par} operations may be used.  Only one [run]
+    may be active at a time (serialized internally); re-entrant calls
+    raise [Failure].  Exceptions from [f] are re-raised. *)
+
+val shutdown : t -> unit
+(** Stop the worker domains and join them.  Idempotent.  Outstanding
+    tasks are completed before workers exit only if they are reachable by
+    stealing; call this after [run] has returned. *)
+
+(**/**)
+
+(* Internal API used by Future/Par. *)
+
+type worker
+(** A worker identity: the pool plus a process index. *)
+
+val current : unit -> worker
+(** The calling domain's worker context.  @raise Failure if the calling
+    domain is not a pool worker. *)
+
+val pool_of : worker -> t
+val push_task : worker -> (unit -> unit) -> unit
+val try_get_task : worker -> (unit -> unit) option
+val relax : unit -> unit
+val steal_attempts : t -> int
+val successful_steals : t -> int

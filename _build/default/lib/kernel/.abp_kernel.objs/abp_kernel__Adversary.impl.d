@@ -1,0 +1,1 @@
+lib/kernel/adversary.ml: Abp_stats Array Schedule

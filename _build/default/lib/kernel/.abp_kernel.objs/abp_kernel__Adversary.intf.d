@@ -1,0 +1,1 @@
+lib/kernel/adversary.mli: Abp_stats Schedule

@@ -1,0 +1,1 @@
+lib/kernel/schedule.ml: Array Fmt Option

@@ -1,0 +1,1 @@
+lib/kernel/yield.ml: Abp_stats Array

@@ -1,0 +1,1 @@
+lib/kernel/yield.mli: Abp_stats

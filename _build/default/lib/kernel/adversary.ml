@@ -1,0 +1,139 @@
+module Rng = Abp_stats.Rng
+
+type view = {
+  round : int;
+  num_processes : int;
+  has_assigned : int -> bool;
+  deque_size : int -> int;
+  in_critical_section : int -> bool;
+}
+
+type t = { name : string; choose : view -> bool array }
+
+let name t = t.name
+let choose t view = t.choose view
+
+let check_p num_processes =
+  if num_processes < 1 then invalid_arg "Adversary: num_processes >= 1 required"
+
+let all num_processes = Array.make num_processes true
+
+let dedicated ~num_processes =
+  check_p num_processes;
+  { name = "dedicated"; choose = (fun _ -> all num_processes) }
+
+let random_subset rng ~num_processes ~size =
+  let size = max 0 (min num_processes size) in
+  let chosen = Rng.sample_without_replacement rng ~k:size ~n:num_processes in
+  let set = Array.make num_processes false in
+  Array.iter (fun p -> set.(p) <- true) chosen;
+  set
+
+let benign ~num_processes ~sizes ~rng =
+  check_p num_processes;
+  {
+    name = "benign";
+    choose = (fun view -> random_subset rng ~num_processes ~size:(sizes view.round));
+  }
+
+let of_schedule_random ~schedule ~rng =
+  let num_processes = Schedule.num_processes schedule in
+  {
+    name = "benign-schedule";
+    choose =
+      (fun view -> random_subset rng ~num_processes ~size:(Schedule.count schedule view.round));
+  }
+
+let markov_load ~num_processes ~up ~down ~rng =
+  check_p num_processes;
+  if up < 0.0 || up > 1.0 || down < 0.0 || down > 1.0 then
+    invalid_arg "Adversary.markov_load: probabilities in [0,1] required";
+  let load = ref 0 in
+  {
+    name = "markov-load";
+    choose =
+      (fun _view ->
+        if Rng.bernoulli rng ~p:up then load := min (num_processes - 1) (!load + 1);
+        if Rng.bernoulli rng ~p:down then load := max 0 (!load - 1);
+        random_subset rng ~num_processes ~size:(num_processes - !load));
+  }
+
+let oblivious ~num_processes ~name f =
+  check_p num_processes;
+  {
+    name;
+    choose =
+      (fun view ->
+        let set = f view.round in
+        if Array.length set <> num_processes then
+          invalid_arg "Adversary.oblivious: wrong set length";
+        set);
+  }
+
+let oblivious_rotor ~num_processes ~run =
+  check_p num_processes;
+  if num_processes < 2 then invalid_arg "Adversary.oblivious_rotor: P >= 2 required";
+  if run < 1 then invalid_arg "Adversary.oblivious_rotor: run >= 1 required";
+  oblivious ~num_processes ~name:"oblivious-rotor" (fun round ->
+      let excluded = (round - 1) / run mod num_processes in
+      Array.init num_processes (fun p -> p <> excluded))
+
+let oblivious_half_alternating ~num_processes ~run =
+  check_p num_processes;
+  if run < 1 then invalid_arg "Adversary.oblivious_half_alternating: run >= 1 required";
+  let half = (num_processes + 1) / 2 in
+  oblivious ~num_processes ~name:"oblivious-half" (fun round ->
+      let low_phase = (round - 1) / run mod 2 = 0 in
+      Array.init num_processes (fun p -> if low_phase then p < half else p >= half))
+
+let adaptive ~num_processes ~name f ~rng =
+  check_p num_processes;
+  { name; choose = (fun view -> f view rng) }
+
+(* Fill [set] with up to [width] members, preferring processes for which
+   [prefer] holds, breaking ties uniformly at random. *)
+let pick_preferring rng ~num_processes ~width ~prefer =
+  let set = Array.make num_processes false in
+  let preferred = ref [] and others = ref [] in
+  for p = num_processes - 1 downto 0 do
+    if prefer p then preferred := p :: !preferred else others := p :: !others
+  done;
+  let preferred = Array.of_list !preferred and others = Array.of_list !others in
+  Rng.shuffle rng preferred;
+  Rng.shuffle rng others;
+  let budget = ref (max 0 (min width num_processes)) in
+  let take arr =
+    Array.iter
+      (fun p ->
+        if !budget > 0 then begin
+          set.(p) <- true;
+          decr budget
+        end)
+      arr
+  in
+  take preferred;
+  take others;
+  set
+
+let starve_workers ~num_processes ~width ~rng =
+  check_p num_processes;
+  if width < 1 then invalid_arg "Adversary.starve_workers: width >= 1 required";
+  adaptive ~num_processes ~name:"starve-workers" ~rng (fun view rng ->
+      let is_thief p = (not (view.has_assigned p)) && view.deque_size p = 0 in
+      (* Schedule width processes, thieves first; if thieves alone can fill
+         the set, no worker ever runs. *)
+      pick_preferring rng ~num_processes ~width ~prefer:is_thief)
+
+let starve_thieves ~num_processes ~width ~rng =
+  check_p num_processes;
+  if width < 1 then invalid_arg "Adversary.starve_thieves: width >= 1 required";
+  adaptive ~num_processes ~name:"starve-thieves" ~rng (fun view rng ->
+      pick_preferring rng ~num_processes ~width ~prefer:(fun p ->
+          view.has_assigned p || view.deque_size p > 0))
+
+let preempt_lock_holders ~num_processes ~width ~rng =
+  check_p num_processes;
+  if width < 1 then invalid_arg "Adversary.preempt_lock_holders: width >= 1 required";
+  adaptive ~num_processes ~name:"preempt-lock-holders" ~rng (fun view rng ->
+      pick_preferring rng ~num_processes ~width ~prefer:(fun p ->
+          not (view.in_critical_section p)))

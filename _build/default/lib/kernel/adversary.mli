@@ -1,0 +1,89 @@
+(** The kernel as an adversary (paper, Sections 2 and 4.4).
+
+    At each round the adversary proposes the set of processes to run;
+    the simulator then repairs the set against outstanding yield
+    obligations ({!Yield.repair}) and executes it.  Three adversary
+    classes, in increasing power:
+
+    - {b benign} (4.4.1): chooses only the {e number} of processes per
+      round; the identities are drawn uniformly at random.
+    - {b oblivious} (4.4.2): commits off-line to both count and
+      identities — a function of the round number only.
+    - {b adaptive} (4.4.3): chooses on-line, with full inspection of the
+      user-level scheduler state. *)
+
+type view = {
+  round : int;  (** 1-based round number *)
+  num_processes : int;
+  has_assigned : int -> bool;  (** process currently holds an assigned node *)
+  deque_size : int -> int;  (** abstract size of the process's deque *)
+  in_critical_section : int -> bool;
+      (** process is inside a deque method of a {e blocking} (locked)
+          deque implementation — lets the adversary preempt lock holders *)
+}
+(** What an adaptive adversary may inspect.  [has_assigned p = false]
+    means [p] is (or is about to become) a thief. *)
+
+type t
+
+val name : t -> string
+
+val choose : t -> view -> bool array
+(** The proposed set for this round (before yield repair). *)
+
+val dedicated : num_processes:int -> t
+(** All [P] processes every round ([Pbar = P], Theorem 9). *)
+
+val benign : num_processes:int -> sizes:(int -> int) -> rng:Abp_stats.Rng.t -> t
+(** [sizes round] gives [p_i] (clamped to [\[0, P\]]); identities are a
+    uniformly random [p_i]-subset. *)
+
+val of_schedule_random : schedule:Schedule.t -> rng:Abp_stats.Rng.t -> t
+(** Benign adversary driven by a {!Schedule.t}'s counts. *)
+
+val markov_load : num_processes:int -> up:float -> down:float -> rng:Abp_stats.Rng.t -> t
+(** The paper's introduction scenario as a kernel: a background load of
+    competing (serial) jobs performs a lazy random walk — each round it
+    grows by one with probability [up] and shrinks by one with
+    probability [down] (clamped to [\[0, P-1\]]) — and the computation
+    receives the remaining [P - load] processors, as a random subset.
+    Stationary mean load is about [up/(up+down) * (P-1)] for a symmetric
+    walk.  Requires [0 <= up], [down <= 1]. *)
+
+val oblivious : num_processes:int -> name:string -> (int -> bool array) -> t
+(** Identities as a function of the round number only.  The function is
+    consulted once per round and must return an array of length [P]. *)
+
+val oblivious_rotor : num_processes:int -> run:int -> t
+(** Oblivious starvation pattern: runs all processes except one; the
+    excluded process rotates every [run] rounds.  Without yields this
+    pattern can stall a victim-rich process; with [yieldToRandom] the
+    Theorem 11 bound holds.  Requires [run >= 1], [P >= 2]. *)
+
+val oblivious_half_alternating : num_processes:int -> run:int -> t
+(** Runs the low half for [run] rounds, then the high half, alternating.
+    [Pbar ~= P/2]. *)
+
+val adaptive : num_processes:int -> name:string -> (view -> Abp_stats.Rng.t -> bool array) -> rng:Abp_stats.Rng.t -> t
+(** Fully adaptive adversary. *)
+
+val starve_workers : num_processes:int -> width:int -> rng:Abp_stats.Rng.t -> t
+(** The adaptive attack that defeats a yield-less work stealer (the
+    Theorem 12 motivation, experiment E12): each round, schedule up to
+    [width] processes {e preferring empty-handed thieves}, so the
+    processes that hold work never run — the thieves spin, racking up
+    processor time while the computation stands still.  With [yieldToAll]
+    every thief's yield forces the workers to be scheduled and the attack
+    collapses.  Requires [1 <= width]. *)
+
+val starve_thieves : num_processes:int -> width:int -> rng:Abp_stats.Rng.t -> t
+(** Mirror-image adaptive kernel that prefers processes holding work; a
+    {e friendly} adaptive control for the E12 experiment (it only helps
+    the computation). *)
+
+val preempt_lock_holders : num_processes:int -> width:int -> rng:Abp_stats.Rng.t -> t
+(** The adaptive attack that defeats a {e blocking} deque (experiment
+    E13): schedule up to [width] processes, {e avoiding} any process that
+    is inside a deque critical section, so preempted lock holders stay
+    preempted and every thief targeting that deque spins.  Harmless
+    against the non-blocking deque. *)

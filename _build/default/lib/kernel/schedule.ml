@@ -1,0 +1,47 @@
+type t = { num_processes : int; counts : int -> int }
+
+let make ~num_processes f =
+  if num_processes < 1 then invalid_arg "Schedule.make: num_processes >= 1 required";
+  let counts i =
+    if i < 1 then invalid_arg "Schedule: steps are 1-based"
+    else max 0 (min num_processes (f i))
+  in
+  { num_processes; counts }
+
+let of_array ~num_processes ?tail counts_arr =
+  let tail = Option.value tail ~default:num_processes in
+  make ~num_processes (fun i ->
+      if i <= Array.length counts_arr then counts_arr.(i - 1) else tail)
+
+let num_processes t = t.num_processes
+let count t i = t.counts i
+
+let total t ~steps =
+  if steps < 1 then invalid_arg "Schedule.total: steps >= 1 required";
+  let sum = ref 0 in
+  for i = 1 to steps do
+    sum := !sum + count t i
+  done;
+  !sum
+
+let processor_average t ~steps = float_of_int (total t ~steps) /. float_of_int steps
+
+let figure2 () = of_array ~num_processes:3 [| 2; 3; 0; 2; 2; 3; 1; 2; 3; 2 |]
+
+let dedicated ~num_processes = make ~num_processes (fun _ -> num_processes)
+
+let lower_bound ~span ~num_processes ~k =
+  if span < 1 then invalid_arg "Schedule.lower_bound: span >= 1 required";
+  if k < 0 then invalid_arg "Schedule.lower_bound: k >= 0 required";
+  let period = (k + 1) * span in
+  make ~num_processes (fun i ->
+      (* Steps are 1-based; position within the period. *)
+      let pos = (i - 1) mod period in
+      if pos < k * span then 0 else num_processes)
+
+let pp_prefix ~steps ppf t =
+  Fmt.pf ppf "step  p_i@.";
+  for i = 1 to steps do
+    Fmt.pf ppf "%4d  %d@." i (count t i)
+  done;
+  Fmt.pf ppf "Pbar over %d steps = %.3f@." steps (processor_average t ~steps)

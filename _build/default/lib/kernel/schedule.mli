@@ -1,0 +1,52 @@
+(** Kernel schedules (paper, Section 2).
+
+    A kernel schedule maps each step (here: round) [i >= 1] to the number
+    [p_i] of processes scheduled at that step, with [0 <= p_i <= P].  For
+    the off-line scheduling results (Theorems 1 and 2) only the counts
+    matter — an execution schedule may run any [p_i] ready nodes at step
+    [i] — so this module represents count sequences; {e which} processes
+    run is the (on-line) adversary's business ({!Adversary}).
+
+    The {e processor average} over [t] steps is
+    [Pbar = (1/t) * sum_{i=1..t} p_i] (Equation 1). *)
+
+type t
+
+val make : num_processes:int -> (int -> int) -> t
+(** [make ~num_processes f] with [f i] the count at step [i >= 1].  The
+    result of [f] is clamped to [\[0, num_processes\]]. *)
+
+val of_array : num_processes:int -> ?tail:int -> int array -> t
+(** Counts from the array for steps [1 .. length]; [tail] (default
+    [num_processes]) afterwards. *)
+
+val num_processes : t -> int
+
+val count : t -> int -> int
+(** [count t i] is [p_i]; steps are 1-based. *)
+
+val processor_average : t -> steps:int -> float
+(** Equation (1) over the first [steps] steps.  Requires [steps >= 1]. *)
+
+val total : t -> steps:int -> int
+(** [sum_{i=1..steps} p_i]. *)
+
+val figure2 : unit -> t
+(** The paper's Figure 2(a) example: [P = 3], counts
+    [2;3;0;2;2;3;1;2;3;2] over the first ten steps (processor average 2),
+    all three processes thereafter. *)
+
+val dedicated : num_processes:int -> t
+(** [p_i = P] for all [i]. *)
+
+val lower_bound : span:int -> num_processes:int -> k:int -> t
+(** The Theorem 1 adversarial schedule for a computation of critical-path
+    length [span]: periodic with period [(k+1) * span] — no processes for
+    the first [k * span] steps of each period, all [P] for the last
+    [span].  Every execution schedule then has length at least
+    [(k+1) * span], and the processor average over any completed
+    execution lies in [\[Phat/2, Phat\]] for [Phat = P/(k+1)].
+    Requires [span >= 1], [k >= 0]. *)
+
+val pp_prefix : steps:int -> Format.formatter -> t -> unit
+(** Render the first [steps] rows in the style of Figure 2(a). *)

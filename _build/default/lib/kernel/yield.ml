@@ -1,0 +1,100 @@
+module Rng = Abp_stats.Rng
+
+type kind = No_yield | Yield_to_random | Yield_to_all
+
+let kind_to_string = function
+  | No_yield -> "none"
+  | Yield_to_random -> "yieldToRandom"
+  | Yield_to_all -> "yieldToAll"
+
+type obligation =
+  | Free
+  | Until_target of int  (* yieldToRandom: blocked until target runs *)
+  | Until_all of bool array  (* yieldToAll: true = still must run *)
+
+type t = { kind : kind; num_processes : int; rng : Rng.t; obligations : obligation array }
+
+let create kind ~num_processes ~rng =
+  if num_processes < 1 then invalid_arg "Yield.create: num_processes >= 1 required";
+  { kind; num_processes; rng; obligations = Array.make num_processes Free }
+
+let kind t = t.kind
+
+let on_yield t ~proc =
+  if proc < 0 || proc >= t.num_processes then invalid_arg "Yield.on_yield: bad process";
+  match t.kind with
+  | No_yield -> ()
+  | Yield_to_random ->
+      if t.num_processes > 1 then begin
+        let target = Rng.int t.rng (t.num_processes - 1) in
+        let target = if target >= proc then target + 1 else target in
+        t.obligations.(proc) <- Until_target target
+      end
+  | Yield_to_all ->
+      if t.num_processes > 1 then begin
+        let waiting = Array.make t.num_processes true in
+        waiting.(proc) <- false;
+        t.obligations.(proc) <- Until_all waiting
+      end
+
+let may_run t ~proc =
+  match t.obligations.(proc) with
+  | Free -> true
+  | Until_target _ -> false
+  | Until_all waiting -> not (Array.exists (fun b -> b) waiting)
+
+let repair t proposed =
+  let result = Array.copy proposed in
+  Array.iteri
+    (fun q in_set ->
+      if in_set && not (may_run t ~proc:q) then begin
+        result.(q) <- false;
+        (* Find a replacement that advances q's obligation. *)
+        let preferred =
+          match t.obligations.(q) with
+          | Free -> None
+          | Until_target p -> if not result.(p) && may_run t ~proc:p then Some p else None
+          | Until_all waiting ->
+              let found = ref None in
+              Array.iteri
+                (fun p still ->
+                  if !found = None && still && not result.(p) && may_run t ~proc:p then
+                    found := Some p)
+                waiting;
+              !found
+        in
+        let replacement =
+          match preferred with
+          | Some _ as r -> r
+          | None ->
+              (* Fall back to any schedulable process not already chosen, so
+                 the round's width is preserved. *)
+              let found = ref None in
+              for p = 0 to t.num_processes - 1 do
+                if !found = None && not result.(p) && may_run t ~proc:p then found := Some p
+              done;
+              !found
+        in
+        match replacement with Some p -> result.(p) <- true | None -> ()
+      end)
+    proposed;
+  result
+
+let note_scheduled t ran =
+  (* Discharge obligations using this round's set.  The constraint is
+     "scheduled at some round k with i <= k < j" where i is the yield
+     round, so a target running in the same round as the yield counts —
+     but a process's OWN run never discharges its own obligation (in
+     particular not the obligation it created by yielding this round). *)
+  Array.iteri
+    (fun r in_set ->
+      if in_set then
+        Array.iteri
+          (fun q ob ->
+            if q <> r then
+              match ob with
+              | Until_target p when p = r -> t.obligations.(q) <- Free
+              | Until_all waiting -> waiting.(r) <- false
+              | Free | Until_target _ -> ())
+          t.obligations)
+    ran

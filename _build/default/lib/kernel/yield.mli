@@ -1,0 +1,55 @@
+(** Yield system-call semantics (paper, Section 4.4).
+
+    Yield calls never constrain {e how many} processes the kernel
+    schedules at a round — only {e which}.  The tracker records
+    outstanding obligations and repairs a kernel-proposed set so that the
+    constraints hold while preserving its size whenever possible:
+
+    - {b yieldToRandom} (Section 4.4.2): when process [q] calls it, a
+      victim process [p] is chosen uniformly at random, and the kernel
+      cannot schedule [q] again until it has scheduled [p] at some
+      strictly earlier round.  If the proposed set contains a constrained
+      [q], we "schedule [p] in place of [q]", exactly the substitution
+      the paper describes.
+
+    - {b yieldToAll} (Section 4.4.3): when [q] calls it, the kernel
+      cannot schedule [q] again until every other process has been
+      scheduled at least once in the interim.
+
+    - {b none} (benign adversary, Section 4.4.1): yields are no-ops.
+
+    The repair is applied between the adversary's choice and the round's
+    execution; [note_scheduled] must then be called with the final set so
+    obligations are discharged. *)
+
+type kind = No_yield | Yield_to_random | Yield_to_all
+
+val kind_to_string : kind -> string
+
+type t
+
+val create : kind -> num_processes:int -> rng:Abp_stats.Rng.t -> t
+
+val kind : t -> kind
+
+val on_yield : t -> proc:int -> unit
+(** Process [proc] invokes the yield call at the current round.  For
+    [Yield_to_random] the random target is drawn from the tracker's
+    rng (uniform over all processes, [proc] excluded). *)
+
+val may_run : t -> proc:int -> bool
+(** Is [proc] currently schedulable under its outstanding obligation? *)
+
+val repair : t -> bool array -> bool array
+(** [repair t proposed] returns a set of the same (or, if impossible,
+    smaller) size in which every member is schedulable: each constrained
+    member is replaced by a process whose execution makes progress on the
+    blocker's obligation (its yield target, or an unscheduled process
+    from its waiting set), falling back to any schedulable non-member. *)
+
+val note_scheduled : t -> bool array -> unit
+(** Discharge obligations given the set that actually ran this round.
+    Constraints are strict ("at some round [k < j]"), so a process's own
+    obligation is only satisfied by rounds after the yield and before the
+    round in which it next runs; calling this once per round in order
+    implements exactly that. *)

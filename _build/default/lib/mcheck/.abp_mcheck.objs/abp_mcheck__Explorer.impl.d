@@ -1,0 +1,1 @@
+lib/mcheck/explorer.ml: Abp_deque Array Buffer Fmt Hashtbl List Option Printf String

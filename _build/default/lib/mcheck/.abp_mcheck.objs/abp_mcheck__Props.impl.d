@@ -1,0 +1,1 @@
+lib/mcheck/props.ml: Abp_deque Explorer List

@@ -1,0 +1,1 @@
+lib/mcheck/props.mli: Explorer

@@ -1,0 +1,231 @@
+module Sd = Abp_deque.Step_deque
+
+type program = { owner : Sd.op list; thieves : Sd.op list list }
+
+let program_total_ops p =
+  List.length p.owner + List.fold_left (fun acc l -> acc + List.length l) 0 p.thieves
+
+type report = { states_explored : int; complete_executions : int; violations : string list }
+
+(* One thread of the exploration: its remaining script, the in-flight
+   invocation (if any) with its Nil-legality monitor flags, and the
+   outcomes of completed invocations. *)
+type thread = {
+  script : Sd.op array;
+  next_op : int;
+  ctx : Sd.ctx option;
+  steps_taken : int;
+  saw_empty : bool;
+  saw_top_removed : bool;
+  outcomes : Sd.outcome list;  (* reversed *)
+}
+
+type node = { state : Sd.state; threads : thread array }
+
+let clone_node n =
+  {
+    state = Sd.copy_state n.state;
+    threads =
+      Array.map (fun t -> { t with ctx = Option.map Sd.copy_ctx t.ctx }) n.threads;
+  }
+
+(* Canonical encoding of a node for the visited set.  Everything that can
+   influence future behaviour or the final verdict must be included:
+   shared memory, thread program positions, register files, monitor
+   flags, and outcome histories. *)
+let encode n =
+  let b = Buffer.create 128 in
+  let add_int i =
+    Buffer.add_string b (string_of_int i);
+    Buffer.add_char b ','
+  in
+  add_int n.state.Sd.bot;
+  add_int n.state.Sd.age.Sd.tag;
+  add_int n.state.Sd.age.Sd.top;
+  Array.iter (fun v -> add_int (match v with None -> -1 | Some x -> x)) n.state.Sd.deq;
+  Array.iter
+    (fun t ->
+      Buffer.add_char b '|';
+      add_int t.next_op;
+      add_int (if t.saw_empty then 1 else 0);
+      add_int (if t.saw_top_removed then 1 else 0);
+      (match t.ctx with
+      | None -> Buffer.add_char b '.'
+      | Some c ->
+          add_int c.Sd.pc;
+          add_int c.Sd.r_bot;
+          add_int c.Sd.r_age.Sd.tag;
+          add_int c.Sd.r_age.Sd.top;
+          add_int (match c.Sd.r_node with None -> -1 | Some v -> v));
+      List.iter
+        (fun o ->
+          match o with
+          | Sd.Unit -> Buffer.add_char b 'u'
+          | Sd.Nil -> Buffer.add_char b 'n'
+          | Sd.Value v -> add_int v)
+        t.outcomes)
+    n.threads;
+  Buffer.contents b
+
+let op_name = function
+  | Sd.Push_bottom v -> Printf.sprintf "pushBottom(%d)" v
+  | Sd.Pop_bottom -> "popBottom"
+  | Sd.Pop_top -> "popTop"
+
+(* After any global step, refresh the Nil-legality monitors of all
+   in-flight invocations: an empty instant, or a top removal performed by
+   the thread that just moved. *)
+let refresh_monitors threads state ~mover ~top_removed =
+  Array.iteri
+    (fun i t ->
+      match t.ctx with
+      | Some c when c.Sd.result = None ->
+          let t = if Sd.abstract_size state = 0 then { t with saw_empty = true } else t in
+          let t = if top_removed && i <> mover then { t with saw_top_removed = true } else t in
+          threads.(i) <- t
+      | _ -> ())
+    threads
+
+(* Detect whether completing [ctx] (which just returned [Value _]) removed
+   the topmost item: popTop always does; popBottom does only on its cas
+   path (pc 5), where localBot = oldAge.top. *)
+let completion_removes_top (c : Sd.ctx) ~pre_pc =
+  match (c.Sd.op, c.Sd.result) with
+  | Sd.Pop_top, Some (Sd.Value _) -> true
+  | Sd.Pop_bottom, Some (Sd.Value _) -> pre_pc = 5
+  | _ -> false
+
+let check_completion t (c : Sd.ctx) violations =
+  (match c.Sd.result with
+  | Some Sd.Nil ->
+      let legal =
+        match c.Sd.op with
+        | Sd.Pop_top | Sd.Pop_bottom -> t.saw_empty || t.saw_top_removed
+        | Sd.Push_bottom _ -> false
+      in
+      if not legal then
+        violations :=
+          Printf.sprintf "%s returned NIL with no empty instant nor top removal" (op_name c.Sd.op)
+          :: !violations
+  | _ -> ());
+  if t.steps_taken > Sd.steps_bound c.Sd.op then
+    violations :=
+      Printf.sprintf "%s took %d steps (bound %d)" (op_name c.Sd.op) t.steps_taken
+        (Sd.steps_bound c.Sd.op)
+      :: !violations
+
+(* Final verdict for one complete execution: value conservation. *)
+let check_final n violations =
+  let pushed = ref [] and returned = ref [] in
+  Array.iter
+    (fun t ->
+      Array.iter (function Sd.Push_bottom v -> pushed := v :: !pushed | _ -> ()) t.script;
+      List.iter (function Sd.Value v -> returned := v :: !returned | _ -> ()) t.outcomes)
+    n.threads;
+  (* Remaining abstract contents. *)
+  let remaining = ref [] in
+  let s = n.state in
+  for i = s.Sd.age.Sd.top to s.Sd.bot - 1 do
+    match s.Sd.deq.(i) with Some v -> remaining := v :: !remaining | None -> ()
+  done;
+  let sort = List.sort compare in
+  let accounted = sort (!returned @ !remaining) in
+  if sort !pushed <> accounted then begin
+    let show l = String.concat ";" (List.map string_of_int l) in
+    violations :=
+      Printf.sprintf "conservation violated: pushed=[%s] returned+remaining=[%s]"
+        (show (sort !pushed)) (show accounted)
+      :: !violations
+  end
+
+let explore ?(tag_width = Abp_deque.Bounded_tag.max_width) ?(capacity = 8) program =
+  List.iter
+    (List.iter (function
+      | Sd.Pop_top -> ()
+      | op -> invalid_arg ("Explorer: thief may only popTop, got " ^ op_name op)))
+    program.thieves;
+  let mk_thread script =
+    {
+      script = Array.of_list script;
+      next_op = 0;
+      ctx = None;
+      steps_taken = 0;
+      saw_empty = false;
+      saw_top_removed = false;
+      outcomes = [];
+    }
+  in
+  let root =
+    {
+      state = Sd.create_state ~tag_width ~capacity ();
+      threads = Array.of_list (mk_thread program.owner :: List.map mk_thread program.thieves);
+    }
+  in
+  let visited = Hashtbl.create 4096 in
+  let violations = ref [] in
+  let states = ref 0 in
+  let completions = ref 0 in
+  let rec dfs n =
+    let key = encode n in
+    if not (Hashtbl.mem visited key) then begin
+      Hashtbl.add visited key ();
+      incr states;
+      let runnable = ref [] in
+      Array.iteri
+        (fun i t ->
+          let active = match t.ctx with Some c -> c.Sd.result = None | None -> false in
+          if active || t.next_op < Array.length t.script then runnable := i :: !runnable)
+        n.threads;
+      match !runnable with
+      | [] ->
+          incr completions;
+          check_final n violations
+      | threads_to_try ->
+          List.iter
+            (fun i ->
+              let child = clone_node n in
+              let t = child.threads.(i) in
+              (* Start the next invocation if none is in flight. *)
+              let t =
+                match t.ctx with
+                | Some c when c.Sd.result = None -> t
+                | _ ->
+                    {
+                      t with
+                      ctx = Some (Sd.start t.script.(t.next_op));
+                      next_op = t.next_op + 1;
+                      steps_taken = 0;
+                      saw_empty = false;
+                      saw_top_removed = false;
+                    }
+              in
+              let c = match t.ctx with Some c -> c | None -> assert false in
+              let pre_pc = c.Sd.pc in
+              Sd.step child.state c;
+              let t = { t with steps_taken = t.steps_taken + 1 } in
+              child.threads.(i) <- t;
+              let top_removed = completion_removes_top c ~pre_pc in
+              refresh_monitors child.threads child.state ~mover:i ~top_removed;
+              (* The mover's own empty-instant flag must be refreshed even on
+                 its completing step: a NIL decided at this instruction is
+                 legal exactly when the deque is empty at this instant. *)
+              (if Sd.abstract_size child.state = 0 then
+                 child.threads.(i) <- { t with saw_empty = true });
+              (match c.Sd.result with
+              | Some outcome ->
+                  let t = child.threads.(i) in
+                  check_completion t c violations;
+                  child.threads.(i) <- { t with outcomes = outcome :: t.outcomes }
+              | None -> ());
+              dfs child)
+            threads_to_try
+    end
+  in
+  dfs root;
+  let dedup = List.sort_uniq compare !violations in
+  { states_explored = !states; complete_executions = !completions; violations = dedup }
+
+let pp_report ppf r =
+  Fmt.pf ppf "states=%d completions=%d violations=%d" r.states_explored r.complete_executions
+    (List.length r.violations);
+  List.iter (fun v -> Fmt.pf ppf "@.  %s" v) r.violations

@@ -1,0 +1,49 @@
+(** Exhaustive interleaving exploration of the ABP deque.
+
+    The paper asserts (Section 3.3) that the Figure 5 implementation
+    meets the relaxed semantics on any good set of invocations and defers
+    the proof to a technical report (TR-99-11).  This checker is the
+    reproduction's substitute for that proof: it enumerates {e every}
+    interleaving of the shared-memory instructions of a given program —
+    one owner thread issuing [pushBottom]/[popBottom] and any number of
+    thief threads issuing [popTop]s, all over {!Abp_deque.Step_deque} —
+    and verifies:
+
+    - {b conservation}: every pushed value is returned by exactly one
+      successful pop or remains in the final deque; no duplication, no
+      loss;
+    - {b Nil legality} (the relaxed semantics): an invocation that
+      returns NIL is legal only if, at some instant during the
+      invocation, the deque was empty or the topmost item was removed by
+      another process (for [popTop]); a [popBottom] NIL additionally
+      allows the last item having been stolen during the invocation;
+    - {b wait-freedom of the owner}: every owner method completes within
+      {!Abp_deque.Step_deque.steps_bound} instructions (enforced by
+      construction in the step machine, and re-checked here).
+
+    Running with a truncated tag ([tag_width = 0] or a width too small
+    for the number of owner resets in flight) exhibits the ABA violation
+    the [tag] field exists to prevent — see {!Props}. *)
+
+type program = {
+  owner : Abp_deque.Step_deque.op list;
+      (** executed in order by the single owner thread *)
+  thieves : Abp_deque.Step_deque.op list list;
+      (** one list per thief thread; only [Pop_top] is allowed *)
+}
+
+val program_total_ops : program -> int
+
+type report = {
+  states_explored : int;
+  complete_executions : int;
+  violations : string list;  (** deduplicated messages; empty = verified *)
+}
+
+val explore : ?tag_width:int -> ?capacity:int -> program -> report
+(** Exhaustive DFS with state memoization.  [tag_width] defaults to
+    {!Abp_deque.Bounded_tag.max_width}; [capacity] (default 8) must
+    accommodate the pushes.  Raises [Invalid_argument] if a thief list
+    contains an owner operation. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,46 @@
+module Sd = Abp_deque.Step_deque
+
+let aba_scenario =
+  {
+    Explorer.owner = [ Sd.Push_bottom 1; Sd.Pop_bottom; Sd.Push_bottom 2; Sd.Pop_bottom ];
+    thieves = [ [ Sd.Pop_top ] ];
+  }
+
+let wraparound_scenario =
+  {
+    Explorer.owner =
+      [
+        Sd.Push_bottom 1;
+        Sd.Pop_bottom;
+        Sd.Push_bottom 2;
+        Sd.Pop_bottom;
+        Sd.Push_bottom 3;
+        Sd.Pop_bottom;
+      ];
+    thieves = [ [ Sd.Pop_top ] ];
+  }
+
+let two_thieves =
+  {
+    Explorer.owner = [ Sd.Push_bottom 1; Sd.Push_bottom 2; Sd.Push_bottom 3 ];
+    thieves = [ [ Sd.Pop_top ]; [ Sd.Pop_top ] ];
+  }
+
+let owner_vs_thief_interleave =
+  {
+    Explorer.owner = [ Sd.Push_bottom 1; Sd.Pop_bottom; Sd.Push_bottom 2; Sd.Pop_bottom ];
+    thieves = [ [ Sd.Pop_top; Sd.Pop_top ] ];
+  }
+
+let random_program ~rng ~ops ~thieves =
+  if ops < 0 || thieves < 0 then invalid_arg "Props.random_program";
+  let next_val = ref 0 in
+  let owner =
+    List.init ops (fun _ ->
+        if rng 2 = 0 then begin
+          incr next_val;
+          Sd.Push_bottom !next_val
+        end
+        else Sd.Pop_bottom)
+  in
+  { Explorer.owner; thieves = List.init thieves (fun _ -> [ Sd.Pop_top ]) }

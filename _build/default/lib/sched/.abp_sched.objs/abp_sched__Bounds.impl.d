@@ -1,0 +1,1 @@
+lib/sched/bounds.ml: Abp_dag Abp_kernel Exec_schedule Fmt

@@ -1,0 +1,1 @@
+lib/sched/bounds.mli: Abp_kernel Exec_schedule Format

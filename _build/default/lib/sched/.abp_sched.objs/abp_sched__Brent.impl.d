@@ -1,0 +1,1 @@
+lib/sched/brent.ml: Abp_dag Abp_kernel Array Exec_schedule List

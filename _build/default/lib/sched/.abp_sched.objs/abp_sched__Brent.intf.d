@@ -1,0 +1,1 @@
+lib/sched/brent.mli: Abp_dag Abp_kernel Exec_schedule

@@ -1,0 +1,1 @@
+lib/sched/exec_schedule.ml: Abp_dag Abp_kernel Array Fmt Printf String

@@ -1,0 +1,1 @@
+lib/sched/exec_schedule.mli: Abp_dag Abp_kernel Format

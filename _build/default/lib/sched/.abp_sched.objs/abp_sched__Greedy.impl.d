@@ -1,0 +1,1 @@
+lib/sched/greedy.ml: Abp_dag Abp_kernel Abp_stats Array Exec_schedule List

@@ -1,0 +1,1 @@
+lib/sched/greedy.mli: Abp_dag Abp_kernel Abp_stats Exec_schedule

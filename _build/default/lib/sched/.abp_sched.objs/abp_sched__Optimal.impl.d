@@ -1,0 +1,1 @@
+lib/sched/optimal.ml: Abp_dag Abp_kernel Array Hashtbl List Printf Queue

@@ -1,0 +1,1 @@
+lib/sched/optimal.mli: Abp_dag Abp_kernel

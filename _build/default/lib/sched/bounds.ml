@@ -1,0 +1,44 @@
+module Schedule = Abp_kernel.Schedule
+module Metrics = Abp_dag.Metrics
+
+type report = {
+  length : int;
+  work : int;
+  span : int;
+  num_processes : int;
+  pbar : float;
+  lower_work : float;
+  lower_span : float;
+  greedy_upper : float;
+}
+
+let report exec ~kernel =
+  let length = Exec_schedule.length exec in
+  if length = 0 then invalid_arg "Bounds.report: empty execution";
+  let work = Metrics.work exec.Exec_schedule.dag in
+  let span = Metrics.span exec.Exec_schedule.dag in
+  let p = Schedule.num_processes kernel in
+  let pbar = Exec_schedule.processor_average exec ~kernel in
+  {
+    length;
+    work;
+    span;
+    num_processes = p;
+    pbar;
+    lower_work = float_of_int work /. pbar;
+    lower_span = float_of_int (span * p) /. pbar;
+    greedy_upper = (float_of_int work +. float_of_int (span * (p - 1))) /. pbar;
+  }
+
+(* Comparisons allow a hair of floating slack: the quantities are ratios of
+   exact integers, so 1e-9 relative slack cannot mask a real violation. *)
+let eps = 1e-9
+
+let satisfies_lower_work r = float_of_int r.length >= r.lower_work -. (eps *. r.lower_work)
+let satisfies_greedy_upper r = float_of_int r.length <= r.greedy_upper +. (eps *. r.greedy_upper)
+let satisfies_lower_span r = float_of_int r.length >= r.lower_span -. (eps *. r.lower_span)
+
+let pp_report ppf r =
+  Fmt.pf ppf
+    "len=%d T1=%d Tinf=%d P=%d Pbar=%.3f T1/Pbar=%.2f TinfP/Pbar=%.2f greedy_upper=%.2f"
+    r.length r.work r.span r.num_processes r.pbar r.lower_work r.lower_span r.greedy_upper

@@ -1,0 +1,30 @@
+(** Bound predicates for Theorems 1 and 2, evaluated on concrete
+    executions. *)
+
+type report = {
+  length : int;
+  work : int;
+  span : int;
+  num_processes : int;
+  pbar : float;
+  lower_work : float;  (** [T1 / Pbar] *)
+  lower_span : float;  (** [span * P / Pbar] (Theorem 1's second bound) *)
+  greedy_upper : float;  (** [T1/Pbar + span*(P-1)/Pbar] (Theorem 2) *)
+}
+
+val report : Exec_schedule.t -> kernel:Abp_kernel.Schedule.t -> report
+
+val satisfies_lower_work : report -> bool
+(** [length >= T1 / Pbar] — holds for {e every} execution schedule
+    (Theorem 1, first part). *)
+
+val satisfies_greedy_upper : report -> bool
+(** [length <= T1/Pbar + span*(P-1)/Pbar] — Theorem 2 for greedy (and
+    level-by-level) schedules. *)
+
+val satisfies_lower_span : report -> bool
+(** [length >= span * P / Pbar] — Theorem 1's second part; guaranteed
+    only under the adversarial kernel schedule
+    {!Abp_kernel.Schedule.lower_bound}. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,22 @@
+module Dag = Abp_dag.Dag
+module Schedule = Abp_kernel.Schedule
+
+let run ~dag ~kernel =
+  let levels = Abp_dag.Metrics.levels dag in
+  let steps = ref [] in
+  let step = ref 0 in
+  Array.iter
+    (fun level ->
+      let remaining = ref (Array.length level) in
+      let cursor = ref 0 in
+      while !remaining > 0 do
+        incr step;
+        let p = Schedule.count kernel !step in
+        let k = min p !remaining in
+        let nodes = Array.sub level !cursor k in
+        cursor := !cursor + k;
+        remaining := !remaining - k;
+        steps := nodes :: !steps
+      done)
+    levels;
+  { Exec_schedule.dag; steps = Array.of_list (List.rev !steps) }

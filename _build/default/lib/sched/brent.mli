@@ -1,0 +1,11 @@
+(** Level-by-level (Brent) execution schedules (paper, Section 2,
+    citing Brent 1974).
+
+    Nodes are partitioned into levels by longest-path depth from the
+    root; the schedule executes level [k] to completion before starting
+    level [k+1], using whatever processes the kernel provides.  Like
+    greedy schedules, level-by-level schedules satisfy the Theorem 2
+    bound (with only trivial proof changes); they are generally longer
+    than greedy ones, which the E4 experiment quantifies. *)
+
+val run : dag:Abp_dag.Dag.t -> kernel:Abp_kernel.Schedule.t -> Exec_schedule.t

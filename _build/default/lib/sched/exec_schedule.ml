@@ -1,0 +1,53 @@
+module Dag = Abp_dag.Dag
+module Schedule = Abp_kernel.Schedule
+
+type t = { dag : Dag.t; steps : Dag.node array array }
+
+let length t = Array.length t.steps
+
+let validate t ~kernel =
+  let n = Dag.num_nodes t.dag in
+  let executed_at = Array.make n (-1) in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  Array.iteri
+    (fun i nodes ->
+      let step = i + 1 in
+      let p = Schedule.count kernel step in
+      if Array.length nodes > p then
+        fail (Printf.sprintf "step %d executes %d nodes but p=%d" step (Array.length nodes) p);
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= n then fail (Printf.sprintf "step %d: unknown node %d" step v)
+          else if executed_at.(v) >= 0 then fail (Printf.sprintf "node %d executed twice" v)
+          else executed_at.(v) <- step)
+        nodes)
+    t.steps;
+  (match !err with
+  | None ->
+      Dag.iter_nodes t.dag (fun v ->
+          if executed_at.(v) < 0 then fail (Printf.sprintf "node %d never executed" v));
+      Dag.iter_edges t.dag (fun u v _ ->
+          if !err = None && executed_at.(u) >= executed_at.(v) then
+            fail (Printf.sprintf "edge %d->%d violated (%d >= %d)" u v executed_at.(u) executed_at.(v)))
+  | Some _ -> ());
+  match !err with None -> Ok () | Some msg -> Error msg
+
+let processor_average t ~kernel =
+  if length t = 0 then invalid_arg "Exec_schedule.processor_average: empty schedule";
+  Schedule.processor_average kernel ~steps:(length t)
+
+let idle_tokens t ~kernel =
+  let idle = ref 0 in
+  Array.iteri
+    (fun i nodes -> idle := !idle + max 0 (Schedule.count kernel (i + 1) - Array.length nodes))
+    t.steps;
+  !idle
+
+let pp ppf t =
+  Fmt.pf ppf "step  executed@.";
+  Array.iteri
+    (fun i nodes ->
+      let names = Array.to_list (Array.map (fun v -> Printf.sprintf "v%d" (v + 1)) nodes) in
+      Fmt.pf ppf "%4d  %s@." (i + 1) (String.concat " " names))
+    t.steps

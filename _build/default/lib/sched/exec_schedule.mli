@@ -1,0 +1,28 @@
+(** Execution schedules (paper, Section 2).
+
+    Given a kernel schedule and a computation dag, an execution schedule
+    specifies, for each step [i], the subset of at most [p_i] ready nodes
+    executed by the scheduled processes at step [i].  Its {e length} is
+    its number of steps.  An execution schedule must execute every node,
+    after all of its predecessors. *)
+
+type t = { dag : Abp_dag.Dag.t; steps : Abp_dag.Dag.node array array }
+(** [steps.(i)] holds the nodes executed at step [i+1] (steps are 1-based
+    in the paper). *)
+
+val length : t -> int
+
+val validate : t -> kernel:Abp_kernel.Schedule.t -> (unit, string) result
+(** Check: every node executed exactly once, dependencies respected,
+    and [|steps.(i)| <= p_(i+1)]. *)
+
+val processor_average : t -> kernel:Abp_kernel.Schedule.t -> float
+(** [Pbar] of the kernel schedule over this execution's length. *)
+
+val idle_tokens : t -> kernel:Abp_kernel.Schedule.t -> int
+(** Total scheduled-process slots not used to execute a node — the proof
+    of Theorem 2 bounds these by [span * (P - 1)] for greedy schedules. *)
+
+val pp : Format.formatter -> t -> unit
+(** Figure 2(b)-style table: one row per step, executed nodes (as [v%d])
+    per column. *)

@@ -1,0 +1,98 @@
+module Dag = Abp_dag.Dag
+module Schedule = Abp_kernel.Schedule
+module Rng = Abp_stats.Rng
+
+type policy = Fifo | Lifo | Random of Rng.t | Deepest
+
+let policy_name = function
+  | Fifo -> "fifo"
+  | Lifo -> "lifo"
+  | Random _ -> "random"
+  | Deepest -> "deepest"
+
+(* A ready pool supporting the four extraction policies.  It is a dynamic
+   array; Fifo takes from the front (with a moving cursor to stay O(1)
+   amortized), Lifo from the back, Random swaps a random element to the
+   back, Deepest scans (dags here are small enough that the O(n) scan is
+   acceptable for an experiment scheduler). *)
+module Pool = struct
+  type t = { mutable items : int array; mutable front : int; mutable back : int }
+
+  let create () = { items = Array.make 16 (-1); front = 0; back = 0 }
+  let size t = t.back - t.front
+
+  let compact t =
+    let n = size t in
+    let items = Array.make (max 16 (2 * n)) (-1) in
+    Array.blit t.items t.front items 0 n;
+    t.items <- items;
+    t.front <- 0;
+    t.back <- n
+
+  let add t v =
+    if t.back = Array.length t.items then compact t;
+    t.items.(t.back) <- v;
+    t.back <- t.back + 1
+
+  let swap t i j =
+    let tmp = t.items.(i) in
+    t.items.(i) <- t.items.(j);
+    t.items.(j) <- tmp
+
+  let take t ~policy ~depth =
+    assert (size t > 0);
+    match policy with
+    | Fifo ->
+        let v = t.items.(t.front) in
+        t.front <- t.front + 1;
+        v
+    | Lifo ->
+        t.back <- t.back - 1;
+        t.items.(t.back)
+    | Random rng ->
+        let i = t.front + Rng.int rng (size t) in
+        swap t i (t.back - 1);
+        t.back <- t.back - 1;
+        t.items.(t.back)
+    | Deepest ->
+        let best = ref t.front in
+        for i = t.front + 1 to t.back - 1 do
+          if depth t.items.(i) > depth t.items.(!best) then best := i
+        done;
+        swap t !best (t.back - 1);
+        t.back <- t.back - 1;
+        t.items.(t.back)
+end
+
+let run ~dag ~kernel ~policy =
+  let n = Dag.num_nodes dag in
+  let depth_arr = Abp_dag.Metrics.depth dag in
+  let depth v = depth_arr.(v) in
+  let indeg = Array.init n (fun v -> Dag.in_degree dag v) in
+  let ready = Pool.create () in
+  Pool.add ready (Dag.root dag);
+  let executed = ref 0 in
+  let steps = ref [] in
+  let step = ref 0 in
+  while !executed < n do
+    incr step;
+    let p = Schedule.count kernel !step in
+    let k = min p (Pool.size ready) in
+    let nodes = Array.make k (-1) in
+    for i = 0 to k - 1 do
+      nodes.(i) <- Pool.take ready ~policy ~depth
+    done;
+    (* Enable successors only after the whole step executes: nodes that
+       become ready at step i may run at step i+1 at the earliest. *)
+    Array.iter
+      (fun u ->
+        incr executed;
+        Array.iter
+          (fun (v, _) ->
+            indeg.(v) <- indeg.(v) - 1;
+            if indeg.(v) = 0 then Pool.add ready v)
+          (Dag.succs dag u))
+      nodes;
+    steps := nodes :: !steps
+  done;
+  { Exec_schedule.dag; steps = Array.of_list (List.rev !steps) }

@@ -1,0 +1,27 @@
+(** Greedy execution schedules (paper, Theorem 2).
+
+    An execution schedule is {e greedy} if at each step [i] the number of
+    ready nodes executed equals the minimum of [p_i] and the number of
+    ready nodes.  Theorem 2: any greedy execution schedule has length at
+    most [T1/Pbar + span * (P-1) / Pbar], where [Pbar] is the processor
+    average over the schedule's length — equivalently, its token count
+    [L * Pbar] is at most [T1 + span * (P-1)] (work tokens plus idle
+    tokens).
+
+    When the ready set exceeds [p_i], a greedy scheduler may pick any
+    subset; the [policy] selects which, letting experiments confirm the
+    bound holds for every choice. *)
+
+type policy =
+  | Fifo  (** oldest-ready first (queue order) *)
+  | Lifo  (** newest-ready first *)
+  | Random of Abp_stats.Rng.t  (** uniform among ready nodes *)
+  | Deepest  (** prefer nodes with larger dag depth *)
+
+val policy_name : policy -> string
+
+val run : dag:Abp_dag.Dag.t -> kernel:Abp_kernel.Schedule.t -> policy:policy -> Exec_schedule.t
+(** Compute a greedy execution schedule.  Diverges only if the kernel
+    schedule stops providing processes forever; all schedules in
+    {!Abp_kernel.Schedule} eventually schedule processes infinitely
+    often. *)

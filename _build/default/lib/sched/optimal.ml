@@ -1,0 +1,86 @@
+module Dag = Abp_dag.Dag
+module Schedule = Abp_kernel.Schedule
+
+let max_nodes = 20
+
+(* Ready nodes of a downward-closed executed set [mask]: not executed,
+   every predecessor executed. *)
+let ready_nodes dag mask =
+  let ready = ref [] in
+  let n = Dag.num_nodes dag in
+  for v = n - 1 downto 0 do
+    if mask land (1 lsl v) = 0 then begin
+      let preds = Dag.preds dag v in
+      if Array.for_all (fun u -> mask land (1 lsl u) <> 0) preds then ready := v :: !ready
+    end
+  done;
+  !ready
+
+(* All subsets of [items] of size exactly [k], as masks. *)
+let rec subsets_of_size items k =
+  if k = 0 then [ 0 ]
+  else
+    match items with
+    | [] -> []
+    | x :: rest ->
+        let with_x = List.map (fun m -> m lor (1 lsl x)) (subsets_of_size rest (k - 1)) in
+        with_x @ subsets_of_size rest k
+
+(* BFS over (executed-set, step) with per-state earliest step.  Each round
+   of the queue advances one kernel step; [sizes] lists the subset sizes
+   explored given the step's processor count and the ready list. *)
+let search ~sizes ~dag ~kernel =
+  let n = Dag.num_nodes dag in
+  if n > max_nodes then invalid_arg (Printf.sprintf "Optimal: dag has %d nodes (max %d)" n max_nodes);
+  let full = (1 lsl n) - 1 in
+  let horizon = (16 * n) + 64 in
+  let best = Hashtbl.create 1024 in
+  Hashtbl.add best 0 0;
+  let frontier = Queue.create () in
+  Queue.add 0 frontier;
+  let answer = ref None in
+  while !answer = None && not (Queue.is_empty frontier) do
+    let mask = Queue.pop frontier in
+    let t = Hashtbl.find best mask in
+    if mask = full then answer := Some t
+    else begin
+      (* Skip dead rounds (p = 0): waiting is forced and choice-free, so
+         the transition happens at the next live step.  The skip distance
+         is a monotone function of [t], which preserves the BFS queue's
+         non-decreasing arrival-time order and hence minimality. *)
+      let rec next_live t =
+        if t >= horizon then
+          failwith "Optimal: step horizon exceeded (kernel schedule starves the computation)"
+        else if Schedule.count kernel (t + 1) > 0 then t
+        else next_live (t + 1)
+      in
+      let t = next_live t in
+      let p = Schedule.count kernel (t + 1) in
+      let ready = ready_nodes dag mask in
+      let k_max = min p (List.length ready) in
+      List.iter
+        (fun k ->
+          List.iter
+            (fun subset ->
+              let mask' = mask lor subset in
+              if not (Hashtbl.mem best mask') then begin
+                Hashtbl.add best mask' (t + 1);
+                Queue.add mask' frontier
+              end)
+            (subsets_of_size ready k))
+        (sizes k_max)
+    end
+  done;
+  match !answer with
+  | Some t -> t
+  | None -> failwith "Optimal: search exhausted without completing (unreachable for valid dags)"
+
+(* BFS visits states in non-decreasing step order because every transition
+   advances the step by exactly one, so the first time the full mask is
+   popped its step is minimal. *)
+
+let optimal_length ~dag ~kernel = search ~sizes:(fun k_max -> List.init (k_max + 1) (fun i -> i)) ~dag ~kernel
+
+let best_greedy_length ~dag ~kernel = search ~sizes:(fun k_max -> [ k_max ]) ~dag ~kernel
+
+let greedy_is_optimal ~dag ~kernel = best_greedy_length ~dag ~kernel = optimal_length ~dag ~kernel

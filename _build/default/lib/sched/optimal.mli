@@ -1,0 +1,34 @@
+(** Exhaustive optimal off-line scheduling for small instances.
+
+    Section 2 remarks that the off-line scheduling decision problem is
+    NP-complete [Ullman 1975], that greedy schedules are within a factor
+    of 2 of optimal, and that "though we shall not prove it, for any
+    kernel schedule, some greedy execution schedule is optimal".  This
+    module makes that claim checkable on small instances by two
+    independent exhaustive searches over downward-closed executed sets
+    (bitmask BFS):
+
+    - {!optimal_length} branches over ready subsets of {e every} size up
+      to [p_i] (a schedule may deliberately idle processes);
+    - {!best_greedy_length} branches only over subsets of size exactly
+      [min(p_i, |ready|)] (the greedy discipline).
+
+    The paper's claim is then the {e equality} of the two, checked by
+    {!greedy_is_optimal}.  Exponential in the number of nodes; intended
+    for dags of at most ~20 nodes (experiment E23 and tests). *)
+
+val max_nodes : int
+(** Hard cap (20) on the instance size accepted. *)
+
+val optimal_length : dag:Abp_dag.Dag.t -> kernel:Abp_kernel.Schedule.t -> int
+(** The minimum length of any execution schedule of [dag] under
+    [kernel].  Raises [Invalid_argument] if the dag exceeds {!max_nodes},
+    and [Failure] if the kernel schedule starves the computation beyond
+    a generous step horizon. *)
+
+val best_greedy_length : dag:Abp_dag.Dag.t -> kernel:Abp_kernel.Schedule.t -> int
+(** The minimum length over greedy execution schedules only. *)
+
+val greedy_is_optimal : dag:Abp_dag.Dag.t -> kernel:Abp_kernel.Schedule.t -> bool
+(** [best_greedy_length = optimal_length] — the claim the paper states
+    without proof. *)

@@ -1,0 +1,1 @@
+lib/sim/central_sched.ml: Abp_dag Abp_kernel Abp_stats Array Engine List Run_result

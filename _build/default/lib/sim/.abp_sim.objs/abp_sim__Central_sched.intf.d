@@ -1,0 +1,1 @@
+lib/sim/central_sched.mli: Abp_dag Abp_kernel Engine Run_result

@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Abp_dag Abp_kernel Abp_stats Array Fmt Invariants List Node_deque Printf Run_result

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Abp_dag Abp_kernel Format Run_result

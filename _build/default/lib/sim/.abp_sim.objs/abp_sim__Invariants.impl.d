@@ -1,0 +1,1 @@
+lib/sim/invariants.ml: Abp_dag Array List Node_deque Printf

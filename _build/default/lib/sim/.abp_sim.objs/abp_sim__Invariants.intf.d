@@ -1,0 +1,1 @@
+lib/sim/invariants.mli: Abp_dag Node_deque

@@ -1,0 +1,183 @@
+module Rng = Abp_stats.Rng
+module Dag = Abp_dag.Dag
+module Metrics = Abp_dag.Metrics
+module Adversary = Abp_kernel.Adversary
+
+type config = {
+  num_processes : int;
+  adversary : Adversary.t;
+  deque_model : Engine.deque_model;
+  actions_per_round : int;
+  max_rounds : int;
+  seed : int64;
+}
+
+let default_config ~num_processes ~adversary =
+  {
+    num_processes;
+    adversary;
+    deque_model = Engine.Nonblocking;
+    actions_per_round = 1;
+    max_rounds = 10_000_000;
+    seed = 1L;
+  }
+
+(* Two-list FIFO of node ids. *)
+module Fifo = struct
+  type t = { mutable front : int list; mutable back : int list }
+
+  let create () = { front = []; back = [] }
+  let push t v = t.back <- v :: t.back
+
+  let pop t =
+    match t.front with
+    | v :: rest ->
+        t.front <- rest;
+        Some v
+    | [] -> (
+        match List.rev t.back with
+        | [] -> None
+        | v :: rest ->
+            t.front <- rest;
+            t.back <- [];
+            Some v)
+end
+
+type op = Enqueue of int | Dequeue
+type micro = Idle | Acquiring of op | In_cs of op * int
+
+type state = {
+  cfg : config;
+  dag : Dag.t;
+  indeg : int array;
+  assigned : int array;
+  queue : Fifo.t;
+  micro : micro array;
+  mutable lock : int option;
+  rng : Rng.t;
+  mutable finished : bool;
+  mutable dequeue_attempts : int;
+  mutable dequeues : int;
+  mutable lock_spins : int;
+}
+
+let cs_actions cfg = match cfg.deque_model with Engine.Nonblocking -> 0 | Engine.Locked k -> max 1 k
+
+let enabled_children st u =
+  let enabled = ref [] in
+  Array.iter
+    (fun (v, _) ->
+      st.indeg.(v) <- st.indeg.(v) - 1;
+      if st.indeg.(v) = 0 then enabled := v :: !enabled)
+    (Dag.succs st.dag u);
+  List.rev !enabled
+
+let perform_op st p op =
+  match op with
+  | Enqueue v -> Fifo.push st.queue v
+  | Dequeue -> (
+      st.dequeue_attempts <- st.dequeue_attempts + 1;
+      match Fifo.pop st.queue with
+      | Some v ->
+          st.assigned.(p) <- v;
+          st.dequeues <- st.dequeues + 1
+      | None -> ())
+
+let request st p op =
+  match st.cfg.deque_model with
+  | Engine.Nonblocking -> perform_op st p op
+  | Engine.Locked _ -> st.micro.(p) <- Acquiring op
+
+let execute_node st p =
+  let u = st.assigned.(p) in
+  if u = Dag.final st.dag then st.finished <- true;
+  match enabled_children st u with
+  | [] ->
+      st.assigned.(p) <- -1;
+      request st p Dequeue
+  | [ v ] -> st.assigned.(p) <- v
+  | [ v1; v2 ] ->
+      st.assigned.(p) <- v1;
+      request st p (Enqueue v2)
+  | _ -> assert false
+
+let action st p =
+  match st.micro.(p) with
+  | In_cs (op, left) ->
+      if left > 1 then st.micro.(p) <- In_cs (op, left - 1)
+      else begin
+        perform_op st p op;
+        st.lock <- None;
+        st.micro.(p) <- Idle
+      end
+  | Acquiring op ->
+      if st.lock = None then begin
+        st.lock <- Some p;
+        let k = cs_actions st.cfg in
+        if k <= 1 then begin
+          perform_op st p op;
+          st.lock <- None;
+          st.micro.(p) <- Idle
+        end
+        else st.micro.(p) <- In_cs (op, k - 1)
+      end
+      else st.lock_spins <- st.lock_spins + 1
+  | Idle -> if st.assigned.(p) >= 0 then execute_node st p else request st p Dequeue
+
+let run cfg dag =
+  if cfg.num_processes < 1 then invalid_arg "Central_sched.run: num_processes >= 1 required";
+  let p = cfg.num_processes in
+  let st =
+    {
+      cfg;
+      dag;
+      indeg = Array.init (Dag.num_nodes dag) (fun v -> Dag.in_degree dag v);
+      assigned = Array.make p (-1);
+      queue = Fifo.create ();
+      micro = Array.make p Idle;
+      lock = None;
+      rng = Rng.create ~seed:cfg.seed ();
+      finished = false;
+      dequeue_attempts = 0;
+      dequeues = 0;
+      lock_spins = 0;
+    }
+  in
+  st.assigned.(0) <- Dag.root dag;
+  let tokens = ref 0 and rounds = ref 0 in
+  let order = Array.init p (fun i -> i) in
+  while (not st.finished) && !rounds < cfg.max_rounds do
+    incr rounds;
+    let view =
+      {
+        Adversary.round = !rounds;
+        num_processes = p;
+        has_assigned = (fun q -> st.assigned.(q) >= 0);
+        deque_size = (fun _ -> 0);
+        in_critical_section =
+          (fun q -> match st.micro.(q) with In_cs _ -> true | Idle | Acquiring _ -> false);
+      }
+    in
+    let set = Adversary.choose cfg.adversary view in
+    let width = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 set in
+    tokens := !tokens + width;
+    for _ = 1 to cfg.actions_per_round do
+      Rng.shuffle st.rng order;
+      Array.iter (fun q -> if set.(q) && not st.finished then action st q) order
+    done
+  done;
+  {
+    Run_result.rounds = !rounds;
+    completed = st.finished;
+    tokens = !tokens;
+    pbar = (if !rounds = 0 then 0.0 else float_of_int !tokens /. float_of_int !rounds);
+    work = Metrics.work dag;
+    span = Metrics.span dag;
+    num_processes = p;
+    steal_attempts = st.dequeue_attempts;
+    successful_steals = st.dequeues;
+    lock_spins = st.lock_spins;
+    yield_calls = 0;
+    invariant_violations = [];
+    steal_latencies = [||];
+  }

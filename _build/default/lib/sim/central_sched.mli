@@ -1,0 +1,25 @@
+(** Work-sharing baseline: a single shared queue of ready nodes.
+
+    Every process takes work from, and returns enabled children to, one
+    central FIFO queue.  This is the classic alternative the
+    work-stealing literature argues against: with an idealized
+    (contention-free) queue it matches greedy scheduling, but as soon as
+    queue operations occupy a lock ([Locked] model, as any real central
+    queue must at some cost), all [P] processes serialize on it — the
+    ablation benchmark E15/E13 quantifies the collapse against the
+    per-process deques of the work stealer. *)
+
+type config = {
+  num_processes : int;
+  adversary : Abp_kernel.Adversary.t;
+  deque_model : Engine.deque_model;  (** queue contention model *)
+  actions_per_round : int;
+  max_rounds : int;
+  seed : int64;
+}
+
+val default_config : num_processes:int -> adversary:Abp_kernel.Adversary.t -> config
+
+val run : config -> Abp_dag.Dag.t -> Run_result.t
+(** [steal_attempts]/[successful_steals] count central-queue dequeues;
+    [yield_calls] is always 0. *)

@@ -1,0 +1,102 @@
+(** The two-level scheduling simulator: the non-blocking work stealer of
+    Figure 3 running against an adversarial kernel.
+
+    Time advances in {e rounds} (Section 4.1).  Each round:
+
+    + the adversary proposes a set of processes ({!Abp_kernel.Adversary});
+    + the set is repaired against outstanding yield obligations
+      ({!Abp_kernel.Yield.repair});
+    + each scheduled process performs [actions_per_round] {e actions} in
+      an arbitrary (randomized) serialization — the paper's assumption
+      that each step's effect equals some serial order chosen by the
+      kernel.
+
+    One action is one iteration of the Figure 3 scheduling loop: execute
+    the assigned node and handle the enabled children (push/pop on the
+    owner's deque), or perform one steal attempt (pick a uniformly random
+    victim, [popTop]); a thief calls the configured yield between
+    consecutive attempts.  With the [Locked] deque model every deque
+    method instead occupies the deque's mutex for [cs_actions] actions of
+    the invoking process — so a preemption inside a method leaves the
+    lock held and everyone else spinning, reproducing the blocking
+    pathology the paper's empirical studies demonstrate.
+
+    The engine can check the structural lemma and the monotonicity of the
+    potential function after every round ({!Invariants}). *)
+
+type deque_model =
+  | Nonblocking
+      (** the ABP deque: methods linearize atomically within the
+          invoking action and never impede other processes *)
+  | Locked of int
+      (** mutex-protected deque; the argument is the number of actions a
+          method holds the lock ([>= 1]) *)
+
+type spawn_policy =
+  | Child_first
+      (** on enabling two children, assign the non-continuation child
+          (depth-first execution order, the common choice, Section 3.1) *)
+  | Parent_first  (** assign the continuation, push the other child *)
+
+type victim_policy =
+  | Random_victim
+      (** uniformly random victim per attempt — required by the paper's
+          analysis (the balls-and-bins argument of Lemma 7/8) *)
+  | Round_robin_victim
+      (** each thief cycles deterministically through the other
+          processes; an ablation of the randomization (no bound is
+          proved for it, and an adaptive kernel can exploit it) *)
+
+type config = {
+  num_processes : int;
+  adversary : Abp_kernel.Adversary.t;
+  yield_kind : Abp_kernel.Yield.kind;
+  deque_model : deque_model;
+  spawn_policy : spawn_policy;
+  victim_policy : victim_policy;
+  actions_per_round : int;  (** [>= 1]; the paper's round width *)
+  max_rounds : int;  (** safety cap; exceeded => [completed = false] *)
+  seed : int64;  (** drives victim selection, serialization order, yields *)
+  check_invariants : bool;
+}
+
+val default_config : num_processes:int -> adversary:Abp_kernel.Adversary.t -> config
+(** Non-blocking deque, [yieldToAll], child-first, 1 action/round,
+    [max_rounds = 10_000_000], seed 1, checking off. *)
+
+val run : config -> Abp_dag.Dag.t -> Run_result.t
+(** Execute the computation to completion (or the round cap).  The dag
+    must pass {!Abp_dag.Dag.validate}. *)
+
+type trace = {
+  steps : Abp_dag.Dag.node array array;  (** nodes executed per round *)
+  procs : int array array;
+      (** [procs.(i).(j)] is the process that executed [steps.(i).(j)] *)
+  widths : int array;  (** processes scheduled per round, after repair *)
+  log_phi : float array;
+      (** [ln Phi] at the end of each round (Section 4.2's potential);
+          [neg_infinity] once no node is ready *)
+  steals_per_round : int array;  (** completed steal attempts per round *)
+}
+
+val pp_trace_table :
+  num_processes:int -> rounds:int -> sets:bool array array -> Format.formatter -> trace -> unit
+(** Render the first [rounds] rounds in the style of the paper's Figure
+    2(b): one row per round, one column per process, entries [vN] for an
+    executed node, [I] for a scheduled-but-idle process (stealing or
+    spinning), blank for descheduled.  [sets] is the per-round scheduled
+    set from {!run_traced_with_sets}. *)
+
+val run_traced : config -> Abp_dag.Dag.t -> Run_result.t * trace
+(** Like {!run}, recording the trace — a completed run rendered as a
+    formal execution schedule over the kernel schedule the adversary
+    actually produced (Section 2): feed [steps] to
+    {!Abp_sched.Exec_schedule} and [widths] to
+    {!Abp_kernel.Schedule.of_array} to validate the simulator against the
+    model's dependency and width rules.  Requires
+    [actions_per_round = 1] so that one round = one step of the formal
+    model. *)
+
+val run_traced_with_sets : config -> Abp_dag.Dag.t -> Run_result.t * trace * bool array array
+(** {!run_traced} plus the per-round scheduled sets (for
+    {!pp_trace_table}). *)

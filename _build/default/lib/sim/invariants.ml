@@ -1,0 +1,82 @@
+module Tree = Abp_dag.Enabling_tree
+
+type snapshot = {
+  span : int;
+  tree : Tree.t;
+  assigned : int array;
+  deques : Node_deque.t array;
+}
+
+let designated_parent tree v =
+  match Tree.parent tree v with Some p -> p | None -> v (* root's parent: itself *)
+
+let check_structural snap =
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  Array.iteri
+    (fun proc dq ->
+      if !err = None then begin
+        (* Nodes bottom-to-top: x1..xk; x0 = assigned (if any). *)
+        let xs = Node_deque.to_array_bottom_to_top dq in
+        let k = Array.length xs in
+        let weight v = Tree.weight snap.tree ~span:snap.span v in
+        (* Corollary 4: weights strictly increase bottom-to-top. *)
+        for i = 0 to k - 2 do
+          if weight xs.(i) >= weight xs.(i + 1) then
+            fail
+              (Printf.sprintf "proc %d: deque weights not increasing: w(%d)=%d >= w(%d)=%d" proc
+                 xs.(i) (weight xs.(i)) xs.(i + 1)
+                 (weight xs.(i + 1)))
+        done;
+        (* Lemma 3: y_{i+1} is a proper ancestor of y_i in the enabling
+           tree, where y_i is the designated parent of x_i. *)
+        for i = 0 to k - 2 do
+          let y_lo = designated_parent snap.tree xs.(i)
+          and y_hi = designated_parent snap.tree xs.(i + 1) in
+          if y_lo = y_hi then
+            fail (Printf.sprintf "proc %d: deque nodes %d,%d share designated parent" proc xs.(i) xs.(i + 1))
+          else if not (Tree.is_ancestor snap.tree ~anc:y_hi ~desc:y_lo) then
+            fail
+              (Printf.sprintf "proc %d: parent of %d not ancestor of parent of %d" proc xs.(i + 1)
+                 xs.(i))
+        done;
+        (* Assigned node: w(x0) <= w(x1), and y_1 an ancestor (possibly
+           equal) of y_0. *)
+        let a = snap.assigned.(proc) in
+        if a >= 0 && k > 0 then begin
+          if weight a > weight xs.(0) then
+            fail
+              (Printf.sprintf "proc %d: w(assigned %d)=%d > w(bottom %d)=%d" proc a (weight a)
+                 xs.(0) (weight xs.(0)));
+          let y0 = designated_parent snap.tree a and y1 = designated_parent snap.tree xs.(0) in
+          if not (Tree.is_ancestor snap.tree ~anc:y1 ~desc:y0) then
+            fail (Printf.sprintf "proc %d: bottom's parent not ancestor of assigned's parent" proc)
+        end
+      end)
+    snap.deques;
+  match !err with None -> Ok () | Some msg -> Error msg
+
+let log3 = log 3.0
+
+(* log-sum-exp over the potential terms: Phi = sum 3^e(u) with
+   e(u) = 2 w(u) - (1 if assigned).  ln Phi = m ln3 + ln(sum 3^(e-m)). *)
+let log_potential snap =
+  let exponents = ref [] in
+  Array.iter
+    (fun a ->
+      if a >= 0 then
+        exponents := ((2 * Tree.weight snap.tree ~span:snap.span a) - 1) :: !exponents)
+    snap.assigned;
+  Array.iter
+    (fun dq ->
+      Node_deque.iter_bottom_to_top dq (fun v ->
+          exponents := (2 * Tree.weight snap.tree ~span:snap.span v) :: !exponents))
+    snap.deques;
+  match !exponents with
+  | [] -> neg_infinity
+  | es ->
+      let m = List.fold_left max min_int es in
+      let sum = List.fold_left (fun acc e -> acc +. exp (float_of_int (e - m) *. log3)) 0.0 es in
+      (float_of_int m *. log3) +. log sum
+
+let potential_decrease_ok ~before ~after = after <= before +. 1e-9

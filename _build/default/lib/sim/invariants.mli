@@ -1,0 +1,36 @@
+(** Runtime checkers for the analysis invariants (paper, Sections 3.4
+    and 4.2).
+
+    The simulator can snapshot its state after every round and verify:
+
+    - the {b structural lemma} (Lemma 3 / Corollary 4): in every deque,
+      the designated parents of the nodes lie on a single root-to-leaf
+      path of the enabling tree — bottom-to-top, each is a {e proper}
+      ancestor of the one below, except that the assigned node's
+      designated parent may coincide with the bottom node's; hence node
+      weights strictly increase from bottom to top, with
+      [w(assigned) <= w(bottom)];
+
+    - the {b potential function} [Phi = sum 3^(2w(u) - is_assigned(u))]
+      over ready nodes never increases between rounds (Section 4.2).
+      Weights reach the hundreds on real dags, so [Phi] is tracked in
+      log-space (see {!log_potential}). *)
+
+type snapshot = {
+  span : int;
+  tree : Abp_dag.Enabling_tree.t;
+  assigned : int array;  (** per process; -1 = none *)
+  deques : Node_deque.t array;
+}
+
+val check_structural : snapshot -> (unit, string) result
+(** Verify Lemma 3 + Corollary 4 for every process. *)
+
+val log_potential : snapshot -> float
+(** [ln Phi]; [neg_infinity] when no node is ready (termination). *)
+
+val log3 : float
+
+val potential_decrease_ok : before:float -> after:float -> bool
+(** [after <= before] up to floating slack — the "potential never
+    increases" invariant between consecutive rounds. *)

@@ -1,0 +1,55 @@
+(* Circular growable buffer; [top] is the index of the topmost element,
+   elements run top..bottom in increasing buffer order. *)
+
+type t = { mutable buf : int array; mutable top : int; mutable count : int }
+
+let create () = { buf = Array.make 16 (-1); top = 0; count = 0 }
+let size t = t.count
+let is_empty t = t.count = 0
+
+let grow t =
+  let cap = Array.length t.buf in
+  let bigger = Array.make (2 * cap) (-1) in
+  for i = 0 to t.count - 1 do
+    bigger.(i) <- t.buf.((t.top + i) mod cap)
+  done;
+  t.buf <- bigger;
+  t.top <- 0
+
+let push_bottom t v =
+  if t.count = Array.length t.buf then grow t;
+  let cap = Array.length t.buf in
+  t.buf.((t.top + t.count) mod cap) <- v;
+  t.count <- t.count + 1
+
+let pop_bottom t =
+  if t.count = 0 then None
+  else begin
+    t.count <- t.count - 1;
+    Some t.buf.((t.top + t.count) mod Array.length t.buf)
+  end
+
+let pop_top t =
+  if t.count = 0 then None
+  else begin
+    let v = t.buf.(t.top) in
+    t.top <- (t.top + 1) mod Array.length t.buf;
+    t.count <- t.count - 1;
+    Some v
+  end
+
+let top t = if t.count = 0 then None else Some t.buf.(t.top)
+
+let iter_bottom_to_top t f =
+  let cap = Array.length t.buf in
+  for i = t.count - 1 downto 0 do
+    f t.buf.((t.top + i) mod cap)
+  done
+
+let to_array_bottom_to_top t =
+  let out = Array.make t.count (-1) in
+  let i = ref 0 in
+  iter_bottom_to_top t (fun v ->
+      out.(!i) <- v;
+      incr i);
+  out

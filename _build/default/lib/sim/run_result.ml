@@ -1,0 +1,31 @@
+type t = {
+  rounds : int;
+  completed : bool;
+  tokens : int;
+  pbar : float;
+  work : int;
+  span : int;
+  num_processes : int;
+  steal_attempts : int;
+  successful_steals : int;
+  lock_spins : int;
+  yield_calls : int;
+  invariant_violations : string list;
+  steal_latencies : int array;
+}
+
+let speedup t = float_of_int t.work /. float_of_int t.rounds
+
+let bound_prediction t =
+  if t.pbar <= 0.0 then infinity
+  else (float_of_int t.work +. float_of_int (t.span * t.num_processes)) /. t.pbar
+
+let bound_ratio t = float_of_int t.rounds /. bound_prediction t
+
+let pp ppf t =
+  Fmt.pf ppf
+    "T=%d%s tokens=%d Pbar=%.3f T1=%d Tinf=%d P=%d steals=%d/%d spins=%d yields=%d ratio=%.3f"
+    t.rounds
+    (if t.completed then "" else " (CAP)")
+    t.tokens t.pbar t.work t.span t.num_processes t.successful_steals t.steal_attempts
+    t.lock_spins t.yield_calls (bound_ratio t)

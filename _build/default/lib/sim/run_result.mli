@@ -1,0 +1,33 @@
+(** Result record shared by the simulator engines. *)
+
+type t = {
+  rounds : int;  (** execution time [T] in kernel rounds *)
+  completed : bool;  (** [false] if the round cap was hit first *)
+  tokens : int;  (** total scheduled-process slots, [sum_r |S_r|] *)
+  pbar : float;  (** processor average [tokens / rounds] *)
+  work : int;  (** [T1] of the input dag *)
+  span : int;  (** [Tinf] of the input dag *)
+  num_processes : int;
+  steal_attempts : int;  (** completed popTop invocations by thieves *)
+  successful_steals : int;
+  lock_spins : int;  (** actions burnt spinning on a held deque lock *)
+  yield_calls : int;
+  invariant_violations : string list;  (** nonempty only with checking on *)
+  steal_latencies : int array;
+      (** for each successful steal, the number of rounds its process had
+          spent as a thief (1 = stole on the first attempt); empty for
+          engines that do not measure it *)
+}
+
+val speedup : t -> float
+(** [T1 / rounds] — the speedup the run achieved. *)
+
+val bound_prediction : t -> float
+(** The paper's bound expression [T1/Pbar + span * P / Pbar] for this
+    run; the measured [rounds] should be within a small constant of it
+    (Theorems 9-12). *)
+
+val bound_ratio : t -> float
+(** [rounds / bound_prediction] — the empirical hidden constant. *)
+
+val pp : Format.formatter -> t -> unit

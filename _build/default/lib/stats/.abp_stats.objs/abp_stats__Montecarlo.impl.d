@@ -1,0 +1,1 @@
+lib/stats/montecarlo.ml: Array Float Fmt Rng

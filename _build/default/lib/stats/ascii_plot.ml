@@ -1,0 +1,72 @@
+type series = { marker : char; points : (float * float) array }
+
+type t = {
+  width : int;
+  height : int;
+  x_log : bool;
+  y_log : bool;
+  mutable series : series list;  (* reversed *)
+}
+
+let create ?(width = 60) ?(height = 20) ?(x_log = false) ?(y_log = false) () =
+  { width = max 16 width; height = max 8 height; x_log; y_log; series = [] }
+
+let add_series t ~marker points = t.series <- { marker; points } :: t.series
+
+let usable t (x, y) =
+  Float.is_finite x && Float.is_finite y && ((not t.x_log) || x > 0.0) && ((not t.y_log) || y > 0.0)
+
+let render t =
+  let all =
+    List.concat_map (fun s -> List.filter (usable t) (Array.to_list s.points)) t.series
+  in
+  match all with
+  | [] -> "(no plottable points)\n"
+  | (x0, y0) :: _ ->
+      let tx x = if t.x_log then log x else x in
+      let ty y = if t.y_log then log y else y in
+      let fold f init g = List.fold_left (fun acc p -> f acc (g p)) init all in
+      let x_min = fold Float.min (tx x0) (fun (x, _) -> tx x) in
+      let x_max = fold Float.max (tx x0) (fun (x, _) -> tx x) in
+      let y_min = fold Float.min (ty y0) (fun (_, y) -> ty y) in
+      let y_max = fold Float.max (ty y0) (fun (_, y) -> ty y) in
+      let x_span = if x_max > x_min then x_max -. x_min else 1.0 in
+      let y_span = if y_max > y_min then y_max -. y_min else 1.0 in
+      let grid = Array.make_matrix t.height t.width ' ' in
+      List.iter
+        (fun s ->
+          Array.iter
+            (fun ((x, y) as p) ->
+              if usable t p then begin
+                let cx =
+                  int_of_float ((tx x -. x_min) /. x_span *. float_of_int (t.width - 1) +. 0.5)
+                in
+                let cy =
+                  int_of_float ((ty y -. y_min) /. y_span *. float_of_int (t.height - 1) +. 0.5)
+                in
+                grid.(t.height - 1 - cy).(cx) <- s.marker
+              end)
+            s.points)
+        (List.rev t.series);
+      let buf = Buffer.create ((t.height + 3) * (t.width + 8)) in
+      let unscale_y v = if t.y_log then exp v else v in
+      let unscale_x v = if t.x_log then exp v else v in
+      Array.iteri
+        (fun row line ->
+          let label =
+            if row = 0 then Printf.sprintf "%10.3g |" (unscale_y y_max)
+            else if row = t.height - 1 then Printf.sprintf "%10.3g |" (unscale_y y_min)
+            else Printf.sprintf "%10s |" ""
+          in
+          Buffer.add_string buf label;
+          Array.iter (Buffer.add_char buf) line;
+          Buffer.add_char buf '\n')
+        grid;
+      Buffer.add_string buf (Printf.sprintf "%10s +%s\n" "" (String.make t.width '-'));
+      Buffer.add_string buf
+        (Printf.sprintf "%10s  %-10.4g%s%10.4g\n" "" (unscale_x x_min)
+           (String.make (max 1 (t.width - 20)) ' ')
+           (unscale_x x_max));
+      Buffer.contents buf
+
+let plot_to_formatter ppf t = Format.pp_print_string ppf (render t)

@@ -1,0 +1,23 @@
+(** Terminal scatter/line plots for experiment reports.
+
+    Renders (x, y) series on a fixed character grid with labeled axes —
+    enough to show a speedup curve or a potential-decay trajectory in the
+    benchmark output without external tooling. *)
+
+type t
+
+val create : ?width:int -> ?height:int -> ?x_log:bool -> ?y_log:bool -> unit -> t
+(** A plot surface; [width]/[height] are the grid size in characters
+    (defaults 60 x 20, clamped to at least 16 x 8).  [x_log]/[y_log]
+    select logarithmic axes (points with non-positive coordinates are
+    dropped on log axes). *)
+
+val add_series : t -> marker:char -> (float * float) array -> unit
+(** Add a series rendered with [marker].  Later series overwrite earlier
+    ones where they collide. *)
+
+val render : t -> string
+(** The finished plot, including axis ranges and one line per row.
+    Returns a note instead of a grid when no finite points were added. *)
+
+val plot_to_formatter : Format.formatter -> t -> unit

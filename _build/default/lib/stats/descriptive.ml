@@ -1,0 +1,74 @@
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  q1 : float;
+  q3 : float;
+}
+
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty sample")
+
+let mean xs =
+  check_nonempty "Descriptive.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check_nonempty "Descriptive.variance" xs;
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    ss /. float_of_int (n - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let quantile xs q =
+  check_nonempty "Descriptive.quantile" xs;
+  if q < 0.0 || q > 1.0 then invalid_arg "Descriptive.quantile: q out of [0,1]";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let h = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor h) in
+  let hi = min (lo + 1) (n - 1) in
+  let frac = h -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let summarize xs =
+  check_nonempty "Descriptive.summarize" xs;
+  {
+    n = Array.length xs;
+    mean = mean xs;
+    stddev = stddev xs;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+    median = quantile xs 0.5;
+    q1 = quantile xs 0.25;
+    q3 = quantile xs 0.75;
+  }
+
+let ci95 xs =
+  check_nonempty "Descriptive.ci95" xs;
+  let m = mean xs in
+  let se = stddev xs /. sqrt (float_of_int (Array.length xs)) in
+  (m -. (1.96 *. se), m +. (1.96 *. se))
+
+let geometric_mean xs =
+  check_nonempty "Descriptive.geometric_mean" xs;
+  let sum_logs =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Descriptive.geometric_mean: nonpositive entry"
+        else acc +. log x)
+      0.0 xs
+  in
+  exp (sum_logs /. float_of_int (Array.length xs))
+
+let pp_summary ppf s =
+  Fmt.pf ppf "n=%d mean=%.4g sd=%.4g min=%.4g q1=%.4g med=%.4g q3=%.4g max=%.4g" s.n s.mean
+    s.stddev s.min s.q1 s.median s.q3 s.max

@@ -1,0 +1,39 @@
+(** Descriptive statistics over float samples.
+
+    Used by the experiment harness to summarize repeated simulator runs
+    (means, spreads, quantiles, confidence intervals). *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (Bessel-corrected) *)
+  min : float;
+  max : float;
+  median : float;
+  q1 : float;  (** first quartile *)
+  q3 : float;  (** third quartile *)
+}
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val variance : float array -> float
+(** Sample variance with Bessel's correction; [0.] for n < 2. *)
+
+val stddev : float array -> float
+
+val quantile : float array -> float -> float
+(** [quantile xs q] with [0 <= q <= 1], linear interpolation between order
+    statistics (type-7, the R default).  Does not mutate its argument. *)
+
+val summarize : float array -> summary
+(** Full summary. Raises [Invalid_argument] on an empty array. *)
+
+val ci95 : float array -> float * float
+(** Normal-approximation 95% confidence interval for the mean,
+    [(mean - 1.96 se, mean + 1.96 se)]. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean; requires strictly positive entries. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,52 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable under : int;
+  mutable over : int;
+}
+
+let create ~lo ~hi ~bins =
+  if lo >= hi then invalid_arg "Histogram.create: lo >= hi";
+  if bins <= 0 then invalid_arg "Histogram.create: bins <= 0";
+  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; under = 0; over = 0 }
+
+let add t x =
+  if x < t.lo then t.under <- t.under + 1
+  else if x >= t.hi then t.over <- t.over + 1
+  else begin
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    (* Guard against floating rounding at the upper edge. *)
+    let i = min i (Array.length t.counts - 1) in
+    t.counts.(i) <- t.counts.(i) + 1
+  end
+
+let add_many t xs = Array.iter (add t) xs
+let count t = Array.fold_left ( + ) (t.under + t.over) t.counts
+let bin_count t i = t.counts.(i)
+let underflow t = t.under
+let overflow t = t.over
+let bins t = Array.length t.counts
+
+let bin_edges t i =
+  if i < 0 || i >= Array.length t.counts then invalid_arg "Histogram.bin_edges";
+  let lo = t.lo +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let mode_bin t =
+  if count t = 0 then invalid_arg "Histogram.mode_bin: empty";
+  let best = ref 0 in
+  Array.iteri (fun i c -> if c > t.counts.(!best) then best := i) t.counts;
+  !best
+
+let pp ppf t =
+  let max_count = Array.fold_left max 1 t.counts in
+  Array.iteri
+    (fun i c ->
+      let lo, hi = bin_edges t i in
+      let bar_len = c * 40 / max_count in
+      Fmt.pf ppf "[%8.3g, %8.3g) %6d %s@." lo hi c (String.make bar_len '#'))
+    t.counts;
+  if t.under > 0 then Fmt.pf ppf "underflow %d@." t.under;
+  if t.over > 0 then Fmt.pf ppf "overflow  %d@." t.over

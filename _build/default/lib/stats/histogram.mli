@@ -1,0 +1,33 @@
+(** Fixed-width histograms, used for throw-count and steal-latency
+    distributions in the experiment reports. *)
+
+type t
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] covers [\[lo, hi)] with [bins] equal-width bins
+    plus implicit underflow/overflow counters.  Requires [lo < hi] and
+    [bins > 0]. *)
+
+val add : t -> float -> unit
+val add_many : t -> float array -> unit
+
+val count : t -> int
+(** Total observations, including under/overflow. *)
+
+val bin_count : t -> int -> int
+(** Count in bin [i] (0-based). *)
+
+val underflow : t -> int
+val overflow : t -> int
+
+val bin_edges : t -> int -> float * float
+(** [bin_edges t i] is the half-open interval covered by bin [i]. *)
+
+val bins : t -> int
+
+val mode_bin : t -> int
+(** Index of the fullest bin (ties broken toward smaller index).
+    Raises [Invalid_argument] if the histogram is empty. *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII sparkline rendering, one line per bin. *)

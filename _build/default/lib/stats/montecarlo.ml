@@ -1,0 +1,47 @@
+type estimate = { trials : int; successes : int; p_hat : float; ci95 : float * float }
+
+let wilson ~successes ~trials =
+  if trials = 0 then (0.0, 1.0)
+  else
+    let z = 1.96 in
+    let n = float_of_int trials in
+    let p = float_of_int successes /. n in
+    let z2 = z *. z in
+    let denom = 1.0 +. (z2 /. n) in
+    let center = (p +. (z2 /. (2.0 *. n))) /. denom in
+    let half = z *. sqrt (((p *. (1.0 -. p)) +. (z2 /. (4.0 *. n))) /. n) /. denom in
+    (Float.max 0.0 (center -. half), Float.min 1.0 (center +. half))
+
+let estimate_probability ~trials event rng =
+  if trials <= 0 then invalid_arg "Montecarlo.estimate_probability: trials <= 0";
+  let successes = ref 0 in
+  for _ = 1 to trials do
+    if event rng then incr successes
+  done;
+  {
+    trials;
+    successes = !successes;
+    p_hat = float_of_int !successes /. float_of_int trials;
+    ci95 = wilson ~successes:!successes ~trials;
+  }
+
+let balls_in_weighted_bins ~rng ~weights ~balls ~beta =
+  let p = Array.length weights in
+  if p = 0 then invalid_arg "Montecarlo.balls_in_weighted_bins: no bins";
+  if beta <= 0.0 || beta >= 1.0 then invalid_arg "Montecarlo.balls_in_weighted_bins: beta";
+  let hit = Array.make p false in
+  for _ = 1 to balls do
+    hit.(Rng.int rng p) <- true
+  done;
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let collected = ref 0.0 in
+  Array.iteri (fun i w -> if hit.(i) then collected := !collected +. w) weights;
+  !collected < beta *. total
+
+let lemma7_bound ~beta =
+  if beta <= 0.0 || beta >= 1.0 then invalid_arg "Montecarlo.lemma7_bound: beta out of (0,1)";
+  1.0 /. ((1.0 -. beta) *. exp (2.0 *. beta))
+
+let pp_estimate ppf e =
+  let lo, hi = e.ci95 in
+  Fmt.pf ppf "p^=%.4f (%d/%d) ci95=[%.4f, %.4f]" e.p_hat e.successes e.trials lo hi

@@ -1,0 +1,32 @@
+(** Monte-Carlo estimation harness, including the balls-and-weighted-bins
+    experiment of the paper's Lemma 7.
+
+    Lemma 7 states: throw [balls] balls independently and uniformly at random
+    into [p] bins with weights [w_i] summing to [W].  Let [X] be the total
+    weight of bins that receive at least one ball.  If [balls >= p] then for
+    any [beta] in (0,1),
+
+    {v Pr[ X < beta * W ]  <=  1 / ((1 - beta) * e^(2*beta))  (for balls = p) v}
+
+    (the paper uses [balls = P]; we expose the general estimator). *)
+
+type estimate = {
+  trials : int;
+  successes : int;  (** trials in which the event occurred *)
+  p_hat : float;  (** successes / trials *)
+  ci95 : float * float;  (** Wilson score interval *)
+}
+
+val estimate_probability : trials:int -> (Rng.t -> bool) -> Rng.t -> estimate
+(** [estimate_probability ~trials event rng] runs [event] [trials] times. *)
+
+val balls_in_weighted_bins :
+  rng:Rng.t -> weights:float array -> balls:int -> beta:float -> bool
+(** One trial of Lemma 7's experiment: [true] iff the hit weight [X] is
+    strictly below [beta * W] (the "bad" event bounded by the lemma). *)
+
+val lemma7_bound : beta:float -> float
+(** The paper's bound [1 / ((1 - beta) * e^(2*beta))]. Requires
+    [0 < beta < 1]. *)
+
+val pp_estimate : Format.formatter -> estimate -> unit

@@ -1,0 +1,69 @@
+type simple = { slope : float; intercept : float; r2 : float }
+
+let r2_of ~predicted ~actual =
+  let n = Array.length actual in
+  if n = 0 || Array.length predicted <> n then invalid_arg "Regression.r2_of";
+  let mean_y = Array.fold_left ( +. ) 0.0 actual /. float_of_int n in
+  let ss_tot = ref 0.0 and ss_res = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = actual.(i) -. mean_y in
+    ss_tot := !ss_tot +. (d *. d);
+    let e = actual.(i) -. predicted.(i) in
+    ss_res := !ss_res +. (e *. e)
+  done;
+  if !ss_tot = 0.0 then if !ss_res = 0.0 then 1.0 else 0.0
+  else 1.0 -. (!ss_res /. !ss_tot)
+
+let simple_linear points =
+  let n = Array.length points in
+  if n < 2 then invalid_arg "Regression.simple_linear: need at least 2 points";
+  let nf = float_of_int n in
+  let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    points;
+  let denom = (nf *. !sxx) -. (!sx *. !sx) in
+  if Float.abs denom < 1e-12 then invalid_arg "Regression.simple_linear: degenerate x";
+  let slope = ((nf *. !sxy) -. (!sx *. !sy)) /. denom in
+  let intercept = (!sy -. (slope *. !sx)) /. nf in
+  let predicted = Array.map (fun (x, _) -> (slope *. x) +. intercept) points in
+  let actual = Array.map snd points in
+  { slope; intercept; r2 = r2_of ~predicted ~actual }
+
+type two_term = { c1 : float; c2 : float; r2 : float }
+
+let fit_two_term data =
+  let n = Array.length data in
+  if n < 2 then invalid_arg "Regression.fit_two_term: need at least 2 points";
+  (* Normal equations for y = c1 x1 + c2 x2:
+       [ s11 s12 ] [c1]   [s1y]
+       [ s12 s22 ] [c2] = [s2y]  *)
+  let s11 = ref 0.0 and s12 = ref 0.0 and s22 = ref 0.0 in
+  let s1y = ref 0.0 and s2y = ref 0.0 in
+  Array.iter
+    (fun (x1, x2, y) ->
+      s11 := !s11 +. (x1 *. x1);
+      s12 := !s12 +. (x1 *. x2);
+      s22 := !s22 +. (x2 *. x2);
+      s1y := !s1y +. (x1 *. y);
+      s2y := !s2y +. (x2 *. y))
+    data;
+  let det = (!s11 *. !s22) -. (!s12 *. !s12) in
+  if Float.abs det < 1e-12 then invalid_arg "Regression.fit_two_term: singular design";
+  let c1 = ((!s22 *. !s1y) -. (!s12 *. !s2y)) /. det in
+  let c2 = ((!s11 *. !s2y) -. (!s12 *. !s1y)) /. det in
+  let predicted = Array.map (fun (x1, x2, _) -> (c1 *. x1) +. (c2 *. x2)) data in
+  let actual = Array.map (fun (_, _, y) -> y) data in
+  { c1; c2; r2 = r2_of ~predicted ~actual }
+
+let max_ratio pairs =
+  if Array.length pairs = 0 then invalid_arg "Regression.max_ratio: empty";
+  Array.fold_left
+    (fun acc (measured, bound) ->
+      if bound <= 0.0 then invalid_arg "Regression.max_ratio: nonpositive bound"
+      else Float.max acc (measured /. bound))
+    neg_infinity pairs

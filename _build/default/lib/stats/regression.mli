@@ -1,0 +1,35 @@
+(** Least-squares fits used to estimate the constants hidden in the paper's
+    big-Oh bounds.
+
+    The central fit of the reproduction is the two-parameter model of the
+    paper's Section 6 / Hood studies:
+
+    {v T  =  c1 * (T1 / Pbar)  +  cinf * (Tinf * P / Pbar) v}
+
+    which is a linear model without intercept in the two regressors
+    [T1/Pbar] and [Tinf*P/Pbar].  The paper reports both constants close
+    to 1. *)
+
+type simple = { slope : float; intercept : float; r2 : float }
+
+val simple_linear : (float * float) array -> simple
+(** Ordinary least squares [y = slope * x + intercept]. Requires at least
+    two points with non-degenerate x. *)
+
+type two_term = { c1 : float; c2 : float; r2 : float }
+
+val fit_two_term : (float * float * float) array -> two_term
+(** [fit_two_term data] with [data = (x1, x2, y)] fits
+    [y = c1 * x1 + c2 * x2] (no intercept) by normal equations.
+    Requires at least two points and a non-singular design; raises
+    [Invalid_argument] otherwise. *)
+
+val max_ratio : (float * float) array -> float
+(** [max_ratio pairs] with [pairs = (measured, bound)] is the largest
+    [measured / bound]; used to certify empirical upper bounds (the value
+    is the tightest constant for which the bound held on the data).
+    Requires positive bounds. *)
+
+val r2_of : predicted:float array -> actual:float array -> float
+(** Coefficient of determination of a given predictor against data
+    (computed against the mean of [actual]). *)

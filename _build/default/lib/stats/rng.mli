@@ -1,0 +1,65 @@
+(** Deterministic, splittable pseudo-random number generation.
+
+    Every randomized component of the reproduction (victim selection in the
+    work stealer, benign-adversary subset choice, dag generators, Monte-Carlo
+    estimation) draws from this module so that whole experiments are
+    reproducible from a single 64-bit seed.
+
+    The generator is xoshiro256** seeded through SplitMix64, following the
+    reference implementations of Blackman and Vigna.  It is *not*
+    cryptographic; it is fast, has 256 bits of state, and passes BigCrush,
+    which is what a scheduling simulator needs. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : ?seed:int64 -> unit -> t
+(** [create ~seed ()] builds a generator deterministically from [seed]
+    (default [0x9E3779B97F4A7C15L]).  Equal seeds yield equal streams. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with identical current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator seeded from it, so
+    that the two subsequent streams are statistically independent.  Used to
+    give each simulated process its own stream, preserving determinism
+    irrespective of interleaving. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  Requires [n > 0].  Uses rejection
+    sampling, so it is exactly uniform. *)
+
+val int_in : t -> lo:int -> hi:int -> int
+(** [int_in t ~lo ~hi] is uniform in [\[lo, hi\]] inclusive. Requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> p:float -> bool
+(** [bernoulli t ~p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. Raises [Invalid_argument] on
+    an empty array. *)
+
+val sample_without_replacement : t -> k:int -> n:int -> int array
+(** [sample_without_replacement t ~k ~n] is a uniformly random [k]-subset of
+    [\[0, n)], in random order.  Requires [0 <= k <= n]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed variate with the given mean ([mean > 0]). *)
+
+val geometric : t -> p:float -> int
+(** Number of Bernoulli([p]) failures before the first success,
+    [0 <= result].  Requires [0 < p <= 1]. *)

@@ -1,0 +1,1 @@
+test/test_algos.ml: Abp_hood Abp_stats Alcotest Algos Array Char Fun List Pool QCheck2 QCheck_alcotest String

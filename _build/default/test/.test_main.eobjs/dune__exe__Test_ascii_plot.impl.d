@@ -1,0 +1,1 @@
+test/test_ascii_plot.ml: Abp_stats Alcotest Ascii_plot Float List String

@@ -1,0 +1,1 @@
+test/test_builder.ml: Abp_dag Alcotest Array Builder Dag List

@@ -1,0 +1,1 @@
+test/test_dag.ml: Abp_dag Alcotest Array Dag Figure1 Metrics Printf

@@ -1,0 +1,1 @@
+test/test_deque.ml: Abp_deque Abp_stats Age Alcotest Array Atomic Atomic_deque Bounded_tag Circular_deque Domain List Locked_deque QCheck2 QCheck_alcotest Spec Step_deque

@@ -1,0 +1,1 @@
+test/test_descriptive.ml: Abp_stats Alcotest Array Descriptive

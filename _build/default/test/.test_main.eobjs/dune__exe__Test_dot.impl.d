@@ -1,0 +1,1 @@
+test/test_dot.ml: Abp_dag Alcotest Dag Dot Enabling_tree Figure1 Generators Printf String

@@ -1,0 +1,1 @@
+test/test_enabling_tree.ml: Abp_dag Alcotest Dag Enabling_tree Figure1 Metrics Printf

@@ -1,0 +1,1 @@
+test/test_engine_edge.ml: Abp_dag Abp_kernel Abp_sim Abp_stats Alcotest Array Engine List Printf Run_result

@@ -1,0 +1,1 @@
+test/test_generators.ml: Abp_dag Abp_stats Alcotest Dag Generators Int64 List Metrics Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Abp_stats Alcotest Histogram

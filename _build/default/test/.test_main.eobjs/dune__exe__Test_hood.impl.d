@@ -1,0 +1,1 @@
+test/test_hood.ml: Abp_deque Abp_hood Alcotest Array Atomic Central_pool Domain Fun Future List Par Pool Printf

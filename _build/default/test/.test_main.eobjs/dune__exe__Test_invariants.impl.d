@@ -1,0 +1,1 @@
+test/test_invariants.ml: Abp_dag Abp_sim Alcotest Array Invariants Node_deque String

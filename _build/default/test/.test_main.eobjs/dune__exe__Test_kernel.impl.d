@@ -1,0 +1,1 @@
+test/test_kernel.ml: Abp_kernel Abp_stats Adversary Alcotest Array List Printf Schedule Yield

@@ -1,0 +1,1 @@
+test/test_mcheck.ml: Abp_deque Abp_mcheck Abp_stats Alcotest Explorer Int64 Props QCheck2 QCheck_alcotest String

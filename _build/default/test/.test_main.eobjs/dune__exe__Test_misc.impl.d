@@ -1,0 +1,1 @@
+test/test_misc.ml: Abp_dag Abp_deque Abp_kernel Abp_sched Abp_sim Abp_stats Alcotest Array Format Printf String

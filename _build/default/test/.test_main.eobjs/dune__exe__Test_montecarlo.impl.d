@@ -1,0 +1,1 @@
+test/test_montecarlo.ml: Abp_stats Alcotest Array Float List Montecarlo Printf Rng

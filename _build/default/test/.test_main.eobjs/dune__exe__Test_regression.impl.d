@@ -1,0 +1,1 @@
+test/test_regression.ml: Abp_stats Alcotest Array Float Regression Rng

@@ -1,0 +1,1 @@
+test/test_rng.ml: Abp_stats Alcotest Array Float Printf Rng

@@ -1,0 +1,1 @@
+test/test_sched.ml: Abp_dag Abp_kernel Abp_sched Abp_stats Alcotest Array Bounds Brent Exec_schedule Greedy Int64 List Optimal Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_script.ml: Abp_dag Abp_kernel Abp_sim Abp_stats Alcotest Dag Int64 List Metrics QCheck2 QCheck_alcotest Script Strictness

@@ -1,0 +1,1 @@
+test/test_sim.ml: Abp_dag Abp_kernel Abp_sim Abp_stats Alcotest Central_sched Engine Int64 List Printf QCheck2 QCheck_alcotest Run_result

@@ -1,0 +1,1 @@
+test/test_sp.ml: Abp_dag Abp_kernel Abp_sim Abp_stats Alcotest Dag Format Int64 List Metrics QCheck2 QCheck_alcotest Sp

@@ -1,0 +1,1 @@
+test/test_strictness.ml: Abp_dag Abp_kernel Abp_sim Abp_stats Alcotest Builder Figure1 Generators List Sp Strictness

@@ -1,0 +1,1 @@
+test/test_trace.ml: Abp_dag Abp_kernel Abp_sched Abp_sim Abp_stats Alcotest Array Format Int64 List Printf QCheck2 QCheck_alcotest String

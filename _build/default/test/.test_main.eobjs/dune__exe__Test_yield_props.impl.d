@@ -1,0 +1,1 @@
+test/test_yield_props.ml: Abp_kernel Abp_stats Array Int64 QCheck2 QCheck_alcotest Yield

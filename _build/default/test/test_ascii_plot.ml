@@ -1,0 +1,69 @@
+(* Tests for the ASCII plotter: geometry of rendered markers, axes
+   labels, log scales, degenerate inputs. *)
+
+open Abp_stats
+
+let lines s = String.split_on_char '\n' s
+
+let contains_marker s c =
+  String.exists (fun ch -> ch = c) s
+
+let renders_markers () =
+  let p = Ascii_plot.create ~width:20 ~height:10 () in
+  Ascii_plot.add_series p ~marker:'*' [| (0.0, 0.0); (1.0, 1.0); (2.0, 4.0) |];
+  let out = Ascii_plot.render p in
+  Alcotest.(check bool) "has markers" true (contains_marker out '*');
+  Alcotest.(check bool) "has axis" true (contains_marker out '+')
+
+let corners_are_extremes () =
+  let p = Ascii_plot.create ~width:20 ~height:10 () in
+  Ascii_plot.add_series p ~marker:'o' [| (0.0, 0.0); (10.0, 5.0) |];
+  let out = lines (Ascii_plot.render p) in
+  (* Max y on the first grid row, min y on the last. *)
+  let first = List.nth out 0 and last = List.nth out 9 in
+  Alcotest.(check bool) "max in top row" true (contains_marker first 'o');
+  Alcotest.(check bool) "min in bottom row" true (contains_marker last 'o');
+  Alcotest.(check bool) "top label is 5" true
+    (String.length first >= 10 && String.trim (String.sub first 0 10) = "5")
+
+let two_series_distinct_markers () =
+  let p = Ascii_plot.create ~width:24 ~height:10 () in
+  Ascii_plot.add_series p ~marker:'a' [| (0.0, 0.0) |];
+  Ascii_plot.add_series p ~marker:'b' [| (1.0, 1.0) |];
+  let out = Ascii_plot.render p in
+  Alcotest.(check bool) "a present" true (contains_marker out 'a');
+  Alcotest.(check bool) "b present" true (contains_marker out 'b')
+
+let empty_plot () =
+  let p = Ascii_plot.create () in
+  Alcotest.(check string) "note" "(no plottable points)\n" (Ascii_plot.render p)
+
+let log_axis_drops_nonpositive () =
+  let p = Ascii_plot.create ~y_log:true () in
+  Ascii_plot.add_series p ~marker:'x' [| (1.0, 0.0); (2.0, -5.0) |];
+  Alcotest.(check string) "all dropped" "(no plottable points)\n" (Ascii_plot.render p);
+  let p2 = Ascii_plot.create ~y_log:true () in
+  Ascii_plot.add_series p2 ~marker:'x' [| (1.0, 1.0); (2.0, 100.0) |];
+  Alcotest.(check bool) "positive kept" true (contains_marker (Ascii_plot.render p2) 'x')
+
+let nan_points_ignored () =
+  let p = Ascii_plot.create () in
+  Ascii_plot.add_series p ~marker:'x' [| (Float.nan, 1.0); (1.0, Float.infinity); (1.0, 2.0) |];
+  Alcotest.(check bool) "finite point plotted" true (contains_marker (Ascii_plot.render p) 'x')
+
+let constant_series_ok () =
+  (* Degenerate ranges (x_span or y_span zero) must not divide by zero. *)
+  let p = Ascii_plot.create () in
+  Ascii_plot.add_series p ~marker:'c' [| (1.0, 3.0); (1.0, 3.0) |];
+  Alcotest.(check bool) "plotted" true (contains_marker (Ascii_plot.render p) 'c')
+
+let tests =
+  [
+    Alcotest.test_case "renders markers" `Quick renders_markers;
+    Alcotest.test_case "corners are extremes" `Quick corners_are_extremes;
+    Alcotest.test_case "two series" `Quick two_series_distinct_markers;
+    Alcotest.test_case "empty plot" `Quick empty_plot;
+    Alcotest.test_case "log axis" `Quick log_axis_drops_nonpositive;
+    Alcotest.test_case "nan ignored" `Quick nan_points_ignored;
+    Alcotest.test_case "constant series" `Quick constant_series_ok;
+  ]

@@ -1,0 +1,129 @@
+(* Tests for the dag builder: chaining, spawning, sync edges, and every
+   structural-rule rejection. *)
+
+open Abp_dag
+
+let single_chain () =
+  let b = Builder.create () in
+  let v1 = Builder.add_node b Builder.root in
+  let v2 = Builder.add_node b Builder.root in
+  let v3 = Builder.add_node b Builder.root in
+  let d = Builder.finish b in
+  Alcotest.(check int) "nodes" 3 (Dag.num_nodes d);
+  Alcotest.(check int) "threads" 1 (Dag.num_threads d);
+  Alcotest.(check int) "root" v1 (Dag.root d);
+  Alcotest.(check int) "final" v3 (Dag.final d);
+  Alcotest.(check bool) "chain edge" true (Dag.next_in_thread d v1 = Some v2)
+
+let spawn_and_join () =
+  let b = Builder.create () in
+  let v1 = Builder.add_node b Builder.root in
+  let child, c1 = Builder.spawn b ~parent:v1 in
+  let _c2 = Builder.add_node b child in
+  let w = Builder.add_node b Builder.root in
+  Builder.join b ~last_of:child ~wait:w;
+  let d = Builder.finish b in
+  Alcotest.(check int) "threads" 2 (Dag.num_threads d);
+  Alcotest.(check bool) "spawn edge kind" true
+    (Array.exists (fun (x, k) -> x = c1 && k = Dag.Spawn) (Dag.succs d v1));
+  match Dag.validate d with Ok () -> () | Error m -> Alcotest.fail m
+
+let overdegree_rejected () =
+  let b = Builder.create () in
+  let v1 = Builder.add_node b Builder.root in
+  let _v2 = Builder.add_node b Builder.root in
+  (* v1 now has its continue edge; one spawn is fine, a second must fail. *)
+  let _ = Builder.spawn b ~parent:v1 in
+  Alcotest.check_raises "out-degree 3"
+    (Invalid_argument "Builder: node 0 already has out-degree 2") (fun () ->
+      ignore (Builder.spawn b ~parent:v1))
+
+let self_sync_rejected () =
+  let b = Builder.create () in
+  let v1 = Builder.add_node b Builder.root in
+  Alcotest.check_raises "self edge" (Invalid_argument "Builder.sync: self edge") (fun () ->
+      Builder.sync b ~signal:v1 ~wait:v1)
+
+let unknown_node_rejected () =
+  let b = Builder.create () in
+  let _ = Builder.add_node b Builder.root in
+  Alcotest.check_raises "unknown" (Invalid_argument "Builder.spawn: unknown parent node")
+    (fun () -> ignore (Builder.spawn b ~parent:99))
+
+let empty_dag_rejected () =
+  let b = Builder.create () in
+  Alcotest.check_raises "empty" (Invalid_argument "Builder.finish: invalid dag: empty dag")
+    (fun () -> ignore (Builder.finish b))
+
+let two_finals_rejected () =
+  (* A spawned thread that never joins leaves two out-degree-0 nodes. *)
+  let b = Builder.create () in
+  let v1 = Builder.add_node b Builder.root in
+  let _child, _c1 = Builder.spawn b ~parent:v1 in
+  let _v2 = Builder.add_node b Builder.root in
+  match Builder.finish b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected validation failure"
+
+let cycle_rejected () =
+  (* sync edge back up a chain creates a cycle. *)
+  let b = Builder.create () in
+  let v1 = Builder.add_node b Builder.root in
+  let v2 = Builder.add_node b Builder.root in
+  let _v3 = Builder.add_node b Builder.root in
+  Builder.sync b ~signal:v2 ~wait:v1;
+  (* v2 -> v1 plus v1 -> v2 continue: cycle; also makes v1 non-root... either
+     validation error is acceptable, it must not succeed. *)
+  match Builder.finish b with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected cycle rejection"
+
+let node_count_tracks () =
+  let b = Builder.create () in
+  Alcotest.(check int) "0" 0 (Builder.node_count b);
+  let _ = Builder.add_node b Builder.root in
+  Alcotest.(check int) "1" 1 (Builder.node_count b);
+  let _ = Builder.spawn b ~parent:0 in
+  Alcotest.(check int) "2" 2 (Builder.node_count b)
+
+let growth_beyond_initial_capacity () =
+  (* Exercise array growth: > 64 nodes, > 8 threads. *)
+  let b = Builder.create () in
+  let spawn_sites = ref [] in
+  for _ = 1 to 40 do
+    spawn_sites := Builder.add_node b Builder.root :: !spawn_sites
+  done;
+  let children =
+    List.map
+      (fun s ->
+        let child, _ = Builder.spawn b ~parent:s in
+        for _ = 1 to 3 do
+          ignore (Builder.add_node b child)
+        done;
+        child)
+      !spawn_sites
+  in
+  List.iter
+    (fun child ->
+      let w = Builder.add_node b Builder.root in
+      Builder.join b ~last_of:child ~wait:w)
+    children;
+  ignore (Builder.add_node b Builder.root);
+  let d = Builder.finish b in
+  Alcotest.(check int) "threads" 41 (Dag.num_threads d);
+  Alcotest.(check int) "nodes" (40 + (40 * 4) + 40 + 1) (Dag.num_nodes d);
+  match Dag.validate d with Ok () -> () | Error m -> Alcotest.fail m
+
+let tests =
+  [
+    Alcotest.test_case "single chain" `Quick single_chain;
+    Alcotest.test_case "spawn and join" `Quick spawn_and_join;
+    Alcotest.test_case "out-degree > 2 rejected" `Quick overdegree_rejected;
+    Alcotest.test_case "self sync rejected" `Quick self_sync_rejected;
+    Alcotest.test_case "unknown node rejected" `Quick unknown_node_rejected;
+    Alcotest.test_case "empty dag rejected" `Quick empty_dag_rejected;
+    Alcotest.test_case "dangling thread rejected" `Quick two_finals_rejected;
+    Alcotest.test_case "cycle rejected" `Quick cycle_rejected;
+    Alcotest.test_case "node_count" `Quick node_count_tracks;
+    Alcotest.test_case "capacity growth" `Quick growth_beyond_initial_capacity;
+  ]

@@ -1,0 +1,108 @@
+(* Unit tests for the Dag core: structure accessors, validation, the
+   Figure 1 reconstruction, topological order. *)
+
+open Abp_dag
+
+let check = Alcotest.(check int)
+
+let figure1_measures () =
+  let d = Figure1.dag () in
+  check "work" Figure1.expected_work (Metrics.work d);
+  check "span" Figure1.expected_span (Metrics.span d);
+  Alcotest.(check (float 0.01)) "parallelism" (11.0 /. 9.0) (Metrics.parallelism d)
+
+let figure1_structure () =
+  let d = Figure1.dag () in
+  check "threads" 2 (Dag.num_threads d);
+  check "root" (Figure1.v 1) (Dag.root d);
+  check "final" (Figure1.v 11) (Dag.final d);
+  check "root thread length" 6 (Array.length (Dag.thread_nodes d 0));
+  check "child thread length" 5 (Array.length (Dag.thread_nodes d 1));
+  (* v2 spawns the child *)
+  (match Dag.spawn_parent d 1 with
+  | Some p -> check "spawn parent" (Figure1.v 2) p
+  | None -> Alcotest.fail "child thread has no spawn parent");
+  (* The semaphore edge v6 -> v4 *)
+  let has_sync_v6_v4 =
+    Array.exists (fun (w, k) -> w = Figure1.v 4 && k = Dag.Sync) (Dag.succs d (Figure1.v 6))
+  in
+  Alcotest.(check bool) "semaphore edge v6->v4" true has_sync_v6_v4;
+  (* The join edge v9 -> v10 *)
+  let has_join =
+    Array.exists (fun (w, k) -> w = Figure1.v 10 && k = Dag.Sync) (Dag.succs d (Figure1.v 9))
+  in
+  Alcotest.(check bool) "join edge v9->v10" true has_join
+
+let figure1_validates () =
+  match Dag.validate (Figure1.dag ()) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+let out_degree_bounded () =
+  let d = Figure1.dag () in
+  Dag.iter_nodes d (fun v_node ->
+      Alcotest.(check bool)
+        (Printf.sprintf "out-degree of %d" v_node)
+        true
+        (Dag.out_degree d v_node <= 2))
+
+let topo_respects_edges () =
+  let d = Figure1.dag () in
+  let order = Dag.topological_order d in
+  let pos = Array.make (Dag.num_nodes d) (-1) in
+  Array.iteri (fun i v_node -> pos.(v_node) <- i) order;
+  Dag.iter_edges d (fun u v_node _ ->
+      Alcotest.(check bool)
+        (Printf.sprintf "edge %d->%d ordered" u v_node)
+        true
+        (pos.(u) < pos.(v_node)))
+
+let next_in_thread_chain () =
+  let d = Figure1.dag () in
+  (* Root thread: v1 v2 v3 v4 v10 v11. *)
+  let expect_next a b =
+    match Dag.next_in_thread d (Figure1.v a) with
+    | Some w -> check (Printf.sprintf "next of v%d" a) (Figure1.v b) w
+    | None -> Alcotest.fail (Printf.sprintf "v%d has no next" a)
+  in
+  expect_next 1 2;
+  expect_next 4 10;
+  expect_next 10 11;
+  Alcotest.(check bool) "v11 is last" true (Dag.next_in_thread d (Figure1.v 11) = None);
+  Alcotest.(check bool) "v9 is last of child" true (Dag.next_in_thread d (Figure1.v 9) = None)
+
+let preds_of_join () =
+  let d = Figure1.dag () in
+  let p = Dag.preds d (Figure1.v 10) in
+  Array.sort compare p;
+  Alcotest.(check (array int)) "preds of v10" [| Figure1.v 4; Figure1.v 9 |] p
+
+let depth_profile () =
+  let d = Figure1.dag () in
+  let dep = Metrics.depth d in
+  check "depth root" 0 dep.(Figure1.v 1);
+  check "depth v2" 1 dep.(Figure1.v 2);
+  check "depth v5" 2 dep.(Figure1.v 5);
+  (* v4 waits on v6 (depth 3), so its longest path is root..v6,v4 = 4 *)
+  check "depth v4" 4 dep.(Figure1.v 4);
+  check "depth final" 8 dep.(Figure1.v 11)
+
+let levels_partition () =
+  let d = Figure1.dag () in
+  let levels = Metrics.levels d in
+  let total = Array.fold_left (fun acc l -> acc + Array.length l) 0 levels in
+  check "levels cover all nodes" (Dag.num_nodes d) total;
+  check "height = span" (Metrics.span d) (Array.length levels)
+
+let tests =
+  [
+    Alcotest.test_case "figure1 measures" `Quick figure1_measures;
+    Alcotest.test_case "figure1 structure" `Quick figure1_structure;
+    Alcotest.test_case "figure1 validates" `Quick figure1_validates;
+    Alcotest.test_case "out-degree bounded" `Quick out_degree_bounded;
+    Alcotest.test_case "topological order respects edges" `Quick topo_respects_edges;
+    Alcotest.test_case "thread chains" `Quick next_in_thread_chain;
+    Alcotest.test_case "preds of join node" `Quick preds_of_join;
+    Alcotest.test_case "depth profile" `Quick depth_profile;
+    Alcotest.test_case "levels partition nodes" `Quick levels_partition;
+  ]

@@ -1,0 +1,284 @@
+(* Serial tests for the deque implementations: every implementation must
+   agree with the Reference oracle on single-threaded operation sequences,
+   and the Age packing must round-trip. *)
+
+open Abp_deque
+module Rng = Abp_stats.Rng
+
+let lifo_fifo_smoke (module D : Spec.S) () =
+  let d : int D.t = D.create () in
+  Alcotest.(check bool) "fresh empty" true (D.is_empty d);
+  D.push_bottom d 1;
+  D.push_bottom d 2;
+  D.push_bottom d 3;
+  Alcotest.(check int) "size 3" 3 (D.size d);
+  (* Owner side is LIFO... *)
+  Alcotest.(check (option int)) "pop_bottom = 3" (Some 3) (D.pop_bottom d);
+  (* ...thief side is FIFO. *)
+  Alcotest.(check (option int)) "pop_top = 1" (Some 1) (D.pop_top d);
+  Alcotest.(check (option int)) "pop_bottom = 2" (Some 2) (D.pop_bottom d);
+  Alcotest.(check (option int)) "empty pop_bottom" None (D.pop_bottom d);
+  Alcotest.(check (option int)) "empty pop_top" None (D.pop_top d)
+
+(* Generic differential test of an implementation against the oracle over a
+   random serial operation sequence. *)
+let differential (module D : Spec.S) ~ops ~seed () =
+  let rng = Rng.create ~seed () in
+  let d = D.create ~capacity:4096 () in
+  let oracle = Spec.Reference.create () in
+  let next = ref 0 in
+  for _ = 1 to ops do
+    match Rng.int rng 3 with
+    | 0 ->
+        incr next;
+        D.push_bottom d !next;
+        Spec.Reference.push_bottom oracle !next
+    | 1 ->
+        let got = D.pop_bottom d and want = Spec.Reference.pop_bottom oracle in
+        Alcotest.(check (option int)) "pop_bottom agrees" want got
+    | _ ->
+        let got = D.pop_top d and want = Spec.Reference.pop_top oracle in
+        Alcotest.(check (option int)) "pop_top agrees" want got
+  done;
+  Alcotest.(check int) "final size agrees" (Spec.Reference.size oracle) (D.size d)
+
+let age_roundtrip () =
+  List.iter
+    (fun (tag, top) ->
+      let a = Age.pack ~tag ~top in
+      Alcotest.(check int) "top" top (Age.top a);
+      Alcotest.(check int) "tag" tag (Age.tag a);
+      let b = Age.of_packed (a :> int) in
+      Alcotest.(check bool) "of_packed roundtrip" true (Age.equal a b))
+    [ (0, 0); (1, 0); (0, 1); (12345, 67890); (Age.max_top, Age.max_top) ]
+
+let age_bump () =
+  let a = Age.pack ~tag:5 ~top:17 in
+  let b = Age.bump_tag a in
+  Alcotest.(check int) "tag+1" 6 (Age.tag b);
+  Alcotest.(check int) "top reset" 0 (Age.top b);
+  (* wraparound *)
+  let w = Age.bump_tag (Age.pack ~tag:Age.max_top ~top:3) in
+  Alcotest.(check int) "tag wraps" 0 (Age.tag w)
+
+let age_with_top () =
+  let a = Age.pack ~tag:9 ~top:4 in
+  let b = Age.with_top a 5 in
+  Alcotest.(check int) "tag kept" 9 (Age.tag b);
+  Alcotest.(check int) "top set" 5 (Age.top b)
+
+let age_rejects_out_of_range () =
+  Alcotest.check_raises "top" (Invalid_argument "Age.pack: top out of range") (fun () ->
+      ignore (Age.pack ~tag:0 ~top:(-1)));
+  Alcotest.check_raises "tag" (Invalid_argument "Age.pack: tag out of range") (fun () ->
+      ignore (Age.pack ~tag:(Age.max_top + 1) ~top:0))
+
+let atomic_tag_increments_on_reset () =
+  let d : int Atomic_deque.t = Atomic_deque.create ~capacity:8 () in
+  let tag0 = Atomic_deque.tag_of d in
+  Atomic_deque.push_bottom d 1;
+  (* popBottom on the last element goes through the reset path. *)
+  Alcotest.(check (option int)) "pops 1" (Some 1) (Atomic_deque.pop_bottom d);
+  Alcotest.(check int) "tag bumped" (tag0 + 1) (Atomic_deque.tag_of d);
+  Alcotest.(check int) "top reset" 0 (Atomic_deque.top_of d);
+  Alcotest.(check int) "bot reset" 0 (Atomic_deque.bot_of d)
+
+let atomic_overflow_raises () =
+  let d : int Atomic_deque.t = Atomic_deque.create ~capacity:2 () in
+  Atomic_deque.push_bottom d 1;
+  Atomic_deque.push_bottom d 2;
+  Alcotest.check_raises "overflow" (Failure "Atomic_deque: overflow") (fun () ->
+      Atomic_deque.push_bottom d 3)
+
+let bounded_tag_succ () =
+  Alcotest.(check int) "width 0 is constant" 0 (Bounded_tag.succ ~width:0 0);
+  Alcotest.(check int) "width 2 wraps" 0 (Bounded_tag.succ ~width:2 3);
+  Alcotest.(check int) "width 2 counts" 2 (Bounded_tag.succ ~width:2 1)
+
+let bounded_tag_distance () =
+  Alcotest.(check int) "forward" 3 (Bounded_tag.distance ~width:4 2 5);
+  Alcotest.(check int) "wrap" 15 (Bounded_tag.distance ~width:4 5 4)
+
+let bounded_tag_safe_window () =
+  Alcotest.(check bool) "width 0 never safe" false
+    (Bounded_tag.safe_window ~width:0 ~in_flight_resets:1);
+  Alcotest.(check bool) "width 0 trivially safe at 0" true
+    (Bounded_tag.safe_window ~width:0 ~in_flight_resets:0);
+  Alcotest.(check bool) "width 2 safe under 4" true
+    (Bounded_tag.safe_window ~width:2 ~in_flight_resets:3);
+  Alcotest.(check bool) "width 2 unsafe at 4" false
+    (Bounded_tag.safe_window ~width:2 ~in_flight_resets:4)
+
+(* Step machine: running each op to completion serially must agree with the
+   oracle, and must finish within steps_bound. *)
+let step_serial_differential () =
+  let rng = Rng.create ~seed:91L () in
+  let s = Step_deque.create_state ~capacity:128 () in
+  let oracle = Spec.Reference.create () in
+  let next = ref 0 in
+  let run op =
+    let c = Step_deque.start op in
+    let steps = ref 0 in
+    while Step_deque.finished c = None do
+      Step_deque.step s c;
+      incr steps;
+      Alcotest.(check bool) "within steps_bound" true (!steps <= Step_deque.steps_bound op)
+    done;
+    match Step_deque.finished c with Some o -> o | None -> assert false
+  in
+  for _ = 1 to 2000 do
+    match Rng.int rng 3 with
+    | 0 ->
+        incr next;
+        (match run (Step_deque.Push_bottom !next) with
+        | Step_deque.Unit -> ()
+        | _ -> Alcotest.fail "push returned non-unit");
+        Spec.Reference.push_bottom oracle !next
+    | 1 ->
+        let want = Spec.Reference.pop_bottom oracle in
+        let got =
+          match run Step_deque.Pop_bottom with
+          | Step_deque.Nil -> None
+          | Step_deque.Value v -> Some v
+          | Step_deque.Unit -> Alcotest.fail "pop returned unit"
+        in
+        Alcotest.(check (option int)) "step pop_bottom agrees" want got
+    | _ ->
+        let want = Spec.Reference.pop_top oracle in
+        let got =
+          match run Step_deque.Pop_top with
+          | Step_deque.Nil -> None
+          | Step_deque.Value v -> Some v
+          | Step_deque.Unit -> Alcotest.fail "pop returned unit"
+        in
+        Alcotest.(check (option int)) "step pop_top agrees" want got
+  done;
+  Alcotest.(check int) "final size" (Spec.Reference.size oracle) (Step_deque.abstract_size s)
+
+let step_copy_isolated () =
+  let s = Step_deque.create_state ~capacity:4 () in
+  let c = Step_deque.start (Step_deque.Push_bottom 7) in
+  Step_deque.step s c;
+  let s2 = Step_deque.copy_state s in
+  Step_deque.step s c;
+  Step_deque.step s c;
+  Alcotest.(check bool) "copy unaffected" false (Step_deque.state_equal s s2);
+  Alcotest.(check int) "original advanced" 1 s.Step_deque.bot;
+  Alcotest.(check int) "copy still empty" 0 s2.Step_deque.bot
+
+(* qcheck: random op sequences across implementations. *)
+let prop_differential name (module D : Spec.S) =
+  QCheck2.Test.make ~name ~count:50
+    QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 2))
+    (fun ops ->
+      let d = D.create ~capacity:1024 () in
+      let oracle = Spec.Reference.create () in
+      let next = ref 0 in
+      List.for_all
+        (fun op ->
+          match op with
+          | 0 ->
+              incr next;
+              D.push_bottom d !next;
+              Spec.Reference.push_bottom oracle !next;
+              true
+          | 1 -> D.pop_bottom d = Spec.Reference.pop_bottom oracle
+          | _ -> D.pop_top d = Spec.Reference.pop_top oracle)
+        ops)
+
+let circular_grows_transparently () =
+  let d : int Circular_deque.t = Circular_deque.create ~capacity:2 () in
+  let n = 1000 in
+  for i = 1 to n do
+    Circular_deque.push_bottom d i
+  done;
+  Alcotest.(check int) "size" n (Circular_deque.size d);
+  Alcotest.(check bool) "grew" true (Circular_deque.grows d > 0);
+  Alcotest.(check bool) "capacity >= n" true (Circular_deque.capacity d >= n);
+  (* All values retrievable in LIFO order from the bottom. *)
+  for i = n downto 1 do
+    Alcotest.(check (option int)) "pop" (Some i) (Circular_deque.pop_bottom d)
+  done;
+  Alcotest.(check bool) "empty" true (Circular_deque.is_empty d)
+
+let circular_no_reset_needed () =
+  (* Unlike the ABP deque, push/popTop cycles never exhaust the index
+     space: the circular buffer reuses slots. *)
+  let d : int Circular_deque.t = Circular_deque.create ~capacity:4 () in
+  for i = 1 to 10_000 do
+    Circular_deque.push_bottom d i;
+    Alcotest.(check (option int)) "steal" (Some i) (Circular_deque.pop_top d)
+  done;
+  Alcotest.(check int) "capacity stayed small" 4 (Circular_deque.capacity d)
+
+let circular_concurrent_conservation () =
+  let d : int Circular_deque.t = Circular_deque.create ~capacity:4 () in
+  let n = 20_000 in
+  let stop = Atomic.make false in
+  let stolen_sum = Atomic.make 0 and stolen_count = Atomic.make 0 in
+  let thief () =
+    let rec loop () =
+      match Circular_deque.pop_top d with
+      | Some v ->
+          ignore (Atomic.fetch_and_add stolen_sum v);
+          ignore (Atomic.fetch_and_add stolen_count 1);
+          loop ()
+      | None -> if Atomic.get stop then () else (Domain.cpu_relax (); loop ())
+    in
+    loop ()
+  in
+  let thieves = Array.init 2 (fun _ -> Domain.spawn thief) in
+  let own_sum = ref 0 and own_count = ref 0 in
+  for i = 1 to n do
+    Circular_deque.push_bottom d i;
+    if i mod 3 = 0 then
+      match Circular_deque.pop_bottom d with
+      | Some v ->
+          own_sum := !own_sum + v;
+          incr own_count
+      | None -> ()
+  done;
+  let rec drain () =
+    match Circular_deque.pop_bottom d with
+    | Some v ->
+        own_sum := !own_sum + v;
+        incr own_count;
+        drain ()
+    | None -> if not (Circular_deque.is_empty d) then drain ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Array.iter Domain.join thieves;
+  Alcotest.(check int) "every value consumed once" n (!own_count + Atomic.get stolen_count);
+  Alcotest.(check int) "sum conserved" (n * (n + 1) / 2) (!own_sum + Atomic.get stolen_sum)
+
+let tests =
+  [
+    Alcotest.test_case "atomic: smoke" `Quick (lifo_fifo_smoke (module Atomic_deque));
+    Alcotest.test_case "locked: smoke" `Quick (lifo_fifo_smoke (module Locked_deque));
+    Alcotest.test_case "reference: smoke" `Quick (lifo_fifo_smoke (module Spec.Reference));
+    Alcotest.test_case "atomic: differential" `Quick
+      (differential (module Atomic_deque) ~ops:5000 ~seed:101L);
+    Alcotest.test_case "locked: differential" `Quick
+      (differential (module Locked_deque) ~ops:5000 ~seed:102L);
+    Alcotest.test_case "age roundtrip" `Quick age_roundtrip;
+    Alcotest.test_case "age bump_tag" `Quick age_bump;
+    Alcotest.test_case "age with_top" `Quick age_with_top;
+    Alcotest.test_case "age rejects out-of-range" `Quick age_rejects_out_of_range;
+    Alcotest.test_case "atomic: tag increments on reset" `Quick atomic_tag_increments_on_reset;
+    Alcotest.test_case "atomic: overflow raises" `Quick atomic_overflow_raises;
+    Alcotest.test_case "bounded tag: succ" `Quick bounded_tag_succ;
+    Alcotest.test_case "bounded tag: distance" `Quick bounded_tag_distance;
+    Alcotest.test_case "bounded tag: safe window" `Quick bounded_tag_safe_window;
+    Alcotest.test_case "step machine: serial differential" `Quick step_serial_differential;
+    Alcotest.test_case "step machine: copy isolation" `Quick step_copy_isolated;
+    Alcotest.test_case "circular: smoke" `Quick (lifo_fifo_smoke (module Circular_deque));
+    Alcotest.test_case "circular: differential" `Quick
+      (differential (module Circular_deque) ~ops:5000 ~seed:103L);
+    Alcotest.test_case "circular: grows transparently" `Quick circular_grows_transparently;
+    Alcotest.test_case "circular: index space never exhausts" `Quick circular_no_reset_needed;
+    Alcotest.test_case "circular: concurrent conservation" `Quick circular_concurrent_conservation;
+    QCheck_alcotest.to_alcotest (prop_differential "atomic matches oracle" (module Atomic_deque));
+    QCheck_alcotest.to_alcotest (prop_differential "locked matches oracle" (module Locked_deque));
+    QCheck_alcotest.to_alcotest (prop_differential "circular matches oracle" (module Circular_deque));
+  ]

@@ -1,0 +1,73 @@
+(* Tests for descriptive statistics. *)
+
+open Abp_stats
+
+let feq = Alcotest.(check (float 1e-9))
+
+let mean_simple () = feq "mean" 2.5 (Descriptive.mean [| 1.0; 2.0; 3.0; 4.0 |])
+
+let mean_empty_raises () =
+  Alcotest.check_raises "empty" (Invalid_argument "Descriptive.mean: empty sample") (fun () ->
+      ignore (Descriptive.mean [||]))
+
+let variance_known () =
+  (* Sample variance of 2,4,4,4,5,5,7,9 is 32/7. *)
+  feq "variance" (32.0 /. 7.0) (Descriptive.variance [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |])
+
+let variance_singleton_zero () = feq "var of singleton" 0.0 (Descriptive.variance [| 42.0 |])
+
+let quantile_median_odd () = feq "median odd" 3.0 (Descriptive.quantile [| 5.; 1.; 3.; 2.; 4. |] 0.5)
+
+let quantile_median_even () =
+  feq "median even" 2.5 (Descriptive.quantile [| 4.; 1.; 3.; 2. |] 0.5)
+
+let quantile_extremes () =
+  let xs = [| 7.; 3.; 9.; 1. |] in
+  feq "q0 = min" 1.0 (Descriptive.quantile xs 0.0);
+  feq "q1 = max" 9.0 (Descriptive.quantile xs 1.0)
+
+let quantile_does_not_mutate () =
+  let xs = [| 3.; 1.; 2. |] in
+  ignore (Descriptive.quantile xs 0.5);
+  Alcotest.(check (array (float 0.0))) "unchanged" [| 3.; 1.; 2. |] xs
+
+let summarize_consistent () =
+  let xs = Array.init 101 (fun i -> float_of_int i) in
+  let s = Descriptive.summarize xs in
+  Alcotest.(check int) "n" 101 s.n;
+  feq "mean" 50.0 s.mean;
+  feq "min" 0.0 s.min;
+  feq "max" 100.0 s.max;
+  feq "median" 50.0 s.median;
+  feq "q1" 25.0 s.q1;
+  feq "q3" 75.0 s.q3
+
+let ci95_contains_mean () =
+  let xs = Array.init 100 (fun i -> float_of_int (i mod 10)) in
+  let lo, hi = Descriptive.ci95 xs in
+  let m = Descriptive.mean xs in
+  Alcotest.(check bool) "mean within CI" true (lo <= m && m <= hi);
+  Alcotest.(check bool) "CI nonempty" true (lo < hi)
+
+let geometric_mean_known () = feq "gm" 4.0 (Descriptive.geometric_mean [| 2.0; 8.0 |])
+
+let geometric_mean_rejects_nonpositive () =
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Descriptive.geometric_mean: nonpositive entry") (fun () ->
+      ignore (Descriptive.geometric_mean [| 1.0; 0.0 |]))
+
+let tests =
+  [
+    Alcotest.test_case "mean" `Quick mean_simple;
+    Alcotest.test_case "mean of empty raises" `Quick mean_empty_raises;
+    Alcotest.test_case "variance known value" `Quick variance_known;
+    Alcotest.test_case "variance singleton" `Quick variance_singleton_zero;
+    Alcotest.test_case "median odd" `Quick quantile_median_odd;
+    Alcotest.test_case "median even" `Quick quantile_median_even;
+    Alcotest.test_case "quantile extremes" `Quick quantile_extremes;
+    Alcotest.test_case "quantile pure" `Quick quantile_does_not_mutate;
+    Alcotest.test_case "summarize" `Quick summarize_consistent;
+    Alcotest.test_case "ci95" `Quick ci95_contains_mean;
+    Alcotest.test_case "geometric mean" `Quick geometric_mean_known;
+    Alcotest.test_case "geometric mean rejects <= 0" `Quick geometric_mean_rejects_nonpositive;
+  ]

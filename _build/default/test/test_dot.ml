@@ -1,0 +1,45 @@
+(* Tests for the Graphviz export. *)
+
+open Abp_dag
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec scan i = i + n <= h && (String.sub hay i n = needle || scan (i + 1)) in
+  scan 0
+
+let figure1_dot_structure () =
+  let out = Dot.to_dot (Figure1.dag ()) in
+  Alcotest.(check bool) "digraph" true (contains ~needle:"digraph computation" out);
+  Alcotest.(check bool) "two clusters" true
+    (contains ~needle:"cluster_thread0" out && contains ~needle:"cluster_thread1" out);
+  Alcotest.(check bool) "spawn edge" true
+    (contains ~needle:"v2 -> v5 [style=dashed, label=\"spawn\"]" out);
+  Alcotest.(check bool) "sync edge" true
+    (contains ~needle:"v6 -> v4 [style=dotted, label=\"sync\"]" out);
+  Alcotest.(check bool) "continue edge" true (contains ~needle:"v1 -> v2;" out)
+
+let dot_mentions_every_node () =
+  let dag = Generators.spawn_tree ~depth:3 ~leaf_work:2 in
+  let out = Dot.to_dot dag in
+  Dag.iter_nodes dag (fun v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "mentions v%d" (v + 1))
+        true
+        (contains ~needle:(Printf.sprintf "v%d;" (v + 1)) out))
+
+let enabling_tree_dot () =
+  let dag = Figure1.dag () in
+  let tree = Enabling_tree.create dag in
+  Enabling_tree.record tree ~parent:(Figure1.v 1) ~child:(Figure1.v 2);
+  let out = Dot.enabling_tree_to_dot dag tree in
+  Alcotest.(check bool) "root labeled" true (contains ~needle:"v1 [label=\"v1 d=0\"]" out);
+  Alcotest.(check bool) "edge" true (contains ~needle:"v1 -> v2;" out);
+  (* Unrecorded nodes do not appear. *)
+  Alcotest.(check bool) "v5 absent" false (contains ~needle:"v5" out)
+
+let tests =
+  [
+    Alcotest.test_case "figure1 dot" `Quick figure1_dot_structure;
+    Alcotest.test_case "all nodes exported" `Quick dot_mentions_every_node;
+    Alcotest.test_case "enabling tree dot" `Quick enabling_tree_dot;
+  ]

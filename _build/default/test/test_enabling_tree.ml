@@ -1,0 +1,94 @@
+(* Tests for the enabling tree: recording, depths, weights, ancestry. *)
+
+open Abp_dag
+
+let build_figure1_tree () =
+  (* One legal enabling tree for Figure 1: each node enabled by the parent
+     that "executed last"; use the depth-first execution where the child
+     thread runs first after the spawn.  Enabling edges:
+     v1->v2, v2->v5 (spawn), v2->v3 (continue enabled by v2),
+     v5->v6, v6->v7, v6->v4 (v3 executed before v6, so v6 completes v4's
+     dependencies), v7->v8, v8->v9, v9->v10 (v4 executed before v9),
+     v10->v11. *)
+  let d = Figure1.dag () in
+  let t = Enabling_tree.create d in
+  let r p c = Enabling_tree.record t ~parent:(Figure1.v p) ~child:(Figure1.v c) in
+  r 1 2;
+  r 2 5;
+  r 2 3;
+  r 5 6;
+  r 6 7;
+  r 6 4;
+  r 7 8;
+  r 8 9;
+  r 9 10;
+  r 10 11;
+  (d, t)
+
+let depths () =
+  let _, t = build_figure1_tree () in
+  Alcotest.(check int) "root depth" 0 (Enabling_tree.depth t (Figure1.v 1));
+  Alcotest.(check int) "v2" 1 (Enabling_tree.depth t (Figure1.v 2));
+  Alcotest.(check int) "v4 (via v6)" 4 (Enabling_tree.depth t (Figure1.v 4));
+  Alcotest.(check int) "v11" 8 (Enabling_tree.depth t (Figure1.v 11))
+
+let weights_positive () =
+  let d, t = build_figure1_tree () in
+  let span = Metrics.span d in
+  Dag.iter_nodes d (fun v ->
+      let w = Enabling_tree.weight t ~span v in
+      Alcotest.(check bool) (Printf.sprintf "w(%d) = %d >= 1" v w) true (w >= 1);
+      Alcotest.(check bool) "w <= span" true (w <= span))
+
+let root_weight_is_span () =
+  let d, t = build_figure1_tree () in
+  Alcotest.(check int) "w(root) = span" (Metrics.span d)
+    (Enabling_tree.weight t ~span:(Metrics.span d) (Dag.root d))
+
+let parents () =
+  let _, t = build_figure1_tree () in
+  Alcotest.(check bool) "root has no parent" true (Enabling_tree.parent t (Figure1.v 1) = None);
+  Alcotest.(check bool) "v4's parent is v6" true
+    (Enabling_tree.parent t (Figure1.v 4) = Some (Figure1.v 6))
+
+let ancestry () =
+  let _, t = build_figure1_tree () in
+  let anc a b = Enabling_tree.is_ancestor t ~anc:(Figure1.v a) ~desc:(Figure1.v b) in
+  Alcotest.(check bool) "v1 anc v11" true (anc 1 11);
+  Alcotest.(check bool) "v2 anc v4" true (anc 2 4);
+  Alcotest.(check bool) "reflexive" true (anc 5 5);
+  Alcotest.(check bool) "v3 not anc v4" false (anc 3 4);
+  Alcotest.(check bool) "v4 not anc v2" false (anc 4 2)
+
+let double_record_rejected () =
+  let d = Figure1.dag () in
+  let t = Enabling_tree.create d in
+  Enabling_tree.record t ~parent:(Figure1.v 1) ~child:(Figure1.v 2);
+  Alcotest.check_raises "double record"
+    (Invalid_argument "Enabling_tree.record: node 1 already has a parent") (fun () ->
+      Enabling_tree.record t ~parent:(Figure1.v 1) ~child:(Figure1.v 2))
+
+let record_root_rejected () =
+  let d = Figure1.dag () in
+  let t = Enabling_tree.create d in
+  Alcotest.check_raises "root" (Invalid_argument "Enabling_tree.record: root has no parent")
+    (fun () -> Enabling_tree.record t ~parent:(Figure1.v 2) ~child:(Figure1.v 1))
+
+let unrecorded_parent_rejected () =
+  let d = Figure1.dag () in
+  let t = Enabling_tree.create d in
+  Alcotest.check_raises "unrecorded parent"
+    (Invalid_argument "Enabling_tree.record: parent 5 not yet recorded") (fun () ->
+      Enabling_tree.record t ~parent:(Figure1.v 6) ~child:(Figure1.v 7))
+
+let tests =
+  [
+    Alcotest.test_case "depths" `Quick depths;
+    Alcotest.test_case "weights in [1, span]" `Quick weights_positive;
+    Alcotest.test_case "root weight = span" `Quick root_weight_is_span;
+    Alcotest.test_case "parents" `Quick parents;
+    Alcotest.test_case "ancestry" `Quick ancestry;
+    Alcotest.test_case "double record rejected" `Quick double_record_rejected;
+    Alcotest.test_case "record root rejected" `Quick record_root_rejected;
+    Alcotest.test_case "unrecorded parent rejected" `Quick unrecorded_parent_rejected;
+  ]

@@ -1,0 +1,161 @@
+(* Edge-case tests for the simulator engine: degenerate configurations,
+   config validation, interactions between features. *)
+
+open Abp_sim
+module Generators = Abp_dag.Generators
+module Figure1 = Abp_dag.Figure1
+module Adversary = Abp_kernel.Adversary
+module Yield = Abp_kernel.Yield
+module Rng = Abp_stats.Rng
+
+let cfg ?(p = 2) ?(yield_kind = Yield.No_yield) ?(deque_model = Engine.Nonblocking)
+    ?(victim_policy = Engine.Random_victim) ?(actions_per_round = 1) ?(max_rounds = 100_000)
+    ?(check = false) adversary =
+  {
+    Engine.num_processes = p;
+    adversary;
+    yield_kind;
+    deque_model;
+    spawn_policy = Engine.Child_first;
+    victim_policy;
+    actions_per_round;
+    max_rounds;
+    seed = 3L;
+    check_invariants = check;
+  }
+
+let single_node_dag () =
+  let b = Abp_dag.Builder.create () in
+  ignore (Abp_dag.Builder.add_node b Abp_dag.Builder.root);
+  Abp_dag.Builder.finish b
+
+let single_node_single_process () =
+  let r =
+    Engine.run (cfg ~p:1 (Adversary.dedicated ~num_processes:1)) (single_node_dag ())
+  in
+  Alcotest.(check bool) "completed" true r.Run_result.completed;
+  Alcotest.(check int) "one round" 1 r.Run_result.rounds;
+  Alcotest.(check int) "one token" 1 r.Run_result.tokens
+
+let max_rounds_one () =
+  (* A chain of 3 nodes cannot finish in one round; the cap must bite. *)
+  let r =
+    Engine.run
+      (cfg ~p:1 ~max_rounds:1 (Adversary.dedicated ~num_processes:1))
+      (Generators.chain ~n:3)
+  in
+  Alcotest.(check bool) "not completed" false r.Run_result.completed;
+  Alcotest.(check int) "one round used" 1 r.Run_result.rounds
+
+let rejects_bad_configs () =
+  let dag = single_node_dag () in
+  let adversary = Adversary.dedicated ~num_processes:2 in
+  Alcotest.check_raises "p=0" (Invalid_argument "Engine.run: num_processes >= 1 required")
+    (fun () -> ignore (Engine.run { (cfg adversary) with Engine.num_processes = 0 } dag));
+  Alcotest.check_raises "actions=0"
+    (Invalid_argument "Engine.run: actions_per_round >= 1 required") (fun () ->
+      ignore (Engine.run { (cfg adversary) with Engine.actions_per_round = 0 } dag));
+  Alcotest.check_raises "max_rounds=0" (Invalid_argument "Engine.run: max_rounds >= 1 required")
+    (fun () -> ignore (Engine.run { (cfg adversary) with Engine.max_rounds = 0 } dag));
+  Alcotest.check_raises "check + locked"
+    (Invalid_argument
+       "Engine.run: invariant checking requires the Nonblocking model (locked operations put \
+        nodes transiently in limbo)") (fun () ->
+      ignore
+        (Engine.run
+           { (cfg adversary) with Engine.deque_model = Engine.Locked 2; check_invariants = true }
+           dag))
+
+let locked_model_p1_completes () =
+  (* With one process there is no preemption hazard: the locked model just
+     costs extra actions per deque operation. *)
+  let r =
+    Engine.run
+      (cfg ~p:1 ~deque_model:(Engine.Locked 3) (Adversary.dedicated ~num_processes:1))
+      (Generators.spawn_tree ~depth:4 ~leaf_work:2)
+  in
+  Alcotest.(check bool) "completed" true r.Run_result.completed;
+  Alcotest.(check int) "no spins (nobody else holds locks)" 0 r.Run_result.lock_spins
+
+let locked_model_under_benign_completes () =
+  (* Random preemption (not adversarial) with locks: slower but finishes. *)
+  let p = 4 in
+  let r =
+    Engine.run
+      (cfg ~p ~deque_model:(Engine.Locked 2) ~max_rounds:1_000_000
+         (Adversary.benign ~num_processes:p
+            ~sizes:(fun _ -> p / 2)
+            ~rng:(Rng.create ~seed:5L ())))
+      (Generators.spawn_tree ~depth:6 ~leaf_work:2)
+  in
+  Alcotest.(check bool) "completed" true r.Run_result.completed
+
+let round_robin_under_rotor () =
+  let p = 4 in
+  let r =
+    Engine.run
+      (cfg ~p ~victim_policy:Engine.Round_robin_victim ~yield_kind:Yield.Yield_to_random
+         (Adversary.oblivious_rotor ~num_processes:p ~run:3))
+      (Generators.spawn_tree ~depth:6 ~leaf_work:2)
+  in
+  Alcotest.(check bool) "completed" true r.Run_result.completed
+
+let wide_rounds_complete_faster () =
+  let dag = Generators.spawn_tree ~depth:7 ~leaf_work:2 in
+  let p = 4 in
+  let run actions =
+    Engine.run (cfg ~p ~actions_per_round:actions (Adversary.dedicated ~num_processes:p)) dag
+  in
+  let one = run 1 and four = run 4 in
+  Alcotest.(check bool) "both complete" true
+    (one.Run_result.completed && four.Run_result.completed);
+  Alcotest.(check bool)
+    (Printf.sprintf "4 actions/round ~4x fewer rounds (%d vs %d)" four.Run_result.rounds
+       one.Run_result.rounds)
+    true
+    (four.Run_result.rounds * 3 < one.Run_result.rounds)
+
+let figure1_under_every_yield_kind () =
+  List.iter
+    (fun yield_kind ->
+      let p = 3 in
+      let r =
+        Engine.run
+          (cfg ~p ~yield_kind ~check:true
+             (Adversary.benign ~num_processes:p
+                ~sizes:(fun round -> 1 + (round mod p))
+                ~rng:(Rng.create ~seed:6L ())))
+          (Figure1.dag ())
+      in
+      Alcotest.(check bool)
+        (Abp_kernel.Yield.kind_to_string yield_kind ^ " completed")
+        true r.Run_result.completed;
+      Alcotest.(check (list string)) "invariants" [] r.Run_result.invariant_violations)
+    [ Yield.No_yield; Yield.Yield_to_random; Yield.Yield_to_all ]
+
+let steal_latencies_bounded_by_rounds () =
+  let dag = Generators.wide ~width:16 ~work:4 in
+  let p = 4 in
+  let r = Engine.run (cfg ~p (Adversary.dedicated ~num_processes:p)) dag in
+  Array.iter
+    (fun latency ->
+      Alcotest.(check bool)
+        (Printf.sprintf "latency %d in [1, rounds]" latency)
+        true
+        (latency >= 1 && latency <= r.Run_result.rounds))
+    r.Run_result.steal_latencies;
+  Alcotest.(check int) "one latency per successful steal" r.Run_result.successful_steals
+    (Array.length r.Run_result.steal_latencies)
+
+let tests =
+  [
+    Alcotest.test_case "single node, single process" `Quick single_node_single_process;
+    Alcotest.test_case "round cap bites" `Quick max_rounds_one;
+    Alcotest.test_case "rejects bad configs" `Quick rejects_bad_configs;
+    Alcotest.test_case "locked model, P=1" `Quick locked_model_p1_completes;
+    Alcotest.test_case "locked model, benign kernel" `Quick locked_model_under_benign_completes;
+    Alcotest.test_case "round-robin under rotor" `Quick round_robin_under_rotor;
+    Alcotest.test_case "wide rounds" `Quick wide_rounds_complete_faster;
+    Alcotest.test_case "figure1 under every yield kind" `Quick figure1_under_every_yield_kind;
+    Alcotest.test_case "steal latencies bounded" `Quick steal_latencies_bounded_by_rounds;
+  ]

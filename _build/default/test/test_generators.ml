@@ -1,0 +1,163 @@
+(* Tests for the workload generators: structure validity and measure
+   correctness for each family, plus qcheck properties over parameters. *)
+
+open Abp_dag
+module Rng = Abp_stats.Rng
+
+let assert_valid name d =
+  match Dag.validate d with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail (Printf.sprintf "%s: %s" name m)
+
+let chain_measures () =
+  let d = Generators.chain ~n:17 in
+  assert_valid "chain" d;
+  Alcotest.(check int) "work" 17 (Metrics.work d);
+  Alcotest.(check int) "span" 17 (Metrics.span d);
+  Alcotest.(check int) "threads" 1 (Dag.num_threads d)
+
+let chain_rejects_zero () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Generators.chain: n >= 1 required") (fun () ->
+      ignore (Generators.chain ~n:0))
+
+let spawn_tree_depth0 () =
+  let d = Generators.spawn_tree ~depth:0 ~leaf_work:5 in
+  assert_valid "leaf tree" d;
+  Alcotest.(check int) "work" 5 (Metrics.work d);
+  Alcotest.(check int) "threads" 1 (Dag.num_threads d)
+
+let spawn_tree_counts () =
+  (* Every spawn creates a thread, so threads = 2^(d+1) - 1.  An internal
+     thread owns 5 nodes (left spawn site = its first node, right spawn
+     site, two waits, combine); a leaf owns leaf_work nodes.  Hence
+     W(0) = leaf_work and W(d) = 5 + 2 W(d-1). *)
+  let depth = 4 and leaf_work = 3 in
+  let d = Generators.spawn_tree ~depth ~leaf_work in
+  assert_valid "spawn tree" d;
+  let rec expected_work k = if k = 0 then leaf_work else 5 + (2 * expected_work (k - 1)) in
+  Alcotest.(check int) "threads" ((1 lsl (depth + 1)) - 1) (Dag.num_threads d);
+  Alcotest.(check int) "work" (expected_work depth) (Metrics.work d)
+
+let spawn_tree_parallelism_grows () =
+  let p4 = Metrics.parallelism (Generators.spawn_tree ~depth:4 ~leaf_work:4) in
+  let p7 = Metrics.parallelism (Generators.spawn_tree ~depth:7 ~leaf_work:4) in
+  Alcotest.(check bool) (Printf.sprintf "%.2f < %.2f" p4 p7) true (p4 < p7)
+
+let wide_measures () =
+  let width = 9 and work = 7 in
+  let d = Generators.wide ~width ~work in
+  assert_valid "wide" d;
+  Alcotest.(check int) "threads" (width + 1) (Dag.num_threads d);
+  (* Root: width spawn sites + width waits + 1 final; children: work each. *)
+  Alcotest.(check int) "work" ((2 * width) + 1 + (width * work)) (Metrics.work d);
+  Alcotest.(check bool) "parallelism < width+1" true (Metrics.parallelism d < float_of_int (width + 1));
+  Alcotest.(check bool) "parallelism > 1" true (Metrics.parallelism d > 1.0)
+
+let pipeline_measures () =
+  let stages = 5 and items = 11 in
+  let d = Generators.pipeline ~stages ~items in
+  assert_valid "pipeline" d;
+  Alcotest.(check int) "threads" stages (Dag.num_threads d);
+  Alcotest.(check int) "work" (stages * (items + 1)) (Metrics.work d);
+  (* Span: f_0, item column to last stage, then along last stage =
+     1 + stages + items - 1... verified empirically as stages + items. *)
+  Alcotest.(check int) "span" (stages + items) (Metrics.span d)
+
+let pipeline_single_stage_is_chain () =
+  let d = Generators.pipeline ~stages:1 ~items:6 in
+  assert_valid "pipe-1" d;
+  Alcotest.(check int) "span = work" (Metrics.work d) (Metrics.span d)
+
+let random_sp_valid_and_sized () =
+  let rng = Rng.create ~seed:77L () in
+  for _ = 1 to 20 do
+    let size = 50 + Rng.int rng 500 in
+    let d = Generators.random_sp ~rng ~size in
+    assert_valid "random sp" d;
+    let w = Metrics.work d in
+    Alcotest.(check bool)
+      (Printf.sprintf "size %d -> work %d within 4x" size w)
+      true
+      (w >= size / 4 && w <= size * 4)
+  done
+
+let irregular_valid () =
+  let rng = Rng.create ~seed:78L () in
+  for _ = 1 to 20 do
+    let d = Generators.irregular_tree ~rng ~depth:4 ~max_branch:3 ~leaf_work_max:5 in
+    assert_valid "irregular" d
+  done
+
+let standard_suite_all_valid () =
+  List.iter
+    (fun { Generators.name; dag } ->
+      assert_valid name dag;
+      Alcotest.(check bool) (name ^ " nonempty") true (Metrics.work dag > 0))
+    (Generators.standard_suite ())
+
+let standard_suite_deterministic () =
+  let suite1 = Generators.standard_suite ~seed:5L () in
+  let suite2 = Generators.standard_suite ~seed:5L () in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check int)
+        (a.Generators.name ^ " same work")
+        (Metrics.work a.Generators.dag)
+        (Metrics.work b.Generators.dag);
+      Alcotest.(check int)
+        (a.Generators.name ^ " same span")
+        (Metrics.span a.Generators.dag)
+        (Metrics.span b.Generators.dag))
+    suite1 suite2
+
+(* qcheck properties *)
+
+let prop_spawn_tree_valid =
+  QCheck2.Test.make ~name:"spawn_tree always validates" ~count:30
+    QCheck2.Gen.(pair (int_range 0 6) (int_range 1 5))
+    (fun (depth, leaf_work) ->
+      match Dag.validate (Generators.spawn_tree ~depth ~leaf_work) with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_wide_valid =
+  QCheck2.Test.make ~name:"wide always validates" ~count:30
+    QCheck2.Gen.(pair (int_range 1 20) (int_range 1 20))
+    (fun (width, work) ->
+      match Dag.validate (Generators.wide ~width ~work) with Ok () -> true | Error _ -> false)
+
+let prop_pipeline_valid =
+  QCheck2.Test.make ~name:"pipeline always validates" ~count:30
+    QCheck2.Gen.(pair (int_range 1 8) (int_range 1 16))
+    (fun (stages, items) ->
+      match Dag.validate (Generators.pipeline ~stages ~items) with
+      | Ok () -> true
+      | Error _ -> false)
+
+let prop_span_le_work =
+  QCheck2.Test.make ~name:"span <= work on random sp dags" ~count:50
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 4 400))
+    (fun (seed, size) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let d = Generators.random_sp ~rng ~size in
+      Metrics.span d <= Metrics.work d && Metrics.span d >= 1)
+
+let tests =
+  [
+    Alcotest.test_case "chain measures" `Quick chain_measures;
+    Alcotest.test_case "chain rejects n=0" `Quick chain_rejects_zero;
+    Alcotest.test_case "spawn_tree depth 0" `Quick spawn_tree_depth0;
+    Alcotest.test_case "spawn_tree counts" `Quick spawn_tree_counts;
+    Alcotest.test_case "spawn_tree parallelism grows" `Quick spawn_tree_parallelism_grows;
+    Alcotest.test_case "wide measures" `Quick wide_measures;
+    Alcotest.test_case "pipeline measures" `Quick pipeline_measures;
+    Alcotest.test_case "pipeline single stage" `Quick pipeline_single_stage_is_chain;
+    Alcotest.test_case "random_sp valid and sized" `Quick random_sp_valid_and_sized;
+    Alcotest.test_case "irregular valid" `Quick irregular_valid;
+    Alcotest.test_case "standard suite valid" `Quick standard_suite_all_valid;
+    Alcotest.test_case "standard suite deterministic" `Quick standard_suite_deterministic;
+    QCheck_alcotest.to_alcotest prop_spawn_tree_valid;
+    QCheck_alcotest.to_alcotest prop_wide_valid;
+    QCheck_alcotest.to_alcotest prop_pipeline_valid;
+    QCheck_alcotest.to_alcotest prop_span_le_work;
+  ]

@@ -1,0 +1,62 @@
+(* Tests for fixed-width histograms. *)
+
+open Abp_stats
+
+let basic_binning () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:10 in
+  Histogram.add h 0.0;
+  Histogram.add h 0.5;
+  Histogram.add h 9.999;
+  Histogram.add h 5.0;
+  Alcotest.(check int) "bin 0" 2 (Histogram.bin_count h 0);
+  Alcotest.(check int) "bin 9" 1 (Histogram.bin_count h 9);
+  Alcotest.(check int) "bin 5" 1 (Histogram.bin_count h 5);
+  Alcotest.(check int) "total" 4 (Histogram.count h)
+
+let under_over_flow () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:4 in
+  Histogram.add h (-0.1);
+  Histogram.add h 1.0;
+  Histogram.add h 2.0;
+  Alcotest.(check int) "underflow" 1 (Histogram.underflow h);
+  Alcotest.(check int) "overflow" 2 (Histogram.overflow h);
+  Alcotest.(check int) "count includes flows" 3 (Histogram.count h)
+
+let edges () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~bins:5 in
+  let lo, hi = Histogram.bin_edges h 2 in
+  Alcotest.(check (float 1e-9)) "edge lo" 4.0 lo;
+  Alcotest.(check (float 1e-9)) "edge hi" 6.0 hi
+
+let mode () =
+  let h = Histogram.create ~lo:0.0 ~hi:3.0 ~bins:3 in
+  Histogram.add_many h [| 0.5; 1.5; 1.6; 2.5 |];
+  Alcotest.(check int) "mode bin" 1 (Histogram.mode_bin h)
+
+let mode_empty_raises () =
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:2 in
+  Alcotest.check_raises "empty" (Invalid_argument "Histogram.mode_bin: empty") (fun () ->
+      ignore (Histogram.mode_bin h))
+
+let rejects_bad_args () =
+  Alcotest.check_raises "lo >= hi" (Invalid_argument "Histogram.create: lo >= hi") (fun () ->
+      ignore (Histogram.create ~lo:1.0 ~hi:1.0 ~bins:2));
+  Alcotest.check_raises "bins <= 0" (Invalid_argument "Histogram.create: bins <= 0") (fun () ->
+      ignore (Histogram.create ~lo:0.0 ~hi:1.0 ~bins:0))
+
+let rounding_at_top_edge () =
+  (* A value infinitesimally below hi must land in the last bin. *)
+  let h = Histogram.create ~lo:0.0 ~hi:1.0 ~bins:3 in
+  Histogram.add h (1.0 -. epsilon_float);
+  Alcotest.(check int) "last bin" 1 (Histogram.bin_count h 2)
+
+let tests =
+  [
+    Alcotest.test_case "basic binning" `Quick basic_binning;
+    Alcotest.test_case "under/overflow" `Quick under_over_flow;
+    Alcotest.test_case "bin edges" `Quick edges;
+    Alcotest.test_case "mode" `Quick mode;
+    Alcotest.test_case "mode of empty raises" `Quick mode_empty_raises;
+    Alcotest.test_case "rejects bad args" `Quick rejects_bad_args;
+    Alcotest.test_case "top edge rounding" `Quick rounding_at_top_edge;
+  ]

@@ -1,0 +1,244 @@
+(* Tests for the Hood runtime: correctness of results against sequential
+   oracles, exception propagation, pool lifecycle, and a concurrent
+   conservation stress of the underlying atomic deque. *)
+
+open Abp_hood
+
+let with_pool ~processes f =
+  let pool = Pool.create ~processes () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let rec fib_seq n = if n < 2 then n else fib_seq (n - 1) + fib_seq (n - 2)
+
+let fib_matches_sequential () =
+  with_pool ~processes:3 (fun pool ->
+      List.iter
+        (fun n ->
+          let got = Pool.run pool (fun () -> Par.fib n) in
+          Alcotest.(check int) (Printf.sprintf "fib %d" n) (fib_seq n) got)
+        [ 0; 1; 10; 18; 22 ])
+
+let parallel_for_covers_range () =
+  with_pool ~processes:4 (fun pool ->
+      let n = 10_000 in
+      let hits = Array.make n 0 in
+      Pool.run pool (fun () -> Par.parallel_for ~grain:16 ~lo:0 ~hi:n (fun i -> hits.(i) <- hits.(i) + 1));
+      Alcotest.(check bool) "every index exactly once" true (Array.for_all (fun c -> c = 1) hits))
+
+let parallel_for_empty_range () =
+  with_pool ~processes:2 (fun pool ->
+      let touched = ref false in
+      Pool.run pool (fun () -> Par.parallel_for ~lo:5 ~hi:5 (fun _ -> touched := true));
+      Alcotest.(check bool) "no iterations" false !touched)
+
+let parallel_reduce_sum () =
+  with_pool ~processes:4 (fun pool ->
+      let n = 100_000 in
+      let got =
+        Pool.run pool (fun () ->
+            Par.parallel_reduce ~grain:64 ~lo:0 ~hi:n ~init:0 ~map:(fun i -> i) ~combine:( + ))
+      in
+      Alcotest.(check int) "sum 0..n-1" (n * (n - 1) / 2) got)
+
+let parallel_map_matches () =
+  with_pool ~processes:3 (fun pool ->
+      let input = Array.init 5_000 (fun i -> i) in
+      let got = Pool.run pool (fun () -> Par.parallel_map_array ~grain:32 (fun x -> (x * x) + 1) input) in
+      let want = Array.map (fun x -> (x * x) + 1) input in
+      Alcotest.(check (array int)) "map" want got)
+
+let nqueens_known_counts () =
+  with_pool ~processes:4 (fun pool ->
+      List.iter
+        (fun (n, want) ->
+          let got = Pool.run pool (fun () -> Par.nqueens n) in
+          Alcotest.(check int) (Printf.sprintf "nqueens %d" n) want got)
+        [ (1, 1); (4, 2); (6, 4); (8, 92) ])
+
+let exceptions_propagate () =
+  with_pool ~processes:2 (fun pool ->
+      let exception Boom in
+      match
+        Pool.run pool (fun () ->
+            let fut = Future.spawn (fun () -> raise Boom) in
+            Future.force fut)
+      with
+      | _ -> Alcotest.fail "expected exception"
+      | exception Boom -> ())
+
+let future_both () =
+  with_pool ~processes:2 (fun pool ->
+      let a, b = Pool.run pool (fun () -> Future.both (fun () -> 6 * 7) (fun () -> "ok")) in
+      Alcotest.(check int) "left" 42 a;
+      Alcotest.(check string) "right" "ok" b)
+
+let run_outside_worker_rejected () =
+  Alcotest.check_raises "spawn outside run"
+    (Failure "Hood: not inside a pool worker (use Pool.run)") (fun () ->
+      ignore (Future.spawn (fun () -> 1)))
+
+let sequential_pool_works () =
+  with_pool ~processes:1 (fun pool ->
+      let got = Pool.run pool (fun () -> Par.fib 15) in
+      Alcotest.(check int) "fib 15 on P=1" (fib_seq 15) got)
+
+let shutdown_idempotent () =
+  let pool = Pool.create ~processes:2 () in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  Alcotest.(check bool) "no crash" true true
+
+let steals_happen_with_multiple_processes () =
+  with_pool ~processes:4 (fun pool ->
+      ignore (Pool.run pool (fun () -> Par.fib 24));
+      (* On a timesliced single-CPU box steals still occur because domains
+         are preempted mid-subtree; but don't require a minimum count,
+         just consistency. *)
+      Alcotest.(check bool) "attempts >= successes" true
+        (Pool.steal_attempts pool >= Pool.successful_steals pool))
+
+(* Conservation stress of the atomic deque under real domain concurrency:
+   one owner pushes/pops, thieves steal; every value is consumed exactly
+   once. *)
+let atomic_deque_conservation () =
+  let module D = Abp_deque.Atomic_deque in
+  (* bot is an absolute index in the ABP deque (it resets only when the
+     owner empties the deque), so capacity must cover all pushes. *)
+  let d : int D.t = D.create ~capacity:(1 lsl 15) () in
+  let n = 20_000 in
+  let stop = Atomic.make false in
+  let stolen_sum = Atomic.make 0 and stolen_count = Atomic.make 0 in
+  let thief () =
+    let rec loop () =
+      match D.pop_top d with
+      | Some v ->
+          ignore (Atomic.fetch_and_add stolen_sum v);
+          ignore (Atomic.fetch_and_add stolen_count 1);
+          loop ()
+      | None -> if Atomic.get stop then () else (Domain.cpu_relax (); loop ())
+    in
+    loop ()
+  in
+  let thieves = Array.init 2 (fun _ -> Domain.spawn thief) in
+  let own_sum = ref 0 and own_count = ref 0 in
+  for i = 1 to n do
+    D.push_bottom d i;
+    (* Periodically pop a batch from the bottom. *)
+    if i mod 3 = 0 then
+      match D.pop_bottom d with
+      | Some v ->
+          own_sum := !own_sum + v;
+          incr own_count
+      | None -> ()
+  done;
+  (* Drain the rest as the owner. *)
+  let rec drain () =
+    match D.pop_bottom d with
+    | Some v ->
+        own_sum := !own_sum + v;
+        incr own_count;
+        drain ()
+    | None -> if not (D.is_empty d) then drain ()
+  in
+  drain ();
+  Atomic.set stop true;
+  Array.iter Domain.join thieves;
+  (* Late steals could still be in flight before join; after join, the
+     deque must be empty and counts must add up. *)
+  let total_count = !own_count + Atomic.get stolen_count in
+  let total_sum = !own_sum + Atomic.get stolen_sum in
+  Alcotest.(check int) "every value consumed once" n total_count;
+  Alcotest.(check int) "sum conserved" (n * (n + 1) / 2) total_sum
+
+let all_deque_impls_compute_fib () =
+  List.iter
+    (fun (name, deque_impl) ->
+      let pool = Pool.create ~processes:3 ~deque_impl () in
+      Fun.protect
+        ~finally:(fun () -> Pool.shutdown pool)
+        (fun () ->
+          let got = Pool.run pool (fun () -> Par.fib 20) in
+          Alcotest.(check int) (name ^ " fib 20") (fib_seq 20) got))
+    [ ("abp", Pool.Abp); ("circular", Pool.Circular); ("locked", Pool.Locked) ]
+
+let circular_impl_survives_deep_spawns () =
+  (* The ABP deque would need capacity planning here; the circular one
+     grows on demand from a tiny initial buffer. *)
+  let pool = Pool.create ~processes:2 ~deque_capacity:2 ~deque_impl:Pool.Circular () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let n = 50_000 in
+      let got =
+        Pool.run pool (fun () ->
+            Par.parallel_reduce ~grain:8 ~lo:0 ~hi:n ~init:0 ~map:(fun i -> i land 3)
+              ~combine:( + ))
+      in
+      let want = ref 0 in
+      for i = 0 to n - 1 do
+        want := !want + (i land 3)
+      done;
+      Alcotest.(check int) "deep spawn reduce" !want got)
+
+let central_pool_fib_matches () =
+  let pool = Central_pool.create ~processes:3 () in
+  Fun.protect
+    ~finally:(fun () -> Central_pool.shutdown pool)
+    (fun () ->
+      List.iter
+        (fun n ->
+          let got = Central_pool.run pool (fun () -> Central_pool.fib pool n) in
+          Alcotest.(check int) (Printf.sprintf "central fib %d" n) (fib_seq n) got)
+        [ 0; 10; 20 ];
+      Alcotest.(check bool) "lock acquisitions counted" true
+        (Central_pool.lock_acquisitions pool > 0))
+
+let central_pool_exceptions () =
+  let pool = Central_pool.create ~processes:2 () in
+  Fun.protect
+    ~finally:(fun () -> Central_pool.shutdown pool)
+    (fun () ->
+      let exception Boom in
+      match
+        Central_pool.run pool (fun () ->
+            Central_pool.force pool (Central_pool.spawn pool (fun () -> raise Boom)))
+      with
+      | _ -> Alcotest.fail "expected exception"
+      | exception Boom -> ())
+
+let central_vs_ws_lock_surface () =
+  (* Work-sharing funnels all coordination through one lock; the work
+     stealer's lock surface is zero (non-blocking deques). *)
+  let central = Central_pool.create ~processes:3 () in
+  let n = 24 in
+  let c =
+    Fun.protect
+      ~finally:(fun () -> Central_pool.shutdown central)
+      (fun () -> Central_pool.run central (fun () -> Central_pool.fib central n))
+  in
+  Alcotest.(check int) "same value" (fib_seq n) c;
+  Alcotest.(check bool) "central lock pressure grows with spawns" true
+    (Central_pool.lock_acquisitions central > 1000)
+
+let tests =
+  [
+    Alcotest.test_case "fib matches sequential" `Quick fib_matches_sequential;
+    Alcotest.test_case "parallel_for covers range" `Quick parallel_for_covers_range;
+    Alcotest.test_case "parallel_for empty range" `Quick parallel_for_empty_range;
+    Alcotest.test_case "parallel_reduce sum" `Quick parallel_reduce_sum;
+    Alcotest.test_case "parallel_map" `Quick parallel_map_matches;
+    Alcotest.test_case "nqueens known counts" `Quick nqueens_known_counts;
+    Alcotest.test_case "exceptions propagate" `Quick exceptions_propagate;
+    Alcotest.test_case "future both" `Quick future_both;
+    Alcotest.test_case "spawn outside run rejected" `Quick run_outside_worker_rejected;
+    Alcotest.test_case "P=1 pool" `Quick sequential_pool_works;
+    Alcotest.test_case "shutdown idempotent" `Quick shutdown_idempotent;
+    Alcotest.test_case "steal counters consistent" `Quick steals_happen_with_multiple_processes;
+    Alcotest.test_case "atomic deque conservation (concurrent)" `Quick atomic_deque_conservation;
+    Alcotest.test_case "all deque impls: fib" `Quick all_deque_impls_compute_fib;
+    Alcotest.test_case "circular impl: deep spawns, tiny buffer" `Quick
+      circular_impl_survives_deep_spawns;
+    Alcotest.test_case "central pool: fib" `Quick central_pool_fib_matches;
+    Alcotest.test_case "central pool: exceptions" `Quick central_pool_exceptions;
+    Alcotest.test_case "central pool: lock surface" `Quick central_vs_ws_lock_surface;
+  ]

@@ -1,0 +1,138 @@
+(* Direct tests of the invariant checkers, including negative cases: a
+   checker that never fires is no checker. *)
+
+open Abp_sim
+module Figure1 = Abp_dag.Figure1
+module Tree = Abp_dag.Enabling_tree
+module Metrics = Abp_dag.Metrics
+
+(* A Figure 1 enabling tree (depth-first execution order). *)
+let figure1_tree () =
+  let dag = Figure1.dag () in
+  let t = Tree.create dag in
+  let r p c = Tree.record t ~parent:(Figure1.v p) ~child:(Figure1.v c) in
+  r 1 2;
+  r 2 5;
+  r 2 3;
+  r 5 6;
+  r 6 7;
+  r 6 4;
+  r 7 8;
+  r 8 9;
+  r 9 10;
+  r 10 11;
+  (dag, t)
+
+let snapshot ?(assigned = [||]) ?(deque_contents = [||]) dag tree =
+  let p = max (Array.length assigned) (Array.length deque_contents) in
+  let deques =
+    Array.init p (fun i ->
+        let d = Node_deque.create () in
+        if i < Array.length deque_contents then
+          (* contents listed top to bottom; push_bottom in order *)
+          Array.iter (fun v -> Node_deque.push_bottom d v) deque_contents.(i);
+        d)
+  in
+  let assigned_arr = Array.make p (-1) in
+  Array.iteri (fun i a -> assigned_arr.(i) <- a) assigned;
+  { Invariants.span = Metrics.span dag; tree; assigned = assigned_arr; deques }
+
+let good_deque_accepted () =
+  let dag, tree = figure1_tree () in
+  (* Deque holding v3 above... weights: w = span - depth.  A legal state:
+     assigned v7 (depth 4), deque bottom-to-top [v4 (depth 4... must be
+     strictly heavier up)].  Use: assigned v8 (d5), deque bottom v7?  Keep
+     it simple: deque top-to-bottom [v3 (d2)]; assigned v6 (d3):
+     w(v6)=6 <= w(v3)=7. *)
+  let snap = snapshot ~assigned:[| Figure1.v 6 |] ~deque_contents:[| [| Figure1.v 3 |] |] dag tree in
+  match Invariants.check_structural snap with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let weight_order_violation_detected () =
+  let dag, tree = figure1_tree () in
+  (* Bottom-to-top weights must strictly increase.  deque_contents lists
+     top first (push_bottom order), so [v10; v2] puts v2 (d1, w8) at the
+     bottom under v10 (d7, w2): bottom-to-top weights 8 then 2 —
+     decreasing, a violation. *)
+  let snap = snapshot ~deque_contents:[| [| Figure1.v 10; Figure1.v 2 |] |] dag tree in
+  match Invariants.check_structural snap with
+  | Error m ->
+      Alcotest.(check bool) ("mentions weights: " ^ m) true
+        (String.length m > 0)
+  | Ok () -> Alcotest.fail "checker missed a weight-order violation"
+
+let ancestry_violation_detected () =
+  let dag, tree = figure1_tree () in
+  (* v3 and v4: designated parents v2 and v6; v6 is NOT an ancestor of v2
+     (v2 is v6's ancestor), so deque bottom-to-top [v3; v4] violates the
+     path condition even though weights increase?  w(v3)=span-2=7,
+     w(v4)=span-4=5: decreasing too.  Use nodes whose weights increase but
+     parents diverge: v4 (d4, w5) bottom, v3 (d2, w7) top: parents v6 and
+     v2; v2 IS an ancestor of v6 - that one is legal!  Diverging siblings:
+     v3 (parent v2) and v7 (parent v6): bottom v7 (d4, w5), top v3 (d2,
+     w7): increasing weights; parent of top (v2) is an ancestor of parent
+     of bottom (v6)... also legal.  True violation: two nodes with the
+     SAME designated parent: v5 and v3 share parent v2. *)
+  let snap = snapshot ~deque_contents:[| [| Figure1.v 5; Figure1.v 3 |] |] dag tree in
+  match Invariants.check_structural snap with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "checker missed a shared-designated-parent violation"
+
+let assigned_heavier_than_bottom_detected () =
+  let dag, tree = figure1_tree () in
+  (* w(assigned) <= w(bottom) required; assigned v2 (w8) with bottom
+     v10 (w2) violates. *)
+  let snap =
+    snapshot ~assigned:[| Figure1.v 2 |] ~deque_contents:[| [| Figure1.v 10 |] |] dag tree
+  in
+  match Invariants.check_structural snap with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "checker missed assigned-weight violation"
+
+let log_potential_exact_root () =
+  (* At the start only the root is assigned: Phi = 3^(2 Tinf - 1). *)
+  let dag = Figure1.dag () in
+  let tree = Tree.create dag in
+  let snap = snapshot ~assigned:[| Abp_dag.Dag.root dag |] dag tree in
+  let expected = float_of_int ((2 * Metrics.span dag) - 1) *. log 3.0 in
+  Alcotest.(check (float 1e-9)) "ln Phi of initial state" expected (Invariants.log_potential snap)
+
+let log_potential_empty_is_neg_inf () =
+  let dag = Figure1.dag () in
+  let tree = Tree.create dag in
+  let snap = snapshot dag tree in
+  Alcotest.(check bool) "-inf" true (Invariants.log_potential snap = neg_infinity)
+
+let log_potential_sums () =
+  (* Two ready nodes of known depth: Phi = 3^(2w1) + 3^(2w2-1). *)
+  let dag, tree = figure1_tree () in
+  let span = Metrics.span dag in
+  let w v = span - Tree.depth tree (Figure1.v v) in
+  let snap =
+    snapshot ~assigned:[| Figure1.v 6 |] ~deque_contents:[| [| Figure1.v 3 |] |] dag tree
+  in
+  let expected =
+    log ((3.0 ** float_of_int (2 * w 3)) +. (3.0 ** float_of_int ((2 * w 6) - 1)))
+  in
+  Alcotest.(check (float 1e-9)) "ln Phi" expected (Invariants.log_potential snap)
+
+let potential_decrease_predicate () =
+  Alcotest.(check bool) "decrease ok" true
+    (Invariants.potential_decrease_ok ~before:10.0 ~after:9.0);
+  Alcotest.(check bool) "equal ok" true (Invariants.potential_decrease_ok ~before:5.0 ~after:5.0);
+  Alcotest.(check bool) "increase flagged" false
+    (Invariants.potential_decrease_ok ~before:5.0 ~after:5.1)
+
+let tests =
+  [
+    Alcotest.test_case "good deque accepted" `Quick good_deque_accepted;
+    Alcotest.test_case "weight-order violation detected" `Quick weight_order_violation_detected;
+    Alcotest.test_case "shared-parent violation detected" `Quick ancestry_violation_detected;
+    Alcotest.test_case "assigned-weight violation detected" `Quick
+      assigned_heavier_than_bottom_detected;
+    Alcotest.test_case "log potential: initial state exact" `Quick log_potential_exact_root;
+    Alcotest.test_case "log potential: empty" `Quick log_potential_empty_is_neg_inf;
+    Alcotest.test_case "log potential: sums terms" `Quick log_potential_sums;
+    Alcotest.test_case "potential decrease predicate" `Quick potential_decrease_predicate;
+  ]

@@ -1,0 +1,235 @@
+(* Tests for kernel schedules, adversaries, and yield semantics. *)
+
+open Abp_kernel
+module Rng = Abp_stats.Rng
+
+let figure2_average () =
+  (* The paper: processor average over 10 steps is 20/10 = 2. *)
+  let s = Schedule.figure2 () in
+  Alcotest.(check int) "P" 3 (Schedule.num_processes s);
+  Alcotest.(check int) "total over 10" 20 (Schedule.total s ~steps:10);
+  Alcotest.(check (float 1e-9)) "Pbar = 2" 2.0 (Schedule.processor_average s ~steps:10);
+  Alcotest.(check int) "step 3 idle" 0 (Schedule.count s 3);
+  Alcotest.(check int) "tail = P" 3 (Schedule.count s 11)
+
+let counts_clamped () =
+  let s = Schedule.make ~num_processes:4 (fun i -> if i = 1 then 99 else -5) in
+  Alcotest.(check int) "clamp high" 4 (Schedule.count s 1);
+  Alcotest.(check int) "clamp low" 0 (Schedule.count s 2)
+
+let steps_one_based () =
+  let s = Schedule.dedicated ~num_processes:2 in
+  Alcotest.check_raises "step 0" (Invalid_argument "Schedule: steps are 1-based") (fun () ->
+      ignore (Schedule.count s 0))
+
+let lower_bound_shape () =
+  let span = 5 and p = 6 and k = 2 in
+  let s = Schedule.lower_bound ~span ~num_processes:p ~k in
+  (* Period 15: steps 1..10 are 0, steps 11..15 are P; repeats. *)
+  for i = 1 to k * span do
+    Alcotest.(check int) (Printf.sprintf "dead step %d" i) 0 (Schedule.count s i)
+  done;
+  for i = (k * span) + 1 to (k + 1) * span do
+    Alcotest.(check int) (Printf.sprintf "live step %d" i) p (Schedule.count s i)
+  done;
+  Alcotest.(check int) "period repeats (dead)" 0 (Schedule.count s (((k + 1) * span) + 1));
+  (* Pbar over one full period is exactly Phat = P/(k+1). *)
+  Alcotest.(check (float 1e-9)) "Pbar over period"
+    (float_of_int p /. float_of_int (k + 1))
+    (Schedule.processor_average s ~steps:((k + 1) * span))
+
+let lower_bound_pbar_range () =
+  (* Over any prefix of length >= one period, Pbar must lie in
+     [Phat/2, Phat]. *)
+  let span = 4 and p = 8 and k = 3 in
+  let s = Schedule.lower_bound ~span ~num_processes:p ~k in
+  let phat = float_of_int p /. float_of_int (k + 1) in
+  let period = (k + 1) * span in
+  for steps = period to 4 * period do
+    let pbar = Schedule.processor_average s ~steps in
+    Alcotest.(check bool)
+      (Printf.sprintf "steps=%d pbar=%.3f in [%.3f, %.3f]" steps pbar (phat /. 2.0) phat)
+      true
+      (pbar >= (phat /. 2.0) -. 1e-9 && pbar <= phat +. 1e-9)
+  done
+
+let dummy_view ~round ~p =
+  {
+    Adversary.round;
+    num_processes = p;
+    has_assigned = (fun _ -> false);
+    deque_size = (fun _ -> 0);
+    in_critical_section = (fun _ -> false);
+  }
+
+let dedicated_schedules_all () =
+  let a = Adversary.dedicated ~num_processes:5 in
+  let set = Adversary.choose a (dummy_view ~round:1 ~p:5) in
+  Alcotest.(check (array bool)) "all" (Array.make 5 true) set
+
+let benign_respects_sizes () =
+  let rng = Rng.create ~seed:41L () in
+  let a = Adversary.benign ~num_processes:6 ~sizes:(fun r -> r mod 7) ~rng in
+  for round = 1 to 20 do
+    let set = Adversary.choose a (dummy_view ~round ~p:6) in
+    let size = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 set in
+    Alcotest.(check int) (Printf.sprintf "round %d" round) (min 6 (round mod 7)) size
+  done
+
+let oblivious_rotor_excludes_one () =
+  let a = Adversary.oblivious_rotor ~num_processes:4 ~run:3 in
+  for round = 1 to 24 do
+    let set = Adversary.choose a (dummy_view ~round ~p:4) in
+    let excluded = Array.to_list set |> List.filter (fun b -> not b) |> List.length in
+    Alcotest.(check int) "exactly one excluded" 1 excluded
+  done;
+  (* The excluded process rotates every [run] rounds. *)
+  let excluded_at round =
+    let set = Adversary.choose a (dummy_view ~round ~p:4) in
+    let idx = ref (-1) in
+    Array.iteri (fun i b -> if not b then idx := i) set;
+    !idx
+  in
+  Alcotest.(check int) "rounds 1-3 exclude 0" 0 (excluded_at 1);
+  Alcotest.(check int) "rounds 1-3 exclude 0" 0 (excluded_at 3);
+  Alcotest.(check int) "rounds 4-6 exclude 1" 1 (excluded_at 4)
+
+let starve_thieves_prefers_workers () =
+  let rng = Rng.create ~seed:42L () in
+  let a = Adversary.starve_thieves ~num_processes:4 ~width:2 ~rng in
+  let view =
+    {
+      Adversary.round = 1;
+      num_processes = 4;
+      has_assigned = (fun p -> p = 1 || p = 3);
+      deque_size = (fun _ -> 0);
+      in_critical_section = (fun _ -> false);
+    }
+  in
+  for _ = 1 to 10 do
+    let set = Adversary.choose a view in
+    Alcotest.(check bool) "worker 1 scheduled" true set.(1);
+    Alcotest.(check bool) "worker 3 scheduled" true set.(3);
+    Alcotest.(check bool) "thieves starved" false (set.(0) || set.(2))
+  done
+
+let preempt_lock_holders_avoids () =
+  let rng = Rng.create ~seed:43L () in
+  let a = Adversary.preempt_lock_holders ~num_processes:3 ~width:2 ~rng in
+  let view =
+    {
+      Adversary.round = 1;
+      num_processes = 3;
+      has_assigned = (fun _ -> true);
+      deque_size = (fun _ -> 1);
+      in_critical_section = (fun p -> p = 0);
+    }
+  in
+  for _ = 1 to 10 do
+    let set = Adversary.choose a view in
+    Alcotest.(check bool) "lock holder preempted" false set.(0);
+    Alcotest.(check bool) "others run" true (set.(1) && set.(2))
+  done
+
+(* Yield trackers *)
+
+let markov_load_within_bounds () =
+  let rng = Rng.create ~seed:49L () in
+  let p = 6 in
+  let a = Adversary.markov_load ~num_processes:p ~up:0.3 ~down:0.3 ~rng in
+  let sizes = ref [] in
+  for round = 1 to 500 do
+    let set = Adversary.choose a (dummy_view ~round ~p) in
+    let size = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 set in
+    sizes := size :: !sizes
+  done;
+  (* The background load walks in [0, P-1], so the computation always
+     keeps at least one process and never more than P. *)
+  List.iter
+    (fun s -> Alcotest.(check bool) "1 <= size <= P" true (s >= 1 && s <= p))
+    !sizes;
+  (* The walk must actually move. *)
+  let distinct = List.sort_uniq compare !sizes in
+  Alcotest.(check bool) "load fluctuates" true (List.length distinct > 2)
+
+let markov_rejects_bad_probabilities () =
+  let rng = Rng.create ~seed:50L () in
+  Alcotest.check_raises "p > 1"
+    (Invalid_argument "Adversary.markov_load: probabilities in [0,1] required") (fun () ->
+      ignore (Adversary.markov_load ~num_processes:2 ~up:1.5 ~down:0.1 ~rng))
+
+let yield_none_is_noop () =
+  let rng = Rng.create ~seed:44L () in
+  let y = Yield.create Yield.No_yield ~num_processes:3 ~rng in
+  Yield.on_yield y ~proc:1;
+  Alcotest.(check bool) "still runnable" true (Yield.may_run y ~proc:1);
+  let set = [| true; true; true |] in
+  Alcotest.(check (array bool)) "repair identity" set (Yield.repair y set)
+
+let yield_to_random_blocks_until_target () =
+  let rng = Rng.create ~seed:45L () in
+  let y = Yield.create Yield.Yield_to_random ~num_processes:3 ~rng in
+  Yield.on_yield y ~proc:0;
+  Alcotest.(check bool) "proc 0 blocked" false (Yield.may_run y ~proc:0);
+  (* Repair substitutes the target for proc 0. *)
+  let repaired = Yield.repair y [| true; false; false |] in
+  Alcotest.(check bool) "proc 0 removed" false repaired.(0);
+  let width = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 repaired in
+  Alcotest.(check int) "width preserved" 1 width;
+  (* Run the substituted process: that must unblock proc 0 (it is
+     necessarily 0's target, since only the target is preferred). *)
+  Yield.note_scheduled y repaired;
+  Alcotest.(check bool) "proc 0 unblocked" true (Yield.may_run y ~proc:0)
+
+let yield_to_all_requires_everyone () =
+  let rng = Rng.create ~seed:46L () in
+  let y = Yield.create Yield.Yield_to_all ~num_processes:4 ~rng in
+  Yield.on_yield y ~proc:2;
+  Alcotest.(check bool) "blocked" false (Yield.may_run y ~proc:2);
+  Yield.note_scheduled y [| true; false; false; false |];
+  Alcotest.(check bool) "still blocked (1,3 pending)" false (Yield.may_run y ~proc:2);
+  Yield.note_scheduled y [| false; true; false; true |];
+  Alcotest.(check bool) "unblocked after all ran" true (Yield.may_run y ~proc:2)
+
+let yield_to_all_self_run_does_not_satisfy_others () =
+  let rng = Rng.create ~seed:47L () in
+  let y = Yield.create Yield.Yield_to_all ~num_processes:3 ~rng in
+  Yield.on_yield y ~proc:0;
+  (* Scheduling proc 0 itself is impossible while blocked; scheduling the
+     others one by one releases it. *)
+  Yield.note_scheduled y [| false; true; false |];
+  Alcotest.(check bool) "blocked" false (Yield.may_run y ~proc:0);
+  Yield.note_scheduled y [| false; false; true |];
+  Alcotest.(check bool) "released" true (Yield.may_run y ~proc:0)
+
+let repair_preserves_width_under_yield_to_all () =
+  let rng = Rng.create ~seed:48L () in
+  let y = Yield.create Yield.Yield_to_all ~num_processes:4 ~rng in
+  Yield.on_yield y ~proc:0;
+  let repaired = Yield.repair y [| true; true; false; false |] in
+  Alcotest.(check bool) "0 removed" false repaired.(0);
+  let width = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 repaired in
+  Alcotest.(check int) "width 2" 2 width;
+  (* The replacement must be one of 0's waiting set (2 or 3). *)
+  Alcotest.(check bool) "replacement from waiting set" true (repaired.(2) || repaired.(3))
+
+let tests =
+  [
+    Alcotest.test_case "figure 2(a) average" `Quick figure2_average;
+    Alcotest.test_case "counts clamped" `Quick counts_clamped;
+    Alcotest.test_case "steps 1-based" `Quick steps_one_based;
+    Alcotest.test_case "lower-bound schedule shape" `Quick lower_bound_shape;
+    Alcotest.test_case "lower-bound Pbar range" `Quick lower_bound_pbar_range;
+    Alcotest.test_case "dedicated adversary" `Quick dedicated_schedules_all;
+    Alcotest.test_case "benign respects sizes" `Quick benign_respects_sizes;
+    Alcotest.test_case "oblivious rotor" `Quick oblivious_rotor_excludes_one;
+    Alcotest.test_case "starve-thieves adversary" `Quick starve_thieves_prefers_workers;
+    Alcotest.test_case "preempt-lock-holders adversary" `Quick preempt_lock_holders_avoids;
+    Alcotest.test_case "markov load" `Quick markov_load_within_bounds;
+    Alcotest.test_case "markov rejects bad probs" `Quick markov_rejects_bad_probabilities;
+    Alcotest.test_case "yield none" `Quick yield_none_is_noop;
+    Alcotest.test_case "yieldToRandom" `Quick yield_to_random_blocks_until_target;
+    Alcotest.test_case "yieldToAll" `Quick yield_to_all_requires_everyone;
+    Alcotest.test_case "yieldToAll stepwise" `Quick yield_to_all_self_run_does_not_satisfy_others;
+    Alcotest.test_case "repair width preserving" `Quick repair_preserves_width_under_yield_to_all;
+  ]

@@ -1,0 +1,30 @@
+let () =
+  Alcotest.run "abp"
+    [
+      ("rng", Test_rng.tests);
+      ("descriptive", Test_descriptive.tests);
+      ("regression", Test_regression.tests);
+      ("histogram", Test_histogram.tests);
+      ("montecarlo", Test_montecarlo.tests);
+      ("dag", Test_dag.tests);
+      ("builder", Test_builder.tests);
+      ("generators", Test_generators.tests);
+      ("enabling-tree", Test_enabling_tree.tests);
+      ("deque", Test_deque.tests);
+      ("kernel", Test_kernel.tests);
+      ("sched", Test_sched.tests);
+      ("sim", Test_sim.tests);
+      ("mcheck", Test_mcheck.tests);
+      ("hood", Test_hood.tests);
+      ("sp", Test_sp.tests);
+      ("trace", Test_trace.tests);
+      ("strictness", Test_strictness.tests);
+      ("algos", Test_algos.tests);
+      ("script", Test_script.tests);
+      ("ascii-plot", Test_ascii_plot.tests);
+      ("yield-props", Test_yield_props.tests);
+      ("engine-edge", Test_engine_edge.tests);
+      ("dot", Test_dot.tests);
+      ("invariants", Test_invariants.tests);
+      ("misc", Test_misc.tests);
+    ]

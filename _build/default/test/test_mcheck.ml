@@ -1,0 +1,95 @@
+(* Model-checker tests (experiment E14 at test scale): the ABP deque meets
+   the relaxed semantics under exhaustive interleaving, the tag field is
+   load-bearing (removing it yields the ABA violation), and tag widths obey
+   the bounded-tags safety condition. *)
+
+open Abp_mcheck
+module Sd = Abp_deque.Step_deque
+module Rng = Abp_stats.Rng
+
+let verified name report =
+  Alcotest.(check (list string)) (name ^ ": no violations") [] report.Explorer.violations;
+  Alcotest.(check bool) (name ^ ": explored states") true (report.Explorer.states_explored > 0);
+  Alcotest.(check bool)
+    (name ^ ": complete executions")
+    true
+    (report.Explorer.complete_executions > 0)
+
+let aba_with_tag_is_safe () = verified "aba+tag" (Explorer.explore Props.aba_scenario)
+
+let aba_without_tag_fails () =
+  let r = Explorer.explore ~tag_width:0 Props.aba_scenario in
+  Alcotest.(check bool)
+    ("found the ABA violation: " ^ String.concat "; " r.Explorer.violations)
+    true
+    (r.Explorer.violations <> [])
+
+let wraparound_width1_fails () =
+  let r = Explorer.explore ~tag_width:1 Props.wraparound_scenario in
+  Alcotest.(check bool) "width 1 aliases after 2 resets" true (r.Explorer.violations <> [])
+
+let wraparound_width2_safe () =
+  verified "wraparound width 2" (Explorer.explore ~tag_width:2 Props.wraparound_scenario)
+
+let two_thieves_safe () = verified "two thieves" (Explorer.explore Props.two_thieves)
+
+let owner_vs_thief_safe () =
+  verified "owner vs thief" (Explorer.explore Props.owner_vs_thief_interleave)
+
+let empty_program () =
+  let r = Explorer.explore { Explorer.owner = []; thieves = [] } in
+  Alcotest.(check int) "one completion" 1 r.Explorer.complete_executions;
+  Alcotest.(check (list string)) "no violations" [] r.Explorer.violations
+
+let thief_on_empty_deque () =
+  (* A lone popTop on an empty deque must return NIL legally. *)
+  verified "thief on empty" (Explorer.explore { Explorer.owner = []; thieves = [ [ Sd.Pop_top ] ] })
+
+let rejects_owner_op_in_thief () =
+  Alcotest.check_raises "thief pushes"
+    (Invalid_argument "Explorer: thief may only popTop, got pushBottom(1)") (fun () ->
+      ignore (Explorer.explore { Explorer.owner = []; thieves = [ [ Sd.Push_bottom 1 ] ] }))
+
+let three_thieves_safe () =
+  (* Heavier contention: three thieves racing over two pushes.  Larger
+     state space but still exhaustive. *)
+  let program =
+    { Explorer.owner = [ Sd.Push_bottom 1; Sd.Push_bottom 2 ];
+      thieves = [ [ Sd.Pop_top ]; [ Sd.Pop_top ]; [ Sd.Pop_top ] ] }
+  in
+  let r = Explorer.explore program in
+  Alcotest.(check (list string)) "no violations" [] r.Explorer.violations;
+  Alcotest.(check bool) "big state space explored" true (r.Explorer.states_explored > 5_000)
+
+let owner_drain_vs_two_thieves () =
+  let program =
+    { Explorer.owner = [ Sd.Push_bottom 1; Sd.Push_bottom 2; Sd.Pop_bottom; Sd.Pop_bottom ];
+      thieves = [ [ Sd.Pop_top ]; [ Sd.Pop_top ] ] }
+  in
+  let r = Explorer.explore program in
+  Alcotest.(check (list string)) "no violations" [] r.Explorer.violations
+
+let prop_random_programs_safe =
+  QCheck2.Test.make ~name:"random programs meet relaxed semantics" ~count:25
+    QCheck2.Gen.(triple (int_range 1 1000) (int_range 1 5) (int_range 0 2))
+    (fun (seed, ops, thieves) ->
+      let rng_state = Rng.create ~seed:(Int64.of_int seed) () in
+      let program = Props.random_program ~rng:(fun n -> Rng.int rng_state n) ~ops ~thieves in
+      let r = Explorer.explore program in
+      r.Explorer.violations = [])
+
+let tests =
+  [
+    Alcotest.test_case "ABA scenario with tag" `Quick aba_with_tag_is_safe;
+    Alcotest.test_case "ABA scenario without tag fails" `Quick aba_without_tag_fails;
+    Alcotest.test_case "wraparound width 1 fails" `Quick wraparound_width1_fails;
+    Alcotest.test_case "wraparound width 2 safe" `Quick wraparound_width2_safe;
+    Alcotest.test_case "two thieves" `Quick two_thieves_safe;
+    Alcotest.test_case "owner vs thief" `Quick owner_vs_thief_safe;
+    Alcotest.test_case "empty program" `Quick empty_program;
+    Alcotest.test_case "thief on empty deque" `Quick thief_on_empty_deque;
+    Alcotest.test_case "rejects owner op in thief" `Quick rejects_owner_op_in_thief;
+    Alcotest.test_case "three thieves" `Quick three_thieves_safe;
+    Alcotest.test_case "owner drain vs two thieves" `Quick owner_drain_vs_two_thieves;
+    QCheck_alcotest.to_alcotest prop_random_programs_safe;
+  ]

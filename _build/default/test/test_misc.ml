@@ -1,0 +1,99 @@
+(* Coverage for small helpers: Run_result derived quantities,
+   Adversary.of_schedule_random, and the pretty-printers (smoke). *)
+
+module Run_result = Abp_sim.Run_result
+module Schedule = Abp_kernel.Schedule
+module Adversary = Abp_kernel.Adversary
+module Rng = Abp_stats.Rng
+
+let mk_result ~rounds ~tokens ~work ~span ~p =
+  {
+    Run_result.rounds;
+    completed = true;
+    tokens;
+    pbar = float_of_int tokens /. float_of_int rounds;
+    work;
+    span;
+    num_processes = p;
+    steal_attempts = 0;
+    successful_steals = 0;
+    lock_spins = 0;
+    yield_calls = 0;
+    invariant_violations = [];
+    steal_latencies = [||];
+  }
+
+let run_result_derived () =
+  (* T1=100, Tinf=10, P=4, T=50, tokens=200 => Pbar=4;
+     bound = (100 + 40)/4 = 35; ratio = 50/35; speedup = 2. *)
+  let r = mk_result ~rounds:50 ~tokens:200 ~work:100 ~span:10 ~p:4 in
+  Alcotest.(check (float 1e-9)) "speedup" 2.0 (Run_result.speedup r);
+  Alcotest.(check (float 1e-9)) "bound" 35.0 (Run_result.bound_prediction r);
+  Alcotest.(check (float 1e-9)) "ratio" (50.0 /. 35.0) (Run_result.bound_ratio r)
+
+let run_result_pp_smoke () =
+  let r = mk_result ~rounds:50 ~tokens:200 ~work:100 ~span:10 ~p:4 in
+  let s = Format.asprintf "%a" Run_result.pp r in
+  Alcotest.(check bool) "mentions T=" true (String.length s > 10)
+
+let of_schedule_random_matches_counts () =
+  let kernel = Schedule.figure2 () in
+  let adv = Adversary.of_schedule_random ~schedule:kernel ~rng:(Rng.create ~seed:9L ()) in
+  for round = 1 to 10 do
+    let view =
+      {
+        Adversary.round;
+        num_processes = 3;
+        has_assigned = (fun _ -> false);
+        deque_size = (fun _ -> 0);
+        in_critical_section = (fun _ -> false);
+      }
+    in
+    let set = Adversary.choose adv view in
+    let size = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 set in
+    Alcotest.(check int) (Printf.sprintf "round %d" round) (Schedule.count kernel round) size
+  done
+
+let schedule_pp_smoke () =
+  let s = Format.asprintf "%a" (Schedule.pp_prefix ~steps:5) (Schedule.figure2 ()) in
+  Alcotest.(check bool) "has rows" true (String.length s > 20)
+
+let exec_schedule_pp_smoke () =
+  let dag = Abp_dag.Figure1.dag () in
+  let kernel = Schedule.figure2 () in
+  let exec = Abp_sched.Greedy.run ~dag ~kernel ~policy:Abp_sched.Greedy.Fifo in
+  let s = Format.asprintf "%a" Abp_sched.Exec_schedule.pp exec in
+  Alcotest.(check bool) "mentions v1" true
+    (let rec find i =
+       i + 2 <= String.length s && (String.sub s i 2 = "v1" || find (i + 1))
+     in
+     find 0)
+
+let bounds_pp_smoke () =
+  let dag = Abp_dag.Figure1.dag () in
+  let kernel = Schedule.figure2 () in
+  let exec = Abp_sched.Greedy.run ~dag ~kernel ~policy:Abp_sched.Greedy.Fifo in
+  let s = Format.asprintf "%a" Abp_sched.Bounds.pp_report (Abp_sched.Bounds.report exec ~kernel) in
+  Alcotest.(check bool) "nonempty" true (String.length s > 20)
+
+let histogram_pp_smoke () =
+  let h = Abp_stats.Histogram.create ~lo:0.0 ~hi:4.0 ~bins:4 in
+  Abp_stats.Histogram.add_many h [| 0.5; 1.5; 1.7; 3.2 |];
+  let s = Format.asprintf "%a" Abp_stats.Histogram.pp h in
+  Alcotest.(check bool) "bars" true (String.contains s '#')
+
+let age_pp_smoke () =
+  let s = Format.asprintf "%a" Abp_deque.Age.pp (Abp_deque.Age.pack ~tag:3 ~top:7) in
+  Alcotest.(check string) "rendered" "{tag=3; top=7}" s
+
+let tests =
+  [
+    Alcotest.test_case "run_result derived quantities" `Quick run_result_derived;
+    Alcotest.test_case "run_result pp" `Quick run_result_pp_smoke;
+    Alcotest.test_case "of_schedule_random" `Quick of_schedule_random_matches_counts;
+    Alcotest.test_case "schedule pp" `Quick schedule_pp_smoke;
+    Alcotest.test_case "exec schedule pp" `Quick exec_schedule_pp_smoke;
+    Alcotest.test_case "bounds pp" `Quick bounds_pp_smoke;
+    Alcotest.test_case "histogram pp" `Quick histogram_pp_smoke;
+    Alcotest.test_case "age pp" `Quick age_pp_smoke;
+  ]

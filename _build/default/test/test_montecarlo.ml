@@ -1,0 +1,80 @@
+(* Tests for the Monte-Carlo harness and the Lemma 7 experiment. *)
+
+open Abp_stats
+
+let estimate_fair_coin () =
+  let rng = Rng.create ~seed:31L () in
+  let e = Montecarlo.estimate_probability ~trials:20_000 (fun r -> Rng.bool r) rng in
+  Alcotest.(check bool)
+    (Printf.sprintf "p^ = %.3f near 0.5" e.p_hat)
+    true
+    (Float.abs (e.p_hat -. 0.5) < 0.02);
+  let lo, hi = e.ci95 in
+  Alcotest.(check bool) "CI brackets 0.5" true (lo <= 0.5 && 0.5 <= hi)
+
+let estimate_sure_event () =
+  let rng = Rng.create ~seed:32L () in
+  let e = Montecarlo.estimate_probability ~trials:100 (fun _ -> true) rng in
+  Alcotest.(check (float 0.0)) "p^ = 1" 1.0 e.p_hat
+
+let lemma7_bound_values () =
+  (* beta = 1/2: bound = 1/((1/2) e) = 2/e ~ 0.7358. *)
+  Alcotest.(check (float 1e-4)) "beta=1/2" (2.0 /. exp 1.0) (Montecarlo.lemma7_bound ~beta:0.5)
+
+let lemma7_bound_rejects () =
+  Alcotest.check_raises "beta out of range"
+    (Invalid_argument "Montecarlo.lemma7_bound: beta out of (0,1)") (fun () ->
+      ignore (Montecarlo.lemma7_bound ~beta:1.0))
+
+let lemma7_holds_uniform_weights () =
+  (* P bins of equal weight, P balls: estimate Pr[X < beta W] and compare to
+     the bound.  This is experiment E6 at test scale. *)
+  let rng = Rng.create ~seed:33L () in
+  let weights = Array.make 16 1.0 in
+  List.iter
+    (fun beta ->
+      let e =
+        Montecarlo.estimate_probability ~trials:5_000
+          (fun r -> Montecarlo.balls_in_weighted_bins ~rng:r ~weights ~balls:16 ~beta)
+          rng
+      in
+      let bound = Montecarlo.lemma7_bound ~beta in
+      Alcotest.(check bool)
+        (Printf.sprintf "beta=%.2f: %.4f <= %.4f" beta e.p_hat bound)
+        true (e.p_hat <= bound))
+    [ 0.25; 0.5; 0.75 ]
+
+let lemma7_holds_skewed_weights () =
+  let rng = Rng.create ~seed:34L () in
+  let weights = Array.init 16 (fun i -> float_of_int (i + 1)) in
+  let e =
+    Montecarlo.estimate_probability ~trials:5_000
+      (fun r -> Montecarlo.balls_in_weighted_bins ~rng:r ~weights ~balls:16 ~beta:0.5)
+      rng
+  in
+  let bound = Montecarlo.lemma7_bound ~beta:0.5 in
+  Alcotest.(check bool) "bound holds for skewed weights" true (e.p_hat <= bound)
+
+let balls_zero_weight_bins () =
+  (* All weight in one bin: with many balls the bad event is rare. *)
+  let rng = Rng.create ~seed:35L () in
+  let weights = Array.make 4 0.0 in
+  weights.(0) <- 10.0;
+  let e =
+    Montecarlo.estimate_probability ~trials:2_000
+      (fun r -> Montecarlo.balls_in_weighted_bins ~rng:r ~weights ~balls:16 ~beta:0.5)
+      rng
+  in
+  (* Pr[bin 0 not hit] = (3/4)^16 ~ 0.01. *)
+  Alcotest.(check bool) "rare bad event" true (e.p_hat < 0.05)
+
+let tests =
+  [
+    Alcotest.test_case "fair coin estimate" `Quick estimate_fair_coin;
+    Alcotest.test_case "sure event" `Quick estimate_sure_event;
+    Alcotest.test_case "lemma7 bound value" `Quick lemma7_bound_values;
+    Alcotest.test_case "lemma7 bound rejects bad beta" `Quick lemma7_bound_rejects;
+    Alcotest.test_case "lemma7 holds (uniform)" `Quick lemma7_holds_uniform_weights;
+    Alcotest.test_case "lemma7 holds (skewed)" `Quick lemma7_holds_skewed_weights;
+    Alcotest.test_case "concentrated weight" `Quick balls_zero_weight_bins;
+  ]

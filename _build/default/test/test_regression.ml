@@ -1,0 +1,75 @@
+(* Tests for least-squares fits. *)
+
+open Abp_stats
+
+let feq = Alcotest.(check (float 1e-6))
+
+let simple_exact_line () =
+  let points = Array.init 10 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 2.0)) in
+  let fit = Regression.simple_linear points in
+  feq "slope" 3.0 fit.slope;
+  feq "intercept" 2.0 fit.intercept;
+  feq "r2" 1.0 fit.r2
+
+let simple_noisy_line () =
+  let rng = Rng.create ~seed:21L () in
+  let points =
+    Array.init 200 (fun i ->
+        let x = float_of_int i in
+        (x, (1.5 *. x) +. 4.0 +. (Rng.float rng 1.0 -. 0.5)))
+  in
+  let fit = Regression.simple_linear points in
+  Alcotest.(check bool) "slope close" true (Float.abs (fit.slope -. 1.5) < 0.02);
+  Alcotest.(check bool) "r2 high" true (fit.r2 > 0.99)
+
+let simple_needs_two_points () =
+  Alcotest.check_raises "1 point"
+    (Invalid_argument "Regression.simple_linear: need at least 2 points") (fun () ->
+      ignore (Regression.simple_linear [| (1.0, 1.0) |]))
+
+let simple_degenerate_x () =
+  Alcotest.check_raises "constant x" (Invalid_argument "Regression.simple_linear: degenerate x")
+    (fun () -> ignore (Regression.simple_linear [| (1.0, 1.0); (1.0, 2.0) |]))
+
+let two_term_exact () =
+  (* y = 2 x1 + 5 x2 over a non-degenerate design. *)
+  let data =
+    Array.init 20 (fun i ->
+        let x1 = float_of_int i and x2 = float_of_int ((i * 7 mod 13) + 1) in
+        (x1, x2, (2.0 *. x1) +. (5.0 *. x2)))
+  in
+  let fit = Regression.fit_two_term data in
+  feq "c1" 2.0 fit.c1;
+  feq "c2" 5.0 fit.c2;
+  feq "r2" 1.0 fit.r2
+
+let two_term_singular () =
+  (* x2 = 2 x1 exactly: singular normal equations. *)
+  let data = Array.init 5 (fun i -> (float_of_int i, 2.0 *. float_of_int i, float_of_int i)) in
+  Alcotest.check_raises "singular" (Invalid_argument "Regression.fit_two_term: singular design")
+    (fun () -> ignore (Regression.fit_two_term data))
+
+let max_ratio_known () =
+  feq "max ratio" 2.0 (Regression.max_ratio [| (1.0, 1.0); (4.0, 2.0); (3.0, 3.0) |])
+
+let r2_perfect_prediction () =
+  let actual = [| 1.0; 2.0; 3.0 |] in
+  feq "r2 = 1" 1.0 (Regression.r2_of ~predicted:actual ~actual)
+
+let r2_mean_prediction_zero () =
+  let actual = [| 1.0; 2.0; 3.0 |] in
+  let predicted = [| 2.0; 2.0; 2.0 |] in
+  feq "r2 = 0" 0.0 (Regression.r2_of ~predicted ~actual)
+
+let tests =
+  [
+    Alcotest.test_case "simple: exact line" `Quick simple_exact_line;
+    Alcotest.test_case "simple: noisy line" `Quick simple_noisy_line;
+    Alcotest.test_case "simple: needs 2 points" `Quick simple_needs_two_points;
+    Alcotest.test_case "simple: degenerate x" `Quick simple_degenerate_x;
+    Alcotest.test_case "two-term: exact" `Quick two_term_exact;
+    Alcotest.test_case "two-term: singular design" `Quick two_term_singular;
+    Alcotest.test_case "max_ratio" `Quick max_ratio_known;
+    Alcotest.test_case "r2 perfect" `Quick r2_perfect_prediction;
+    Alcotest.test_case "r2 of mean" `Quick r2_mean_prediction_zero;
+  ]

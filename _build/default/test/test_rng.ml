@@ -1,0 +1,141 @@
+(* Tests for the deterministic RNG: reproducibility, range correctness,
+   rough uniformity, and stream independence under split. *)
+
+open Abp_stats
+
+let determinism () =
+  let a = Rng.create ~seed:7L () and b = Rng.create ~seed:7L () in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let different_seeds_differ () =
+  let a = Rng.create ~seed:1L () and b = Rng.create ~seed:2L () in
+  let same = ref true in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then same := false
+  done;
+  Alcotest.(check bool) "streams differ" false !same
+
+let copy_is_independent () =
+  let a = Rng.create ~seed:3L () in
+  let _ = Rng.bits64 a in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy replays" (Rng.bits64 (Rng.copy a)) (Rng.bits64 b)
+
+let int_in_range () =
+  let rng = Rng.create ~seed:11L () in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 7 in
+    Alcotest.(check bool) "0 <= x < 7" true (x >= 0 && x < 7)
+  done
+
+let int_in_bounds () =
+  let rng = Rng.create ~seed:12L () in
+  for _ = 1 to 10_000 do
+    let x = Rng.int_in rng ~lo:(-5) ~hi:5 in
+    Alcotest.(check bool) "-5 <= x <= 5" true (x >= -5 && x <= 5)
+  done
+
+let int_rejects_nonpositive () =
+  let rng = Rng.create () in
+  Alcotest.check_raises "n = 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let float_in_range () =
+  let rng = Rng.create ~seed:13L () in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "0 <= x < 2.5" true (x >= 0.0 && x < 2.5)
+  done
+
+let uniformity_chi_square () =
+  (* 10 buckets, 100k draws; chi-square with 9 dof at alpha = 1e-6 is ~47. *)
+  let rng = Rng.create ~seed:14L () in
+  let buckets = Array.make 10 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    let i = Rng.int rng 10 in
+    buckets.(i) <- buckets.(i) + 1
+  done;
+  let expected = float_of_int n /. 10.0 in
+  let chi2 =
+    Array.fold_left
+      (fun acc c ->
+        let d = float_of_int c -. expected in
+        acc +. (d *. d /. expected))
+      0.0 buckets
+  in
+  Alcotest.(check bool) (Printf.sprintf "chi2 = %.2f < 47" chi2) true (chi2 < 47.0)
+
+let shuffle_permutes () =
+  let rng = Rng.create ~seed:15L () in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let sample_without_replacement_distinct () =
+  let rng = Rng.create ~seed:16L () in
+  for _ = 1 to 100 do
+    let s = Rng.sample_without_replacement rng ~k:5 ~n:12 in
+    Alcotest.(check int) "size" 5 (Array.length s);
+    let sorted = Array.copy s in
+    Array.sort compare sorted;
+    for i = 0 to 3 do
+      Alcotest.(check bool) "distinct" true (sorted.(i) < sorted.(i + 1))
+    done;
+    Array.iter (fun x -> Alcotest.(check bool) "in range" true (x >= 0 && x < 12)) s
+  done
+
+let split_streams_uncorrelated () =
+  let a = Rng.create ~seed:17L () in
+  let b = Rng.split a in
+  (* Crude: the two streams should not be identical. *)
+  let same = ref true in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then same := false
+  done;
+  Alcotest.(check bool) "split streams differ" false !same
+
+let bernoulli_mean () =
+  let rng = Rng.create ~seed:18L () in
+  let n = 100_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng ~p:0.3 then incr hits
+  done;
+  let p_hat = float_of_int !hits /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "p^ = %.3f close to 0.3" p_hat)
+    true
+    (Float.abs (p_hat -. 0.3) < 0.01)
+
+let geometric_mean_value () =
+  (* E[geometric(p)] = (1-p)/p; for p = 0.25 that is 3. *)
+  let rng = Rng.create ~seed:19L () in
+  let n = 50_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.geometric rng ~p:0.25
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) (Printf.sprintf "mean = %.3f close to 3" mean) true (Float.abs (mean -. 3.0) < 0.1)
+
+let tests =
+  [
+    Alcotest.test_case "determinism" `Quick determinism;
+    Alcotest.test_case "different seeds differ" `Quick different_seeds_differ;
+    Alcotest.test_case "copy is independent" `Quick copy_is_independent;
+    Alcotest.test_case "int range" `Quick int_in_range;
+    Alcotest.test_case "int_in range" `Quick int_in_bounds;
+    Alcotest.test_case "int rejects n<=0" `Quick int_rejects_nonpositive;
+    Alcotest.test_case "float range" `Quick float_in_range;
+    Alcotest.test_case "uniformity (chi-square)" `Quick uniformity_chi_square;
+    Alcotest.test_case "shuffle permutes" `Quick shuffle_permutes;
+    Alcotest.test_case "sample without replacement" `Quick sample_without_replacement_distinct;
+    Alcotest.test_case "split streams" `Quick split_streams_uncorrelated;
+    Alcotest.test_case "bernoulli mean" `Quick bernoulli_mean;
+    Alcotest.test_case "geometric mean" `Quick geometric_mean_value;
+  ]

@@ -1,0 +1,257 @@
+(* Tests for off-line schedulers: greedy and Brent validity, the Theorem 1
+   and Theorem 2 bounds on concrete instances, and the Figure 2
+   reconstruction. *)
+
+open Abp_sched
+module Dag = Abp_dag.Dag
+module Metrics = Abp_dag.Metrics
+module Generators = Abp_dag.Generators
+module Figure1 = Abp_dag.Figure1
+module Schedule = Abp_kernel.Schedule
+module Rng = Abp_stats.Rng
+
+let assert_valid exec ~kernel =
+  match Exec_schedule.validate exec ~kernel with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let figure2_reconstruction () =
+  (* E2: greedy execution of the Figure 1 dag under the Figure 2(a) kernel
+     schedule.  The paper's example schedule has length 10; a greedy
+     schedule must satisfy the Theorem 2 bound, and with Pbar = 2 over 10
+     steps the bound is 11/2 + 9*2/2 = 14.5. *)
+  let dag = Figure1.dag () in
+  let kernel = Schedule.figure2 () in
+  let exec = Greedy.run ~dag ~kernel ~policy:Greedy.Fifo in
+  assert_valid exec ~kernel;
+  let r = Bounds.report exec ~kernel in
+  Alcotest.(check bool) "lower work bound" true (Bounds.satisfies_lower_work r);
+  Alcotest.(check bool) "greedy upper bound" true (Bounds.satisfies_greedy_upper r);
+  (* Greedy can be no faster than span and no slower than the bound. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "length %d in [9, 14]" r.length)
+    true
+    (r.length >= 9 && r.length <= 14)
+
+let greedy_dedicated_finishes_fast () =
+  (* With P dedicated processes, greedy length <= T1/P + Tinf. *)
+  let dag = Generators.spawn_tree ~depth:6 ~leaf_work:4 in
+  let p = 8 in
+  let kernel = Schedule.dedicated ~num_processes:p in
+  let exec = Greedy.run ~dag ~kernel ~policy:Greedy.Fifo in
+  assert_valid exec ~kernel;
+  let t1 = Metrics.work dag and tinf = Metrics.span dag in
+  Alcotest.(check bool) "within greedy bound" true
+    (Exec_schedule.length exec <= (t1 / p) + tinf + 1)
+
+let greedy_single_process_is_serial () =
+  let dag = Generators.random_sp ~rng:(Rng.create ~seed:51L ()) ~size:200 in
+  let kernel = Schedule.dedicated ~num_processes:1 in
+  let exec = Greedy.run ~dag ~kernel ~policy:Greedy.Lifo in
+  assert_valid exec ~kernel;
+  Alcotest.(check int) "length = T1" (Metrics.work dag) (Exec_schedule.length exec)
+
+let greedy_all_policies_valid () =
+  let dag = Generators.wide ~width:16 ~work:8 in
+  let kernel = Schedule.figure2 () in
+  List.iter
+    (fun policy ->
+      let exec = Greedy.run ~dag ~kernel ~policy in
+      assert_valid exec ~kernel;
+      let r = Bounds.report exec ~kernel in
+      Alcotest.(check bool)
+        (Greedy.policy_name policy ^ " upper bound")
+        true
+        (Bounds.satisfies_greedy_upper r))
+    [ Greedy.Fifo; Greedy.Lifo; Greedy.Random (Rng.create ~seed:52L ()); Greedy.Deepest ]
+
+let brent_valid_and_bounded () =
+  let dag = Generators.spawn_tree ~depth:5 ~leaf_work:3 in
+  let kernel = Schedule.dedicated ~num_processes:4 in
+  let exec = Brent.run ~dag ~kernel in
+  assert_valid exec ~kernel;
+  let r = Bounds.report exec ~kernel in
+  Alcotest.(check bool) "brent satisfies greedy bound" true (Bounds.satisfies_greedy_upper r)
+
+let brent_no_faster_than_greedy () =
+  let dag = Generators.random_sp ~rng:(Rng.create ~seed:53L ()) ~size:400 in
+  let kernel = Schedule.dedicated ~num_processes:4 in
+  let greedy_len = Exec_schedule.length (Greedy.run ~dag ~kernel ~policy:Greedy.Fifo) in
+  let brent_len = Exec_schedule.length (Brent.run ~dag ~kernel) in
+  Alcotest.(check bool)
+    (Printf.sprintf "brent %d >= greedy %d" brent_len greedy_len)
+    true (brent_len >= greedy_len)
+
+let theorem1_lower_bound_holds () =
+  (* E3: under the adversarial kernel schedule, every execution (greedy
+     included) takes at least Tinf * P / Pbar steps, and Pbar lands in
+     [Phat/2, Phat]. *)
+  let dags =
+    [
+      Generators.spawn_tree ~depth:5 ~leaf_work:2;
+      Generators.wide ~width:8 ~work:8;
+      Generators.chain ~n:64;
+    ]
+  in
+  List.iter
+    (fun dag ->
+      List.iter
+        (fun k ->
+          let span = Metrics.span dag in
+          let p = 4 in
+          let kernel = Schedule.lower_bound ~span ~num_processes:p ~k in
+          let exec = Greedy.run ~dag ~kernel ~policy:Greedy.Fifo in
+          assert_valid exec ~kernel;
+          let r = Bounds.report exec ~kernel in
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d: len %d >= (k+1)*span %d" k r.length ((k + 1) * span))
+            true
+            (r.length >= (k + 1) * span);
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d: span lower bound (len=%d, bound=%.2f)" k r.length r.lower_span)
+            true (Bounds.satisfies_lower_span r);
+          let phat = float_of_int p /. float_of_int (k + 1) in
+          Alcotest.(check bool)
+            (Printf.sprintf "k=%d: pbar %.3f in [%.3f, %.3f]" k r.pbar (phat /. 2.0) phat)
+            true
+            (r.pbar >= (phat /. 2.0) -. 1e-9 && r.pbar <= phat +. 1e-9))
+        [ 0; 1; 3 ])
+    dags
+
+let idle_tokens_bounded () =
+  (* Proof of Theorem 2: idle tokens <= span * (P - 1). *)
+  let rng = Rng.create ~seed:54L () in
+  for _ = 1 to 10 do
+    let dag = Generators.random_sp ~rng ~size:(100 + Rng.int rng 400) in
+    let p = 1 + Rng.int rng 8 in
+    let kernel = Schedule.dedicated ~num_processes:p in
+    let exec = Greedy.run ~dag ~kernel ~policy:Greedy.Fifo in
+    let idle = Exec_schedule.idle_tokens exec ~kernel in
+    Alcotest.(check bool)
+      (Printf.sprintf "idle %d <= span*(P-1) = %d" idle (Metrics.span dag * (p - 1)))
+      true
+      (idle <= Metrics.span dag * (p - 1))
+  done
+
+let validate_rejects_bad_schedules () =
+  let dag = Figure1.dag () in
+  let kernel = Schedule.dedicated ~num_processes:2 in
+  (* Missing nodes. *)
+  let missing = { Exec_schedule.dag; steps = [| [| Dag.root dag |] |] } in
+  (match Exec_schedule.validate missing ~kernel with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted incomplete schedule");
+  (* Too many nodes per step. *)
+  let order = Dag.topological_order dag in
+  let crowded = { Exec_schedule.dag; steps = [| order |] } in
+  (match Exec_schedule.validate crowded ~kernel with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted overcrowded step");
+  (* Dependency violation: reverse topological order, one per step. *)
+  let rev = Array.of_list (List.rev (Array.to_list order)) in
+  let backwards = { Exec_schedule.dag; steps = Array.map (fun v -> [| v |]) rev } in
+  match Exec_schedule.validate backwards ~kernel with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accepted dependency violation"
+
+let optimal_figure1 () =
+  (* E23 at test scale: exhaustive optimum of the Figure 1 dag under the
+     Figure 2 kernel schedule, vs greedy. *)
+  let dag = Figure1.dag () in
+  let kernel = Schedule.figure2 () in
+  let opt = Optimal.optimal_length ~dag ~kernel in
+  let best_greedy = Optimal.best_greedy_length ~dag ~kernel in
+  Alcotest.(check int) "some greedy is optimal" opt best_greedy;
+  (* The paper's example execution schedule has length 10; no schedule
+     can beat the critical path under this kernel. *)
+  Alcotest.(check bool) (Printf.sprintf "optimal = %d in [9, 10]" opt) true (opt = 9 || opt = 10);
+  let fifo = Exec_schedule.length (Greedy.run ~dag ~kernel ~policy:Greedy.Fifo) in
+  Alcotest.(check bool) "fifo greedy >= optimal" true (fifo >= opt)
+
+let optimal_greedy_equality_small_instances () =
+  let rng = Rng.create ~seed:55L () in
+  for _ = 1 to 8 do
+    let dag = Generators.random_sp ~rng ~size:(6 + Rng.int rng 8) in
+    let p = 1 + Rng.int rng 3 in
+    let counts = Array.init 12 (fun _ -> Rng.int rng (p + 1)) in
+    let kernel = Schedule.of_array ~num_processes:p counts in
+    Alcotest.(check bool) "greedy achieves the optimum" true
+      (Optimal.greedy_is_optimal ~dag ~kernel);
+    (* And every concrete greedy policy is within 2x of optimal (the
+       paper's factor-of-2 remark). *)
+    let opt = Optimal.optimal_length ~dag ~kernel in
+    let fifo = Exec_schedule.length (Greedy.run ~dag ~kernel ~policy:Greedy.Fifo) in
+    Alcotest.(check bool)
+      (Printf.sprintf "fifo %d <= 2*opt %d" fifo (2 * opt))
+      true
+      (fifo <= 2 * opt)
+  done
+
+let optimal_rejects_large () =
+  let dag = Generators.chain ~n:Optimal.max_nodes in
+  let kernel = Schedule.dedicated ~num_processes:2 in
+  Alcotest.(check int) "chain optimum = n" Optimal.max_nodes
+    (Optimal.optimal_length ~dag ~kernel);
+  let too_big = Generators.chain ~n:(Optimal.max_nodes + 1) in
+  match Optimal.optimal_length ~dag:too_big ~kernel with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected size rejection"
+
+let optimal_skips_dead_rounds () =
+  (* Lower-bound kernel: k*span dead rounds before anything runs. *)
+  let dag = Figure1.dag () in
+  let span = Metrics.span dag in
+  let kernel = Schedule.lower_bound ~span ~num_processes:2 ~k:1 in
+  let opt = Optimal.optimal_length ~dag ~kernel in
+  Alcotest.(check bool)
+    (Printf.sprintf "optimum %d >= 2*span %d" opt (2 * span))
+    true
+    (opt >= 2 * span)
+
+(* qcheck: greedy bound across random dags, kernels, policies. *)
+let prop_greedy_bound =
+  QCheck2.Test.make ~name:"theorem 2 on random instances" ~count:40
+    QCheck2.Gen.(triple (int_range 1 1000) (int_range 20 300) (int_range 1 6))
+    (fun (seed, size, p) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let dag = Generators.random_sp ~rng ~size in
+      (* Random-ish kernel counts in [0, p], eventually all p. *)
+      let counts = Array.init 64 (fun _ -> Rng.int rng (p + 1)) in
+      let kernel = Schedule.of_array ~num_processes:p counts in
+      let exec = Greedy.run ~dag ~kernel ~policy:(Greedy.Random rng) in
+      match Exec_schedule.validate exec ~kernel with
+      | Error _ -> false
+      | Ok () ->
+          let r = Bounds.report exec ~kernel in
+          Bounds.satisfies_lower_work r && Bounds.satisfies_greedy_upper r)
+
+let prop_brent_bound =
+  QCheck2.Test.make ~name:"theorem 2 for brent on random instances" ~count:30
+    QCheck2.Gen.(pair (int_range 1 1000) (int_range 2 6))
+    (fun (seed, p) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let dag = Generators.random_sp ~rng ~size:150 in
+      let kernel = Schedule.dedicated ~num_processes:p in
+      let exec = Brent.run ~dag ~kernel in
+      match Exec_schedule.validate exec ~kernel with
+      | Error _ -> false
+      | Ok () -> Bounds.satisfies_greedy_upper (Bounds.report exec ~kernel))
+
+let tests =
+  [
+    Alcotest.test_case "figure 2 reconstruction (E2)" `Quick figure2_reconstruction;
+    Alcotest.test_case "greedy dedicated" `Quick greedy_dedicated_finishes_fast;
+    Alcotest.test_case "greedy serial" `Quick greedy_single_process_is_serial;
+    Alcotest.test_case "greedy all policies" `Quick greedy_all_policies_valid;
+    Alcotest.test_case "brent valid and bounded" `Quick brent_valid_and_bounded;
+    Alcotest.test_case "brent >= greedy" `Quick brent_no_faster_than_greedy;
+    Alcotest.test_case "theorem 1 lower bound (E3)" `Quick theorem1_lower_bound_holds;
+    Alcotest.test_case "idle tokens bounded" `Quick idle_tokens_bounded;
+    Alcotest.test_case "validator rejects bad schedules" `Quick validate_rejects_bad_schedules;
+    Alcotest.test_case "optimal: figure1/figure2 (E23)" `Quick optimal_figure1;
+    Alcotest.test_case "optimal: greedy equality" `Quick optimal_greedy_equality_small_instances;
+    Alcotest.test_case "optimal: size guard + chain" `Quick optimal_rejects_large;
+    Alcotest.test_case "optimal: dead rounds" `Quick optimal_skips_dead_rounds;
+    QCheck_alcotest.to_alcotest prop_greedy_bound;
+    QCheck_alcotest.to_alcotest prop_brent_bound;
+  ]

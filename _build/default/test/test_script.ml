@@ -1,0 +1,202 @@
+(* Tests for the Script DSL: elaboration of the paper's programming model
+   (spawn/join/semaphores) into validated dags, including the Figure 1
+   program, error cases, and execution of scripted dags in the
+   simulator. *)
+
+open Abp_dag
+
+(* Figure 1 as a program: root computes v1 v2 (spawn at v2), blocks at v4
+   on the child's v6 signal, then joins at v10 and finishes with v11. *)
+let figure1_script ctx =
+  Script.compute ctx 1 (* v1 *);
+  let sem = Script.semaphore ctx in
+  let child =
+    Script.spawn ctx (fun ctx ->
+        (* spawned node is v5; then v6 signals, v7 v8 compute, v9 dies *)
+        Script.signal ctx sem (* v6 *);
+        Script.compute ctx 3 (* v7 v8 v9 *))
+  in
+  Script.compute ctx 1 (* v3 *);
+  Script.wait ctx sem (* v4 *);
+  Script.join ctx child (* v10 *);
+  Script.compute ctx 1 (* v11 *)
+
+let figure1_program_measures () =
+  let dag = Script.to_dag figure1_script in
+  Alcotest.(check int) "work" 11 (Metrics.work dag);
+  Alcotest.(check int) "threads" 2 (Dag.num_threads dag);
+  Alcotest.(check int) "span" 9 (Metrics.span dag);
+  Alcotest.(check string) "fully strict (sem to parent)" "fully strict"
+    (Strictness.to_string (Strictness.classify dag))
+
+let pipeline_script () =
+  (* Two stages; stage 2 consumes 3 items produced by stage 1 through a
+     semaphore: a non-fully-strict program. *)
+  Script.to_dag (fun ctx ->
+      let sem = Script.semaphore ctx in
+      let producer =
+        Script.spawn ctx (fun ctx ->
+            for _ = 1 to 3 do
+              Script.compute ctx 2;
+              Script.signal ctx sem
+            done)
+      in
+      for _ = 1 to 3 do
+        Script.wait ctx sem;
+        Script.compute ctx 1
+      done;
+      Script.join ctx producer)
+
+let pipeline_program_valid () =
+  let dag = pipeline_script () in
+  (match Dag.validate dag with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "threads" 2 (Dag.num_threads dag)
+
+let multiple_semaphores_fifo () =
+  (* Two signals before any wait: waits pair FIFO with the signals. *)
+  let dag =
+    Script.to_dag (fun ctx ->
+        let sem = Script.semaphore ctx in
+        let child =
+          Script.spawn ctx (fun ctx ->
+              Script.signal ctx sem;
+              Script.compute ctx 1;
+              Script.signal ctx sem)
+        in
+        Script.wait ctx sem;
+        Script.wait ctx sem;
+        Script.join ctx child)
+  in
+  match Dag.validate dag with Ok () -> () | Error m -> Alcotest.fail m
+
+let unmatched_wait_rejected () =
+  Alcotest.check_raises "deadlock"
+    (Invalid_argument "Script.to_dag: 1 wait(s) with no matching signal (the program deadlocks)")
+    (fun () ->
+      ignore
+        (Script.to_dag (fun ctx ->
+             let sem = Script.semaphore ctx in
+             Script.compute ctx 1;
+             Script.wait ctx sem)))
+
+let double_join_rejected () =
+  Alcotest.check_raises "double join" (Invalid_argument "Script.join: thread already joined")
+    (fun () ->
+      ignore
+        (Script.to_dag (fun ctx ->
+             let child = Script.spawn ctx (fun ctx -> Script.compute ctx 1) in
+             Script.join ctx child;
+             Script.join ctx child)))
+
+let unjoined_child_rejected () =
+  (* Two final nodes: the validator must refuse. *)
+  match
+    Script.to_dag (fun ctx ->
+        let _child = Script.spawn ctx (fun ctx -> Script.compute ctx 2) in
+        Script.compute ctx 1)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected validation failure"
+
+let circular_semaphores_rejected () =
+  (* Root waits on s1 before signaling s2; child waits on s2 before
+     signaling s1: the elaborated graph has a cycle. *)
+  match
+    Script.to_dag (fun ctx ->
+        let s1 = Script.semaphore ctx in
+        let s2 = Script.semaphore ctx in
+        let child =
+          Script.spawn ctx (fun ctx ->
+              Script.wait ctx s2;
+              Script.signal ctx s1)
+        in
+        Script.wait ctx s1;
+        Script.signal ctx s2;
+        Script.join ctx child)
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected cycle rejection"
+
+let empty_program_rejected () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Script.to_dag: empty program (the root thread must execute something)")
+    (fun () -> ignore (Script.to_dag (fun _ -> ())))
+
+let scripted_dag_runs_in_simulator () =
+  let dag = pipeline_script () in
+  let p = 3 in
+  let r =
+    Abp_sim.Engine.run
+      {
+        (Abp_sim.Engine.default_config ~num_processes:p
+           ~adversary:(Abp_kernel.Adversary.dedicated ~num_processes:p))
+        with
+        Abp_sim.Engine.check_invariants = true;
+      }
+      dag
+  in
+  Alcotest.(check bool) "completed" true r.Abp_sim.Run_result.completed;
+  Alcotest.(check (list string)) "invariants" [] r.Abp_sim.Run_result.invariant_violations
+
+let nested_spawns () =
+  let dag =
+    Script.to_dag (fun ctx ->
+        Script.compute ctx 1;
+        let a =
+          Script.spawn ctx (fun ctx ->
+              let b = Script.spawn ctx (fun ctx -> Script.compute ctx 4) in
+              Script.compute ctx 2;
+              Script.join ctx b)
+        in
+        Script.compute ctx 3;
+        Script.join ctx a)
+  in
+  Alcotest.(check int) "threads" 3 (Dag.num_threads dag);
+  Alcotest.(check string) "fully strict" "fully strict"
+    (Strictness.to_string (Strictness.classify dag))
+
+let prop_random_fork_join_programs =
+  (* Random spawn/join programs (no semaphores, hence deadlock-free by
+     construction): must elaborate to valid fully strict dags and run to
+     completion in the simulator. *)
+  QCheck2.Test.make ~name:"random fork-join scripts are valid and run" ~count:25
+    QCheck2.Gen.(pair (int_range 1 100_000) (int_range 1 5))
+    (fun (seed, depth) ->
+      let rng = Abp_stats.Rng.create ~seed:(Int64.of_int seed) () in
+      let rec body ctx d =
+        Script.compute ctx (1 + Abp_stats.Rng.int rng 3);
+        if d > 0 then begin
+          let children =
+            List.init (Abp_stats.Rng.int rng 3) (fun _ ->
+                Script.spawn ctx (fun ctx -> body ctx (d - 1)))
+          in
+          List.iter (fun c -> Script.join ctx c) children;
+          Script.compute ctx 1
+        end
+      in
+      let dag = Script.to_dag (fun ctx -> body ctx depth) in
+      Dag.validate dag = Ok ()
+      && Strictness.classify dag = Strictness.Fully_strict
+      &&
+      let r =
+        Abp_sim.Engine.run
+          (Abp_sim.Engine.default_config ~num_processes:3
+             ~adversary:(Abp_kernel.Adversary.dedicated ~num_processes:3))
+          dag
+      in
+      r.Abp_sim.Run_result.completed)
+
+let tests =
+  [
+    Alcotest.test_case "figure 1 as a program" `Quick figure1_program_measures;
+    Alcotest.test_case "producer/consumer pipeline" `Quick pipeline_program_valid;
+    Alcotest.test_case "semaphore FIFO pairing" `Quick multiple_semaphores_fifo;
+    Alcotest.test_case "unmatched wait rejected" `Quick unmatched_wait_rejected;
+    Alcotest.test_case "double join rejected" `Quick double_join_rejected;
+    Alcotest.test_case "unjoined child rejected" `Quick unjoined_child_rejected;
+    Alcotest.test_case "circular semaphores rejected" `Quick circular_semaphores_rejected;
+    Alcotest.test_case "empty program rejected" `Quick empty_program_rejected;
+    Alcotest.test_case "scripted dag runs in simulator" `Quick scripted_dag_runs_in_simulator;
+    Alcotest.test_case "nested spawns" `Quick nested_spawns;
+    QCheck_alcotest.to_alcotest prop_random_fork_join_programs;
+  ]

@@ -1,0 +1,309 @@
+(* Tests for the two-level work-stealing simulator: exact serial behavior,
+   determinism, the analysis invariants (structural lemma + potential),
+   the Theorem 9-12 bounds at test scale, and the two degradation
+   experiments (no-yield, locked deques). *)
+
+open Abp_sim
+module Generators = Abp_dag.Generators
+module Metrics = Abp_dag.Metrics
+module Figure1 = Abp_dag.Figure1
+module Adversary = Abp_kernel.Adversary
+module Yield = Abp_kernel.Yield
+module Rng = Abp_stats.Rng
+
+let run_ws ?(yield_kind = Yield.Yield_to_all) ?(deque_model = Engine.Nonblocking)
+    ?(spawn_policy = Engine.Child_first) ?(check = false) ?(max_rounds = 1_000_000) ?(seed = 1L)
+    ~p ~adversary dag =
+  let cfg =
+    {
+      Engine.num_processes = p;
+      adversary;
+      yield_kind;
+      deque_model;
+      spawn_policy;
+      victim_policy = Engine.Random_victim;
+      actions_per_round = 1;
+      max_rounds;
+      seed;
+      check_invariants = check;
+    }
+  in
+  Engine.run cfg dag
+
+let serial_execution_is_exact () =
+  (* One dedicated process executes exactly one node per round: T = T1. *)
+  List.iter
+    (fun { Generators.name; dag } ->
+      let r = run_ws ~p:1 ~adversary:(Adversary.dedicated ~num_processes:1) dag in
+      Alcotest.(check bool) (name ^ " completed") true r.Run_result.completed;
+      Alcotest.(check int) (name ^ " rounds = T1") (Metrics.work dag) r.Run_result.rounds;
+      Alcotest.(check int) (name ^ " no steals") 0 r.Run_result.successful_steals)
+    (Generators.standard_suite ())
+
+let figure1_small_run () =
+  let dag = Figure1.dag () in
+  let r = run_ws ~p:2 ~adversary:(Adversary.dedicated ~num_processes:2) ~check:true dag in
+  Alcotest.(check bool) "completed" true r.Run_result.completed;
+  Alcotest.(check (list string)) "no invariant violations" [] r.Run_result.invariant_violations;
+  (* Cannot beat the critical path. *)
+  Alcotest.(check bool) "rounds >= span" true (r.Run_result.rounds >= Metrics.span dag)
+
+let deterministic_given_seed () =
+  let dag = Generators.spawn_tree ~depth:6 ~leaf_work:3 in
+  let mk () =
+    run_ws ~p:4
+      ~adversary:(Adversary.benign ~num_processes:4 ~sizes:(fun r -> 1 + (r mod 4)) ~rng:(Rng.create ~seed:7L ()))
+      ~seed:99L dag
+  in
+  let a = mk () and b = mk () in
+  Alcotest.(check int) "same rounds" a.Run_result.rounds b.Run_result.rounds;
+  Alcotest.(check int) "same steals" a.Run_result.successful_steals b.Run_result.successful_steals;
+  Alcotest.(check int) "same tokens" a.Run_result.tokens b.Run_result.tokens
+
+let invariants_hold_across_suite () =
+  (* E5 at test scale: structural lemma + potential monotonicity on every
+     round of varied workloads and process counts. *)
+  List.iter
+    (fun { Generators.name; dag } ->
+      List.iter
+        (fun p ->
+          let r =
+            run_ws ~p ~adversary:(Adversary.dedicated ~num_processes:p) ~check:true
+              ~seed:(Int64.of_int (p * 17)) dag
+          in
+          Alcotest.(check bool) (name ^ " completed") true r.Run_result.completed;
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s P=%d invariants" name p)
+            [] r.Run_result.invariant_violations)
+        [ 2; 4; 8 ])
+    (Generators.standard_suite ())
+
+let invariants_hold_under_adversaries () =
+  let dag = Generators.spawn_tree ~depth:6 ~leaf_work:2 in
+  let p = 4 in
+  let adversaries =
+    [
+      Adversary.benign ~num_processes:p ~sizes:(fun r -> r mod (p + 1)) ~rng:(Rng.create ~seed:3L ());
+      Adversary.oblivious_rotor ~num_processes:p ~run:5;
+      Adversary.oblivious_half_alternating ~num_processes:p ~run:7;
+      Adversary.starve_workers ~num_processes:p ~width:2 ~rng:(Rng.create ~seed:4L ());
+    ]
+  in
+  List.iter
+    (fun adversary ->
+      let r = run_ws ~p ~adversary ~check:true ~yield_kind:Yield.Yield_to_all dag in
+      Alcotest.(check bool) (Adversary.name adversary ^ " completed") true r.Run_result.completed;
+      Alcotest.(check (list string))
+        (Adversary.name adversary ^ " invariants")
+        [] r.Run_result.invariant_violations)
+    adversaries
+
+let theorem9_dedicated_bound () =
+  (* E7 at test scale: T <= c * (T1/P + Tinf) with a small c. *)
+  List.iter
+    (fun (dag, tag) ->
+      List.iter
+        (fun p ->
+          let r = run_ws ~p ~adversary:(Adversary.dedicated ~num_processes:p) ~seed:5L dag in
+          Alcotest.(check bool) "completed" true r.Run_result.completed;
+          let t1 = float_of_int (Metrics.work dag) and tinf = float_of_int (Metrics.span dag) in
+          let bound = (t1 /. float_of_int p) +. tinf in
+          let ratio = float_of_int r.Run_result.rounds /. bound in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s P=%d ratio %.2f <= 4" tag p ratio)
+            true (ratio <= 4.0))
+        [ 2; 4; 8; 16 ])
+    [
+      (Generators.spawn_tree ~depth:8 ~leaf_work:2, "tree");
+      (Generators.wide ~width:32 ~work:16, "wide");
+      (Generators.random_sp ~rng:(Rng.create ~seed:6L ()) ~size:2000, "sp");
+    ]
+
+let theorem10_benign_bound () =
+  (* E8 at test scale: benign kernel with Pbar < P. *)
+  let dag = Generators.spawn_tree ~depth:8 ~leaf_work:2 in
+  let p = 8 in
+  List.iter
+    (fun avail ->
+      let adversary =
+        Adversary.benign ~num_processes:p ~sizes:(fun _ -> avail) ~rng:(Rng.create ~seed:8L ())
+      in
+      let r = run_ws ~p ~adversary ~yield_kind:Yield.No_yield ~seed:9L dag in
+      Alcotest.(check bool) "completed" true r.Run_result.completed;
+      Alcotest.(check (float 0.01)) "pbar as configured" (float_of_int avail) r.Run_result.pbar;
+      let ratio = Run_result.bound_ratio r in
+      Alcotest.(check bool) (Printf.sprintf "avail=%d ratio %.2f <= 4" avail ratio) true (ratio <= 4.0))
+    [ 2; 4; 6 ]
+
+let theorem11_oblivious_bound () =
+  let dag = Generators.spawn_tree ~depth:8 ~leaf_work:2 in
+  let p = 6 in
+  let adversary = Adversary.oblivious_rotor ~num_processes:p ~run:3 in
+  let r = run_ws ~p ~adversary ~yield_kind:Yield.Yield_to_random ~seed:10L dag in
+  Alcotest.(check bool) "completed" true r.Run_result.completed;
+  let ratio = Run_result.bound_ratio r in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f <= 4" ratio) true (ratio <= 4.0)
+
+let theorem12_adaptive_bound () =
+  let dag = Generators.spawn_tree ~depth:7 ~leaf_work:2 in
+  let p = 6 in
+  let adversary = Adversary.starve_workers ~num_processes:p ~width:4 ~rng:(Rng.create ~seed:11L ()) in
+  let r = run_ws ~p ~adversary ~yield_kind:Yield.Yield_to_all ~seed:12L dag in
+  Alcotest.(check bool) "completed" true r.Run_result.completed;
+  let ratio = Run_result.bound_ratio r in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f <= 8" ratio) true (ratio <= 8.0)
+
+let no_yield_starvation_degrades () =
+  (* E12 at test scale: the starve-workers adversary stalls a yield-less
+     work stealer outright (round cap), while yieldToAll finishes. *)
+  let dag = Generators.spawn_tree ~depth:5 ~leaf_work:2 in
+  let p = 4 in
+  let mk_adv seed = Adversary.starve_workers ~num_processes:p ~width:(p - 1) ~rng:(Rng.create ~seed ()) in
+  let cap = 20_000 in
+  let starved =
+    run_ws ~p ~adversary:(mk_adv 13L) ~yield_kind:Yield.No_yield ~max_rounds:cap ~seed:14L dag
+  in
+  Alcotest.(check bool) "no yield: stalled at cap" false starved.Run_result.completed;
+  Alcotest.(check int) "no yield: burned all rounds" cap starved.Run_result.rounds;
+  let saved =
+    run_ws ~p ~adversary:(mk_adv 13L) ~yield_kind:Yield.Yield_to_all ~max_rounds:cap ~seed:14L dag
+  in
+  Alcotest.(check bool) "yieldToAll: completed" true saved.Run_result.completed;
+  Alcotest.(check bool)
+    (Printf.sprintf "yieldToAll fast: %d rounds" saved.Run_result.rounds)
+    true
+    (saved.Run_result.rounds < cap / 4)
+
+let locked_deque_degrades () =
+  (* E13 at test scale: preempt-lock-holders cripples the locked deque but
+     not the non-blocking one. *)
+  let dag = Generators.wide ~width:16 ~work:8 in
+  let p = 4 in
+  let mk_adv seed = Adversary.preempt_lock_holders ~num_processes:p ~width:2 ~rng:(Rng.create ~seed ()) in
+  let locked =
+    run_ws ~p ~adversary:(mk_adv 15L) ~deque_model:(Engine.Locked 2) ~yield_kind:Yield.No_yield
+      ~max_rounds:500_000 ~seed:16L dag
+  in
+  let nonblocking =
+    run_ws ~p ~adversary:(mk_adv 15L) ~deque_model:Engine.Nonblocking ~yield_kind:Yield.No_yield
+      ~max_rounds:500_000 ~seed:16L dag
+  in
+  Alcotest.(check bool) "nonblocking completed" true nonblocking.Run_result.completed;
+  (* The locked variant either stalls outright or is dramatically slower. *)
+  let degraded =
+    (not locked.Run_result.completed)
+    || locked.Run_result.rounds > 5 * nonblocking.Run_result.rounds
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "locked %d vs nonblocking %d rounds" locked.Run_result.rounds
+       nonblocking.Run_result.rounds)
+    true degraded
+
+let spawn_policy_ablation () =
+  let dag = Generators.spawn_tree ~depth:7 ~leaf_work:3 in
+  let p = 4 in
+  List.iter
+    (fun policy ->
+      let r =
+        run_ws ~p ~adversary:(Adversary.dedicated ~num_processes:p) ~spawn_policy:policy
+          ~check:true ~seed:17L dag
+      in
+      Alcotest.(check bool) "completed" true r.Run_result.completed;
+      Alcotest.(check (list string)) "invariants hold" [] r.Run_result.invariant_violations)
+    [ Engine.Child_first; Engine.Parent_first ]
+
+let chain_has_no_steals () =
+  let dag = Generators.chain ~n:100 in
+  let r = run_ws ~p:4 ~adversary:(Adversary.dedicated ~num_processes:4) ~seed:18L dag in
+  Alcotest.(check bool) "completed" true r.Run_result.completed;
+  Alcotest.(check int) "nothing stealable" 0 r.Run_result.successful_steals;
+  Alcotest.(check bool) "thieves kept trying" true (r.Run_result.steal_attempts > 0)
+
+let throws_scale_with_span_p () =
+  (* E16 at test scale: dedicated throws are O(Tinf * P); check the ratio
+     is bounded across P for a fixed dag. *)
+  let dag = Generators.spawn_tree ~depth:7 ~leaf_work:2 in
+  let tinf = Metrics.span dag in
+  List.iter
+    (fun p ->
+      let r = run_ws ~p ~adversary:(Adversary.dedicated ~num_processes:p) ~seed:19L dag in
+      let ratio = float_of_int r.Run_result.steal_attempts /. float_of_int (tinf * p) in
+      Alcotest.(check bool) (Printf.sprintf "P=%d throws/TinfP = %.2f <= 8" p ratio) true (ratio <= 8.0))
+    [ 2; 4; 8; 16 ]
+
+let central_queue_matches_on_ideal () =
+  (* With an idealized (contention-free) central queue and a dedicated
+     kernel, the work-sharing baseline also completes near the greedy
+     bound. *)
+  let dag = Generators.spawn_tree ~depth:7 ~leaf_work:2 in
+  let p = 4 in
+  let cfg = Central_sched.default_config ~num_processes:p ~adversary:(Adversary.dedicated ~num_processes:p) in
+  let r = Central_sched.run cfg dag in
+  Alcotest.(check bool) "completed" true r.Run_result.completed;
+  let bound = (float_of_int (Metrics.work dag) /. float_of_int p) +. float_of_int (Metrics.span dag) in
+  Alcotest.(check bool) "near greedy bound" true (float_of_int r.Run_result.rounds <= 4.0 *. bound)
+
+let central_queue_lock_contention () =
+  (* Under the Locked model the central queue serializes: lock spins grow
+     with P while the distributed-deque work stealer's do not. *)
+  let dag = Generators.wide ~width:32 ~work:8 in
+  let p = 8 in
+  let cfg =
+    {
+      (Central_sched.default_config ~num_processes:p ~adversary:(Adversary.dedicated ~num_processes:p))
+      with
+      Central_sched.deque_model = Engine.Locked 2;
+    }
+  in
+  let central = Central_sched.run cfg dag in
+  let ws =
+    run_ws ~p ~adversary:(Adversary.dedicated ~num_processes:p) ~deque_model:(Engine.Locked 2)
+      ~seed:20L dag
+  in
+  Alcotest.(check bool) "central completed" true central.Run_result.completed;
+  Alcotest.(check bool) "ws completed" true ws.Run_result.completed;
+  Alcotest.(check bool)
+    (Printf.sprintf "central spins %d > ws spins %d" central.Run_result.lock_spins
+       ws.Run_result.lock_spins)
+    true
+    (central.Run_result.lock_spins > ws.Run_result.lock_spins)
+
+(* qcheck: completion + invariants on random dags, processes, adversary mix *)
+let prop_sim_invariants =
+  QCheck2.Test.make ~name:"simulator invariants on random instances" ~count:25
+    QCheck2.Gen.(triple (int_range 1 10_000) (int_range 20 300) (int_range 2 8))
+    (fun (seed, size, p) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let dag = Generators.random_sp ~rng ~size in
+      let r =
+        run_ws ~p
+          ~adversary:
+            (Adversary.benign ~num_processes:p
+               ~sizes:(fun round -> 1 + (round mod p))
+               ~rng:(Rng.create ~seed:(Int64.of_int (seed + 1)) ()))
+          ~check:true
+          ~seed:(Int64.of_int (seed + 2))
+          dag
+      in
+      r.Run_result.completed && r.Run_result.invariant_violations = [])
+
+let tests =
+  [
+    Alcotest.test_case "serial execution exact" `Quick serial_execution_is_exact;
+    Alcotest.test_case "figure1 run with checks" `Quick figure1_small_run;
+    Alcotest.test_case "deterministic given seed" `Quick deterministic_given_seed;
+    Alcotest.test_case "invariants across suite (E5)" `Quick invariants_hold_across_suite;
+    Alcotest.test_case "invariants under adversaries" `Quick invariants_hold_under_adversaries;
+    Alcotest.test_case "theorem 9 bound (E7)" `Quick theorem9_dedicated_bound;
+    Alcotest.test_case "theorem 10 bound (E8)" `Quick theorem10_benign_bound;
+    Alcotest.test_case "theorem 11 bound (E9)" `Quick theorem11_oblivious_bound;
+    Alcotest.test_case "theorem 12 bound (E10)" `Quick theorem12_adaptive_bound;
+    Alcotest.test_case "no-yield degradation (E12)" `Quick no_yield_starvation_degrades;
+    Alcotest.test_case "locked-deque degradation (E13)" `Quick locked_deque_degrades;
+    Alcotest.test_case "spawn policy ablation" `Quick spawn_policy_ablation;
+    Alcotest.test_case "chain: nothing stealable" `Quick chain_has_no_steals;
+    Alcotest.test_case "throws scale (E16)" `Quick throws_scale_with_span_p;
+    Alcotest.test_case "central queue: ideal" `Quick central_queue_matches_on_ideal;
+    Alcotest.test_case "central queue: contention" `Quick central_queue_lock_contention;
+    QCheck_alcotest.to_alcotest prop_sim_invariants;
+  ]

@@ -1,0 +1,102 @@
+(* Tests for the series-parallel algebra: the algebraic work/span must
+   match the realized dag's measured metrics exactly, on hand-written and
+   random terms. *)
+
+open Abp_dag
+module Rng = Abp_stats.Rng
+
+let check_consistent name e =
+  let dag = Sp.to_dag e in
+  (match Dag.validate dag with Ok () -> () | Error m -> Alcotest.fail (name ^ ": " ^ m));
+  Alcotest.(check int) (name ^ " work") (Sp.work e) (Metrics.work dag);
+  Alcotest.(check int) (name ^ " span") (Sp.span e) (Metrics.span dag)
+
+let single_work () =
+  let e = Sp.work_node 7 in
+  Alcotest.(check int) "work" 7 (Sp.work e);
+  Alcotest.(check int) "span" 7 (Sp.span e);
+  check_consistent "work7" e
+
+let seq_adds () =
+  let e = Sp.(seq [ work_node 3; work_node 4; work_node 5 ]) in
+  Alcotest.(check int) "work" 12 (Sp.work e);
+  Alcotest.(check int) "span" 12 (Sp.span e);
+  check_consistent "seq" e
+
+let par_two () =
+  let e = Sp.(par [ work_node 10; work_node 4 ]) in
+  (* k = 2: work = 6 + 14 = 20; span = max(4, 2 + 2 + 10) = 14. *)
+  Alcotest.(check int) "work" 20 (Sp.work e);
+  Alcotest.(check int) "span" 14 (Sp.span e);
+  check_consistent "par2" e
+
+let par_wide_short () =
+  (* k = 5 branches of 1: span = max(10, 5 + 2 + 1) = 10 (the spawn/join
+     chain dominates). *)
+  let e = Sp.(par (List.init 5 (fun _ -> work_node 1))) in
+  Alcotest.(check int) "span" 10 (Sp.span e);
+  check_consistent "par5x1" e
+
+let nested () =
+  let e = Sp.(par [ seq [ work_node 5; par [ work_node 3; work_node 3 ] ]; work_node 10 ]) in
+  check_consistent "nested" e;
+  Alcotest.(check int) "depth" 3 (Sp.depth e)
+
+let parallelism_positive () =
+  let e = Sp.(par [ work_node 100; work_node 100; work_node 100 ]) in
+  Alcotest.(check bool) "parallelism > 2" true (Sp.parallelism e > 2.0)
+
+let rejects_bad_args () =
+  Alcotest.check_raises "work 0" (Invalid_argument "Sp.work_node: n >= 1 required") (fun () ->
+      ignore (Sp.work_node 0));
+  Alcotest.check_raises "empty seq" (Invalid_argument "Sp.seq: empty") (fun () ->
+      ignore (Sp.seq []));
+  Alcotest.check_raises "empty par" (Invalid_argument "Sp.par: empty") (fun () ->
+      ignore (Sp.par []))
+
+let pp_renders () =
+  let e = Sp.(seq [ work_node 5; par [ work_node 3; work_node 3 ] ]) in
+  Alcotest.(check string) "algebraic form" "(5 ; (3 | 3))" (Format.asprintf "%a" Sp.pp e)
+
+let prop_algebra_matches_dag =
+  QCheck2.Test.make ~name:"algebraic work/span = measured on random terms" ~count:60
+    QCheck2.Gen.(pair (int_range 1 100_000) (int_range 1 300))
+    (fun (seed, size) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let e = Sp.random ~rng ~size in
+      let dag = Sp.to_dag e in
+      Dag.validate dag = Ok ()
+      && Sp.work e = Metrics.work dag
+      && Sp.span e = Metrics.span dag)
+
+let prop_simulator_runs_sp_terms =
+  QCheck2.Test.make ~name:"simulator executes random sp terms within bound" ~count:15
+    QCheck2.Gen.(pair (int_range 1 100_000) (int_range 50 400))
+    (fun (seed, size) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let e = Sp.random ~rng ~size in
+      let dag = Sp.to_dag e in
+      let p = 4 in
+      let r =
+        Abp_sim.Engine.run
+          (Abp_sim.Engine.default_config ~num_processes:p
+             ~adversary:(Abp_kernel.Adversary.dedicated ~num_processes:p))
+          dag
+      in
+      r.Abp_sim.Run_result.completed
+      && float_of_int r.Abp_sim.Run_result.rounds
+         <= 4.0 *. ((float_of_int (Sp.work e) /. float_of_int p) +. float_of_int (Sp.span e)))
+
+let tests =
+  [
+    Alcotest.test_case "single work node" `Quick single_work;
+    Alcotest.test_case "seq adds" `Quick seq_adds;
+    Alcotest.test_case "par of two" `Quick par_two;
+    Alcotest.test_case "wide short par" `Quick par_wide_short;
+    Alcotest.test_case "nested" `Quick nested;
+    Alcotest.test_case "parallelism" `Quick parallelism_positive;
+    Alcotest.test_case "rejects bad args" `Quick rejects_bad_args;
+    Alcotest.test_case "pp" `Quick pp_renders;
+    QCheck_alcotest.to_alcotest prop_algebra_matches_dag;
+    QCheck_alcotest.to_alcotest prop_simulator_runs_sp_terms;
+  ]

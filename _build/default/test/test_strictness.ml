@@ -1,0 +1,106 @@
+(* Tests for the strictness classifier: canonical members of each class,
+   and the paper's claim that the scheduler handles all three (the bounds
+   tests elsewhere run on all of them). *)
+
+open Abp_dag
+
+let fully_strict_examples () =
+  List.iter
+    (fun (name, dag) ->
+      Alcotest.(check string) name "fully strict"
+        (Strictness.to_string (Strictness.classify dag)))
+    [
+      ("figure1", Figure1.dag ());
+      ("spawn_tree", Generators.spawn_tree ~depth:5 ~leaf_work:3);
+      ("wide", Generators.wide ~width:8 ~work:4);
+      ("chain", Generators.chain ~n:10);
+      ("random_sp", Generators.random_sp ~rng:(Abp_stats.Rng.create ~seed:61L ()) ~size:300);
+      ("sp algebra", Sp.(to_dag (par [ work_node 5; seq [ work_node 2; par [ work_node 1; work_node 1 ] ] ])));
+    ]
+
+(* A grandchild joining directly at the root: strict but not fully
+   strict. *)
+let skip_level_dag () =
+  let b = Builder.create () in
+  let r1 = Builder.add_node b Builder.root in
+  let child, c1 = Builder.spawn b ~parent:r1 in
+  let grandchild, _g1 = Builder.spawn b ~parent:c1 in
+  ignore (Builder.add_node b grandchild);
+  let w_child = Builder.add_node b Builder.root in
+  Builder.join b ~last_of:child ~wait:w_child;
+  let w_grand = Builder.add_node b Builder.root in
+  Builder.join b ~last_of:grandchild ~wait:w_grand;
+  ignore (Builder.add_node b Builder.root);
+  Builder.finish b
+
+let strict_example () =
+  let dag = skip_level_dag () in
+  Alcotest.(check string) "skip-level join" "strict"
+    (Strictness.to_string (Strictness.classify dag))
+
+(* Sibling-to-sibling dataflow: general. *)
+let general_examples () =
+  Alcotest.(check string) "pipeline" "general"
+    (Strictness.to_string (Strictness.classify (Generators.pipeline ~stages:4 ~items:6)));
+  (* child A signals child B directly *)
+  let b = Builder.create () in
+  let r1 = Builder.add_node b Builder.root in
+  let ca, a1 = Builder.spawn b ~parent:r1 in
+  let r2 = Builder.add_node b Builder.root in
+  let cb, b1 = Builder.spawn b ~parent:r2 in
+  ignore a1;
+  let b2 = Builder.add_node b cb in
+  ignore b2;
+  Builder.sync b ~signal:a1 ~wait:b2;
+  ignore b1;
+  let wa = Builder.add_node b Builder.root in
+  Builder.join b ~last_of:ca ~wait:wa;
+  let wb = Builder.add_node b Builder.root in
+  Builder.join b ~last_of:cb ~wait:wb;
+  ignore (Builder.add_node b Builder.root);
+  let dag = Builder.finish b in
+  Alcotest.(check string) "sibling sync" "general"
+    (Strictness.to_string (Strictness.classify dag))
+
+let thread_parentage () =
+  let dag = skip_level_dag () in
+  Alcotest.(check bool) "root has no parent" true (Strictness.thread_parent dag 0 = None);
+  Alcotest.(check bool) "child's parent is root" true (Strictness.thread_parent dag 1 = Some 0);
+  Alcotest.(check bool) "grandchild's parent is child" true
+    (Strictness.thread_parent dag 2 = Some 1);
+  Alcotest.(check bool) "root ancestor of grandchild" true
+    (Strictness.thread_is_ancestor dag ~anc:0 ~desc:2);
+  Alcotest.(check bool) "grandchild not ancestor of root" false
+    (Strictness.thread_is_ancestor dag ~anc:2 ~desc:0)
+
+(* The paper's generalization: the work stealer meets its bound on strict
+   and general computations too, not only fully strict ones. *)
+let scheduler_handles_all_classes () =
+  List.iter
+    (fun (name, dag) ->
+      let p = 4 in
+      let r =
+        Abp_sim.Engine.run
+          (Abp_sim.Engine.default_config ~num_processes:p
+             ~adversary:(Abp_kernel.Adversary.dedicated ~num_processes:p))
+          dag
+      in
+      Alcotest.(check bool) (name ^ " completed") true r.Abp_sim.Run_result.completed;
+      Alcotest.(check bool)
+        (name ^ " within bound")
+        true
+        (Abp_sim.Run_result.bound_ratio r <= 4.0))
+    [
+      ("fully strict", Generators.spawn_tree ~depth:6 ~leaf_work:2);
+      ("strict", skip_level_dag ());
+      ("general", Generators.pipeline ~stages:6 ~items:16);
+    ]
+
+let tests =
+  [
+    Alcotest.test_case "fully strict examples" `Quick fully_strict_examples;
+    Alcotest.test_case "strict example" `Quick strict_example;
+    Alcotest.test_case "general examples" `Quick general_examples;
+    Alcotest.test_case "thread parentage" `Quick thread_parentage;
+    Alcotest.test_case "scheduler handles all classes" `Quick scheduler_handles_all_classes;
+  ]

@@ -1,0 +1,181 @@
+(* Integration tests tying the simulator to the formal model of Section 2:
+   a traced simulator run is a genuine execution schedule — it validates
+   against the dependency and width rules of Exec_schedule, and its bounds
+   reports are consistent with the run's own accounting. *)
+
+module Engine = Abp_sim.Engine
+module Run_result = Abp_sim.Run_result
+module Exec_schedule = Abp_sched.Exec_schedule
+module Bounds = Abp_sched.Bounds
+module Schedule = Abp_kernel.Schedule
+module Adversary = Abp_kernel.Adversary
+module Generators = Abp_dag.Generators
+module Rng = Abp_stats.Rng
+
+let traced_run ?(p = 4) ?(adversary = None) ?(seed = 1L) dag =
+  let adversary =
+    match adversary with Some a -> a | None -> Adversary.dedicated ~num_processes:p
+  in
+  let cfg = { (Engine.default_config ~num_processes:p ~adversary) with Engine.seed } in
+  Engine.run_traced cfg dag
+
+let exec_of_trace dag (trace : Engine.trace) ~p =
+  let kernel = Schedule.of_array ~num_processes:p ~tail:p trace.Engine.widths in
+  ({ Exec_schedule.dag; steps = trace.Engine.steps }, kernel)
+
+let sim_trace_is_valid_execution () =
+  List.iter
+    (fun { Generators.name; dag } ->
+      let r, trace = traced_run ~p:4 dag in
+      Alcotest.(check bool) (name ^ " completed") true r.Run_result.completed;
+      let exec, kernel = exec_of_trace dag trace ~p:4 in
+      (match Exec_schedule.validate exec ~kernel with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail (name ^ ": " ^ m));
+      Alcotest.(check int) (name ^ " length = rounds") r.Run_result.rounds
+        (Exec_schedule.length exec))
+    (Generators.standard_suite ())
+
+let trace_under_adversary_valid () =
+  let dag = Generators.spawn_tree ~depth:7 ~leaf_work:3 in
+  let p = 6 in
+  let adversary =
+    Adversary.benign ~num_processes:p
+      ~sizes:(fun round -> 1 + (round mod p))
+      ~rng:(Rng.create ~seed:5L ())
+  in
+  let r, trace = traced_run ~p ~adversary:(Some adversary) dag in
+  Alcotest.(check bool) "completed" true r.Run_result.completed;
+  let exec, kernel = exec_of_trace dag trace ~p in
+  (match Exec_schedule.validate exec ~kernel with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  (* The trace's kernel-token accounting agrees with the run's. *)
+  Alcotest.(check int) "tokens agree" r.Run_result.tokens
+    (Schedule.total kernel ~steps:r.Run_result.rounds)
+
+let trace_bounds_report_consistent () =
+  let dag = Generators.wide ~width:16 ~work:8 in
+  let p = 4 in
+  let r, trace = traced_run ~p dag in
+  let exec, kernel = exec_of_trace dag trace ~p in
+  let report = Bounds.report exec ~kernel in
+  Alcotest.(check int) "length" r.Run_result.rounds report.Bounds.length;
+  Alcotest.(check (float 1e-9)) "pbar" r.Run_result.pbar report.Bounds.pbar;
+  (* The work-stealing execution respects the universal lower bound. *)
+  Alcotest.(check bool) "lower bound" true (Bounds.satisfies_lower_work report)
+
+let trace_total_nodes () =
+  let dag = Generators.random_sp ~rng:(Rng.create ~seed:6L ()) ~size:300 in
+  let _, trace = traced_run ~p:3 dag in
+  let executed = Array.fold_left (fun acc nodes -> acc + Array.length nodes) 0 trace.Engine.steps in
+  Alcotest.(check int) "every node traced once" (Abp_dag.Metrics.work dag) executed
+
+let traced_rejects_wide_rounds () =
+  let dag = Generators.chain ~n:4 in
+  let adversary = Adversary.dedicated ~num_processes:2 in
+  let cfg =
+    { (Engine.default_config ~num_processes:2 ~adversary) with Engine.actions_per_round = 2 }
+  in
+  Alcotest.check_raises "actions_per_round = 2"
+    (Invalid_argument "Engine.run_traced: requires actions_per_round = 1 (one node per process-step)")
+    (fun () -> ignore (Engine.run_traced cfg dag))
+
+let trace_phi_monotone_and_steals_consistent () =
+  let dag = Generators.spawn_tree ~depth:7 ~leaf_work:3 in
+  let p = 4 in
+  let r, trace = traced_run ~p dag in
+  Alcotest.(check bool) "completed" true r.Run_result.completed;
+  (* The recorded potential series never increases round over round. *)
+  let phi = trace.Engine.log_phi in
+  for i = 1 to Array.length phi - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "phi monotone at %d" i)
+      true
+      (phi.(i) <= phi.(i - 1) +. 1e-9)
+  done;
+  (* Final potential is -inf (no ready nodes remain). *)
+  Alcotest.(check bool) "final phi = -inf" true (phi.(Array.length phi - 1) = neg_infinity);
+  (* Per-round steal counts sum to the run's total. *)
+  let total = Array.fold_left ( + ) 0 trace.Engine.steals_per_round in
+  Alcotest.(check int) "steal attempts sum" r.Run_result.steal_attempts total
+
+let round_robin_victims_complete () =
+  let dag = Generators.spawn_tree ~depth:7 ~leaf_work:3 in
+  let p = 4 in
+  let cfg =
+    {
+      (Engine.default_config ~num_processes:p
+         ~adversary:(Adversary.dedicated ~num_processes:p))
+      with
+      Engine.victim_policy = Engine.Round_robin_victim;
+      check_invariants = true;
+    }
+  in
+  let r = Engine.run cfg dag in
+  Alcotest.(check bool) "completed" true r.Run_result.completed;
+  Alcotest.(check (list string)) "invariants hold" [] r.Run_result.invariant_violations
+
+let prop_traces_validate =
+  QCheck2.Test.make ~name:"random traced runs are valid execution schedules" ~count:20
+    QCheck2.Gen.(triple (int_range 1 10_000) (int_range 30 300) (int_range 2 8))
+    (fun (seed, size, p) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let dag = Generators.random_sp ~rng ~size in
+      let adversary =
+        Adversary.benign ~num_processes:p
+          ~sizes:(fun round -> round mod (p + 1))
+          ~rng:(Rng.create ~seed:(Int64.of_int (seed + 1)) ())
+      in
+      let r, trace = traced_run ~p ~adversary:(Some adversary) ~seed:(Int64.of_int seed) dag in
+      let exec, kernel = exec_of_trace dag trace ~p in
+      r.Run_result.completed && Exec_schedule.validate exec ~kernel = Ok ())
+
+let ws_never_beats_optimal () =
+  (* Cross-layer check: the on-line work stealer cannot outperform the
+     exhaustive off-line optimum under the kernel widths it actually
+     received. *)
+  let rng = Rng.create ~seed:7L () in
+  for _ = 1 to 5 do
+    let dag = Generators.random_sp ~rng ~size:(8 + Rng.int rng 6) in
+    let p = 2 + Rng.int rng 2 in
+    let r, trace = traced_run ~p ~seed:(Rng.bits64 rng) dag in
+    let kernel = Schedule.of_array ~num_processes:p ~tail:p trace.Engine.widths in
+    let opt = Abp_sched.Optimal.optimal_length ~dag ~kernel in
+    Alcotest.(check bool)
+      (Printf.sprintf "ws %d >= optimal %d" r.Run_result.rounds opt)
+      true
+      (r.Run_result.rounds >= opt)
+  done
+
+let trace_table_renders () =
+  let dag = Abp_dag.Figure1.dag () in
+  let p = 2 in
+  let adversary = Adversary.dedicated ~num_processes:p in
+  let cfg = Engine.default_config ~num_processes:p ~adversary in
+  let r, trace, sets = Engine.run_traced_with_sets cfg dag in
+  let out =
+    Format.asprintf "%a" (Engine.pp_trace_table ~num_processes:p ~rounds:r.Run_result.rounds ~sets)
+      trace
+  in
+  (* Header + one line per round; contains the root and final nodes. *)
+  let lines = String.split_on_char '\n' out |> List.filter (fun l -> l <> "") in
+  Alcotest.(check int) "rows" (r.Run_result.rounds + 1) (List.length lines);
+  Alcotest.(check bool) "mentions v1" true
+    (List.exists (fun l -> String.length l > 0 && String.index_opt l 'v' <> None) lines)
+
+let tests =
+  [
+    Alcotest.test_case "sim trace is a valid execution schedule" `Quick
+      sim_trace_is_valid_execution;
+    Alcotest.test_case "trace under benign adversary" `Quick trace_under_adversary_valid;
+    Alcotest.test_case "trace bounds report consistent" `Quick trace_bounds_report_consistent;
+    Alcotest.test_case "trace covers all nodes" `Quick trace_total_nodes;
+    Alcotest.test_case "tracing requires unit rounds" `Quick traced_rejects_wide_rounds;
+    Alcotest.test_case "phi series monotone; steals consistent" `Quick
+      trace_phi_monotone_and_steals_consistent;
+    Alcotest.test_case "round-robin victims complete" `Quick round_robin_victims_complete;
+    Alcotest.test_case "ws never beats optimal" `Quick ws_never_beats_optimal;
+    Alcotest.test_case "trace table renders" `Quick trace_table_renders;
+    QCheck_alcotest.to_alcotest prop_traces_validate;
+  ]

@@ -1,0 +1,81 @@
+(* Property tests for the yield obligation tracker: over random sequences
+   of yields and kernel-proposed sets, the repaired sets never contain a
+   blocked process, repair never enlarges a round, and obligations
+   discharge exactly per the paper's definitions. *)
+
+open Abp_kernel
+module Rng = Abp_stats.Rng
+
+(* A random step of a simulated system: some processes yield, the kernel
+   proposes a random set, repair runs, the set executes.  Returns the
+   repaired set. *)
+let random_round rng y ~p =
+  (* Random yields from a few processes (as failed thieves would). *)
+  for _ = 1 to Rng.int rng 3 do
+    Yield.on_yield y ~proc:(Rng.int rng p)
+  done;
+  let proposed = Array.init p (fun _ -> Rng.bool rng) in
+  let repaired = Yield.repair y proposed in
+  Yield.note_scheduled y repaired;
+  (proposed, repaired)
+
+let size set = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 set
+
+let prop_repair_sound kind name =
+  QCheck2.Test.make ~name ~count:50
+    QCheck2.Gen.(pair (int_range 1 100_000) (int_range 2 10))
+    (fun (seed, p) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let y = Yield.create kind ~num_processes:p ~rng:(Rng.split rng) in
+      let ok = ref true in
+      for _ = 1 to 60 do
+        (* Check blocked-exclusion BEFORE note_scheduled mutates state:
+           inline the round here. *)
+        for _ = 1 to Rng.int rng 3 do
+          Yield.on_yield y ~proc:(Rng.int rng p)
+        done;
+        let proposed = Array.init p (fun _ -> Rng.bool rng) in
+        let repaired = Yield.repair y proposed in
+        Array.iteri
+          (fun q in_set -> if in_set && not (Yield.may_run y ~proc:q) then ok := false)
+          repaired;
+        if size repaired > size proposed then ok := false;
+        Yield.note_scheduled y repaired
+      done;
+      !ok)
+
+let prop_no_yield_repair_is_identity =
+  QCheck2.Test.make ~name:"No_yield: repair is the identity" ~count:30
+    QCheck2.Gen.(pair (int_range 1 100_000) (int_range 1 8))
+    (fun (seed, p) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let y = Yield.create Yield.No_yield ~num_processes:p ~rng:(Rng.split rng) in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        let proposed, repaired = random_round rng y ~p in
+        if proposed <> repaired then ok := false
+      done;
+      !ok)
+
+let prop_yield_to_all_eventually_unblocks =
+  (* If every round schedules everyone who may run, a yielded process is
+     runnable again after at most one full round of the others. *)
+  QCheck2.Test.make ~name:"Yield_to_all: full rounds unblock in one step" ~count:30
+    QCheck2.Gen.(pair (int_range 1 100_000) (int_range 2 10))
+    (fun (seed, p) ->
+      let rng = Rng.create ~seed:(Int64.of_int seed) () in
+      let y = Yield.create Yield.Yield_to_all ~num_processes:p ~rng:(Rng.split rng) in
+      let victim = Rng.int rng p in
+      Yield.on_yield y ~proc:victim;
+      let everyone_else = Array.init p (fun q -> q <> victim) in
+      Yield.note_scheduled y everyone_else;
+      Yield.may_run y ~proc:victim)
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (prop_repair_sound Yield.Yield_to_random "Yield_to_random: repair sound");
+    QCheck_alcotest.to_alcotest (prop_repair_sound Yield.Yield_to_all "Yield_to_all: repair sound");
+    QCheck_alcotest.to_alcotest prop_no_yield_repair_is_identity;
+    QCheck_alcotest.to_alcotest prop_yield_to_all_eventually_unblocks;
+  ]
