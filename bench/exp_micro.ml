@@ -90,10 +90,14 @@ let print_results results =
 let pool_throughput () =
   Common.note "";
   Common.note "Hood pool: parallel_reduce over 2M elements (tasks of grain 128)";
+  Common.note "counter deltas (telemetry sink) recorded alongside the timings";
   let rows = ref [] in
   List.iter
     (fun p ->
-      let pool = Abp.Pool.create ~processes:p () in
+      (* Counters-only sink (no event ring): per-worker records, no
+         cross-domain contention on the timed path. *)
+      let sink = Abp.Trace.Sink.create ~workers:p () in
+      let pool = Abp.Pool.create ~processes:p ~trace:sink () in
       let t0 = Unix.gettimeofday () in
       let sum =
         Abp.Pool.run pool (fun () ->
@@ -103,16 +107,25 @@ let pool_throughput () =
       in
       let dt = Unix.gettimeofday () -. t0 in
       Abp.Pool.shutdown pool;
+      let c = Abp.Trace.Sink.totals sink in
       rows :=
         [
           Common.i p;
           Printf.sprintf "%.3f" dt;
           Common.i sum;
-          Printf.sprintf "%d/%d" (Abp.Pool.successful_steals pool) (Abp.Pool.steal_attempts pool);
+          Printf.sprintf "%d/%d" c.Abp.Trace.Counters.successful_steals
+            c.Abp.Trace.Counters.steal_attempts;
+          Common.i c.Abp.Trace.Counters.pushes;
+          Common.i
+            (c.Abp.Trace.Counters.cas_failures_pop_top
+            + c.Abp.Trace.Counters.cas_failures_pop_bottom);
+          Common.i c.Abp.Trace.Counters.deque_high_water;
         ]
         :: !rows)
     [ 1; 2; 4 ];
-  Common.table ~header:[ "P"; "seconds"; "checksum"; "steals" ] (List.rev !rows);
+  Common.table
+    ~header:[ "P"; "seconds"; "checksum"; "steals"; "pushes"; "cas-lost"; "hiwater" ]
+    (List.rev !rows);
   Common.note "(single-CPU container: domains timeshare, so no wall-clock speedup is expected;";
   Common.note " the performance-shape experiments run in the round-accurate simulator instead)"
 

@@ -4,7 +4,8 @@
    Examples:
      hoodrun fib -n 30 -p 4
      hoodrun nqueens -n 11 -p 4
-     hoodrun reduce -n 5000000 -p 2 *)
+     hoodrun reduce -n 5000000 -p 2
+     hoodrun nqueens -n 10 -p 4 --trace out.json   # chrome://tracing *)
 
 open Cmdliner
 
@@ -13,7 +14,7 @@ let time f =
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
 
-let run workload n p grain deque =
+let run workload n p grain deque trace_file =
   let deque_impl =
     match deque with
     | "abp" -> Abp.Pool.Abp
@@ -21,7 +22,13 @@ let run workload n p grain deque =
     | "locked" -> Abp.Pool.Locked
     | other -> raise (Invalid_argument ("unknown deque impl: " ^ other))
   in
-  let pool = Abp.Pool.create ~processes:p ~deque_impl () in
+  let sink =
+    Option.map
+      (fun _ ->
+        Abp.Trace.Sink.create ~ring_capacity:(1 lsl 16) ~clock:Unix.gettimeofday ~workers:p ())
+      trace_file
+  in
+  let pool = Abp.Pool.create ~processes:p ~deque_impl ?trace:sink () in
   let result, elapsed =
     Abp.Pool.run pool (fun () ->
         time (fun () ->
@@ -37,7 +44,13 @@ let run workload n p grain deque =
   Abp.Pool.shutdown pool;
   Format.printf "%s(%d) = %d  on P=%d in %.3fs  steals %d/%d@." workload n result p elapsed
     (Abp.Pool.successful_steals pool)
-    (Abp.Pool.steal_attempts pool)
+    (Abp.Pool.steal_attempts pool);
+  match (sink, trace_file) with
+  | Some sink, Some file ->
+      Format.printf "%a" Abp.Trace.Report.pp sink;
+      Abp.Trace.Chrome.write_file file sink;
+      Format.printf "chrome trace written to %s (load in chrome://tracing)@." file
+  | _ -> ()
 
 let cmd =
   let workload =
@@ -47,8 +60,16 @@ let cmd =
   let p = Arg.(value & opt int 4 & info [ "p"; "processes" ] ~doc:"worker processes") in
   let grain = Arg.(value & opt int 64 & info [ "grain" ] ~doc:"sequential grain for reduce") in
   let deque = Arg.(value & opt string "abp" & info [ "deque" ] ~doc:"abp|circular|locked") in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"collect scheduler telemetry; print the aggregate report and write a Chrome \
+                trace-event JSON to $(docv)")
+  in
   Cmd.v
     (Cmd.info "hoodrun" ~doc:"Run workloads on the Hood work-stealing runtime")
-    Term.(const run $ workload $ n $ p $ grain $ deque)
+    Term.(const run $ workload $ n $ p $ grain $ deque $ trace_file)
 
 let () = exit (Cmd.eval cmd)

@@ -4,7 +4,8 @@
      simrun --dag tree --depth 8 -p 8 --adversary dedicated
      simrun --dag wide --width 32 --work 16 -p 8 --adversary benign --avail 4
      simrun --dag tree -p 8 --adversary starve-workers --yield all --check
-     simrun --dag pipe -p 4 --adversary rotor --yield random --deque locked *)
+     simrun --dag pipe -p 4 --adversary rotor --yield random --deque locked
+     simrun --dag tree -p 8 --trace out.json   # telemetry + chrome://tracing *)
 
 open Cmdliner
 
@@ -40,9 +41,14 @@ let make_yield = function
   | other -> raise (Invalid_argument ("unknown yield kind: " ^ other))
 
 let run dag_family depth leaf width work stages items size n p adversary avail rotor_run yield
-    deque cs spawn_policy victims rounds_cap seed check trace_rounds =
+    deque cs spawn_policy victims rounds_cap seed check trace_rounds trace_file =
   let dag = make_dag dag_family ~depth ~leaf ~width ~work ~stages ~items ~size ~n ~seed in
   let adversary = make_adversary adversary ~p ~avail ~rotor_run ~seed in
+  let sink =
+    Option.map
+      (fun _ -> Abp.Trace.Sink.create ~ring_capacity:(1 lsl 16) ~workers:p ())
+      trace_file
+  in
   let cfg =
     {
       Abp.Engine.num_processes = p;
@@ -63,15 +69,22 @@ let run dag_family depth leaf width work stages items size n p adversary avail r
     (Abp.Metrics.work dag) (Abp.Metrics.span dag) (Abp.Metrics.parallelism dag);
   let r =
     if trace_rounds > 0 then begin
-      let r, trace, sets = Abp.Engine.run_traced_with_sets cfg dag in
+      let r, trace, sets = Abp.Engine.run_traced_with_sets ?trace:sink cfg dag in
       Format.printf "%a"
         (Abp.Engine.pp_trace_table ~num_processes:p ~rounds:trace_rounds ~sets)
         trace;
       r
     end
-    else Abp.Engine.run cfg dag
+    else Abp.Engine.run ?trace:sink cfg dag
   in
   Format.printf "%a@." Abp.Run_result.pp r;
+  (match (sink, trace_file) with
+  | Some sink, Some file ->
+      Format.printf "%a" Abp.Trace.Report.pp sink;
+      (* Round-stamped events: render one kernel round as one millisecond. *)
+      Abp.Trace.Chrome.write_file ~scale:1000.0 file sink;
+      Format.printf "chrome trace written to %s (load in chrome://tracing)@." file
+  | _ -> ());
   Format.printf "bound T1/Pbar + Tinf*P/Pbar = %.1f rounds@." (Abp.Run_result.bound_prediction r);
   if check then
     if r.Abp.Run_result.invariant_violations = [] then
@@ -114,13 +127,22 @@ let cmd =
   let seed = int_flag "seed" 1 "random seed" in
   let check = Arg.(value & flag & info [ "check" ] ~doc:"check structural lemma + potential") in
   let trace_rounds =
-    Arg.(value & opt int 0 & info [ "trace" ] ~doc:"print the first N rounds, Figure 2(b)-style")
+    Arg.(
+      value & opt int 0 & info [ "trace-table" ] ~doc:"print the first N rounds, Figure 2(b)-style")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"collect scheduler telemetry; print the aggregate report and write a Chrome \
+                trace-event JSON (round-stamped) to $(docv)")
   in
   let term =
     Term.(
       const run $ dag_family $ depth $ leaf $ width $ work $ stages $ items $ size $ n $ p
       $ adversary $ avail $ rotor_run $ yield $ deque $ cs $ spawn_policy $ victims $ rounds_cap
-      $ seed $ check $ trace_rounds)
+      $ seed $ check $ trace_rounds $ trace_file)
   in
   Cmd.v (Cmd.info "simrun" ~doc:"Run the ABP work stealer in the multiprogramming simulator") term
 

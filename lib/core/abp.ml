@@ -19,6 +19,10 @@
       of the deque's relaxed semantics (the TR-99-11 substitute).
     - {!Pool}, {!Future}, {!Par}: Hood, the real runtime on OCaml 5
       domains.
+    - {!Trace} ({!Abp_trace.Counters}, {!Abp_trace.Sink},
+      {!Abp_trace.Chrome}, {!Abp_trace.Report}): the scheduler telemetry
+      layer — per-worker counters, bounded event rings, Chrome
+      trace-event and text exporters (Section 5's measurements).
     - {!Rng}, {!Descriptive}, {!Regression}, {!Histogram}, {!Montecarlo}:
       deterministic randomness and statistics for the experiments. *)
 
@@ -72,6 +76,11 @@ module Run_result = Abp_sim.Run_result
 (* Model checker *)
 module Explorer = Abp_mcheck.Explorer
 module Mcheck_props = Abp_mcheck.Props
+
+(* Telemetry *)
+module Trace = Abp_trace
+module Trace_counters = Abp_trace.Counters
+module Trace_sink = Abp_trace.Sink
 
 (* Hood runtime *)
 module Pool = Abp_hood.Pool

@@ -34,17 +34,25 @@ let push_bottom t node =
      5  newAge <- oldAge; newAge.top++
      6  cas (age, oldAge, newAge)
      7  if success: return node
-     8  return NIL *)
-let pop_top t =
+     8  return NIL
+
+   The [_detailed] variant distinguishes the two NIL paths (line 3's
+   empty observation vs line 6's lost CAS) for the telemetry layer. *)
+let pop_top_detailed t =
   let old_word = Atomic.get t.age in
   let old_age = Age.of_packed old_word in
   let local_bot = Atomic.get t.bot in
-  if local_bot <= Age.top old_age then None
+  if local_bot <= Age.top old_age then Spec.Empty
   else begin
     let node = t.deq.(Age.top old_age) in
     let new_word = (Age.with_top old_age (Age.top old_age + 1) :> int) in
-    if Atomic.compare_and_set t.age old_word new_word then node else None
+    if Atomic.compare_and_set t.age old_word new_word then
+      match node with Some x -> Spec.Got x | None -> Spec.Empty
+    else Spec.Contended
   end
+
+let pop_top t =
+  match pop_top_detailed t with Spec.Got x -> Some x | Spec.Empty | Spec.Contended -> None
 
 (* popBottom (Figure 5):
      1  load localBot <- bot
@@ -60,26 +68,33 @@ let pop_top t =
      11   cas (age, oldAge, newAge); if success: return node
      12 store newAge -> age
      13 return NIL *)
-let pop_bottom t =
+let pop_bottom_detailed t =
   let local_bot = Atomic.get t.bot in
-  if local_bot = 0 then None
+  if local_bot = 0 then Spec.Empty
   else begin
     let local_bot = local_bot - 1 in
     Atomic.set t.bot local_bot;
     let node = t.deq.(local_bot) in
     let old_word = Atomic.get t.age in
     let old_age = Age.of_packed old_word in
-    if local_bot > Age.top old_age then node
+    let got () = match node with Some x -> Spec.Got x | None -> Spec.Empty in
+    if local_bot > Age.top old_age then got ()
     else begin
       Atomic.set t.bot 0;
       let new_word = (Age.bump_tag old_age :> int) in
-      if local_bot = Age.top old_age && Atomic.compare_and_set t.age old_word new_word then node
+      if local_bot = Age.top old_age && Atomic.compare_and_set t.age old_word new_word then got ()
       else begin
         Atomic.set t.age new_word;
-        None
+        (* localBot = top means the last item was stolen mid-invocation
+           (the line 11 CAS lost); localBot < top means the deque had
+           already been drained by thieves. *)
+        if local_bot = Age.top old_age then Spec.Contended else Spec.Empty
       end
     end
   end
+
+let pop_bottom t =
+  match pop_bottom_detailed t with Spec.Got x -> Some x | Spec.Empty | Spec.Contended -> None
 
 let top_of t = Age.top (Age.of_packed (Atomic.get t.age))
 let tag_of t = Age.tag (Age.of_packed (Atomic.get t.age))

@@ -23,6 +23,17 @@ include Spec.S
 
 val default_capacity : int
 
+val pop_top_detailed : 'a t -> 'a Spec.detailed
+(** [pop_top] with the cause of a NIL preserved: {!Spec.Empty} for the
+    Figure 5 line-3 empty observation, {!Spec.Contended} for a lost
+    line-6 CAS.  [pop_top t = None] iff [pop_top_detailed t] is [Empty]
+    or [Contended]. *)
+
+val pop_bottom_detailed : 'a t -> 'a Spec.detailed
+(** [pop_bottom] with the cause of a NIL preserved: {!Spec.Contended}
+    when the last item was stolen during the invocation (the line-11 CAS
+    lost), {!Spec.Empty} otherwise. *)
+
 val tag_of : 'a t -> int
 (** Current tag value (diagnostics/tests). *)
 

@@ -54,21 +54,23 @@ let push_bottom t x =
   put buf b (Some x);
   Atomic.set t.bottom (b + 1)
 
-let pop_bottom t =
+let got = function Some x -> Spec.Got x | None -> Spec.Empty
+
+let pop_bottom_detailed t =
   let b = Atomic.get t.bottom - 1 in
   Atomic.set t.bottom b;
   let tp = Atomic.get t.top in
   if b < tp then begin
     (* Deque was empty; restore the canonical empty state. *)
     Atomic.set t.bottom tp;
-    None
+    Spec.Empty
   end
   else begin
     let buf = Atomic.get t.active in
     let x = get buf b in
     if b > tp then begin
       put buf b None;
-      x
+      got x
     end
     else begin
       (* Last element: race the thieves for it with a CAS on top. *)
@@ -76,21 +78,27 @@ let pop_bottom t =
       Atomic.set t.bottom (tp + 1);
       if won then begin
         put buf b None;
-        x
+        got x
       end
-      else None
+      else Spec.Contended
     end
   end
 
-let pop_top t =
+let pop_bottom t =
+  match pop_bottom_detailed t with Spec.Got x -> Some x | Spec.Empty | Spec.Contended -> None
+
+let pop_top_detailed t =
   let tp = Atomic.get t.top in
   let b = Atomic.get t.bottom in
-  if b <= tp then None
+  if b <= tp then Spec.Empty
   else begin
     let buf = Atomic.get t.active in
     let x = get buf tp in
-    if Atomic.compare_and_set t.top tp (tp + 1) then x else None
+    if Atomic.compare_and_set t.top tp (tp + 1) then got x else Spec.Contended
   end
+
+let pop_top t =
+  match pop_top_detailed t with Spec.Got x -> Some x | Spec.Empty | Spec.Contended -> None
 
 let size t =
   let b = Atomic.get t.bottom and tp = Atomic.get t.top in

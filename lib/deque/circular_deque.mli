@@ -18,6 +18,15 @@
 
 include Spec.S
 
+val pop_top_detailed : 'a t -> 'a Spec.detailed
+(** [pop_top] with the cause of a NIL preserved: {!Spec.Empty} when
+    [bottom <= top] was observed, {!Spec.Contended} when the CAS on
+    [top] lost to a racing process. *)
+
+val pop_bottom_detailed : 'a t -> 'a Spec.detailed
+(** [pop_bottom] with the cause of a NIL preserved: {!Spec.Contended}
+    when the last element's CAS on [top] lost to a thief. *)
+
 val capacity : 'a t -> int
 (** Current buffer capacity (a power of two; grows, never shrinks). *)
 

@@ -1,3 +1,9 @@
+(* Outcome of a pop with the cause of failure preserved: [Empty] means
+   the relaxed semantics' legal NIL (the deque was observed empty or
+   drained), [Contended] means a CAS was lost to a racing process.  The
+   distinction feeds the telemetry layer's CAS-failure counters. *)
+type 'a detailed = Got of 'a | Empty | Contended
+
 module type S = sig
   type 'a t
 

@@ -15,6 +15,13 @@
     suffices for the performance bounds; the paper's Figure 5 (our
     {!Abp}, {!Atomic_deque}) is such an implementation. *)
 
+type 'a detailed = Got of 'a | Empty | Contended
+(** Outcome of a pop with the cause of failure preserved: [Empty] is the
+    relaxed semantics' legal NIL (the deque was observed empty or
+    drained), [Contended] means the invocation lost a CAS to a racing
+    process.  Both map to [None] in the plain {!S} methods; the
+    instrumented schedulers count them separately. *)
+
 module type S = sig
   type 'a t
 

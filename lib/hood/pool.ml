@@ -1,26 +1,51 @@
 type deque_impl = Abp | Circular | Locked
 
+module Spec = Abp_deque.Spec
+module Counters = Abp_trace.Counters
+module Sink = Abp_trace.Sink
+
 (* Each worker's deque behind a closure record, so one pool type serves
-   every implementation. *)
+   every implementation.  The pop methods keep the cause of a NIL
+   ({!Spec.detailed}) so the instrumented mode can count CAS failures
+   separately from genuine emptiness; the locked baseline has no CAS, so
+   its failures all register as [Empty]. *)
 type task_deque = {
   push : (unit -> unit) -> unit;
-  pop_bottom : unit -> (unit -> unit) option;
-  pop_top : unit -> (unit -> unit) option;
+  pop_bottom : unit -> (unit -> unit) Spec.detailed;
+  pop_top : unit -> (unit -> unit) Spec.detailed;
+  deque_size : unit -> int;
 }
+
+let of_option = function Some x -> Spec.Got x | None -> Spec.Empty
 
 let make_deque ?capacity = function
   | Abp ->
       let module D = Abp_deque.Atomic_deque in
       let d = D.create ?capacity () in
-      { push = D.push_bottom d; pop_bottom = (fun () -> D.pop_bottom d); pop_top = (fun () -> D.pop_top d) }
+      {
+        push = D.push_bottom d;
+        pop_bottom = (fun () -> D.pop_bottom_detailed d);
+        pop_top = (fun () -> D.pop_top_detailed d);
+        deque_size = (fun () -> D.size d);
+      }
   | Circular ->
       let module D = Abp_deque.Circular_deque in
       let d = D.create ?capacity () in
-      { push = D.push_bottom d; pop_bottom = (fun () -> D.pop_bottom d); pop_top = (fun () -> D.pop_top d) }
+      {
+        push = D.push_bottom d;
+        pop_bottom = (fun () -> D.pop_bottom_detailed d);
+        pop_top = (fun () -> D.pop_top_detailed d);
+        deque_size = (fun () -> D.size d);
+      }
   | Locked ->
       let module D = Abp_deque.Locked_deque in
       let d = D.create ?capacity () in
-      { push = D.push_bottom d; pop_bottom = (fun () -> D.pop_bottom d); pop_top = (fun () -> D.pop_top d) }
+      {
+        push = D.push_bottom d;
+        pop_bottom = (fun () -> of_option (D.pop_bottom d));
+        pop_top = (fun () -> of_option (D.pop_top d));
+        deque_size = (fun () -> D.size d);
+      }
 
 type t = {
   deques : task_deque array;
@@ -31,6 +56,8 @@ type t = {
   attempts : int Atomic.t;
   successes : int Atomic.t;
   yield_between_steals : bool;
+  counters : Counters.t array;  (* per-worker; the sink's records when traced *)
+  trace : Sink.t option;
 }
 
 type worker = { pool : t; id : int; rng_state : Abp_stats.Rng.t }
@@ -52,29 +79,70 @@ let relax () = Domain.cpu_relax ()
    E15y ablation disables this to reproduce, on real hardware, the
    paper's finding that omitting the yields degrades performance whenever
    processes outnumber processors. *)
-let thief_yield pool = if pool.yield_between_steals then Domain.cpu_relax ()
+(* Counter bumps write only the worker's own record (cache-local, no
+   atomics); events go to the worker's own ring and only when a sink with
+   an event ring is attached. *)
+let emit w ?arg kind =
+  match w.pool.trace with Some s -> Sink.emit s ~worker:w.id ?arg kind | None -> ()
+
+let thief_yield w =
+  if w.pool.yield_between_steals then begin
+    let c = w.pool.counters.(w.id) in
+    c.Counters.yields <- c.Counters.yields + 1;
+    emit w Abp_trace.Event.Yield;
+    Domain.cpu_relax ()
+  end
+
 let steal_attempts t = Atomic.get t.attempts
 let successful_steals t = Atomic.get t.successes
+let trace t = t.trace
+let counters t = t.counters
 
-let push_task w task = w.pool.deques.(w.id).push task
+let push_task w task =
+  let d = w.pool.deques.(w.id) in
+  d.push task;
+  let c = w.pool.counters.(w.id) in
+  c.Counters.pushes <- c.Counters.pushes + 1;
+  Counters.note_depth c (d.deque_size ());
+  emit w Abp_trace.Event.Spawn
 
 let try_get_task w =
   let pool = w.pool in
+  let c = pool.counters.(w.id) in
+  let steal () =
+    if pool.size = 1 then None
+    else begin
+      (* One steal attempt from a uniformly random other victim. *)
+      let v = Abp_stats.Rng.int w.rng_state (pool.size - 1) in
+      let victim = if v >= w.id then v + 1 else v in
+      Atomic.incr pool.attempts;
+      c.Counters.steal_attempts <- c.Counters.steal_attempts + 1;
+      match pool.deques.(victim).pop_top () with
+      | Spec.Got task ->
+          Atomic.incr pool.successes;
+          c.Counters.successful_steals <- c.Counters.successful_steals + 1;
+          emit w ~arg:victim Abp_trace.Event.Steal;
+          Some task
+      | Spec.Empty ->
+          c.Counters.steal_empties <- c.Counters.steal_empties + 1;
+          emit w ~arg:victim Abp_trace.Event.Idle;
+          None
+      | Spec.Contended ->
+          c.Counters.cas_failures_pop_top <- c.Counters.cas_failures_pop_top + 1;
+          emit w ~arg:victim Abp_trace.Event.Idle;
+          None
+    end
+  in
   match pool.deques.(w.id).pop_bottom () with
-  | Some _ as task -> task
-  | None ->
-      if pool.size = 1 then None
-      else begin
-        (* One steal attempt from a uniformly random other victim. *)
-        let v = Abp_stats.Rng.int w.rng_state (pool.size - 1) in
-        let victim = if v >= w.id then v + 1 else v in
-        Atomic.incr pool.attempts;
-        match pool.deques.(victim).pop_top () with
-        | Some _ as task ->
-            Atomic.incr pool.successes;
-            task
-        | None -> None
-      end
+  | Spec.Got task ->
+      c.Counters.pops <- c.Counters.pops + 1;
+      emit w Abp_trace.Event.Execute;
+      Some task
+  | Spec.Contended ->
+      (* Lost the deque's last task to a thief mid-popBottom. *)
+      c.Counters.cas_failures_pop_bottom <- c.Counters.cas_failures_pop_bottom + 1;
+      steal ()
+  | Spec.Empty -> steal ()
 
 let with_context w f =
   let slot = Domain.DLS.get context_key in
@@ -86,12 +154,17 @@ let worker_loop pool id =
   let w = { pool; id; rng_state = Abp_stats.Rng.create ~seed:(Int64.of_int (0x9E37 + id)) () } in
   with_context w (fun () ->
       while not (Atomic.get pool.shutdown_flag) do
-        match try_get_task w with Some task -> task () | None -> thief_yield pool
+        match try_get_task w with Some task -> task () | None -> thief_yield w
       done)
 
-let create ?processes ?deque_capacity ?(yield_between_steals = true) ?(deque_impl = Abp) () =
+let create ?processes ?deque_capacity ?(yield_between_steals = true) ?(deque_impl = Abp) ?trace
+    () =
   let processes = Option.value processes ~default:(Domain.recommended_domain_count ()) in
   if processes < 1 then invalid_arg "Pool.create: processes >= 1 required";
+  (match trace with
+  | Some s when Sink.workers s <> processes ->
+      invalid_arg "Pool.create: trace sink must have one worker per process"
+  | _ -> ());
   let pool =
     {
       deques = Array.init processes (fun _ -> make_deque ?capacity:deque_capacity deque_impl);
@@ -102,6 +175,11 @@ let create ?processes ?deque_capacity ?(yield_between_steals = true) ?(deque_imp
       attempts = Atomic.make 0;
       successes = Atomic.make 0;
       yield_between_steals;
+      counters =
+        (match trace with
+        | Some s -> Sink.per_worker s
+        | None -> Array.init processes (fun _ -> Counters.create ()));
+      trace;
     }
   in
   pool.domains <- Array.init (processes - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));

@@ -35,6 +35,7 @@ val create :
   ?deque_capacity:int ->
   ?yield_between_steals:bool ->
   ?deque_impl:deque_impl ->
+  ?trace:Abp_trace.Sink.t ->
   unit ->
   t
 (** Start a pool with [processes] workers total (default:
@@ -48,7 +49,17 @@ val create :
     between failed steal attempts ([Domain.cpu_relax]); disabling it is
     the E15 ablation showing thieves monopolizing the processor.
     [deque_impl] selects the worker-deque implementation (default
-    {!Abp}).  Requires [processes >= 1]. *)
+    {!Abp}).  Requires [processes >= 1].
+
+    [trace] attaches a telemetry sink (one worker per process, else
+    [Invalid_argument]): every worker then counts its pushes, pops,
+    steal attempts/successes/empties, [popTop]/[popBottom] CAS failures,
+    yields, and deque high-water mark into the sink's per-worker
+    records — each record written only by its own domain, so the hot
+    path stays contention-free — and, when the sink has an event ring,
+    streams [Spawn]/[Steal]/[Execute]/[Idle]/[Yield] events stamped with
+    the sink's clock.  Read the sink after {!shutdown} (aggregation
+    while domains run is racy). *)
 
 val size : t -> int
 (** The number of processes [P]. *)
@@ -81,3 +92,11 @@ val try_get_task : worker -> (unit -> unit) option
 val relax : unit -> unit
 val steal_attempts : t -> int
 val successful_steals : t -> int
+
+val trace : t -> Abp_trace.Sink.t option
+(** The sink passed to {!create}, if any. *)
+
+val counters : t -> Abp_trace.Counters.t array
+(** Per-worker telemetry records (the sink's records when traced, a
+    private set otherwise).  Aggregate with {!Abp_trace.Counters.sum}
+    after {!shutdown}. *)

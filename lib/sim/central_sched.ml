@@ -180,4 +180,5 @@ let run cfg dag =
     yield_calls = 0;
     invariant_violations = [];
     steal_latencies = [||];
+    per_worker = [||];
   }

@@ -4,6 +4,8 @@ module Tree = Abp_dag.Enabling_tree
 module Metrics = Abp_dag.Metrics
 module Adversary = Abp_kernel.Adversary
 module Yield = Abp_kernel.Yield
+module Counters = Abp_trace.Counters
+module Sink = Abp_trace.Sink
 
 type deque_model = Nonblocking | Locked of int
 type spawn_policy = Child_first | Parent_first
@@ -55,10 +57,8 @@ type state = {
   rng : Rng.t;
   yield : Yield.t;
   mutable finished : bool;
-  mutable steal_attempts : int;
-  mutable successful_steals : int;
-  mutable lock_spins : int;
-  mutable yield_calls : int;
+  counters : Counters.t array;  (* per-process telemetry *)
+  sink : Sink.t option;  (* event stream, stamped with the round *)
   mutable violations : string list;
   mutable round_executed : (int * int) list;  (* (process, node) pairs this round, when tracing *)
   mutable tracing : bool;
@@ -68,6 +68,28 @@ type state = {
 }
 
 let cs_actions cfg = match cfg.deque_model with Nonblocking -> 0 | Locked k -> max 1 k
+
+(* Telemetry: counters live in per-process records; events (when a sink
+   with an event ring is attached) are stamped with the kernel round. *)
+let emit st p ?arg kind =
+  match st.sink with
+  | Some s -> Sink.emit_at s ~worker:p ~time:(float_of_int st.cur_round) ?arg kind
+  | None -> ()
+
+let do_push st p v =
+  Node_deque.push_bottom st.deques.(p) v;
+  let c = st.counters.(p) in
+  c.Counters.pushes <- c.Counters.pushes + 1;
+  Counters.note_depth c (Node_deque.size st.deques.(p));
+  emit st p ~arg:v Abp_trace.Event.Spawn
+
+let do_pop_bottom st p =
+  match Node_deque.pop_bottom st.deques.(p) with
+  | Some v ->
+      st.assigned.(p) <- v;
+      let c = st.counters.(p) in
+      c.Counters.pops <- c.Counters.pops + 1
+  | None -> ()
 
 (* Executing node [u] enables each successor whose in-degree drops to 0;
    enabling edges are recorded in the enabling tree. *)
@@ -85,34 +107,39 @@ let enabled_children st u =
 
 let request_push st p v =
   match st.cfg.deque_model with
-  | Nonblocking -> Node_deque.push_bottom st.deques.(p) v
+  | Nonblocking -> do_push st p v
   | Locked _ -> st.micro.(p) <- Acquiring (Push v)
 
 let request_pop_bottom st p =
   match st.cfg.deque_model with
-  | Nonblocking -> (
-      match Node_deque.pop_bottom st.deques.(p) with
-      | Some v -> st.assigned.(p) <- v
-      | None -> ())
+  | Nonblocking -> do_pop_bottom st p
   | Locked _ -> st.micro.(p) <- Acquiring Pop_bottom
 
 let perform_pop_top st p victim =
-  st.steal_attempts <- st.steal_attempts + 1;
+  let c = st.counters.(p) in
+  c.Counters.steal_attempts <- c.Counters.steal_attempts + 1;
   if st.thief_since.(p) < 0 then st.thief_since.(p) <- st.cur_round;
   match Node_deque.pop_top st.deques.(victim) with
   | Some v ->
       st.assigned.(p) <- v;
-      st.successful_steals <- st.successful_steals + 1;
+      c.Counters.successful_steals <- c.Counters.successful_steals + 1;
+      emit st p ~arg:victim Abp_trace.Event.Steal;
       st.steal_latencies <- (st.cur_round - st.thief_since.(p) + 1) :: st.steal_latencies;
       st.thief_since.(p) <- -1
   | None ->
+      (* The simulator serializes deque methods, so a NIL here is a
+         genuinely empty victim, never a lost CAS. *)
+      c.Counters.steal_empties <- c.Counters.steal_empties + 1;
+      emit st p ~arg:victim Abp_trace.Event.Idle;
       (* yield between consecutive steal attempts (Figure 3, line 15) *)
-      st.yield_calls <- st.yield_calls + 1;
+      c.Counters.yields <- c.Counters.yields + 1;
+      emit st p Abp_trace.Event.Yield;
       Yield.on_yield st.yield ~proc:p
 
 let execute_node st p =
   let u = st.assigned.(p) in
   if st.tracing then st.round_executed <- (p, u) :: st.round_executed;
+  emit st p ~arg:u Abp_trace.Event.Execute;
   if u = Dag.final st.dag then st.finished <- true;
   match enabled_children st u with
   | [] ->
@@ -145,7 +172,10 @@ let steal_attempt st p =
   if st.cfg.num_processes = 1 then begin
     (* No victims exist; a lone process just spins (cannot happen on a
        connected dag before completion unless blocked on itself). *)
-    st.steal_attempts <- st.steal_attempts + 1
+    let c = st.counters.(p) in
+    c.Counters.steal_attempts <- c.Counters.steal_attempts + 1;
+    c.Counters.steal_empties <- c.Counters.steal_empties + 1;
+    emit st p Abp_trace.Event.Idle
   end
   else begin
     let victim =
@@ -168,11 +198,8 @@ let lock_target p = function Push _ | Pop_bottom -> p | Pop_top victim -> victim
 
 let perform_locked_op st p op =
   match op with
-  | Push v -> Node_deque.push_bottom st.deques.(p) v
-  | Pop_bottom -> (
-      match Node_deque.pop_bottom st.deques.(p) with
-      | Some v -> st.assigned.(p) <- v
-      | None -> ())
+  | Push v -> do_push st p v
+  | Pop_bottom -> do_pop_bottom st p
   | Pop_top victim -> perform_pop_top st p victim
 
 let action st p =
@@ -196,7 +223,10 @@ let action st p =
         end
         else st.micro.(p) <- In_cs (op, k - 1)
       end
-      else st.lock_spins <- st.lock_spins + 1
+      else begin
+        let c = st.counters.(p) in
+        c.Counters.lock_spins <- c.Counters.lock_spins + 1
+      end
   | Idle ->
       if st.assigned.(p) >= 0 then execute_node st p
       else if not (Node_deque.is_empty st.deques.(p)) then request_pop_bottom st p
@@ -234,8 +264,15 @@ let pp_trace_table ~num_processes ~rounds ~sets ppf trace =
     Fmt.pf ppf "@."
   done
 
-let run_internal ~tracing cfg dag =
+let total_attempts st =
+  Array.fold_left (fun acc c -> acc + c.Counters.steal_attempts) 0 st.counters
+
+let run_internal ~tracing ?trace cfg dag =
   if cfg.num_processes < 1 then invalid_arg "Engine.run: num_processes >= 1 required";
+  (match trace with
+  | Some s when Sink.workers s <> cfg.num_processes ->
+      invalid_arg "Engine.run: trace sink must have one worker per process"
+  | _ -> ());
   if tracing && cfg.actions_per_round <> 1 then
     invalid_arg "Engine.run_traced: requires actions_per_round = 1 (one node per process-step)";
   if cfg.actions_per_round < 1 then invalid_arg "Engine.run: actions_per_round >= 1 required";
@@ -263,10 +300,11 @@ let run_internal ~tracing cfg dag =
       rng;
       yield = Yield.create cfg.yield_kind ~num_processes:p ~rng:(Rng.split rng);
       finished = false;
-      steal_attempts = 0;
-      successful_steals = 0;
-      lock_spins = 0;
-      yield_calls = 0;
+      counters =
+        (match trace with
+        | Some s -> Sink.per_worker s
+        | None -> Array.init p (fun _ -> Counters.create ()));
+      sink = trace;
       violations = [];
       round_executed = [];
       tracing;
@@ -289,7 +327,7 @@ let run_internal ~tracing cfg dag =
     incr rounds;
     st.cur_round <- !rounds;
     st.round_executed <- [];
-    attempts_before_round := st.steal_attempts;
+    attempts_before_round := total_attempts st;
     let view =
       {
         Adversary.round = !rounds;
@@ -316,7 +354,7 @@ let run_internal ~tracing cfg dag =
       trace_sets := Array.copy final_set :: !trace_sets;
       trace_widths := width :: !trace_widths;
       trace_phi := Invariants.log_potential (snapshot st) :: !trace_phi;
-      trace_steals := (st.steal_attempts - !attempts_before_round) :: !trace_steals
+      trace_steals := (total_attempts st - !attempts_before_round) :: !trace_steals
     end;
     if cfg.check_invariants then begin
       let snap = snapshot st in
@@ -332,6 +370,7 @@ let run_internal ~tracing cfg dag =
       prev_phi := phi
     end
   done;
+  let totals = Counters.sum st.counters in
   let result =
     {
       Run_result.rounds = !rounds;
@@ -341,12 +380,13 @@ let run_internal ~tracing cfg dag =
       work = Metrics.work dag;
       span = st.span;
       num_processes = p;
-      steal_attempts = st.steal_attempts;
-      successful_steals = st.successful_steals;
-      lock_spins = st.lock_spins;
-      yield_calls = st.yield_calls;
+      steal_attempts = totals.Counters.steal_attempts;
+      successful_steals = totals.Counters.successful_steals;
+      lock_spins = totals.Counters.lock_spins;
+      yield_calls = totals.Counters.yields;
       invariant_violations = List.rev st.violations;
       steal_latencies = Array.of_list (List.rev st.steal_latencies);
+      per_worker = st.counters;
     }
   in
   let trace =
@@ -360,12 +400,12 @@ let run_internal ~tracing cfg dag =
   in
   (result, trace, Array.of_list (List.rev !trace_sets))
 
-let run cfg dag =
-  let result, _, _ = run_internal ~tracing:false cfg dag in
+let run ?trace cfg dag =
+  let result, _, _ = run_internal ~tracing:false ?trace cfg dag in
   result
 
-let run_traced cfg dag =
-  let result, trace, _ = run_internal ~tracing:true cfg dag in
-  (result, trace)
+let run_traced ?trace cfg dag =
+  let result, tr, _ = run_internal ~tracing:true ?trace cfg dag in
+  (result, tr)
 
-let run_traced_with_sets cfg dag = run_internal ~tracing:true cfg dag
+let run_traced_with_sets ?trace cfg dag = run_internal ~tracing:true ?trace cfg dag

@@ -64,9 +64,18 @@ val default_config : num_processes:int -> adversary:Abp_kernel.Adversary.t -> co
 (** Non-blocking deque, [yieldToAll], child-first, 1 action/round,
     [max_rounds = 10_000_000], seed 1, checking off. *)
 
-val run : config -> Abp_dag.Dag.t -> Run_result.t
+val run : ?trace:Abp_trace.Sink.t -> config -> Abp_dag.Dag.t -> Run_result.t
 (** Execute the computation to completion (or the round cap).  The dag
-    must pass {!Abp_dag.Dag.validate}. *)
+    must pass {!Abp_dag.Dag.validate}.
+
+    The engine always keeps per-process telemetry counters (returned in
+    {!Run_result.per_worker}); pass [trace] — a sink created with one
+    worker per process — to additionally collect counters into the
+    sink's records and, if the sink has an event ring, a structured
+    event stream ([Spawn]/[Steal]/[Execute]/[Idle]/[Yield]) stamped with
+    the kernel round, exportable via {!Abp_trace.Chrome} and
+    {!Abp_trace.Report}.  Raises [Invalid_argument] if the sink's worker
+    count differs from [num_processes]. *)
 
 type trace = {
   steps : Abp_dag.Dag.node array array;  (** nodes executed per round *)
@@ -87,7 +96,7 @@ val pp_trace_table :
     spinning), blank for descheduled.  [sets] is the per-round scheduled
     set from {!run_traced_with_sets}. *)
 
-val run_traced : config -> Abp_dag.Dag.t -> Run_result.t * trace
+val run_traced : ?trace:Abp_trace.Sink.t -> config -> Abp_dag.Dag.t -> Run_result.t * trace
 (** Like {!run}, recording the trace — a completed run rendered as a
     formal execution schedule over the kernel schedule the adversary
     actually produced (Section 2): feed [steps] to
@@ -97,6 +106,7 @@ val run_traced : config -> Abp_dag.Dag.t -> Run_result.t * trace
     [actions_per_round = 1] so that one round = one step of the formal
     model. *)
 
-val run_traced_with_sets : config -> Abp_dag.Dag.t -> Run_result.t * trace * bool array array
+val run_traced_with_sets :
+  ?trace:Abp_trace.Sink.t -> config -> Abp_dag.Dag.t -> Run_result.t * trace * bool array array
 (** {!run_traced} plus the per-round scheduled sets (for
     {!pp_trace_table}). *)

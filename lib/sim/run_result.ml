@@ -12,6 +12,7 @@ type t = {
   yield_calls : int;
   invariant_violations : string list;
   steal_latencies : int array;
+  per_worker : Abp_trace.Counters.t array;
 }
 
 let speedup t = float_of_int t.work /. float_of_int t.rounds

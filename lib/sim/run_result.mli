@@ -17,6 +17,11 @@ type t = {
       (** for each successful steal, the number of rounds its process had
           spent as a thief (1 = stole on the first attempt); empty for
           engines that do not measure it *)
+  per_worker : Abp_trace.Counters.t array;
+      (** per-process telemetry; the scalar counters above equal the
+          corresponding sums over this array ({!Abp_trace.Counters.sum})
+          for engines that attribute events per process, and the array is
+          empty for engines that only keep aggregates *)
 }
 
 val speedup : t -> float

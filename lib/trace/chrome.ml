@@ -1,0 +1,52 @@
+(* The Trace Event Format: a {"traceEvents": [...]} document.  All names
+   emitted here are fixed ASCII identifiers, so no string escaping is
+   needed. *)
+
+let pp_event ~scale ppf (e : Event.t) =
+  Fmt.pf ppf
+    {|{"name":"%s","cat":"sched","ph":"i","s":"t","ts":%.3f,"pid":0,"tid":%d,"args":{"arg":%d}}|}
+    (Event.kind_name e.kind)
+    (e.Event.time *. scale)
+    e.Event.worker e.Event.arg
+
+let pp_thread_name ppf i =
+  Fmt.pf ppf {|{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"worker %d"}}|} i i
+
+let pp_counters ppf (i, c) =
+  let fields =
+    Counters.fields c
+    |> List.map (fun (k, v) -> Printf.sprintf {|"%s":%d|} k v)
+    |> String.concat ","
+  in
+  Fmt.pf ppf {|{"name":"counters","ph":"C","ts":0,"pid":0,"tid":%d,"args":{%s}}|} i fields
+
+let pp ?(scale = 1e6) ppf sink =
+  Fmt.pf ppf {|{"displayTimeUnit":"ms","traceEvents":[|};
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Fmt.pf ppf ",";
+    Fmt.pf ppf "@\n"
+  in
+  for i = 0 to Sink.workers sink - 1 do
+    sep ();
+    pp_thread_name ppf i;
+    sep ();
+    pp_counters ppf (i, Sink.counters sink i)
+  done;
+  List.iter
+    (fun e ->
+      sep ();
+      pp_event ~scale ppf e)
+    (Sink.events sink);
+  Fmt.pf ppf "@\n]}@\n"
+
+let to_string ?scale sink = Format.asprintf "%a" (pp ?scale) sink
+
+let write_file ?scale path sink =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      let ppf = Format.formatter_of_out_channel oc in
+      pp ?scale ppf sink;
+      Format.pp_print_flush ppf ())

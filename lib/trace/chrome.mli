@@ -1,0 +1,19 @@
+(** Chrome trace-event JSON exporter.
+
+    Emits the sink's retained events in the Trace Event Format accepted
+    by [chrome://tracing] and Perfetto: one instant event ([ph = "i"])
+    per scheduler event, a thread-name metadata record per worker, and
+    one counter record ([ph = "C"]) per worker carrying the final counter
+    set.
+
+    Timestamps: the format requires microseconds.  [scale] converts the
+    sink's time unit; the default [1e6] suits clock-stamped sinks
+    (seconds), while a round-stamped simulator sink renders nicely with
+    [~scale:1000.0] (one round = one millisecond on screen). *)
+
+val pp : ?scale:float -> Format.formatter -> Sink.t -> unit
+
+val to_string : ?scale:float -> Sink.t -> string
+
+val write_file : ?scale:float -> string -> Sink.t -> unit
+(** Write the JSON document to [path] (truncating). *)

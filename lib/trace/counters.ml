@@ -1,0 +1,86 @@
+type t = {
+  mutable pushes : int;
+  mutable pops : int;
+  mutable steal_attempts : int;
+  mutable successful_steals : int;
+  mutable steal_empties : int;
+  mutable cas_failures_pop_top : int;
+  mutable cas_failures_pop_bottom : int;
+  mutable yields : int;
+  mutable lock_spins : int;
+  mutable deque_high_water : int;
+}
+
+let create () =
+  {
+    pushes = 0;
+    pops = 0;
+    steal_attempts = 0;
+    successful_steals = 0;
+    steal_empties = 0;
+    cas_failures_pop_top = 0;
+    cas_failures_pop_bottom = 0;
+    yields = 0;
+    lock_spins = 0;
+    deque_high_water = 0;
+  }
+
+let reset c =
+  c.pushes <- 0;
+  c.pops <- 0;
+  c.steal_attempts <- 0;
+  c.successful_steals <- 0;
+  c.steal_empties <- 0;
+  c.cas_failures_pop_top <- 0;
+  c.cas_failures_pop_bottom <- 0;
+  c.yields <- 0;
+  c.lock_spins <- 0;
+  c.deque_high_water <- 0
+
+let copy c = { c with pushes = c.pushes }
+
+let note_depth c n = if n > c.deque_high_water then c.deque_high_water <- n
+
+let add ~into c =
+  into.pushes <- into.pushes + c.pushes;
+  into.pops <- into.pops + c.pops;
+  into.steal_attempts <- into.steal_attempts + c.steal_attempts;
+  into.successful_steals <- into.successful_steals + c.successful_steals;
+  into.steal_empties <- into.steal_empties + c.steal_empties;
+  into.cas_failures_pop_top <- into.cas_failures_pop_top + c.cas_failures_pop_top;
+  into.cas_failures_pop_bottom <- into.cas_failures_pop_bottom + c.cas_failures_pop_bottom;
+  into.yields <- into.yields + c.yields;
+  into.lock_spins <- into.lock_spins + c.lock_spins;
+  into.deque_high_water <- max into.deque_high_water c.deque_high_water
+
+let sum cs =
+  let acc = create () in
+  Array.iter (fun c -> add ~into:acc c) cs;
+  acc
+
+let fields c =
+  [
+    ("pushes", c.pushes);
+    ("pops", c.pops);
+    ("steal_attempts", c.steal_attempts);
+    ("successful_steals", c.successful_steals);
+    ("steal_empties", c.steal_empties);
+    ("cas_failures_pop_top", c.cas_failures_pop_top);
+    ("cas_failures_pop_bottom", c.cas_failures_pop_bottom);
+    ("yields", c.yields);
+    ("lock_spins", c.lock_spins);
+    ("deque_high_water", c.deque_high_water);
+  ]
+
+let consistent c =
+  List.for_all (fun (_, v) -> v >= 0) (fields c)
+  && c.successful_steals + c.steal_empties + c.cas_failures_pop_top <= c.steal_attempts
+
+let complete c =
+  consistent c
+  && c.successful_steals + c.steal_empties + c.cas_failures_pop_top = c.steal_attempts
+
+let pp ppf c =
+  Fmt.pf ppf "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d spins %d hiwater %d"
+    c.successful_steals c.steal_attempts c.steal_empties c.cas_failures_pop_top c.pushes c.pops
+    c.yields c.lock_spins c.deque_high_water

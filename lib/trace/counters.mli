@@ -1,0 +1,58 @@
+(** Per-worker scheduler event counters.
+
+    One record per worker (process in the simulator, domain on the Hood
+    runtime), mutated only by its owning worker on the hot path — no
+    atomics, no cross-worker contention — and aggregated with {!sum}
+    after the run, once the workers have quiesced (joined domains, or the
+    sequential simulator loop).
+
+    The counter set covers the events the paper's empirical studies
+    (Section 5) count: steal attempts and successes, the CAS failures
+    that distinguish contention from emptiness in [popTop]/[popBottom],
+    owner pushes/pops, yields between failed steal attempts, lock spins
+    (Locked-deque models only), and the deque's high-water mark. *)
+
+type t = {
+  mutable pushes : int;  (** [pushBottom] invocations by the owner *)
+  mutable pops : int;  (** successful [popBottom]s *)
+  mutable steal_attempts : int;  (** completed [popTop] invocations *)
+  mutable successful_steals : int;  (** [popTop]s that returned a task *)
+  mutable steal_empties : int;  (** [popTop]s that found the deque empty *)
+  mutable cas_failures_pop_top : int;
+      (** [popTop]s that lost the [age]/[top] CAS to a racing process *)
+  mutable cas_failures_pop_bottom : int;
+      (** [popBottom]s that lost the last element to a thief *)
+  mutable yields : int;  (** yields between failed steal attempts *)
+  mutable lock_spins : int;  (** actions burnt spinning on a deque lock *)
+  mutable deque_high_water : int;  (** maximum observed deque size *)
+}
+
+val create : unit -> t
+(** All counters zero. *)
+
+val reset : t -> unit
+
+val copy : t -> t
+
+val note_depth : t -> int -> unit
+(** [note_depth c n] raises the high-water mark to [n] if larger. *)
+
+val add : into:t -> t -> unit
+(** Accumulate counter-wise; high-water marks combine by [max]. *)
+
+val sum : t array -> t
+(** Fresh aggregate of all records (empty array => all zeros). *)
+
+val consistent : t -> bool
+(** [successful_steals + steal_empties + cas_failures_pop_top
+    <= steal_attempts], and every field non-negative. *)
+
+val complete : t -> bool
+(** Like {!consistent} but with equality: every completed steal attempt
+    is classified as exactly one of success / empty / CAS failure.  Holds
+    for the instrumented engine and runtime. *)
+
+val fields : t -> (string * int) list
+(** Stable [(name, value)] view for exporters. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,22 @@
+(** Structured scheduler events.
+
+    An event is a point observation stamped with the worker that produced
+    it and a time: the kernel round number in the simulator, or a
+    monotonic-clock reading (seconds) on the Hood runtime — the producer
+    chooses the clock (see {!Sink}).  [arg] carries the event's subject:
+    the dag node for [Spawn]/[Execute], the victim process for
+    [Steal]/[Idle], and [-1] when there is no subject. *)
+
+type kind =
+  | Spawn  (** a task/node was pushed on the owner's deque *)
+  | Steal  (** a [popTop] on [arg]'s deque returned a task *)
+  | Execute  (** a node/task was executed (node id in [arg] when known) *)
+  | Idle  (** a steal attempt on [arg]'s deque came back empty-handed *)
+  | Yield  (** the thief yielded between failed steal attempts *)
+
+type t = { kind : kind; worker : int; time : float; arg : int }
+
+val kind_name : kind -> string
+(** Lower-case stable name ("spawn", "steal", ...). *)
+
+val pp : Format.formatter -> t -> unit

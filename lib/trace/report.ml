@@ -1,0 +1,37 @@
+let histogram_of sink field =
+  let samples =
+    Array.map (fun c -> float_of_int (field c)) (Sink.per_worker sink)
+  in
+  let hi = Array.fold_left max 0.0 samples +. 1.0 in
+  let bins = min 10 (max 1 (Array.length samples)) in
+  let h = Abp_stats.Histogram.create ~lo:0.0 ~hi ~bins in
+  Abp_stats.Histogram.add_many h samples;
+  h
+
+let pp ppf sink =
+  let totals = Sink.totals sink in
+  Fmt.pf ppf "=== scheduler telemetry (%d workers) ===@." (Sink.workers sink);
+  Fmt.pf ppf "totals: %a@." Counters.pp totals;
+  Fmt.pf ppf "steal-attempt breakdown: %d = %d success + %d empty + %d cas-lost%s@."
+    totals.Counters.steal_attempts totals.Counters.successful_steals
+    totals.Counters.steal_empties totals.Counters.cas_failures_pop_top
+    (if Counters.complete totals then "" else " (+ unclassified)");
+  Fmt.pf ppf "@.%-8s" "worker";
+  List.iter (fun (name, _) -> Fmt.pf ppf "%s  " name) (Counters.fields totals);
+  Fmt.pf ppf "@.";
+  Array.iteri
+    (fun i c ->
+      Fmt.pf ppf "%-8d" i;
+      List.iter2
+        (fun (name, _) (_, v) -> Fmt.pf ppf "%*d  " (String.length name) v)
+        (Counters.fields totals) (Counters.fields c);
+      Fmt.pf ppf "@.")
+    (Sink.per_worker sink);
+  Fmt.pf ppf "@.steal attempts per worker:@.%a" Abp_stats.Histogram.pp
+    (histogram_of sink (fun c -> c.Counters.steal_attempts));
+  Fmt.pf ppf "@.successful steals per worker:@.%a" Abp_stats.Histogram.pp
+    (histogram_of sink (fun c -> c.Counters.successful_steals));
+  if Sink.events_enabled sink then
+    Fmt.pf ppf "@.events retained: %d  dropped: %d@."
+      (List.length (Sink.events sink))
+      (Sink.dropped sink)

@@ -1,0 +1,34 @@
+type t = {
+  buf : Event.t option array;
+  mutable start : int;  (* index of the oldest event *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity < 0 then invalid_arg "Ring.create: capacity >= 0 required";
+  { buf = Array.make capacity None; start = 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.buf
+
+let add t e =
+  let cap = Array.length t.buf in
+  if cap = 0 then t.dropped <- t.dropped + 1
+  else if t.len < cap then begin
+    t.buf.((t.start + t.len) mod cap) <- Some e;
+    t.len <- t.len + 1
+  end
+  else begin
+    (* Full: overwrite the oldest. *)
+    t.buf.(t.start) <- Some e;
+    t.start <- (t.start + 1) mod cap;
+    t.dropped <- t.dropped + 1
+  end
+
+let length t = t.len
+let dropped t = t.dropped
+
+let to_list t =
+  let cap = Array.length t.buf in
+  List.init t.len (fun i ->
+      match t.buf.((t.start + i) mod cap) with Some e -> e | None -> assert false)

@@ -1,0 +1,24 @@
+(** Bounded ring buffer of {!Event.t}.
+
+    Single-writer: only the owning worker appends.  When full, the oldest
+    event is overwritten and the drop counter incremented, so a long run
+    keeps its most recent [capacity] events and an exact count of what
+    was lost. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity >= 0]; a zero-capacity ring drops (and counts) everything. *)
+
+val capacity : t -> int
+
+val add : t -> Event.t -> unit
+
+val length : t -> int
+(** Events currently held ([<= capacity]). *)
+
+val dropped : t -> int
+(** Events overwritten (or refused, for capacity 0) since creation. *)
+
+val to_list : t -> Event.t list
+(** Oldest first. *)

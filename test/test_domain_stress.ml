@@ -1,0 +1,166 @@
+(* Real-parallelism stress: one owner domain driving push_bottom /
+   pop_bottom against N thief domains driving pop_top, on both the ABP
+   fixed-array deque and the circular Chase-Lev deque.  Asserts
+   conservation (every pushed value popped exactly once, by owner or by a
+   thief) and that the detailed pop outcomes account for every steal
+   attempt: attempts = successes + empties + lost CASes.  A final case
+   runs the whole Hood pool in instrumented mode and checks the same
+   arithmetic on the sink totals. *)
+
+module Spec = Abp_deque.Spec
+module Counters = Abp_trace.Counters
+module Sink = Abp_trace.Sink
+
+type ops = {
+  push : int -> unit;
+  pop_bottom : unit -> int Spec.detailed;
+  pop_top : unit -> int Spec.detailed;
+}
+
+let n_items = 20_000
+let n_thieves = 3
+
+(* Returns (owner counters, thief counters array, seen array). *)
+let stress ops =
+  let seen = Array.init n_items (fun _ -> Atomic.make 0) in
+  let remaining = Atomic.make n_items in
+  let take v =
+    Atomic.incr seen.(v);
+    Atomic.decr remaining
+  in
+  let owner = Counters.create () in
+  let thief_counters = Array.init n_thieves (fun _ -> Counters.create ()) in
+  let thief i =
+    let c = thief_counters.(i) in
+    while Atomic.get remaining > 0 do
+      c.Counters.steal_attempts <- c.Counters.steal_attempts + 1;
+      (match ops.pop_top () with
+      | Spec.Got v ->
+          c.Counters.successful_steals <- c.Counters.successful_steals + 1;
+          take v
+      | Spec.Empty ->
+          c.Counters.steal_empties <- c.Counters.steal_empties + 1;
+          c.Counters.yields <- c.Counters.yields + 1;
+          Domain.cpu_relax ()
+      | Spec.Contended ->
+          c.Counters.cas_failures_pop_top <- c.Counters.cas_failures_pop_top + 1)
+    done
+  in
+  let domains = Array.init n_thieves (fun i -> Domain.spawn (fun () -> thief i)) in
+  let owner_pop () =
+    match ops.pop_bottom () with
+    | Spec.Got v ->
+        owner.Counters.pops <- owner.Counters.pops + 1;
+        take v
+    | Spec.Empty -> ()
+    | Spec.Contended ->
+        (* The deque's last item was stolen mid-popBottom. *)
+        owner.Counters.cas_failures_pop_bottom <- owner.Counters.cas_failures_pop_bottom + 1
+  in
+  for v = 0 to n_items - 1 do
+    ops.push v;
+    owner.Counters.pushes <- owner.Counters.pushes + 1;
+    (* Interleave owner pops with pushes so the owner also drains the
+       deque to empty mid-run (exercising the ABP reset / tag-bump path
+       while thieves race the last item). *)
+    if v mod 7 = 0 then owner_pop ()
+  done;
+  while Atomic.get remaining > 0 do
+    owner_pop ()
+  done;
+  Array.iter Domain.join domains;
+  (owner, thief_counters, seen)
+
+let check_stress name (owner, thieves, seen) =
+  let lost = ref 0 and duplicated = ref 0 in
+  Array.iter
+    (fun slot ->
+      match Atomic.get slot with
+      | 1 -> ()
+      | 0 -> incr lost
+      | _ -> incr duplicated)
+    seen;
+  Alcotest.(check int) (name ^ ": no value lost") 0 !lost;
+  Alcotest.(check int) (name ^ ": no value popped twice") 0 !duplicated;
+  Alcotest.(check int) (name ^ ": all pushes counted") n_items owner.Counters.pushes;
+  let stolen = Array.fold_left (fun a c -> a + c.Counters.successful_steals) 0 thieves in
+  Alcotest.(check int)
+    (name ^ ": owner pops + thief steals = pushes")
+    n_items
+    (owner.Counters.pops + stolen);
+  Array.iteri
+    (fun i c ->
+      let name = Printf.sprintf "%s: thief %d" name i in
+      Alcotest.(check bool) (name ^ " breakdown complete") true (Counters.complete c);
+      (* attempts − successes is exactly the empties plus the lost CASes *)
+      Alcotest.(check int)
+        (name ^ " failures = attempts - successes")
+        (c.Counters.steal_attempts - c.Counters.successful_steals)
+        (c.Counters.steal_empties + c.Counters.cas_failures_pop_top))
+    thieves
+
+let atomic_deque_stress () =
+  let d : int Abp_deque.Atomic_deque.t =
+    Abp_deque.Atomic_deque.create ~capacity:n_items ()
+  in
+  let ops =
+    {
+      push = Abp_deque.Atomic_deque.push_bottom d;
+      pop_bottom = (fun () -> Abp_deque.Atomic_deque.pop_bottom_detailed d);
+      pop_top = (fun () -> Abp_deque.Atomic_deque.pop_top_detailed d);
+    }
+  in
+  check_stress "abp" (stress ops)
+
+let circular_deque_stress () =
+  (* Small initial capacity so the buffer has to grow under contention. *)
+  let d : int Abp_deque.Circular_deque.t = Abp_deque.Circular_deque.create ~capacity:16 () in
+  let ops =
+    {
+      push = Abp_deque.Circular_deque.push_bottom d;
+      pop_bottom = (fun () -> Abp_deque.Circular_deque.pop_bottom_detailed d);
+      pop_top = (fun () -> Abp_deque.Circular_deque.pop_top_detailed d);
+    }
+  in
+  check_stress "circular" (stress ops)
+
+let pool_instrumented_arithmetic () =
+  let p = 4 in
+  let sink = Sink.create ~workers:p () in
+  let pool = Abp_hood.Pool.create ~processes:p ~trace:sink () in
+  let v =
+    Fun.protect
+      ~finally:(fun () -> Abp_hood.Pool.shutdown pool)
+      (fun () -> Abp_hood.Pool.run pool (fun () -> Abp_hood.Par.fib 21))
+  in
+  Alcotest.(check int) "fib value" 10946 v;
+  let totals = Sink.totals sink in
+  Alcotest.(check bool) "attempts fully classified" true (Counters.complete totals);
+  Alcotest.(check bool) "successes <= attempts" true
+    (totals.Counters.successful_steals <= totals.Counters.steal_attempts);
+  Alcotest.(check int) "cas failures consistent with attempts - successes"
+    (totals.Counters.steal_attempts - totals.Counters.successful_steals)
+    (totals.Counters.steal_empties + totals.Counters.cas_failures_pop_top);
+  (* At shutdown every pushed task has been executed by someone. *)
+  Alcotest.(check int) "pushes = owner pops + steals" totals.Counters.pushes
+    (totals.Counters.pops + totals.Counters.successful_steals);
+  (* The sink and the pool's legacy aggregate counters agree. *)
+  Alcotest.(check int) "sink attempts = pool attempts"
+    (Abp_hood.Pool.steal_attempts pool)
+    totals.Counters.steal_attempts;
+  Alcotest.(check int) "sink successes = pool successes"
+    (Abp_hood.Pool.successful_steals pool)
+    totals.Counters.successful_steals;
+  (* Per-worker records the pool exposes are the sink's own records. *)
+  let pw = Abp_hood.Pool.counters pool in
+  Alcotest.(check int) "per-worker width" p (Array.length pw);
+  Alcotest.(check int) "per-worker sums to totals" totals.Counters.steal_attempts
+    (Counters.sum pw).Counters.steal_attempts
+
+let tests =
+  [
+    Alcotest.test_case "owner vs 3 thieves on ABP deque" `Quick atomic_deque_stress;
+    Alcotest.test_case "owner vs 3 thieves on circular deque" `Quick circular_deque_stress;
+    Alcotest.test_case "instrumented pool: counter arithmetic" `Quick
+      pool_instrumented_arithmetic;
+  ]

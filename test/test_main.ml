@@ -27,4 +27,6 @@ let () =
       ("dot", Test_dot.tests);
       ("invariants", Test_invariants.tests);
       ("misc", Test_misc.tests);
+      ("trace-counters", Test_trace_counters.tests);
+      ("domain-stress", Test_domain_stress.tests);
     ]

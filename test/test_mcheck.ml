@@ -69,6 +69,61 @@ let owner_drain_vs_two_thieves () =
   let r = Explorer.explore program in
   Alcotest.(check (list string)) "no violations" [] r.Explorer.violations
 
+(* A corpus of mixed owner/thief programs.  Owner scripts that drain the
+   deque to empty go through the Figure 5 reset path (bot and top back to
+   0, tag bumped), so the corpus probes the tag machinery from several
+   angles.  [resets] marks programs whose owner can observe the deque
+   empty mid-run: exactly those must exhibit the ABA violation once the
+   tag is removed, while reset-free programs stay safe even untagged
+   (top is then monotone for the whole execution). *)
+let corpus =
+  [
+    ( "reset then refill vs thief",
+      { Explorer.owner = [ Sd.Push_bottom 1; Sd.Pop_bottom; Sd.Push_bottom 2 ];
+        thieves = [ [ Sd.Pop_top ] ] },
+      `Resets );
+    ( "reset then refill vs two thieves",
+      { Explorer.owner = [ Sd.Push_bottom 1; Sd.Pop_bottom; Sd.Push_bottom 2; Sd.Push_bottom 3 ];
+        thieves = [ [ Sd.Pop_top ]; [ Sd.Pop_top ] ] },
+      `Resets );
+    ( "double drain",
+      { Explorer.owner =
+          [ Sd.Push_bottom 1; Sd.Push_bottom 2; Sd.Pop_bottom; Sd.Pop_bottom; Sd.Push_bottom 3 ];
+        thieves = [ [ Sd.Pop_top ] ] },
+      `Resets );
+    ( "greedy thief over a refill",
+      { Explorer.owner = [ Sd.Push_bottom 1; Sd.Pop_bottom; Sd.Push_bottom 2; Sd.Pop_bottom ];
+        thieves = [ [ Sd.Pop_top; Sd.Pop_top ] ] },
+      `Resets );
+    ( "no-reset control: two pushes, greedy thief",
+      { Explorer.owner = [ Sd.Push_bottom 1; Sd.Push_bottom 2 ];
+        thieves = [ [ Sd.Pop_top; Sd.Pop_top ] ] },
+      `No_reset );
+    ( "no-reset control: push storm vs two thieves",
+      { Explorer.owner = [ Sd.Push_bottom 1; Sd.Push_bottom 2; Sd.Push_bottom 3; Sd.Push_bottom 4 ];
+        thieves = [ [ Sd.Pop_top ]; [ Sd.Pop_top ] ] },
+      `No_reset );
+  ]
+
+let corpus_safe_at_full_width () =
+  List.iter (fun (name, program, _) -> verified name (Explorer.explore program)) corpus
+
+let corpus_untagged_aba () =
+  List.iter
+    (fun (name, program, resets) ->
+      let r = Explorer.explore ~tag_width:0 program in
+      match resets with
+      | `Resets ->
+          Alcotest.(check bool)
+            (name ^ ": ABA violation reproduced without the tag")
+            true
+            (r.Explorer.violations <> [])
+      | `No_reset ->
+          Alcotest.(check (list string))
+            (name ^ ": still safe without the tag (no owner reset)")
+            [] r.Explorer.violations)
+    corpus
+
 let prop_random_programs_safe =
   QCheck2.Test.make ~name:"random programs meet relaxed semantics" ~count:25
     QCheck2.Gen.(triple (int_range 1 1000) (int_range 1 5) (int_range 0 2))
@@ -91,5 +146,7 @@ let tests =
     Alcotest.test_case "rejects owner op in thief" `Quick rejects_owner_op_in_thief;
     Alcotest.test_case "three thieves" `Quick three_thieves_safe;
     Alcotest.test_case "owner drain vs two thieves" `Quick owner_drain_vs_two_thieves;
+    Alcotest.test_case "corpus: safe at full tag width" `Quick corpus_safe_at_full_width;
+    Alcotest.test_case "corpus: untagged ABA iff owner resets" `Quick corpus_untagged_aba;
     QCheck_alcotest.to_alcotest prop_random_programs_safe;
   ]

@@ -21,6 +21,7 @@ let mk_result ~rounds ~tokens ~work ~span ~p =
     yield_calls = 0;
     invariant_violations = [];
     steal_latencies = [||];
+    per_worker = [||];
   }
 
 let run_result_derived () =

@@ -1,0 +1,197 @@
+(* Telemetry counter consistency: the engine's per-worker Abp_trace
+   counters must agree exactly with the Run_result scalar fields across
+   deque models, spawn policies, and seeds; an attached sink must see the
+   same numbers and a round-stamped event stream; ring bounding and
+   exporters are exercised end to end. *)
+
+module Engine = Abp_sim.Engine
+module Run_result = Abp_sim.Run_result
+module Adversary = Abp_kernel.Adversary
+module Generators = Abp_dag.Generators
+module Counters = Abp_trace.Counters
+module Sink = Abp_trace.Sink
+module Event = Abp_trace.Event
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let cfg ?(model = Engine.Nonblocking) ?(policy = Engine.Child_first) ?(seed = 1L) ~p () =
+  {
+    (Engine.default_config ~num_processes:p ~adversary:(Adversary.dedicated ~num_processes:p))
+    with
+    Engine.deque_model = model;
+    spawn_policy = policy;
+    seed;
+  }
+
+let check_counters_match_result name (r : Run_result.t) =
+  let totals = Counters.sum r.Run_result.per_worker in
+  Alcotest.(check int) (name ^ ": per_worker length") r.Run_result.num_processes
+    (Array.length r.Run_result.per_worker);
+  Alcotest.(check int) (name ^ ": steal_attempts") r.Run_result.steal_attempts
+    totals.Counters.steal_attempts;
+  Alcotest.(check int) (name ^ ": successful_steals") r.Run_result.successful_steals
+    totals.Counters.successful_steals;
+  Alcotest.(check int) (name ^ ": yield_calls") r.Run_result.yield_calls totals.Counters.yields;
+  Alcotest.(check int) (name ^ ": lock_spins") r.Run_result.lock_spins totals.Counters.lock_spins;
+  (* Every completed attempt is classified: success or empty victim (the
+     simulator serializes methods, so no CAS failures ever). *)
+  Alcotest.(check bool) (name ^ ": breakdown complete") true (Counters.complete totals);
+  Alcotest.(check int) (name ^ ": no cas failures in sim") 0 totals.Counters.cas_failures_pop_top;
+  (* Owner accounting: every push is eventually popped or stolen. *)
+  Alcotest.(check int)
+    (name ^ ": pushes = pops + steals")
+    totals.Counters.pushes
+    (totals.Counters.pops + totals.Counters.successful_steals)
+
+let counters_match_across_configs () =
+  let dag = Generators.spawn_tree ~depth:7 ~leaf_work:3 in
+  List.iter
+    (fun (mname, model) ->
+      List.iter
+        (fun (pname, policy) ->
+          List.iter
+            (fun seed ->
+              let name = Printf.sprintf "%s/%s/seed%Ld" mname pname seed in
+              let r = Engine.run (cfg ~model ~policy ~seed ~p:4 ()) dag in
+              Alcotest.(check bool) (name ^ ": completed") true r.Run_result.completed;
+              check_counters_match_result name r)
+            [ 1L; 42L; 1234L ])
+        [ ("child", Engine.Child_first); ("parent", Engine.Parent_first) ])
+    [ ("nonblocking", Engine.Nonblocking); ("locked2", Engine.Locked 2) ]
+
+let locked_model_spins_attributed () =
+  (* Under a lock-holder-preempting adversary the Locked model burns
+     spins; they must land in per-worker counters. *)
+  let dag = Generators.spawn_tree ~depth:6 ~leaf_work:2 in
+  let p = 4 in
+  let adversary =
+    Adversary.preempt_lock_holders ~num_processes:p ~width:2
+      ~rng:(Abp_stats.Rng.create ~seed:9L ())
+  in
+  let c =
+    {
+      (Engine.default_config ~num_processes:p ~adversary) with
+      Engine.deque_model = Engine.Locked 3;
+    }
+  in
+  let r = Engine.run c dag in
+  check_counters_match_result "preempt-locks" r;
+  Alcotest.(check bool) "some spins observed" true (r.Run_result.lock_spins > 0)
+
+let sink_sees_the_same_counters () =
+  let dag = Generators.spawn_tree ~depth:7 ~leaf_work:3 in
+  let p = 4 in
+  let sink = Sink.create ~ring_capacity:(1 lsl 14) ~workers:p () in
+  let r = Engine.run ~trace:sink (cfg ~p ()) dag in
+  check_counters_match_result "sink run" r;
+  let totals = Sink.totals sink in
+  Alcotest.(check int) "sink attempts = result attempts" r.Run_result.steal_attempts
+    totals.Counters.steal_attempts;
+  Alcotest.(check int) "sink successes = result successes" r.Run_result.successful_steals
+    totals.Counters.successful_steals;
+  (* Events: stamped with rounds in [1, rounds], sorted, and covering
+     every executed node exactly once (ring is large enough here). *)
+  let events = Sink.events sink in
+  Alcotest.(check bool) "events collected" true (events <> []);
+  Alcotest.(check int) "nothing dropped" 0 (Sink.dropped sink);
+  List.iter
+    (fun (e : Event.t) ->
+      Alcotest.(check bool) "round in range" true
+        (e.Event.time >= 1.0 && e.Event.time <= float_of_int r.Run_result.rounds))
+    events;
+  let sorted = List.for_all2 (fun a b -> a.Event.time <= b.Event.time)
+      (List.filteri (fun i _ -> i < List.length events - 1) events)
+      (List.tl events)
+  in
+  Alcotest.(check bool) "events sorted by round" true sorted;
+  let executes =
+    List.length (List.filter (fun e -> e.Event.kind = Event.Execute) events)
+  in
+  Alcotest.(check int) "one Execute per node" (Abp_dag.Metrics.work dag) executes;
+  let steals = List.length (List.filter (fun e -> e.Event.kind = Event.Steal) events) in
+  Alcotest.(check int) "one Steal event per success" r.Run_result.successful_steals steals
+
+let ring_bounds_and_counts_drops () =
+  let dag = Generators.spawn_tree ~depth:7 ~leaf_work:3 in
+  let p = 4 in
+  let cap = 8 in
+  let sink = Sink.create ~ring_capacity:cap ~workers:p () in
+  let r = Engine.run ~trace:sink (cfg ~p ()) dag in
+  Alcotest.(check bool) "completed" true r.Run_result.completed;
+  let retained = List.length (Sink.events sink) in
+  Alcotest.(check bool) "retained bounded" true (retained <= p * cap);
+  Alcotest.(check bool) "drops counted" true (Sink.dropped sink > 0);
+  (* The ring keeps the most recent events: each worker's retained
+     stream must end at (or after) its last counted activity. *)
+  List.iter
+    (fun (e : Event.t) ->
+      Alcotest.(check bool) "late events" true (e.Event.time > 1.0))
+    (Sink.events sink)
+
+let sink_wrong_width_rejected () =
+  let dag = Generators.chain ~n:4 in
+  let sink = Sink.create ~workers:3 () in
+  Alcotest.check_raises "width mismatch"
+    (Invalid_argument "Engine.run: trace sink must have one worker per process") (fun () ->
+      ignore (Engine.run ~trace:sink (cfg ~p:2 ()) dag))
+
+let exporters_render () =
+  let dag = Generators.spawn_tree ~depth:6 ~leaf_work:2 in
+  let p = 3 in
+  let sink = Sink.create ~ring_capacity:1024 ~workers:p () in
+  let r = Engine.run ~trace:sink (cfg ~p ()) dag in
+  Alcotest.(check bool) "completed" true r.Run_result.completed;
+  let json = Abp_trace.Chrome.to_string ~scale:1000.0 sink in
+  Alcotest.(check bool) "has traceEvents" true
+    (contains ~affix:{|"traceEvents"|} json);
+  Alcotest.(check bool) "has a steal or idle event" true
+    (contains ~affix:{|"name":"execute"|} json);
+  Alcotest.(check bool) "balanced braces" true
+    (let depth = ref 0 and ok = ref true in
+     String.iter
+       (fun ch ->
+         if ch = '{' then incr depth
+         else if ch = '}' then begin
+           decr depth;
+           if !depth < 0 then ok := false
+         end)
+       json;
+     !ok && !depth = 0);
+  let report = Format.asprintf "%a" Abp_trace.Report.pp sink in
+  Alcotest.(check bool) "report mentions totals" true
+    (contains ~affix:"totals:" report);
+  Alcotest.(check bool) "report has per-worker histogram" true
+    (contains ~affix:"steal attempts per worker" report)
+
+let prop_counters_consistent_on_random_dags =
+  QCheck2.Test.make ~name:"telemetry totals match run_result on random dags" ~count:20
+    QCheck2.Gen.(triple (int_range 1 10_000) (int_range 30 200) (int_range 1 6))
+    (fun (seed, size, p) ->
+      let rng = Abp_stats.Rng.create ~seed:(Int64.of_int seed) () in
+      let dag = Generators.random_sp ~rng ~size in
+      let r = Engine.run (cfg ~seed:(Int64.of_int seed) ~p ()) dag in
+      let totals = Counters.sum r.Run_result.per_worker in
+      r.Run_result.completed
+      && totals.Counters.steal_attempts = r.Run_result.steal_attempts
+      && totals.Counters.successful_steals = r.Run_result.successful_steals
+      && totals.Counters.yields = r.Run_result.yield_calls
+      && totals.Counters.lock_spins = r.Run_result.lock_spins
+      && Counters.complete totals)
+
+let tests =
+  [
+    Alcotest.test_case "counters match run_result (models x policies x seeds)" `Quick
+      counters_match_across_configs;
+    Alcotest.test_case "locked model: spins attributed per worker" `Quick
+      locked_model_spins_attributed;
+    Alcotest.test_case "sink sees the same counters + round-stamped events" `Quick
+      sink_sees_the_same_counters;
+    Alcotest.test_case "event ring bounds retention and counts drops" `Quick
+      ring_bounds_and_counts_drops;
+    Alcotest.test_case "sink width mismatch rejected" `Quick sink_wrong_width_rejected;
+    Alcotest.test_case "chrome + report exporters render" `Quick exporters_render;
+    QCheck_alcotest.to_alcotest prop_counters_consistent_on_random_dags;
+  ]
