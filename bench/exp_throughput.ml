@@ -1,0 +1,256 @@
+(* E26: the repo's perf-trajectory benchmark.
+
+   Times the deque hot path (uncontended method pairs, a plain timing
+   loop so the number is comparable run over run and PR over PR) and the
+   real Hood runtime on the three standard workloads (fib / nqueens /
+   parallel_reduce) at several process counts, and emits the results as
+   machine-readable JSON (default BENCH_throughput.json) with a stable
+   schema, so any two builds of this binary can be diffed:
+
+     dune exec bench/exp_throughput.exe                     # full run
+     dune exec bench/exp_throughput.exe -- --smoke          # CI smoke
+     dune exec bench/exp_throughput.exe -- --json out.json
+
+   The binary re-reads and schema-checks the JSON it wrote, exiting
+   nonzero on a malformed document — CI relies on this. *)
+
+let json_file = ref "BENCH_throughput.json"
+let smoke = ref false
+let repeats = ref 3
+
+let spec =
+  [
+    ("--json", Arg.Set_string json_file, "FILE  output file (default BENCH_throughput.json)");
+    ("--smoke", Arg.Set smoke, "  tiny sizes for CI schema checks");
+    ("--repeats", Arg.Set_int repeats, "N  timed repetitions per measurement (default 3)");
+  ]
+
+let now = Unix.gettimeofday
+
+let median xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+let minimum xs = List.fold_left min infinity xs
+
+(* ------------------------------------------------------------------ *)
+(* Micro: uncontended deque method pairs (ns per pair).               *)
+
+type micro_result = { m_name : string; iters : int; ns_per_op : float }
+
+let time_pairs name iters f =
+  (* One untimed warmup pass keeps allocation/paging effects out. *)
+  f (iters / 10);
+  let samples =
+    List.init !repeats (fun _ ->
+        let t0 = now () in
+        f iters;
+        (now () -. t0) *. 1e9 /. float_of_int iters)
+  in
+  { m_name = name; iters; ns_per_op = median samples }
+
+let micro_abp_owner iters =
+  let d : int Abp.Atomic_deque.t = Abp.Atomic_deque.create ~capacity:64 () in
+  for _ = 1 to iters do
+    Abp.Atomic_deque.push_bottom d 1;
+    ignore (Sys.opaque_identity (Abp.Atomic_deque.pop_bottom d))
+  done
+
+let micro_abp_steal iters =
+  (* popTop advances top without touching bot; the owner's popBottom on
+     the emptied deque resets the indices, keeping the fixed array in
+     range across iterations. *)
+  let d : int Abp.Atomic_deque.t = Abp.Atomic_deque.create ~capacity:64 () in
+  for _ = 1 to iters do
+    Abp.Atomic_deque.push_bottom d 1;
+    ignore (Sys.opaque_identity (Abp.Atomic_deque.pop_top d));
+    ignore (Sys.opaque_identity (Abp.Atomic_deque.pop_bottom d))
+  done
+
+let micro_circular_owner iters =
+  let d : int Abp.Circular_deque.t = Abp.Circular_deque.create ~capacity:64 () in
+  for _ = 1 to iters do
+    Abp.Circular_deque.push_bottom d 1;
+    ignore (Sys.opaque_identity (Abp.Circular_deque.pop_bottom d))
+  done
+
+let micro_locked_owner iters =
+  let d : int Abp.Locked_deque.t = Abp.Locked_deque.create ~capacity:64 () in
+  for _ = 1 to iters do
+    Abp.Locked_deque.push_bottom d 1;
+    ignore (Sys.opaque_identity (Abp.Locked_deque.pop_bottom d))
+  done
+
+let run_micro () =
+  let iters = if !smoke then 50_000 else 2_000_000 in
+  [
+    time_pairs "abp push+popBottom" iters micro_abp_owner;
+    time_pairs "abp push+popTop+reset" iters micro_abp_steal;
+    time_pairs "circular push+popBottom" iters micro_circular_owner;
+    time_pairs "locked push+popBottom" iters micro_locked_owner;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool: the real runtime across workloads and process counts.        *)
+
+type pool_result = {
+  workload : string;
+  n : int;
+  p : int;
+  seconds_median : float;
+  seconds_min : float;
+  steal_attempts : int;
+  successful_steals : int;
+  parks : int;
+  result : int;
+}
+
+let workloads () =
+  if !smoke then [ ("fib", 20); ("nqueens", 6); ("reduce", 50_000) ]
+  else [ ("fib", 30); ("nqueens", 11); ("reduce", 2_000_000) ]
+
+let processes () = if !smoke then [ 1; 2 ] else [ 1; 2; 4 ]
+
+let run_workload workload n =
+  match workload with
+  | "fib" -> Abp.Par.fib n
+  | "nqueens" -> Abp.Par.nqueens n
+  | "reduce" ->
+      Abp.Par.parallel_reduce ~grain:128 ~lo:0 ~hi:n ~init:0
+        ~map:(fun i -> i land 7)
+        ~combine:( + )
+  | other -> invalid_arg ("unknown workload: " ^ other)
+
+let measure_pool workload n p =
+  let timings = ref [] in
+  let value = ref 0 in
+  let pool = Abp.Pool.create ~processes:p () in
+  Fun.protect
+    ~finally:(fun () -> Abp.Pool.shutdown pool)
+    (fun () ->
+      for _ = 1 to !repeats do
+        let t0 = now () in
+        value := Abp.Pool.run pool (fun () -> run_workload workload n);
+        timings := (now () -. t0) :: !timings
+      done);
+  let totals = Abp.Trace.Counters.sum (Abp.Pool.counters pool) in
+  {
+    workload;
+    n;
+    p;
+    seconds_median = median !timings;
+    seconds_min = minimum !timings;
+    steal_attempts = totals.Abp.Trace.Counters.steal_attempts;
+    successful_steals = totals.Abp.Trace.Counters.successful_steals;
+    parks = totals.Abp.Trace.Counters.parks;
+    result = !value;
+  }
+
+let run_pool () =
+  List.concat_map
+    (fun (workload, n) -> List.map (fun p -> measure_pool workload n p) (processes ()))
+    (workloads ())
+
+(* ------------------------------------------------------------------ *)
+(* JSON out (hand-rolled: fixed ASCII keys, numbers only).            *)
+
+let f6 x = Printf.sprintf "%.6f" x
+
+let micro_json m =
+  Printf.sprintf {|    {"name":"%s","iters":%d,"ns_per_op":%s}|} m.m_name m.iters
+    (Printf.sprintf "%.2f" m.ns_per_op)
+
+let pool_json r =
+  Printf.sprintf
+    {|    {"workload":"%s","n":%d,"p":%d,"seconds_median":%s,"seconds_min":%s,"steal_attempts":%d,"successful_steals":%d,"parks":%d,"result":%d}|}
+    r.workload r.n r.p (f6 r.seconds_median) (f6 r.seconds_min) r.steal_attempts
+    r.successful_steals r.parks r.result
+
+let to_json micro pool =
+  String.concat "\n"
+    ([
+       "{";
+       {|  "schema": "abp-throughput/1",|};
+       Printf.sprintf {|  "mode": "%s",|} (if !smoke then "smoke" else "full");
+       Printf.sprintf {|  "repeats": %d,|} !repeats;
+       {|  "micro": [|};
+     ]
+    @ [ String.concat ",\n" (List.map micro_json micro) ]
+    @ [ "  ],"; {|  "pool": [|} ]
+    @ [ String.concat ",\n" (List.map pool_json pool) ]
+    @ [ "  ]"; "}"; "" ])
+
+(* Schema check on the written file: every required key present, braces
+   and brackets balanced, at least one entry per section.  Failing this
+   makes the binary exit nonzero, which is what the CI smoke step
+   asserts. *)
+let validate path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  let contains affix =
+    let n = String.length affix and m = String.length s in
+    let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+    n = 0 || go 0
+  in
+  let required =
+    [
+      {|"schema": "abp-throughput/1"|};
+      {|"mode"|};
+      {|"repeats"|};
+      {|"micro"|};
+      {|"pool"|};
+      {|"ns_per_op"|};
+      {|"seconds_median"|};
+      {|"steal_attempts"|};
+    ]
+  in
+  let missing = List.filter (fun k -> not (contains k)) required in
+  let balanced open_c close_c =
+    let depth = ref 0 and ok = ref true in
+    String.iter
+      (fun ch ->
+        if ch = open_c then incr depth
+        else if ch = close_c then begin
+          decr depth;
+          if !depth < 0 then ok := false
+        end)
+      s;
+    !ok && !depth = 0
+  in
+  if missing <> [] then begin
+    Printf.eprintf "BENCH_throughput.json schema check FAILED; missing: %s\n"
+      (String.concat ", " missing);
+    exit 1
+  end;
+  if not (balanced '{' '}' && balanced '[' ']') then begin
+    Printf.eprintf "BENCH_throughput.json schema check FAILED: unbalanced braces\n";
+    exit 1
+  end
+
+let () =
+  Arg.parse spec
+    (fun a -> raise (Arg.Bad ("unexpected argument: " ^ a)))
+    "exp_throughput [--smoke] [--json FILE] [--repeats N]";
+  if !repeats < 1 then begin
+    Printf.eprintf "--repeats must be >= 1\n";
+    exit 2
+  end;
+  Printf.printf "== E26 throughput (%s mode, %d repeats) ==\n%!"
+    (if !smoke then "smoke" else "full")
+    !repeats;
+  let micro = run_micro () in
+  List.iter (fun m -> Printf.printf "  %-26s %8.2f ns/op\n" m.m_name m.ns_per_op) micro;
+  let pool = run_pool () in
+  List.iter
+    (fun r ->
+      Printf.printf "  %s(%d) p=%d  %.4fs (min %.4fs)  steals %d/%d  parks %d\n" r.workload r.n
+        r.p r.seconds_median r.seconds_min r.successful_steals r.steal_attempts r.parks)
+    pool;
+  let oc = open_out !json_file in
+  output_string oc (to_json micro pool);
+  close_out oc;
+  validate !json_file;
+  Printf.printf "wrote %s (schema ok)\n" !json_file

@@ -14,7 +14,17 @@ let time f =
   let v = f () in
   (v, Unix.gettimeofday () -. t0)
 
-let run workload n p grain deque trace_file =
+(* Machine-readable result record, one JSON object per run, consumed by
+   perf-trajectory tooling alongside bench/exp_throughput.exe. *)
+let write_json file ~workload ~n ~p ~deque ~elapsed ~result ~attempts ~successes =
+  let oc = open_out file in
+  Printf.fprintf oc
+    {|{"schema":"hoodrun/1","workload":"%s","n":%d,"p":%d,"deque":"%s","seconds":%.6f,"result":%d,"steal_attempts":%d,"successful_steals":%d}|}
+    workload n p deque elapsed result attempts successes;
+  output_char oc '\n';
+  close_out oc
+
+let run workload n p grain deque trace_file json_file =
   let deque_impl =
     match deque with
     | "abp" -> Abp.Pool.Abp
@@ -45,6 +55,13 @@ let run workload n p grain deque trace_file =
   Format.printf "%s(%d) = %d  on P=%d in %.3fs  steals %d/%d@." workload n result p elapsed
     (Abp.Pool.successful_steals pool)
     (Abp.Pool.steal_attempts pool);
+  Option.iter
+    (fun file ->
+      write_json file ~workload ~n ~p ~deque ~elapsed ~result
+        ~attempts:(Abp.Pool.steal_attempts pool)
+        ~successes:(Abp.Pool.successful_steals pool);
+      Format.printf "json result written to %s@." file)
+    json_file;
   match (sink, trace_file) with
   | Some sink, Some file ->
       Format.printf "%a" Abp.Trace.Report.pp sink;
@@ -68,8 +85,15 @@ let cmd =
           ~doc:"collect scheduler telemetry; print the aggregate report and write a Chrome \
                 trace-event JSON to $(docv)")
   in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"write the run's timing and steal counters as a JSON object to $(docv)")
+  in
   Cmd.v
     (Cmd.info "hoodrun" ~doc:"Run workloads on the Hood work-stealing runtime")
-    Term.(const run $ workload $ n $ p $ grain $ deque $ trace_file)
+    Term.(const run $ workload $ n $ p $ grain $ deque $ trace_file $ json_file)
 
 let () = exit (Cmd.eval cmd)

@@ -13,6 +13,12 @@ let of_packed (w : int) : t = w
 let top t = t land mask
 let tag t = (t lsr bits) land mask
 let with_top t new_top = pack ~tag:(tag t) ~top:new_top
-let bump_tag t = pack ~tag:((tag t + 1) land mask) ~top:0
+
+(* Hot-path variants: no range checks, no branches.  [top] occupies the
+   low bits, so incrementing it is a plain integer increment as long as
+   it cannot overflow into the tag — guaranteed by the caller observing
+   [top < bot <= capacity <= max_top]. *)
+let incr_top (t : t) : t = t + 1
+let bump_tag t = ((tag t + 1) land mask) lsl bits
 let equal (a : t) (b : t) = a = b
 let pp ppf t = Fmt.pf ppf "{tag=%d; top=%d}" (tag t) (top t)

@@ -33,8 +33,15 @@ val tag : t -> int
 val with_top : t -> int -> t
 (** Same tag, new top. *)
 
+val incr_top : t -> t
+(** [with_top t (top t + 1)] without the range checks — the [popTop]
+    CAS's new value.  Branch-free (a single integer increment); requires
+    [top t < max_top], which any caller bounding [top] by a deque
+    capacity [<= max_top] guarantees. *)
+
 val bump_tag : t -> t
-(** Tag + 1 (mod 2{^31}), top reset to 0 — the [popBottom] reset step. *)
+(** Tag + 1 (mod 2{^31}), top reset to 0 — the [popBottom] reset step.
+    Branch-free. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

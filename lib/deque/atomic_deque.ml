@@ -1,19 +1,29 @@
 type 'a t = {
   deq : 'a option array;
-  bot : int Atomic.t;
-  age : int Atomic.t;  (* packed Age.t *)
+  bot : int Atomic.t;  (* padded: owner-hot, own cache line *)
+  age : int Atomic.t;  (* packed Age.t; padded: thief-hot, own cache line *)
 }
 
 let default_capacity = 1 lsl 16
 
+(* [bot] and [age] are the two contended words of the algorithm: the
+   owner stores [bot] on every push/pop while thieves CAS [age].  Padding
+   each onto its own cache line keeps an owner push from invalidating the
+   thieves' [age] line (and vice versa) — without it the two atomics are
+   allocated back to back and share a line. *)
 let create ?(capacity = default_capacity) () =
   if capacity < 1 then invalid_arg "Atomic_deque.create: capacity >= 1 required";
   if capacity > Age.max_top then invalid_arg "Atomic_deque.create: capacity too large";
   {
     deq = Array.make capacity None;
-    bot = Atomic.make 0;
-    age = Atomic.make (Age.pack ~tag:0 ~top:0 :> int);
+    bot = Padding.atomic 0;
+    age = Padding.atomic (Age.pack ~tag:0 ~top:0 :> int);
   }
+
+(* Array accesses below use the unsafe primitives: every index is [bot]
+   or [age.top], both already range-checked against the capacity by the
+   algorithm itself ([push_bottom]'s overflow test; pops only read
+   indices below a previously stored [bot]). *)
 
 (* pushBottom (Figure 5):
      1  load  localBot <- bot
@@ -23,7 +33,7 @@ let create ?(capacity = default_capacity) () =
 let push_bottom t node =
   let local_bot = Atomic.get t.bot in
   if local_bot >= Array.length t.deq then failwith "Atomic_deque: overflow";
-  t.deq.(local_bot) <- Some node;
+  Array.unsafe_set t.deq local_bot (Some node);
   Atomic.set t.bot (local_bot + 1)
 
 (* popTop (Figure 5):
@@ -44,15 +54,26 @@ let pop_top_detailed t =
   let local_bot = Atomic.get t.bot in
   if local_bot <= Age.top old_age then Spec.Empty
   else begin
-    let node = t.deq.(Age.top old_age) in
-    let new_word = (Age.with_top old_age (Age.top old_age + 1) :> int) in
+    let node = Array.unsafe_get t.deq (Age.top old_age) in
+    let new_word = (Age.incr_top old_age :> int) in
     if Atomic.compare_and_set t.age old_word new_word then
       match node with Some x -> Spec.Got x | None -> Spec.Empty
     else Spec.Contended
   end
 
+(* Direct option variant: same method without the intermediate
+   [Spec.detailed] block — the uninstrumented path allocates at most the
+   [Some] it returns. *)
 let pop_top t =
-  match pop_top_detailed t with Spec.Got x -> Some x | Spec.Empty | Spec.Contended -> None
+  let old_word = Atomic.get t.age in
+  let old_age = Age.of_packed old_word in
+  let local_bot = Atomic.get t.bot in
+  if local_bot <= Age.top old_age then None
+  else begin
+    let node = Array.unsafe_get t.deq (Age.top old_age) in
+    let new_word = (Age.incr_top old_age :> int) in
+    if Atomic.compare_and_set t.age old_word new_word then node else None
+  end
 
 (* popBottom (Figure 5):
      1  load localBot <- bot
@@ -74,7 +95,7 @@ let pop_bottom_detailed t =
   else begin
     let local_bot = local_bot - 1 in
     Atomic.set t.bot local_bot;
-    let node = t.deq.(local_bot) in
+    let node = Array.unsafe_get t.deq local_bot in
     let old_word = Atomic.get t.age in
     let old_age = Age.of_packed old_word in
     let got () = match node with Some x -> Spec.Got x | None -> Spec.Empty in
@@ -93,8 +114,27 @@ let pop_bottom_detailed t =
     end
   end
 
+(* Direct option variant of popBottom (see pop_top). *)
 let pop_bottom t =
-  match pop_bottom_detailed t with Spec.Got x -> Some x | Spec.Empty | Spec.Contended -> None
+  let local_bot = Atomic.get t.bot in
+  if local_bot = 0 then None
+  else begin
+    let local_bot = local_bot - 1 in
+    Atomic.set t.bot local_bot;
+    let node = Array.unsafe_get t.deq local_bot in
+    let old_word = Atomic.get t.age in
+    let old_age = Age.of_packed old_word in
+    if local_bot > Age.top old_age then node
+    else begin
+      Atomic.set t.bot 0;
+      let new_word = (Age.bump_tag old_age :> int) in
+      if local_bot = Age.top old_age && Atomic.compare_and_set t.age old_word new_word then node
+      else begin
+        Atomic.set t.age new_word;
+        None
+      end
+    end
+  end
 
 let top_of t = Age.top (Age.of_packed (Atomic.get t.age))
 let tag_of t = Age.tag (Age.of_packed (Atomic.get t.age))

@@ -19,6 +19,9 @@ type 'a t = {
 
 let make_buffer cap = { mask = cap - 1; seg = Array.make cap None }
 
+(* The three hot atomics live on distinct cache lines: [top] is
+   thief-CASed, [bottom] is owner-stored, and [active] is read by
+   everyone but written only on (rare) growth. *)
 let create ?(capacity = 16) () =
   if capacity < 2 then invalid_arg "Circular_deque.create: capacity >= 2 required";
   (* Round up to a power of two. *)
@@ -27,9 +30,9 @@ let create ?(capacity = 16) () =
     cap := !cap * 2
   done;
   {
-    top = Atomic.make 0;
-    bottom = Atomic.make 0;
-    active = Atomic.make (make_buffer !cap);
+    top = Padding.atomic 0;
+    bottom = Padding.atomic 0;
+    active = Padding.atomic (make_buffer !cap);
     grow_count = Atomic.make 0;
   }
 
@@ -84,8 +87,33 @@ let pop_bottom_detailed t =
     end
   end
 
+(* Direct option variant: no intermediate [Spec.detailed] block on the
+   uninstrumented path. *)
 let pop_bottom t =
-  match pop_bottom_detailed t with Spec.Got x -> Some x | Spec.Empty | Spec.Contended -> None
+  let b = Atomic.get t.bottom - 1 in
+  Atomic.set t.bottom b;
+  let tp = Atomic.get t.top in
+  if b < tp then begin
+    Atomic.set t.bottom tp;
+    None
+  end
+  else begin
+    let buf = Atomic.get t.active in
+    let x = get buf b in
+    if b > tp then begin
+      put buf b None;
+      x
+    end
+    else begin
+      let won = Atomic.compare_and_set t.top tp (tp + 1) in
+      Atomic.set t.bottom (tp + 1);
+      if won then begin
+        put buf b None;
+        x
+      end
+      else None
+    end
+  end
 
 let pop_top_detailed t =
   let tp = Atomic.get t.top in
@@ -98,7 +126,14 @@ let pop_top_detailed t =
   end
 
 let pop_top t =
-  match pop_top_detailed t with Spec.Got x -> Some x | Spec.Empty | Spec.Contended -> None
+  let tp = Atomic.get t.top in
+  let b = Atomic.get t.bottom in
+  if b <= tp then None
+  else begin
+    let buf = Atomic.get t.active in
+    let x = get buf tp in
+    if Atomic.compare_and_set t.top tp (tp + 1) then x else None
+  end
 
 let size t =
   let b = Atomic.get t.bottom and tp = Atomic.get t.top in

@@ -11,9 +11,13 @@ type 'a t = {
 
 let default_capacity = 64
 
+(* The record's own mutable fields ([items]/[head]/[count]) are the hot
+   state here, so the record itself is padded to a cache line: per-worker
+   deques allocated back to back must not false-share. *)
 let create ?(capacity = default_capacity) () =
   if capacity < 1 then invalid_arg "Locked_deque.create: capacity >= 1 required";
-  { lock = Mutex.create (); items = Array.make capacity None; head = 0; count = 0 }
+  Padding.copy_as_padded
+    { lock = Mutex.create (); items = Array.make capacity None; head = 0; count = 0 }
 
 let with_lock t f =
   Mutex.lock t.lock;
@@ -62,3 +66,11 @@ let pop_top t =
 
 let size t = with_lock t (fun () -> t.count)
 let is_empty t = size t = 0
+
+(* {!Spec.DETAILED} view: a mutex-protected deque has no CAS, so every
+   NIL is a genuine [Empty] — failures never register as [Contended]
+   (the instrumented pool's CAS-failure counters stay zero, as the
+   telemetry layer expects of this baseline). *)
+let of_option = function Some x -> Spec.Got x | None -> Spec.Empty
+let pop_bottom_detailed t = of_option (pop_bottom t)
+let pop_top_detailed t = of_option (pop_top t)

@@ -10,3 +10,11 @@
     ({!Abp_sim}). *)
 
 include Spec.S
+
+val pop_bottom_detailed : 'a t -> 'a Spec.detailed
+(** {!Spec.DETAILED} view; never [Contended] (no CAS to lose — blocked
+    waiters spin on the mutex instead, which is exactly the pathology
+    the baseline exists to exhibit). *)
+
+val pop_top_detailed : 'a t -> 'a Spec.detailed
+(** See {!pop_bottom_detailed}. *)

@@ -1,0 +1,39 @@
+(* Cache-line padding for hot shared words.
+
+   OCaml 5.1 has no [Atomic.make_contended] (it arrives in 5.2), but the
+   runtime representation makes the same trick expressible portably: an
+   [Atomic.t] is an ordinary one-field heap block whose operations only
+   ever touch field 0, and a block's size lives in its own header — so a
+   block over-allocated to a full cache line is indistinguishable from a
+   normal one to every consumer, while the allocator (and the copying
+   GC, which preserves block sizes) can never place another object's hot
+   field on the same line.  This is exactly how [Atomic.make_contended]
+   and multicore-magic's [copy_as_padded] are implemented. *)
+
+(* 16 words = 128 bytes on 64-bit: one cache line plus the adjacent
+   line that hardware prefetchers pair with it. *)
+let cache_line_words = 16
+
+let copy_as_padded (x : 'a) : 'a =
+  let o = Obj.repr x in
+  if not (Obj.is_block o) then x
+  else
+    let tag = Obj.tag o in
+    let n = Obj.size o in
+    (* Only plain scannable blocks (records, atomics) can be resized
+       safely: custom blocks, strings and float arrays interpret their
+       size themselves. *)
+    if tag >= Obj.no_scan_tag || tag = Obj.double_array_tag || n >= cache_line_words then x
+    else begin
+      let b = Obj.new_block tag cache_line_words in
+      for i = 0 to n - 1 do
+        Obj.set_field b i (Obj.field o i)
+      done;
+      (* The padding words are scanned by the GC; keep them immediate. *)
+      for i = n to cache_line_words - 1 do
+        Obj.set_field b i (Obj.repr 0)
+      done;
+      Obj.obj b
+    end
+
+let atomic v = copy_as_padded (Atomic.make v)

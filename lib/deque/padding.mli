@@ -1,0 +1,27 @@
+(** Cache-line padding for contended heap blocks.
+
+    The deque's [bot] and [age] words, and each worker's telemetry
+    record, are single-writer-hot: when two of them share a cache line,
+    every write by one worker invalidates the line under the other
+    (false sharing), turning the paper's contention-free hot path into
+    an implicit shared write.  [copy_as_padded] re-allocates a block at
+    a full cache line (plus the prefetch-paired neighbour) so each hot
+    block owns its lines outright.
+
+    Portable across OCaml 5.x: on 5.2+ [Padding.atomic] is equivalent to
+    [Atomic.make_contended]. *)
+
+val cache_line_words : int
+(** Padded block size in words (16 = 128 bytes on 64-bit). *)
+
+val copy_as_padded : 'a -> 'a
+(** [copy_as_padded x] returns a copy of the heap block [x] occupying at
+    least {!cache_line_words} words, so no other allocation shares its
+    cache lines.  Immediates, custom blocks, no-scan blocks and blocks
+    already at least a line long are returned unchanged.  Call at
+    creation time only: the copy is shallow and mutations to the
+    original are not seen by the copy. *)
+
+val atomic : 'a -> 'a Atomic.t
+(** A cache-line-padded [Atomic.make] ([Atomic.make_contended] on
+    OCaml's that have it). *)

@@ -15,6 +15,22 @@ module type S = sig
   val size : 'a t -> int
 end
 
+(* The instrumented-scheduler view of a deque: the pop methods preserve
+   the cause of a NIL so telemetry can count CAS failures separately
+   from genuine emptiness.  The Hood pool's worker loop is a functor
+   over this signature, so each implementation's methods monomorphize
+   into the scheduling loop instead of being reached through a closure
+   record. *)
+module type DETAILED = sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  val push_bottom : 'a t -> 'a -> unit
+  val pop_bottom_detailed : 'a t -> 'a detailed
+  val pop_top_detailed : 'a t -> 'a detailed
+  val size : 'a t -> int
+end
+
 module Reference = struct
   (* Items are kept in a list with the TOP at the head: pop_top is O(1),
      owner methods are O(n) - fine for an oracle. *)

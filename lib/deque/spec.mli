@@ -49,6 +49,26 @@ module type S = sig
   (** Advisory snapshot; racy under concurrency. *)
 end
 
+module type DETAILED = sig
+  type 'a t
+
+  val create : ?capacity:int -> unit -> 'a t
+  val push_bottom : 'a t -> 'a -> unit
+
+  val pop_bottom_detailed : 'a t -> 'a detailed
+  (** Owner pop with the cause of a NIL preserved: [Contended] when the
+      deque's last item was lost to a thief mid-invocation. *)
+
+  val pop_top_detailed : 'a t -> 'a detailed
+  (** Thief pop with the cause of a NIL preserved: [Contended] for a
+      lost CAS (implementations without a CAS report only [Empty]). *)
+
+  val size : 'a t -> int
+end
+(** The instrumented scheduler's view of a deque: what
+    {!Abp_hood.Pool}'s worker-loop functor consumes, so that each
+    implementation's methods monomorphize into the scheduling loop. *)
+
 module Reference : sig
   include S
 

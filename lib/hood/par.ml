@@ -39,8 +39,11 @@ let parallel_map_array ?grain f a =
   let n = Array.length a in
   if n = 0 then [||]
   else begin
+    (* The seed element doubles as out.(0): the parallel loop starts at
+       1 so [f] is applied exactly once per element (an effectful [f]
+       must not see index 0 twice). *)
     let out = Array.make n (f a.(0)) in
-    parallel_for ?grain ~lo:0 ~hi:n (fun i -> out.(i) <- f a.(i));
+    parallel_for ?grain ~lo:1 ~hi:n (fun i -> out.(i) <- f a.(i));
     out
   end
 

@@ -13,6 +13,8 @@ val parallel_reduce :
     must be associative with unit [init]. *)
 
 val parallel_map_array : ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [f] is applied exactly once per element (safe for effectful [f]);
+    element 0 is mapped sequentially to seed the result array. *)
 
 val fib : int -> int
 (** The canonical spawn-tree microbenchmark (naive Fibonacci with a

@@ -3,64 +3,210 @@ type deque_impl = Abp | Circular | Locked
 module Spec = Abp_deque.Spec
 module Counters = Abp_trace.Counters
 module Sink = Abp_trace.Sink
+module Padding = Abp_deque.Padding
 
-(* Each worker's deque behind a closure record, so one pool type serves
-   every implementation.  The pop methods keep the cause of a NIL
-   ({!Spec.detailed}) so the instrumented mode can count CAS failures
-   separately from genuine emptiness; the locked baseline has no CAS, so
-   its failures all register as [Empty]. *)
-type task_deque = {
-  push : (unit -> unit) -> unit;
-  pop_bottom : unit -> (unit -> unit) Spec.detailed;
-  pop_top : unit -> (unit -> unit) Spec.detailed;
-  deque_size : unit -> int;
-}
+let default_park_threshold = 16
 
-let of_option = function Some x -> Spec.Got x | None -> Spec.Empty
-
-let make_deque ?capacity = function
-  | Abp ->
-      let module D = Abp_deque.Atomic_deque in
-      let d = D.create ?capacity () in
-      {
-        push = D.push_bottom d;
-        pop_bottom = (fun () -> D.pop_bottom_detailed d);
-        pop_top = (fun () -> D.pop_top_detailed d);
-        deque_size = (fun () -> D.size d);
-      }
-  | Circular ->
-      let module D = Abp_deque.Circular_deque in
-      let d = D.create ?capacity () in
-      {
-        push = D.push_bottom d;
-        pop_bottom = (fun () -> D.pop_bottom_detailed d);
-        pop_top = (fun () -> D.pop_top_detailed d);
-        deque_size = (fun () -> D.size d);
-      }
-  | Locked ->
-      let module D = Abp_deque.Locked_deque in
-      let d = D.create ?capacity () in
-      {
-        push = D.push_bottom d;
-        pop_bottom = (fun () -> of_option (D.pop_bottom d));
-        pop_top = (fun () -> of_option (D.pop_top d));
-        deque_size = (fun () -> D.size d);
-      }
-
-type t = {
-  deques : task_deque array;
+(* State independent of the deque implementation.  Note what is NOT
+   here: no aggregate steal counters.  Steal accounting lives entirely in
+   the per-worker (cache-line-padded) [Counters.t] records, so a steal
+   attempt — successful or failed — writes no shared atomic; the public
+   [steal_attempts]/[successful_steals] accessors sum the records on
+   demand. *)
+type shared = {
   shutdown_flag : bool Atomic.t;
   run_lock : Mutex.t;
   mutable domains : unit Domain.t array;
   size : int;
-  attempts : int Atomic.t;
-  successes : int Atomic.t;
   yield_between_steals : bool;
+  park_threshold : int;
   counters : Counters.t array;  (* per-worker; the sink's records when traced *)
   trace : Sink.t option;
+  (* Thief parking: idle thieves that exhaust their backoff block here
+     until the next [push_task] or [shutdown].  [n_parked] (padded, its
+     own cache line) gates the waker's fast path: a push reads it once
+     and takes the lock only when someone is actually waiting. *)
+  park_lock : Mutex.t;
+  park_cond : Condition.t;
+  n_parked : int Atomic.t;
+  (* First exception raised by a task in a worker loop; re-raised at the
+     [run]/[shutdown] boundary instead of silently killing the domain. *)
+  pending_exn : (exn * Printexc.raw_backtrace) option Atomic.t;
 }
 
-type worker = { pool : t; id : int; rng_state : Abp_stats.Rng.t }
+(* The whole scheduling loop is a functor over the deque signature: each
+   instantiation's [push_bottom]/[pop_*_detailed] are direct, statically
+   known calls (monomorphic, inlinable), where the previous design paid
+   an indirect call through a closure record for every deque method.
+   The Abp/Circular/Locked selection happens once, at [create]. *)
+module Impl (D : Spec.DETAILED) = struct
+  type t = { shared : shared; deques : (unit -> unit) D.t array }
+
+  type worker = {
+    pool : t;
+    id : int;
+    rng_state : Abp_stats.Rng.t;
+    c : Counters.t;  (* own padded record, hoisted out of the loops *)
+    mutable failed_steals : int;
+        (* consecutive empty-handed trips through the worker loop;
+           resets on any acquired task, drives the backoff *)
+  }
+
+  let make_worker pool id =
+    {
+      pool;
+      id;
+      rng_state = Abp_stats.Rng.create ~seed:(Int64.of_int (0x9E36 + id)) ();
+      c = pool.shared.counters.(id);
+      failed_steals = 0;
+    }
+
+  (* Counter bumps write only the worker's own padded record (cache-
+     local, no atomics); events go to the worker's own ring and only
+     when a sink with an event ring is attached. *)
+  let emit w ?arg kind =
+    match w.pool.shared.trace with
+    | Some s -> Sink.emit s ~worker:w.id ?arg kind
+    | None -> ()
+
+  let wake_waiters sh =
+    if Atomic.get sh.n_parked > 0 then begin
+      Mutex.lock sh.park_lock;
+      Condition.signal sh.park_cond;
+      Mutex.unlock sh.park_lock
+    end
+
+  let push_task w task =
+    let d = w.pool.deques.(w.id) in
+    D.push_bottom d task;
+    let c = w.c in
+    c.Counters.pushes <- c.Counters.pushes + 1;
+    Counters.note_depth c (D.size d);
+    emit w Abp_trace.Event.Spawn;
+    wake_waiters w.pool.shared
+
+  let try_get_task w =
+    let pool = w.pool in
+    let c = w.c in
+    let steal () =
+      if pool.shared.size = 1 then None
+      else begin
+        (* One steal attempt from a uniformly random other victim. *)
+        let v = Abp_stats.Rng.int w.rng_state (pool.shared.size - 1) in
+        let victim = if v >= w.id then v + 1 else v in
+        c.Counters.steal_attempts <- c.Counters.steal_attempts + 1;
+        match D.pop_top_detailed pool.deques.(victim) with
+        | Spec.Got task ->
+            c.Counters.successful_steals <- c.Counters.successful_steals + 1;
+            emit w ~arg:victim Abp_trace.Event.Steal;
+            Some task
+        | Spec.Empty ->
+            c.Counters.steal_empties <- c.Counters.steal_empties + 1;
+            emit w ~arg:victim Abp_trace.Event.Idle;
+            None
+        | Spec.Contended ->
+            c.Counters.cas_failures_pop_top <- c.Counters.cas_failures_pop_top + 1;
+            emit w ~arg:victim Abp_trace.Event.Idle;
+            None
+      end
+    in
+    match D.pop_bottom_detailed pool.deques.(w.id) with
+    | Spec.Got task ->
+        c.Counters.pops <- c.Counters.pops + 1;
+        emit w Abp_trace.Event.Execute;
+        Some task
+    | Spec.Contended ->
+        (* Lost the deque's last task to a thief mid-popBottom. *)
+        c.Counters.cas_failures_pop_bottom <- c.Counters.cas_failures_pop_bottom + 1;
+        steal ()
+    | Spec.Empty -> steal ()
+
+  let has_work t =
+    let d = t.deques in
+    let n = Array.length d in
+    let rec go i = i < n && (D.size (Array.unsafe_get d i) > 0 || go (i + 1)) in
+    go 0
+
+  let park w =
+    let sh = w.pool.shared in
+    Mutex.lock sh.park_lock;
+    Atomic.incr sh.n_parked;
+    (* Registered in [n_parked] before the final emptiness check, both
+       under the lock: a racing push either observes [n_parked > 0] and
+       takes the lock to signal — serializing with this critical
+       section, so the signal lands after the wait begins — or completed
+       its deque write before our registration, in which case [has_work]
+       observes the task.  Either way no task is stranded. *)
+    if (not (Atomic.get sh.shutdown_flag)) && not (has_work w.pool) then begin
+      w.c.Counters.parks <- w.c.Counters.parks + 1;
+      emit w Abp_trace.Event.Park;
+      Condition.wait sh.park_cond sh.park_lock
+    end;
+    Atomic.decr sh.n_parked;
+    Mutex.unlock sh.park_lock
+
+  (* An empty-handed trip through the loop (Figure 3 line 15, extended):
+     stage 1 is the paper's yield between failed steal attempts; stage 2
+     a bounded exponential cpu_relax backoff; stage 3 parks until the
+     next push.  A spurious or stale wakeup only sends the thief around
+     the loop again.  With [yield_between_steals = false] (the E12/E15
+     ablation) thieves spin hot exactly as before: no yield, no backoff,
+     no parking. *)
+  let backoff_spin_cap = 6  (* at most 2^6 = 64 relaxes per failed trip *)
+
+  let idle w =
+    let sh = w.pool.shared in
+    if sh.yield_between_steals then begin
+      let c = w.c in
+      c.Counters.yields <- c.Counters.yields + 1;
+      emit w Abp_trace.Event.Yield;
+      Domain.cpu_relax ();
+      let k = w.failed_steals in
+      w.failed_steals <- k + 1;
+      if k >= sh.park_threshold then park w
+      else
+        for _ = 1 to 1 lsl min k backoff_spin_cap do
+          Domain.cpu_relax ()
+        done
+    end
+
+  let exec w task =
+    w.failed_steals <- 0;
+    try task ()
+    with e ->
+      (* A raising task must not kill its domain (the pool would wedge:
+         the domain's deque keeps its tasks but nobody owns it).  Record
+         the first failure for the run/shutdown boundary and keep
+         scheduling. *)
+      let bt = Printexc.get_raw_backtrace () in
+      w.c.Counters.task_exceptions <- w.c.Counters.task_exceptions + 1;
+      ignore (Atomic.compare_and_set w.pool.shared.pending_exn None (Some (e, bt)))
+
+  let worker_loop w =
+    let sh = w.pool.shared in
+    while not (Atomic.get sh.shutdown_flag) do
+      match try_get_task w with Some task -> exec w task | None -> idle w
+    done
+end
+
+module Abp_impl = Impl (Abp_deque.Atomic_deque)
+module Circular_impl = Impl (Abp_deque.Circular_deque)
+module Locked_impl = Impl (Abp_deque.Locked_deque)
+
+type t =
+  | Abp_pool of Abp_impl.t
+  | Circular_pool of Circular_impl.t
+  | Locked_pool of Locked_impl.t
+
+type worker =
+  | Abp_worker of Abp_impl.worker
+  | Circular_worker of Circular_impl.worker
+  | Locked_worker of Locked_impl.worker
+
+let shared_of = function
+  | Abp_pool p -> p.Abp_impl.shared
+  | Circular_pool p -> p.Circular_impl.shared
+  | Locked_pool p -> p.Locked_impl.shared
 
 (* Per-domain worker identity. *)
 let context_key : worker option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
@@ -70,79 +216,36 @@ let current () =
   | Some w -> w
   | None -> failwith "Hood: not inside a pool worker (use Pool.run)"
 
-let pool_of w = w.pool
-let size t = t.size
+let pool_of = function
+  | Abp_worker w -> Abp_pool w.Abp_impl.pool
+  | Circular_worker w -> Circular_pool w.Circular_impl.pool
+  | Locked_worker w -> Locked_pool w.Locked_impl.pool
+
+let size t = (shared_of t).size
 let relax () = Domain.cpu_relax ()
 
-(* The yield between steal attempts (Figure 3 line 15): on the runtime we
-   lower the thief's claim to the processor between failed attempts.  The
-   E15y ablation disables this to reproduce, on real hardware, the
-   paper's finding that omitting the yields degrades performance whenever
-   processes outnumber processors. *)
-(* Counter bumps write only the worker's own record (cache-local, no
-   atomics); events go to the worker's own ring and only when a sink with
-   an event ring is attached. *)
-let emit w ?arg kind =
-  match w.pool.trace with Some s -> Sink.emit s ~worker:w.id ?arg kind | None -> ()
+(* Aggregates on demand from the per-worker records; exact once the
+   workers have quiesced (after [run] returns / after [shutdown]),
+   advisory while they run. *)
+let steal_attempts t = (Counters.sum (shared_of t).counters).Counters.steal_attempts
+let successful_steals t = (Counters.sum (shared_of t).counters).Counters.successful_steals
+let trace t = (shared_of t).trace
+let counters t = (shared_of t).counters
+let parked_workers t = Atomic.get (shared_of t).n_parked
 
-let thief_yield w =
-  if w.pool.yield_between_steals then begin
-    let c = w.pool.counters.(w.id) in
-    c.Counters.yields <- c.Counters.yields + 1;
-    emit w Abp_trace.Event.Yield;
-    Domain.cpu_relax ()
-  end
-
-let steal_attempts t = Atomic.get t.attempts
-let successful_steals t = Atomic.get t.successes
-let trace t = t.trace
-let counters t = t.counters
-
+(* The per-task dispatch: a three-way branch to the monomorphic
+   implementation (the deque methods inside each branch are direct
+   calls), replacing the old per-deque-method indirect calls. *)
 let push_task w task =
-  let d = w.pool.deques.(w.id) in
-  d.push task;
-  let c = w.pool.counters.(w.id) in
-  c.Counters.pushes <- c.Counters.pushes + 1;
-  Counters.note_depth c (d.deque_size ());
-  emit w Abp_trace.Event.Spawn
+  match w with
+  | Abp_worker w -> Abp_impl.push_task w task
+  | Circular_worker w -> Circular_impl.push_task w task
+  | Locked_worker w -> Locked_impl.push_task w task
 
-let try_get_task w =
-  let pool = w.pool in
-  let c = pool.counters.(w.id) in
-  let steal () =
-    if pool.size = 1 then None
-    else begin
-      (* One steal attempt from a uniformly random other victim. *)
-      let v = Abp_stats.Rng.int w.rng_state (pool.size - 1) in
-      let victim = if v >= w.id then v + 1 else v in
-      Atomic.incr pool.attempts;
-      c.Counters.steal_attempts <- c.Counters.steal_attempts + 1;
-      match pool.deques.(victim).pop_top () with
-      | Spec.Got task ->
-          Atomic.incr pool.successes;
-          c.Counters.successful_steals <- c.Counters.successful_steals + 1;
-          emit w ~arg:victim Abp_trace.Event.Steal;
-          Some task
-      | Spec.Empty ->
-          c.Counters.steal_empties <- c.Counters.steal_empties + 1;
-          emit w ~arg:victim Abp_trace.Event.Idle;
-          None
-      | Spec.Contended ->
-          c.Counters.cas_failures_pop_top <- c.Counters.cas_failures_pop_top + 1;
-          emit w ~arg:victim Abp_trace.Event.Idle;
-          None
-    end
-  in
-  match pool.deques.(w.id).pop_bottom () with
-  | Spec.Got task ->
-      c.Counters.pops <- c.Counters.pops + 1;
-      emit w Abp_trace.Event.Execute;
-      Some task
-  | Spec.Contended ->
-      (* Lost the deque's last task to a thief mid-popBottom. *)
-      c.Counters.cas_failures_pop_bottom <- c.Counters.cas_failures_pop_bottom + 1;
-      steal ()
-  | Spec.Empty -> steal ()
+let try_get_task = function
+  | Abp_worker w -> Abp_impl.try_get_task w
+  | Circular_worker w -> Circular_impl.try_get_task w
+  | Locked_worker w -> Locked_impl.try_get_task w
 
 let with_context w f =
   let slot = Domain.DLS.get context_key in
@@ -150,53 +253,109 @@ let with_context w f =
   slot := Some w;
   Fun.protect ~finally:(fun () -> slot := saved) f
 
-let worker_loop pool id =
-  let w = { pool; id; rng_state = Abp_stats.Rng.create ~seed:(Int64.of_int (0x9E37 + id)) () } in
-  with_context w (fun () ->
-      while not (Atomic.get pool.shutdown_flag) do
-        match try_get_task w with Some task -> task () | None -> thief_yield w
-      done)
-
-let create ?processes ?deque_capacity ?(yield_between_steals = true) ?(deque_impl = Abp) ?trace
-    () =
+let create ?processes ?deque_capacity ?(yield_between_steals = true)
+    ?(park_threshold = default_park_threshold) ?(deque_impl = Abp) ?trace () =
   let processes = Option.value processes ~default:(Domain.recommended_domain_count ()) in
   if processes < 1 then invalid_arg "Pool.create: processes >= 1 required";
+  if park_threshold < 0 then invalid_arg "Pool.create: park_threshold >= 0 required";
   (match trace with
   | Some s when Sink.workers s <> processes ->
       invalid_arg "Pool.create: trace sink must have one worker per process"
   | _ -> ());
-  let pool =
+  let shared =
     {
-      deques = Array.init processes (fun _ -> make_deque ?capacity:deque_capacity deque_impl);
       shutdown_flag = Atomic.make false;
       run_lock = Mutex.create ();
       domains = [||];
       size = processes;
-      attempts = Atomic.make 0;
-      successes = Atomic.make 0;
       yield_between_steals;
+      park_threshold;
       counters =
         (match trace with
         | Some s -> Sink.per_worker s
         | None -> Array.init processes (fun _ -> Counters.create ()));
       trace;
+      park_lock = Mutex.create ();
+      park_cond = Condition.create ();
+      n_parked = Padding.atomic 0;
+      pending_exn = Atomic.make None;
     }
   in
-  pool.domains <- Array.init (processes - 1) (fun i -> Domain.spawn (fun () -> worker_loop pool (i + 1)));
-  pool
+  let spawn_workers enter =
+    shared.domains <- Array.init (processes - 1) (fun i -> Domain.spawn (fun () -> enter (i + 1)))
+  in
+  match deque_impl with
+  | Abp ->
+      let it =
+        {
+          Abp_impl.shared;
+          deques =
+            Array.init processes (fun _ ->
+                Abp_deque.Atomic_deque.create ?capacity:deque_capacity ());
+        }
+      in
+      spawn_workers (fun id ->
+          let w = Abp_impl.make_worker it id in
+          with_context (Abp_worker w) (fun () -> Abp_impl.worker_loop w));
+      Abp_pool it
+  | Circular ->
+      let it =
+        {
+          Circular_impl.shared;
+          deques =
+            Array.init processes (fun _ ->
+                Abp_deque.Circular_deque.create ?capacity:deque_capacity ());
+        }
+      in
+      spawn_workers (fun id ->
+          let w = Circular_impl.make_worker it id in
+          with_context (Circular_worker w) (fun () -> Circular_impl.worker_loop w));
+      Circular_pool it
+  | Locked ->
+      let it =
+        {
+          Locked_impl.shared;
+          deques =
+            Array.init processes (fun _ ->
+                Abp_deque.Locked_deque.create ?capacity:deque_capacity ());
+        }
+      in
+      spawn_workers (fun id ->
+          let w = Locked_impl.make_worker it id in
+          with_context (Locked_worker w) (fun () -> Locked_impl.worker_loop w));
+      Locked_pool it
+
+let reraise_pending sh =
+  match Atomic.exchange sh.pending_exn None with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
 
 let run pool f =
-  if Atomic.get pool.shutdown_flag then failwith "Pool.run: pool is shut down";
-  if not (Mutex.try_lock pool.run_lock) then failwith "Pool.run: already running";
+  let sh = shared_of pool in
+  if Atomic.get sh.shutdown_flag then failwith "Pool.run: pool is shut down";
+  if not (Mutex.try_lock sh.run_lock) then failwith "Pool.run: already running";
   Fun.protect
-    ~finally:(fun () -> Mutex.unlock pool.run_lock)
+    ~finally:(fun () -> Mutex.unlock sh.run_lock)
     (fun () ->
-      let w = { pool; id = 0; rng_state = Abp_stats.Rng.create ~seed:0x9E36L () } in
-      with_context w f)
+      let w =
+        match pool with
+        | Abp_pool it -> Abp_worker (Abp_impl.make_worker it 0)
+        | Circular_pool it -> Circular_worker (Circular_impl.make_worker it 0)
+        | Locked_pool it -> Locked_worker (Locked_impl.make_worker it 0)
+      in
+      let v = with_context w f in
+      reraise_pending sh;
+      v)
 
 let shutdown pool =
-  if not (Atomic.get pool.shutdown_flag) then begin
-    Atomic.set pool.shutdown_flag true;
-    Array.iter Domain.join pool.domains;
-    pool.domains <- [||]
+  let sh = shared_of pool in
+  if not (Atomic.get sh.shutdown_flag) then begin
+    Atomic.set sh.shutdown_flag true;
+    (* Wake every parked thief so it can observe the flag and exit. *)
+    Mutex.lock sh.park_lock;
+    Condition.broadcast sh.park_cond;
+    Mutex.unlock sh.park_lock;
+    Array.iter Domain.join sh.domains;
+    sh.domains <- [||];
+    reraise_pending sh
   end

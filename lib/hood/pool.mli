@@ -7,8 +7,28 @@
     {!Abp_deque.Atomic_deque} of tasks.  Each worker runs the Figure 3
     scheduling loop: pop the bottom of its own deque; when empty, become
     a thief — pick a uniformly random victim, [popTop] its deque, and
-    back off ([Domain.cpu_relax], the portable stand-in for the paper's
-    [yield]) between failed attempts.
+    back off between failed attempts.
+
+    {2 Hot-path design}
+
+    - The scheduling loop is compiled once per deque implementation (a
+      functor over {!Abp_deque.Spec.DETAILED}), so every deque method is
+      a direct, monomorphic call — no closure-record indirection.
+    - All steal accounting is per-worker, in cache-line-padded
+      {!Abp_trace.Counters} records: a steal attempt (successful or
+      failed) writes no shared atomic.  The aggregate accessors below
+      sum the records on demand.
+    - The deque's [bot]/[age] words and each worker's counter record
+      live on distinct cache lines ({!Abp_deque.Padding}) — no false
+      sharing between the owner's pushes and the thieves' CASes.
+    - An idle thief backs off adaptively: first the paper's Figure 3
+      yield ([Domain.cpu_relax]), then a bounded exponential spin, and
+      after [park_threshold] consecutive empty-handed trips it parks on
+      a condition variable until the next [push_task] (which wakes a
+      parked thief with a single atomic read on the fast path) or
+      {!shutdown}.  [yield_between_steals:false] (the E12/E15 ablation)
+      disables all three stages: thieves spin hot, exactly the paper's
+      "no yield" pathology.
 
     Tasks are spawned {e parent-first}: [spawn] pushes the child task and
     the parent continues — one of the two orders the paper proves the
@@ -34,6 +54,7 @@ val create :
   ?processes:int ->
   ?deque_capacity:int ->
   ?yield_between_steals:bool ->
+  ?park_threshold:int ->
   ?deque_impl:deque_impl ->
   ?trace:Abp_trace.Sink.t ->
   unit ->
@@ -46,20 +67,24 @@ val create :
     {!Abp_deque.Atomic_deque.default_capacity} = 65536 slots, plenty for
     divide-and-conquer workloads whose deque depth is logarithmic).
     [yield_between_steals] (default true) controls the Figure 3 yield
-    between failed steal attempts ([Domain.cpu_relax]); disabling it is
-    the E15 ablation showing thieves monopolizing the processor.
+    between failed steal attempts and the backoff/parking that extends
+    it; disabling it is the E15 ablation showing thieves monopolizing
+    the processor.  [park_threshold] (default 16) is the number of
+    consecutive empty-handed worker-loop trips before an idle thief
+    parks; [0] parks after the first failed trip (it still yields
+    once), and it only applies when [yield_between_steals] is [true].
     [deque_impl] selects the worker-deque implementation (default
-    {!Abp}).  Requires [processes >= 1].
+    {!Abp}).  Requires [processes >= 1] and [park_threshold >= 0].
 
     [trace] attaches a telemetry sink (one worker per process, else
     [Invalid_argument]): every worker then counts its pushes, pops,
     steal attempts/successes/empties, [popTop]/[popBottom] CAS failures,
-    yields, and deque high-water mark into the sink's per-worker
+    yields, parks, and deque high-water mark into the sink's per-worker
     records — each record written only by its own domain, so the hot
     path stays contention-free — and, when the sink has an event ring,
-    streams [Spawn]/[Steal]/[Execute]/[Idle]/[Yield] events stamped with
-    the sink's clock.  Read the sink after {!shutdown} (aggregation
-    while domains run is racy). *)
+    streams [Spawn]/[Steal]/[Execute]/[Idle]/[Yield]/[Park] events
+    stamped with the sink's clock.  Read the sink after {!shutdown}
+    (aggregation while domains run is racy). *)
 
 val size : t -> int
 (** The number of processes [P]. *)
@@ -68,12 +93,17 @@ val run : t -> (unit -> 'a) -> 'a
 (** [run pool f] enters the pool as worker 0 and evaluates [f]; inside
     [f] the {!Future} and {!Par} operations may be used.  Only one [run]
     may be active at a time (serialized internally); re-entrant calls
-    raise [Failure].  Exceptions from [f] are re-raised. *)
+    raise [Failure].  Exceptions from [f] are re-raised.  If any task
+    raised in a worker loop during the run (see
+    {!Abp_trace.Counters.t.task_exceptions}), the first such exception
+    is re-raised here after [f] returns. *)
 
 val shutdown : t -> unit
-(** Stop the worker domains and join them.  Idempotent.  Outstanding
-    tasks are completed before workers exit only if they are reachable by
-    stealing; call this after [run] has returned. *)
+(** Stop the worker domains (waking any parked thieves) and join them.
+    Idempotent.  Outstanding tasks are completed before workers exit
+    only if they are reachable by stealing; call this after [run] has
+    returned.  Re-raises the first recorded task exception, if any is
+    still pending. *)
 
 (**/**)
 
@@ -90,8 +120,18 @@ val pool_of : worker -> t
 val push_task : worker -> (unit -> unit) -> unit
 val try_get_task : worker -> (unit -> unit) option
 val relax : unit -> unit
+
 val steal_attempts : t -> int
+(** Sum of the per-worker [steal_attempts] counters.  Exact once the
+    workers have quiesced; advisory while they run. *)
+
 val successful_steals : t -> int
+(** Sum of the per-worker [successful_steals] counters; see
+    {!steal_attempts}. *)
+
+val parked_workers : t -> int
+(** Number of thieves currently parked on the pool's condition variable
+    (advisory snapshot). *)
 
 val trace : t -> Abp_trace.Sink.t option
 (** The sink passed to {!create}, if any. *)

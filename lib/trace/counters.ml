@@ -9,21 +9,29 @@ type t = {
   mutable yields : int;
   mutable lock_spins : int;
   mutable deque_high_water : int;
+  mutable parks : int;
+  mutable task_exceptions : int;
 }
 
+(* Each record is single-writer-hot (its owning worker bumps it on every
+   scheduler action), so records allocated back to back must not share a
+   cache line: pad each to a full line at creation. *)
 let create () =
-  {
-    pushes = 0;
-    pops = 0;
-    steal_attempts = 0;
-    successful_steals = 0;
-    steal_empties = 0;
-    cas_failures_pop_top = 0;
-    cas_failures_pop_bottom = 0;
-    yields = 0;
-    lock_spins = 0;
-    deque_high_water = 0;
-  }
+  Abp_deque.Padding.copy_as_padded
+    {
+      pushes = 0;
+      pops = 0;
+      steal_attempts = 0;
+      successful_steals = 0;
+      steal_empties = 0;
+      cas_failures_pop_top = 0;
+      cas_failures_pop_bottom = 0;
+      yields = 0;
+      lock_spins = 0;
+      deque_high_water = 0;
+      parks = 0;
+      task_exceptions = 0;
+    }
 
 let reset c =
   c.pushes <- 0;
@@ -35,9 +43,11 @@ let reset c =
   c.cas_failures_pop_bottom <- 0;
   c.yields <- 0;
   c.lock_spins <- 0;
-  c.deque_high_water <- 0
+  c.deque_high_water <- 0;
+  c.parks <- 0;
+  c.task_exceptions <- 0
 
-let copy c = { c with pushes = c.pushes }
+let copy c = Abp_deque.Padding.copy_as_padded { c with pushes = c.pushes }
 
 let note_depth c n = if n > c.deque_high_water then c.deque_high_water <- n
 
@@ -51,7 +61,9 @@ let add ~into c =
   into.cas_failures_pop_bottom <- into.cas_failures_pop_bottom + c.cas_failures_pop_bottom;
   into.yields <- into.yields + c.yields;
   into.lock_spins <- into.lock_spins + c.lock_spins;
-  into.deque_high_water <- max into.deque_high_water c.deque_high_water
+  into.deque_high_water <- max into.deque_high_water c.deque_high_water;
+  into.parks <- into.parks + c.parks;
+  into.task_exceptions <- into.task_exceptions + c.task_exceptions
 
 let sum cs =
   let acc = create () in
@@ -70,6 +82,8 @@ let fields c =
     ("yields", c.yields);
     ("lock_spins", c.lock_spins);
     ("deque_high_water", c.deque_high_water);
+    ("parks", c.parks);
+    ("task_exceptions", c.task_exceptions);
   ]
 
 let consistent c =
@@ -81,6 +95,8 @@ let complete c =
   && c.successful_steals + c.steal_empties + c.cas_failures_pop_top = c.steal_attempts
 
 let pp ppf c =
-  Fmt.pf ppf "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d spins %d hiwater %d"
+  Fmt.pf ppf
+    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s"
     c.successful_steals c.steal_attempts c.steal_empties c.cas_failures_pop_top c.pushes c.pops
-    c.yields c.lock_spins c.deque_high_water
+    c.yields c.parks c.lock_spins c.deque_high_water
+    (if c.task_exceptions > 0 then Printf.sprintf " task-exns %d" c.task_exceptions else "")

@@ -25,10 +25,20 @@ type t = {
   mutable yields : int;  (** yields between failed steal attempts *)
   mutable lock_spins : int;  (** actions burnt spinning on a deque lock *)
   mutable deque_high_water : int;  (** maximum observed deque size *)
+  mutable parks : int;
+      (** times an idle thief exhausted its backoff and blocked on the
+          pool's condition variable (Hood runtime only; 0 in the
+          simulator) *)
+  mutable task_exceptions : int;
+      (** tasks whose execution raised in a worker loop; the first such
+          exception is re-raised at the [run]/[shutdown] boundary *)
 }
 
 val create : unit -> t
-(** All counters zero. *)
+(** All counters zero.  The record is cache-line padded
+    ({!Abp_deque.Padding}): records created back to back (one per
+    worker) never false-share, keeping single-writer hot-path bumps
+    genuinely contention-free. *)
 
 val reset : t -> unit
 

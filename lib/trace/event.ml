@@ -1,4 +1,4 @@
-type kind = Spawn | Steal | Execute | Idle | Yield
+type kind = Spawn | Steal | Execute | Idle | Yield | Park
 
 type t = { kind : kind; worker : int; time : float; arg : int }
 
@@ -8,6 +8,7 @@ let kind_name = function
   | Execute -> "execute"
   | Idle -> "idle"
   | Yield -> "yield"
+  | Park -> "park"
 
 let pp ppf e =
   Fmt.pf ppf "[%g] w%d %s%s" e.time e.worker (kind_name e.kind)

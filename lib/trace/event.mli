@@ -13,6 +13,10 @@ type kind =
   | Execute  (** a node/task was executed (node id in [arg] when known) *)
   | Idle  (** a steal attempt on [arg]'s deque came back empty-handed *)
   | Yield  (** the thief yielded between failed steal attempts *)
+  | Park
+      (** the thief exhausted its backoff and blocked on the pool's
+          condition variable until the next push or shutdown (Hood
+          runtime only) *)
 
 type t = { kind : kind; worker : int; time : float; arg : int }
 

@@ -1,0 +1,171 @@
+(* Backoff and parking semantics of the Hood pool (the stage-3 extension
+   of the paper's Figure 3 yield): idle thieves park after
+   [park_threshold] empty-handed trips, a [push_task] wakes them with
+   bounded latency, no task is lost across a park/unpark race
+   (conservation), the [yield_between_steals:false] ablation never
+   yields or parks, and a task that raises in a worker loop is recorded
+   in [Counters.task_exceptions] and re-raised at the [run]/[shutdown]
+   boundary instead of killing its domain. *)
+
+module Pool = Abp_hood.Pool
+module Future = Abp_hood.Future
+module Par = Abp_hood.Par
+module Counters = Abp_trace.Counters
+
+exception Boom
+
+let totals pool = Counters.sum (Pool.counters pool)
+
+(* Spin (politely) until [pred] holds; false on timeout.  Generous
+   timeouts: the CI box has one CPU, so a woken domain may wait a full
+   timeslice before running. *)
+let wait_until ?(timeout = 30.0) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    pred ()
+    || (Unix.gettimeofday () -. t0 <= timeout)
+       && begin
+            Domain.cpu_relax ();
+            go ()
+          end
+  in
+  go ()
+
+let idle_thieves_park () =
+  (* park_threshold 0: a thief parks after its first empty-handed trip,
+     so with no work both spawned workers must end up on the condition
+     variable. *)
+  let pool = Pool.create ~processes:3 ~park_threshold:0 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check bool) "both thieves parked" true
+        (wait_until (fun () -> Pool.parked_workers pool = 2)));
+  (* shutdown returned, so the broadcast woke them; counters are now
+     quiesced. *)
+  Alcotest.(check bool) "parks counted" true ((totals pool).Counters.parks >= 2);
+  Alcotest.(check int) "nobody left parked" 0 (Pool.parked_workers pool)
+
+let push_wakes_parked_thief () =
+  let pool = Pool.create ~processes:2 ~park_threshold:0 () in
+  let latency =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        Pool.run pool (fun () ->
+            let w = Pool.current () in
+            Alcotest.(check bool) "thief parked before push" true
+              (wait_until (fun () -> Pool.parked_workers pool = 1));
+            let executed = Atomic.make false in
+            let t0 = Unix.gettimeofday () in
+            Pool.push_task w (fun () -> Atomic.set executed true);
+            (* Worker 0 only waits — it never pops its own deque here —
+               so the task can only run if the push woke the thief. *)
+            Alcotest.(check bool) "parked thief executed the task" true
+              (wait_until (fun () -> Atomic.get executed));
+            Unix.gettimeofday () -. t0))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "wake-on-push latency %.3fs within bound" latency)
+    true (latency < 10.0);
+  let t = totals pool in
+  Alcotest.(check bool) "the thief parked at least once" true (t.Counters.parks >= 1);
+  Alcotest.(check int) "the pushed task was stolen, not popped" 1
+    t.Counters.successful_steals
+
+let conservation_across_park_unpark () =
+  (* Aggressive parking (threshold 0) while real work flows through:
+     thieves park and get woken many times, and still every pushed task
+     is executed exactly once — pushes = pops + steals at quiescence. *)
+  let pool = Pool.create ~processes:4 ~park_threshold:0 () in
+  let n = 50_000 in
+  let got =
+    Fun.protect
+      ~finally:(fun () -> Pool.shutdown pool)
+      (fun () ->
+        ignore (wait_until (fun () -> Pool.parked_workers pool >= 1));
+        Pool.run pool (fun () ->
+            Par.parallel_reduce ~grain:16 ~lo:0 ~hi:n ~init:0
+              ~map:(fun i -> i land 7)
+              ~combine:( + )))
+  in
+  let want = ref 0 in
+  for i = 0 to n - 1 do
+    want := !want + (i land 7)
+  done;
+  Alcotest.(check int) "reduce value" !want got;
+  let t = totals pool in
+  Alcotest.(check bool) "thieves actually parked" true (t.Counters.parks >= 1);
+  Alcotest.(check int) "pushes = pops + steals at quiescence" t.Counters.pushes
+    (t.Counters.pops + t.Counters.successful_steals);
+  Alcotest.(check bool) "steal breakdown complete" true (Counters.complete t)
+
+let ablation_never_parks_or_yields () =
+  let pool = Pool.create ~processes:3 ~yield_between_steals:false () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let got = Pool.run pool (fun () -> Par.fib 18) in
+      Alcotest.(check int) "fib value" 2584 got;
+      Alcotest.(check int) "no thief parked mid-run" 0 (Pool.parked_workers pool));
+  let t = totals pool in
+  Alcotest.(check int) "no yields in ablation" 0 t.Counters.yields;
+  Alcotest.(check int) "no parks in ablation" 0 t.Counters.parks
+
+let negative_park_threshold_rejected () =
+  Alcotest.check_raises "park_threshold validated"
+    (Invalid_argument "Pool.create: park_threshold >= 0 required") (fun () ->
+      ignore (Pool.create ~processes:1 ~park_threshold:(-1) ()))
+
+let task_exception_reraised_at_run () =
+  let pool = Pool.create ~processes:2 ~park_threshold:0 () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      Alcotest.check_raises "run re-raises the task's exception" Boom (fun () ->
+          Pool.run pool (fun () ->
+              let w = Pool.current () in
+              Pool.push_task w (fun () -> raise Boom);
+              (* Wait for the worker loop to catch and record it, so the
+                 re-raise deterministically happens at this run's exit. *)
+              ignore
+                (wait_until (fun () -> (totals pool).Counters.task_exceptions = 1))));
+      Alcotest.(check int) "exception recorded in counters" 1
+        (totals pool).Counters.task_exceptions;
+      (* The worker domain survived: the pool still computes. *)
+      let got = Pool.run pool (fun () -> Par.fib 15) in
+      Alcotest.(check int) "pool still works after task exception" 610 got)
+
+let task_exception_reraised_at_shutdown () =
+  let pool = Pool.create ~processes:2 ~park_threshold:0 () in
+  let gate = Atomic.make false in
+  Pool.run pool (fun () ->
+      let w = Pool.current () in
+      (* The task blocks on [gate], so it cannot have raised before this
+         run returns; the exception then surfaces at shutdown. *)
+      Pool.push_task w (fun () ->
+          while not (Atomic.get gate) do
+            Domain.cpu_relax ()
+          done;
+          raise Boom));
+  Atomic.set gate true;
+  Alcotest.(check bool) "exception recorded after run returned" true
+    (wait_until (fun () -> (totals pool).Counters.task_exceptions = 1));
+  Alcotest.check_raises "shutdown re-raises the pending exception" Boom (fun () ->
+      Pool.shutdown pool);
+  (* Idempotent shutdown does not raise twice. *)
+  Pool.shutdown pool
+
+let tests =
+  [
+    Alcotest.test_case "idle thieves park" `Quick idle_thieves_park;
+    Alcotest.test_case "push wakes a parked thief" `Quick push_wakes_parked_thief;
+    Alcotest.test_case "conservation across park/unpark" `Quick conservation_across_park_unpark;
+    Alcotest.test_case "yield ablation never parks or yields" `Quick
+      ablation_never_parks_or_yields;
+    Alcotest.test_case "negative park_threshold rejected" `Quick
+      negative_park_threshold_rejected;
+    Alcotest.test_case "task exception re-raised at run" `Quick task_exception_reraised_at_run;
+    Alcotest.test_case "task exception re-raised at shutdown" `Quick
+      task_exception_reraised_at_shutdown;
+  ]

@@ -157,10 +157,37 @@ let pool_instrumented_arithmetic () =
   Alcotest.(check int) "per-worker sums to totals" totals.Counters.steal_attempts
     (Counters.sum pw).Counters.steal_attempts
 
+(* The pool's aggregate accessors are derived — sums over the per-worker
+   records, no shared atomics on the steal path — so on an untraced pool
+   they must equal the summed private records exactly once quiesced. *)
+let untraced_pool_accessors_are_sums () =
+  let pool = Abp_hood.Pool.create ~processes:4 () in
+  let v =
+    Fun.protect
+      ~finally:(fun () -> Abp_hood.Pool.shutdown pool)
+      (fun () -> Abp_hood.Pool.run pool (fun () -> Abp_hood.Par.fib 22))
+  in
+  Alcotest.(check int) "fib value" 17711 v;
+  let pw = Abp_hood.Pool.counters pool in
+  Alcotest.(check int) "one record per worker" 4 (Array.length pw);
+  let totals = Counters.sum pw in
+  Alcotest.(check int) "steal_attempts accessor = per-worker sum"
+    totals.Counters.steal_attempts
+    (Abp_hood.Pool.steal_attempts pool);
+  Alcotest.(check int) "successful_steals accessor = per-worker sum"
+    totals.Counters.successful_steals
+    (Abp_hood.Pool.successful_steals pool);
+  Alcotest.(check bool) "attempts fully classified" true (Counters.complete totals);
+  Alcotest.(check int) "pushes = pops + steals" totals.Counters.pushes
+    (totals.Counters.pops + totals.Counters.successful_steals);
+  Alcotest.(check int) "no task exceptions" 0 totals.Counters.task_exceptions
+
 let tests =
   [
     Alcotest.test_case "owner vs 3 thieves on ABP deque" `Quick atomic_deque_stress;
     Alcotest.test_case "owner vs 3 thieves on circular deque" `Quick circular_deque_stress;
     Alcotest.test_case "instrumented pool: counter arithmetic" `Quick
       pool_instrumented_arithmetic;
+    Alcotest.test_case "untraced pool: accessors are per-worker sums" `Quick
+      untraced_pool_accessors_are_sums;
   ]

@@ -47,6 +47,40 @@ let parallel_map_matches () =
       let want = Array.map (fun x -> (x * x) + 1) input in
       Alcotest.(check (array int)) "map" want got)
 
+(* Regression: parallel_map_array used to apply [f] to a.(0) twice (once
+   to seed the output array, once in the parallel loop), which is wrong
+   for effectful [f]. *)
+let parallel_map_applies_f_exactly_once () =
+  with_pool ~processes:3 (fun pool ->
+      let n = 1_000 in
+      let applications = Array.init n (fun _ -> Atomic.make 0) in
+      let input = Array.init n (fun i -> i) in
+      let got =
+        Pool.run pool (fun () ->
+            Par.parallel_map_array ~grain:16
+              (fun x ->
+                Atomic.incr applications.(x);
+                x * 2)
+              input)
+      in
+      Alcotest.(check (array int)) "mapped values" (Array.map (fun x -> x * 2) input) got;
+      Alcotest.(check bool) "f applied exactly once per element (incl. index 0)" true
+        (Array.for_all (fun c -> Atomic.get c = 1) applications))
+
+let parallel_map_singleton () =
+  with_pool ~processes:2 (fun pool ->
+      let calls = ref 0 in
+      let got =
+        Pool.run pool (fun () ->
+            Par.parallel_map_array
+              (fun x ->
+                incr calls;
+                x + 1)
+              [| 41 |])
+      in
+      Alcotest.(check (array int)) "singleton mapped" [| 42 |] got;
+      Alcotest.(check int) "one application" 1 !calls)
+
 let nqueens_known_counts () =
   with_pool ~processes:4 (fun pool ->
       List.iter
@@ -227,6 +261,9 @@ let tests =
     Alcotest.test_case "parallel_for empty range" `Quick parallel_for_empty_range;
     Alcotest.test_case "parallel_reduce sum" `Quick parallel_reduce_sum;
     Alcotest.test_case "parallel_map" `Quick parallel_map_matches;
+    Alcotest.test_case "parallel_map: f exactly once (effectful)" `Quick
+      parallel_map_applies_f_exactly_once;
+    Alcotest.test_case "parallel_map: singleton" `Quick parallel_map_singleton;
     Alcotest.test_case "nqueens known counts" `Quick nqueens_known_counts;
     Alcotest.test_case "exceptions propagate" `Quick exceptions_propagate;
     Alcotest.test_case "future both" `Quick future_both;

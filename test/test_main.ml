@@ -29,4 +29,5 @@ let () =
       ("misc", Test_misc.tests);
       ("trace-counters", Test_trace_counters.tests);
       ("domain-stress", Test_domain_stress.tests);
+      ("backoff", Test_backoff.tests);
     ]

@@ -44,7 +44,11 @@ let check_counters_match_result name (r : Run_result.t) =
   Alcotest.(check int)
     (name ^ ": pushes = pops + steals")
     totals.Counters.pushes
-    (totals.Counters.pops + totals.Counters.successful_steals)
+    (totals.Counters.pops + totals.Counters.successful_steals);
+  (* Parking and task-exception capture are Hood-runtime mechanisms; the
+     simulator never touches those counters. *)
+  Alcotest.(check int) (name ^ ": no parks in sim") 0 totals.Counters.parks;
+  Alcotest.(check int) (name ^ ": no task exceptions in sim") 0 totals.Counters.task_exceptions
 
 let counters_match_across_configs () =
   let dag = Generators.spawn_tree ~depth:7 ~leaf_work:3 in
@@ -181,10 +185,33 @@ let prop_counters_consistent_on_random_dags =
       && totals.Counters.lock_spins = r.Run_result.lock_spins
       && Counters.complete totals)
 
+let fields_cover_every_counter () =
+  let c = Counters.create () in
+  let names = List.map fst (Counters.fields c) in
+  List.iter
+    (fun want ->
+      Alcotest.(check bool) ("fields include " ^ want) true (List.mem want names))
+    [
+      "pushes";
+      "pops";
+      "steal_attempts";
+      "successful_steals";
+      "steal_empties";
+      "cas_failures_pop_top";
+      "cas_failures_pop_bottom";
+      "yields";
+      "lock_spins";
+      "deque_high_water";
+      "parks";
+      "task_exceptions";
+    ];
+  Alcotest.(check int) "exactly the 12 fields" 12 (List.length names)
+
 let tests =
   [
     Alcotest.test_case "counters match run_result (models x policies x seeds)" `Quick
       counters_match_across_configs;
+    Alcotest.test_case "fields cover every counter" `Quick fields_cover_every_counter;
     Alcotest.test_case "locked model: spins attributed per worker" `Quick
       locked_model_spins_attributed;
     Alcotest.test_case "sink sees the same counters + round-stamped events" `Quick
