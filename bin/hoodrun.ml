@@ -24,7 +24,17 @@ let write_json file ~workload ~n ~p ~deque ~elapsed ~result ~attempts ~successes
   output_char oc '\n';
   close_out oc
 
+(* A task exception (or a bad flag) must exit nonzero with the error on
+   stderr, not surface as an uncaught backtrace (exit 125) from the
+   cmdliner evaluator. *)
+let fatal_guard name f =
+  try f ()
+  with e ->
+    Printf.eprintf "%s: fatal: %s\n%!" name (Printexc.to_string e);
+    exit 1
+
 let run workload n p grain deque trace_file json_file =
+ fatal_guard "hoodrun" @@ fun () ->
   let deque_impl =
     match deque with
     | "abp" -> Abp.Pool.Abp
@@ -49,6 +59,12 @@ let run workload n p grain deque trace_file json_file =
                 Abp.Par.parallel_reduce ~grain ~lo:0 ~hi:n ~init:0
                   ~map:(fun i -> (i * i) mod 97)
                   ~combine:( + )
+            | "crash" ->
+                (* Test workload: a task deep in the parallel subtree
+                   raises, exercising the exit-nonzero error path. *)
+                Abp.Par.parallel_for ~grain:4 ~lo:0 ~hi:(max 1 n) (fun i ->
+                    if i = n / 2 then failwith "crash workload task failure");
+                0
             | other -> raise (Invalid_argument ("unknown workload: " ^ other))))
   in
   Abp.Pool.shutdown pool;
@@ -71,7 +87,9 @@ let run workload n p grain deque trace_file json_file =
 
 let cmd =
   let workload =
-    Arg.(value & pos 0 string "fib" & info [] ~docv:"WORKLOAD" ~doc:"fib|nqueens|reduce")
+    Arg.(
+      value & pos 0 string "fib"
+      & info [] ~docv:"WORKLOAD" ~doc:"fib|nqueens|reduce|crash (crash raises, for testing)")
   in
   let n = Arg.(value & opt int 25 & info [ "n" ] ~doc:"problem size") in
   let p = Arg.(value & opt int 4 & info [ "p"; "processes" ] ~doc:"worker processes") in

@@ -1,0 +1,89 @@
+(* hoodserve: drive the serving layer from the command line — a
+   closed-loop load generator over Abp.Serve with the full service
+   report (admission counters, inbox gauge, latency histograms) and
+   optional telemetry.
+
+   Examples:
+     hoodserve -p 4 --clients 8 --requests 2000
+     hoodserve -p 2 --clients 4 --fib 18 --inbox 128
+     hoodserve -p 4 --clients 4 --deadline 0.05      # drop slow queuers
+     hoodserve -p 4 --clients 4 --trace serve.json   # chrome://tracing *)
+
+open Cmdliner
+
+let fatal_guard name f =
+  try f ()
+  with e ->
+    Printf.eprintf "%s: fatal: %s\n%!" name (Printexc.to_string e);
+    exit 1
+
+let rec fib_seq n = if n < 2 then n else fib_seq (n - 1) + fib_seq (n - 2)
+
+let run p clients requests fib inbox deadline trace_file =
+ fatal_guard "hoodserve" @@ fun () ->
+  if clients < 1 then raise (Invalid_argument "clients >= 1 required");
+  let sink =
+    Option.map
+      (fun _ ->
+        Abp.Trace.Sink.create ~ring_capacity:(1 lsl 16) ~clock:Unix.gettimeofday ~workers:p ())
+      trace_file
+  in
+  let s = Abp.Serve.create ~processes:p ~inbox_capacity:inbox ?trace:sink () in
+  let completed = Atomic.make 0 and dropped = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let ds =
+    Array.init clients (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to requests do
+              let t = Abp.Serve.submit s ?deadline (fun () -> fib_seq fib) in
+              match Abp.Serve.await t with
+              | Abp.Serve.Returned _ -> Atomic.incr completed
+              | Abp.Serve.Raised e -> raise e
+              | Abp.Serve.Cancelled _ -> Atomic.incr dropped
+            done))
+  in
+  Array.iter Domain.join ds;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let st = Abp.Serve.drain s in
+  Format.printf "%d clients x %d requests (fib %d) on P=%d in %.3fs  %.0f req/s@." clients
+    requests fib p elapsed
+    (float_of_int (Atomic.get completed) /. elapsed);
+  if Atomic.get dropped > 0 then
+    Format.printf "dropped %d requests (deadline/cancel)@." (Atomic.get dropped);
+  Format.printf "%a" Abp.Serve.pp_report s;
+  ignore st;
+  Abp.Serve.shutdown s;
+  (match (sink, trace_file) with
+  | Some sink, Some file ->
+      Format.printf "%a" Abp.Trace.Report.pp sink;
+      Abp.Trace.Chrome.write_file file sink;
+      Format.printf "chrome trace written to %s (load in chrome://tracing)@." file
+  | _ -> ());
+  if Atomic.get completed = 0 then exit 2
+
+let cmd =
+  let p = Arg.(value & opt int 4 & info [ "p"; "processes" ] ~doc:"worker processes") in
+  let clients = Arg.(value & opt int 4 & info [ "clients" ] ~doc:"closed-loop client domains") in
+  let requests = Arg.(value & opt int 1000 & info [ "requests" ] ~doc:"requests per client") in
+  let fib = Arg.(value & opt int 16 & info [ "fib" ] ~doc:"per-request work: sequential fib N") in
+  let inbox = Arg.(value & opt int 256 & info [ "inbox" ] ~doc:"injector inbox capacity") in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"per-request relative deadline; still-queued requests past it are dropped")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"collect scheduler telemetry (including injector polls); print the aggregate \
+                report and write a Chrome trace-event JSON to $(docv)")
+  in
+  Cmd.v
+    (Cmd.info "hoodserve" ~doc:"Serve external requests on the Hood work-stealing runtime")
+    Term.(const run $ p $ clients $ requests $ fib $ inbox $ deadline $ trace_file)
+
+let () = exit (Cmd.eval cmd)

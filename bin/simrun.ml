@@ -40,8 +40,17 @@ let make_yield = function
   | "all" -> Abp.Yield.Yield_to_all
   | other -> raise (Invalid_argument ("unknown yield kind: " ^ other))
 
+(* Errors (bad dag family, adversary, etc.) exit nonzero with the
+   message on stderr instead of an uncaught cmdliner backtrace. *)
+let fatal_guard name f =
+  try f ()
+  with e ->
+    Printf.eprintf "%s: fatal: %s\n%!" name (Printexc.to_string e);
+    exit 1
+
 let run dag_family depth leaf width work stages items size n p adversary avail rotor_run yield
     deque cs spawn_policy victims rounds_cap seed check trace_rounds trace_file =
+ fatal_guard "simrun" @@ fun () ->
   let dag = make_dag dag_family ~depth ~leaf ~width ~work ~stages ~items ~size ~n ~seed in
   let adversary = make_adversary adversary ~p ~avail ~rotor_run ~seed in
   let sink =

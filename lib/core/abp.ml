@@ -19,6 +19,10 @@
       of the deque's relaxed semantics (the TR-99-11 substitute).
     - {!Pool}, {!Future}, {!Par}: Hood, the real runtime on OCaml 5
       domains.
+    - {!Serve}, {!Injector}: the serving layer — external task
+      submission from arbitrary domains through a bounded multi-producer
+      injector inbox, with admission control (backpressure, deadlines,
+      cancellation) and graceful drain.
     - {!Trace} ({!Abp_trace.Counters}, {!Abp_trace.Sink},
       {!Abp_trace.Chrome}, {!Abp_trace.Report}): the scheduler telemetry
       layer — per-worker counters, bounded event rings, Chrome
@@ -88,3 +92,7 @@ module Future = Abp_hood.Future
 module Par = Abp_hood.Par
 module Algos = Abp_hood.Algos
 module Central_pool = Abp_hood.Central_pool
+
+(* Serving layer: external task submission over the Hood pool *)
+module Serve = Abp_serve.Serve
+module Injector = Abp_serve.Injector

@@ -20,6 +20,7 @@ let size t = t.size
 let lock_acquisitions t = Atomic.get t.acquisitions
 
 let spawn t f =
+  if Atomic.get t.shutdown_flag then failwith "Central_pool.spawn: pool is shut down";
   let promise = Atomic.make Pending in
   let task () =
     let result = try Done (f ()) with e -> Failed e in
@@ -27,6 +28,11 @@ let spawn t f =
   in
   with_lock t (fun () -> Queue.add task t.queue);
   promise
+
+let is_resolved promise =
+  match Atomic.get promise with Pending -> false | Done _ | Failed _ -> true
+
+let queued_tasks t = with_lock t (fun () -> Queue.length t.queue)
 
 let try_get_task t = with_lock t (fun () -> Queue.take_opt t.queue)
 

@@ -20,10 +20,24 @@ val size : t -> int
 type 'a future
 
 val spawn : t -> (unit -> 'a) -> 'a future
-(** Enqueue a task on the central queue (any thread may call this). *)
+(** Enqueue a task on the central queue.  Any domain may call this —
+    including domains outside the pool, which makes this the
+    work-sharing baseline for external task submission (cf.
+    {!Abp_serve.Serve} for the work-stealing counterpart).
+    @raise Failure after {!shutdown}. *)
 
 val force : t -> 'a future -> 'a
-(** Wait for the value, helping by running queued tasks. *)
+(** Wait for the value, helping by running queued tasks.  Callable from
+    any domain; an external caller becomes a de-facto worker while it
+    waits.  Never returns if the pool was shut down while the future's
+    task was still queued — check {!is_resolved} when in doubt. *)
+
+val is_resolved : 'a future -> bool
+(** Whether the future's task has run (to a value or an exception). *)
+
+val queued_tasks : t -> int
+(** Number of enqueued-but-unstarted tasks (takes the queue lock).
+    After {!shutdown}, these tasks are abandoned: they never run. *)
 
 val run : t -> (unit -> 'a) -> 'a
 (** Evaluate [f] with the calling domain participating as a worker;

@@ -7,6 +7,16 @@ module Padding = Abp_deque.Padding
 
 let default_park_threshold = 16
 
+(* An external task source (the lib/serve injector inbox): polled by a
+   worker only after its own deque pop AND a steal attempt both came up
+   empty — the Figure 3 loop order extended with a third, lowest-priority
+   source — and consulted by the parking protocol so a thief never blocks
+   while externally submitted work is pending. *)
+type external_source = {
+  ext_poll : unit -> (unit -> unit) option;
+  ext_pending : unit -> bool;
+}
+
 (* State independent of the deque implementation.  Note what is NOT
    here: no aggregate steal counters.  Steal accounting lives entirely in
    the per-worker (cache-line-padded) [Counters.t] records, so a steal
@@ -20,6 +30,11 @@ type shared = {
   size : int;
   yield_between_steals : bool;
   park_threshold : int;
+  externals : external_source option;
+  (* [spawn_all]: every worker including id 0 is a spawned domain (the
+     lib/serve mode, where work arrives through [externals] rather than
+     a [run] caller); [run] is rejected on such pools. *)
+  all_spawned : bool;
   counters : Counters.t array;  (* per-worker; the sink's records when traced *)
   trace : Sink.t option;
   (* Thief parking: idle thieves that exhaust their backoff block here
@@ -110,6 +125,23 @@ module Impl (D : Spec.DETAILED) = struct
             None
       end
     in
+    (* Lowest-priority source: the external injector inbox, polled only
+       once the local deque and one steal attempt have both failed. *)
+    let inject () =
+      match pool.shared.externals with
+      | None -> None
+      | Some ext -> (
+          c.Counters.inject_polls <- c.Counters.inject_polls + 1;
+          match ext.ext_poll () with
+          | Some task ->
+              c.Counters.inject_tasks <- c.Counters.inject_tasks + 1;
+              emit w Abp_trace.Event.Inject;
+              Some task
+          | None -> None)
+    in
+    let steal_then_inject () =
+      match steal () with Some task -> Some task | None -> inject ()
+    in
     match D.pop_bottom_detailed pool.deques.(w.id) with
     | Spec.Got task ->
         c.Counters.pops <- c.Counters.pops + 1;
@@ -118,14 +150,15 @@ module Impl (D : Spec.DETAILED) = struct
     | Spec.Contended ->
         (* Lost the deque's last task to a thief mid-popBottom. *)
         c.Counters.cas_failures_pop_bottom <- c.Counters.cas_failures_pop_bottom + 1;
-        steal ()
-    | Spec.Empty -> steal ()
+        steal_then_inject ()
+    | Spec.Empty -> steal_then_inject ()
 
   let has_work t =
     let d = t.deques in
     let n = Array.length d in
     let rec go i = i < n && (D.size (Array.unsafe_get d i) > 0 || go (i + 1)) in
     go 0
+    || (match t.shared.externals with Some ext -> ext.ext_pending () | None -> false)
 
   let park w =
     let sh = w.pool.shared in
@@ -254,7 +287,8 @@ let with_context w f =
   Fun.protect ~finally:(fun () -> slot := saved) f
 
 let create ?processes ?deque_capacity ?(yield_between_steals = true)
-    ?(park_threshold = default_park_threshold) ?(deque_impl = Abp) ?trace () =
+    ?(park_threshold = default_park_threshold) ?(deque_impl = Abp) ?trace ?external_source
+    ?(spawn_all = false) () =
   let processes = Option.value processes ~default:(Domain.recommended_domain_count ()) in
   if processes < 1 then invalid_arg "Pool.create: processes >= 1 required";
   if park_threshold < 0 then invalid_arg "Pool.create: park_threshold >= 0 required";
@@ -270,6 +304,8 @@ let create ?processes ?deque_capacity ?(yield_between_steals = true)
       size = processes;
       yield_between_steals;
       park_threshold;
+      externals = external_source;
+      all_spawned = spawn_all;
       counters =
         (match trace with
         | Some s -> Sink.per_worker s
@@ -282,7 +318,9 @@ let create ?processes ?deque_capacity ?(yield_between_steals = true)
     }
   in
   let spawn_workers enter =
-    shared.domains <- Array.init (processes - 1) (fun i -> Domain.spawn (fun () -> enter (i + 1)))
+    shared.domains <-
+      (if spawn_all then Array.init processes (fun i -> Domain.spawn (fun () -> enter i))
+       else Array.init (processes - 1) (fun i -> Domain.spawn (fun () -> enter (i + 1))))
   in
   match deque_impl with
   | Abp ->
@@ -330,9 +368,18 @@ let reraise_pending sh =
   | Some (e, bt) -> Printexc.raise_with_backtrace e bt
   | None -> ()
 
+let wake pool =
+  let sh = shared_of pool in
+  if Atomic.get sh.n_parked > 0 then begin
+    Mutex.lock sh.park_lock;
+    Condition.broadcast sh.park_cond;
+    Mutex.unlock sh.park_lock
+  end
+
 let run pool f =
   let sh = shared_of pool in
   if Atomic.get sh.shutdown_flag then failwith "Pool.run: pool is shut down";
+  if sh.all_spawned then failwith "Pool.run: pool runs all workers as domains (serve mode)";
   if not (Mutex.try_lock sh.run_lock) then failwith "Pool.run: already running";
   Fun.protect
     ~finally:(fun () -> Mutex.unlock sh.run_lock)

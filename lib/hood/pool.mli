@@ -50,6 +50,20 @@ type deque_impl =
           ({!Abp_deque.Circular_deque}) — never overflows *)
   | Locked  (** mutex-protected baseline ({!Abp_deque.Locked_deque}) *)
 
+type external_source = {
+  ext_poll : unit -> (unit -> unit) option;
+      (** dequeue one externally submitted task, if any *)
+  ext_pending : unit -> bool;  (** advisory: is the source non-empty? *)
+}
+(** An external task source — in practice the {!Abp_serve} injector
+    inbox, a bounded multi-producer queue filled by [submit] calls from
+    arbitrary domains.  A worker polls it only after its own-deque pop
+    {e and} a steal attempt both came up empty, preserving the Figure 3
+    priority order (own deque, then steal) and adding the inbox as a
+    third, lowest-priority source; the parking protocol consults
+    [ext_pending] so a thief never blocks while submitted work is
+    pending.  External producers must call {!wake} after enqueueing. *)
+
 val create :
   ?processes:int ->
   ?deque_capacity:int ->
@@ -57,6 +71,8 @@ val create :
   ?park_threshold:int ->
   ?deque_impl:deque_impl ->
   ?trace:Abp_trace.Sink.t ->
+  ?external_source:external_source ->
+  ?spawn_all:bool ->
   unit ->
   t
 (** Start a pool with [processes] workers total (default:
@@ -82,9 +98,19 @@ val create :
     yields, parks, and deque high-water mark into the sink's per-worker
     records — each record written only by its own domain, so the hot
     path stays contention-free — and, when the sink has an event ring,
-    streams [Spawn]/[Steal]/[Execute]/[Idle]/[Yield]/[Park] events
-    stamped with the sink's clock.  Read the sink after {!shutdown}
-    (aggregation while domains run is racy). *)
+    streams [Spawn]/[Steal]/[Execute]/[Idle]/[Yield]/[Park]/[Inject]
+    events stamped with the sink's clock.  Read the sink after
+    {!shutdown} (aggregation while domains run is racy).
+
+    [external_source] attaches an external task inbox (see
+    {!external_source}); polls and acquisitions are counted in the
+    per-worker [inject_polls]/[inject_tasks] telemetry.
+
+    [spawn_all] (default false) spawns all [processes] workers as
+    domains, including worker 0 — the service mode used by
+    {!Abp_serve.Serve}, where tasks arrive through [external_source]
+    instead of a {!run} caller.  {!run} raises [Failure] on such a
+    pool. *)
 
 val size : t -> int
 (** The number of processes [P]. *)
@@ -97,6 +123,12 @@ val run : t -> (unit -> 'a) -> 'a
     raised in a worker loop during the run (see
     {!Abp_trace.Counters.t.task_exceptions}), the first such exception
     is re-raised here after [f] returns. *)
+
+val wake : t -> unit
+(** Wake every parked thief (no-op when none are parked: one atomic read
+    on the fast path).  External producers call this after pushing into
+    the pool's [external_source] so a fully parked pool notices the new
+    work. *)
 
 val shutdown : t -> unit
 (** Stop the worker domains (waking any parked thieves) and join them.

@@ -1,0 +1,331 @@
+module Pool = Abp_hood.Pool
+module Padding = Abp_deque.Padding
+
+type reason = Deadline | Explicit | Shutdown
+type 'a outcome = Returned of 'a | Raised of exn | Cancelled of reason
+type reject = Inbox_full | Draining
+
+type stats = {
+  accepted : int;
+  completed : int;
+  rejected : int;
+  cancelled : int;
+  exceptions : int;
+}
+
+type latency = {
+  samples : int;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+
+(* What the inbox holds: the work itself plus an abort hook so [shutdown]
+   can drop still-queued tasks without running them.  Both close over the
+   ticket cell, so the record stays monomorphic. *)
+type job = { run : unit -> unit; abort : unit -> unit }
+
+(* Sliding window of latency observations (seconds).  Mutated under
+   [lat_lock]: completions are orders of magnitude rarer than deque
+   operations, so a plain mutex here never touches the scheduling hot
+   path. *)
+type ring = { buf : float array; mutable len : int; mutable idx : int }
+
+type t = {
+  pool : Pool.t;
+  inbox : job Injector.t;
+  clock : unit -> float;
+  admitting : bool Atomic.t;
+  stopped : bool Atomic.t;
+  (* Admission counters, each on its own cache line (written from many
+     domains).  The invariant [accepted = completed + cancelled +
+     exceptions] holds once drained/shut down. *)
+  accepted : int Atomic.t;
+  completed : int Atomic.t;
+  rejected : int Atomic.t;
+  cancelled : int Atomic.t;
+  exceptions : int Atomic.t;
+  high_water : int Atomic.t;
+  (* Completion signalling for [await]/[drain]: terminal transitions
+     broadcast, gated by [waiters] so an uncontested completion pays one
+     atomic read. *)
+  done_lock : Mutex.t;
+  done_cond : Condition.t;
+  waiters : int Atomic.t;
+  lat_lock : Mutex.t;
+  queue_lat : ring;
+  run_lat : ring;
+}
+
+(* The ticket cell: [Queued] until a worker (or canceller) claims it;
+   only workers move it to [Started]; every other state is terminal. *)
+type 'a cell = Queued | Started | Finished of 'a | Excepted of exn | Dropped of reason
+
+type 'a ticket = {
+  cell : 'a cell Atomic.t;
+  srv : t;
+  submitted : float;
+  deadline : float option;  (* absolute, against [srv.clock] *)
+}
+
+let make_ring n = { buf = Array.make (max 1 n) 0.0; len = 0; idx = 0 }
+
+let note s ring x =
+  Mutex.lock s.lat_lock;
+  ring.buf.(ring.idx) <- x;
+  ring.idx <- (ring.idx + 1) mod Array.length ring.buf;
+  if ring.len < Array.length ring.buf then ring.len <- ring.len + 1;
+  Mutex.unlock s.lat_lock
+
+let ring_snapshot s ring =
+  Mutex.lock s.lat_lock;
+  let a = Array.sub ring.buf 0 ring.len in
+  Mutex.unlock s.lat_lock;
+  a
+
+let signal_done s =
+  if Atomic.get s.waiters > 0 then begin
+    Mutex.lock s.done_lock;
+    Condition.broadcast s.done_cond;
+    Mutex.unlock s.done_lock
+  end
+
+(* Block until [settled ()]; registered in [waiters] before the final
+   re-check under the lock, mirroring the pool's parking protocol, so a
+   completion either sees the waiter and broadcasts or completed before
+   registration and is seen by the re-check. *)
+let wait_until s settled =
+  while not (settled ()) do
+    Atomic.incr s.waiters;
+    Mutex.lock s.done_lock;
+    if not (settled ()) then Condition.wait s.done_cond s.done_lock;
+    Mutex.unlock s.done_lock;
+    Atomic.decr s.waiters
+  done
+
+let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?(inbox_capacity = 1024)
+    ?(latency_window = 8192) ?(clock = Unix.gettimeofday) ?trace () =
+  if latency_window < 1 then invalid_arg "Serve.create: latency_window >= 1 required";
+  let inbox = Injector.create ~capacity:inbox_capacity () in
+  let external_source =
+    {
+      Pool.ext_poll = (fun () -> Option.map (fun j -> j.run) (Injector.try_pop inbox));
+      ext_pending = (fun () -> not (Injector.is_empty inbox));
+    }
+  in
+  let pool =
+    Pool.create ?processes ?deque_capacity ?park_threshold ?deque_impl ?trace ~external_source
+      ~spawn_all:true ()
+  in
+  {
+    pool;
+    inbox;
+    clock;
+    admitting = Atomic.make true;
+    stopped = Atomic.make false;
+    accepted = Padding.atomic 0;
+    completed = Padding.atomic 0;
+    rejected = Padding.atomic 0;
+    cancelled = Padding.atomic 0;
+    exceptions = Padding.atomic 0;
+    high_water = Padding.atomic 0;
+    done_lock = Mutex.create ();
+    done_cond = Condition.create ();
+    waiters = Padding.atomic 0;
+    lat_lock = Mutex.create ();
+    queue_lat = make_ring latency_window;
+    run_lat = make_ring latency_window;
+  }
+
+let size s = Pool.size s.pool
+let pool s = s.pool
+
+let stats s =
+  {
+    accepted = Atomic.get s.accepted;
+    completed = Atomic.get s.completed;
+    rejected = Atomic.get s.rejected;
+    cancelled = Atomic.get s.cancelled;
+    exceptions = Atomic.get s.exceptions;
+  }
+
+let inbox_depth s = Injector.size s.inbox
+let inbox_high_water s = Atomic.get s.high_water
+let inbox_capacity s = Injector.capacity s.inbox
+
+let note_high_water s =
+  let d = Injector.size s.inbox in
+  let rec go () =
+    let cur = Atomic.get s.high_water in
+    if d > cur && not (Atomic.compare_and_set s.high_water cur d) then go ()
+  in
+  go ()
+
+let drop s tk why =
+  if Atomic.compare_and_set tk.cell Queued (Dropped why) then begin
+    Atomic.incr s.cancelled;
+    signal_done s;
+    true
+  end
+  else false
+
+let make_job s tk f =
+  let run () =
+    let start = s.clock () in
+    let expired = match tk.deadline with Some dl -> start > dl | None -> false in
+    if expired then ignore (drop s tk Deadline)
+    else if Atomic.compare_and_set tk.cell Queued Started then begin
+      note s s.queue_lat (start -. tk.submitted);
+      (match f () with
+      | v ->
+          Atomic.set tk.cell (Finished v);
+          Atomic.incr s.completed
+      | exception e ->
+          Atomic.set tk.cell (Excepted e);
+          Atomic.incr s.exceptions);
+      note s s.run_lat (s.clock () -. start);
+      signal_done s
+    end
+    (* else: cancelled between dequeue and claim — the canceller counted
+       and signalled. *)
+  in
+  let abort () = ignore (drop s tk Shutdown) in
+  { run; abort }
+
+(* [count_reject]: a blocking [submit] retries a full inbox rather than
+   refusing, so its transient full-inbox probes must not count as
+   rejections. *)
+let try_submit_gen ~count_reject s ?deadline f =
+  if not (Atomic.get s.admitting) then begin
+    if count_reject then Atomic.incr s.rejected;
+    Error Draining
+  end
+  else begin
+    let now = s.clock () in
+    let tk =
+      {
+        cell = Atomic.make Queued;
+        srv = s;
+        submitted = now;
+        deadline = Option.map (fun d -> now +. d) deadline;
+      }
+    in
+    (* [accepted] is raised before the push so the drain condition
+       [completed + cancelled + exceptions >= accepted] can never be
+       satisfied by a task that is visible to workers but not yet
+       counted; a failed push rolls it back immediately. *)
+    Atomic.incr s.accepted;
+    if Injector.try_push s.inbox (make_job s tk f) then begin
+      note_high_water s;
+      Pool.wake s.pool;
+      Ok tk
+    end
+    else begin
+      Atomic.decr s.accepted;
+      if count_reject then Atomic.incr s.rejected;
+      Error Inbox_full
+    end
+  end
+
+let try_submit s ?deadline f = try_submit_gen ~count_reject:true s ?deadline f
+
+let rec submit s ?deadline f =
+  match try_submit_gen ~count_reject:false s ?deadline f with
+  | Ok tk -> tk
+  | Error Draining -> failwith "Serve.submit: admission stopped (draining or shut down)"
+  | Error Inbox_full ->
+      Domain.cpu_relax ();
+      submit s ?deadline f
+
+let cancel tk = drop tk.srv tk Explicit
+
+let poll tk =
+  match Atomic.get tk.cell with
+  | Queued | Started -> None
+  | Finished v -> Some (Returned v)
+  | Excepted e -> Some (Raised e)
+  | Dropped r -> Some (Cancelled r)
+
+let await tk =
+  let s = tk.srv in
+  wait_until s (fun () -> Option.is_some (poll tk));
+  match poll tk with Some o -> o | None -> assert false
+
+let settled s =
+  Atomic.get s.completed + Atomic.get s.cancelled + Atomic.get s.exceptions
+  >= Atomic.get s.accepted
+
+let drain s =
+  Atomic.set s.admitting false;
+  (* Parked thieves must come back for the remaining inbox tasks. *)
+  Pool.wake s.pool;
+  wait_until s (fun () -> settled s);
+  stats s
+
+let shutdown s =
+  Atomic.set s.admitting false;
+  if not (Atomic.exchange s.stopped true) then begin
+    Pool.shutdown s.pool;
+    (* Workers are joined: nothing dequeues anymore.  Drop what is left
+       so every accepted task reaches a terminal state. *)
+    let rec drop_all () =
+      match Injector.try_pop s.inbox with
+      | Some j ->
+          j.abort ();
+          drop_all ()
+      | None -> ()
+    in
+    drop_all ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let summarize samples =
+  if Array.length samples = 0 then None
+  else
+    let q p = Abp_stats.Descriptive.quantile samples p in
+    Some
+      {
+        samples = Array.length samples;
+        mean = Abp_stats.Descriptive.mean samples;
+        p50 = q 0.5;
+        p90 = q 0.9;
+        p99 = q 0.99;
+        max = Array.fold_left max neg_infinity samples;
+      }
+
+let queue_latency s = summarize (ring_snapshot s s.queue_lat)
+let run_latency s = summarize (ring_snapshot s s.run_lat)
+
+let pp_latency ppf l =
+  Fmt.pf ppf "n=%d mean %.3fms p50 %.3fms p90 %.3fms p99 %.3fms max %.3fms" l.samples
+    (l.mean *. 1e3) (l.p50 *. 1e3) (l.p90 *. 1e3) (l.p99 *. 1e3) (l.max *. 1e3)
+
+let histogram_of samples =
+  let hi = (Array.fold_left max 0.0 samples *. 1e3) +. 0.001 in
+  let h = Abp_stats.Histogram.create ~lo:0.0 ~hi ~bins:10 in
+  Array.iter (fun x -> Abp_stats.Histogram.add h (x *. 1e3)) samples;
+  h
+
+let pp_report ppf s =
+  let st = stats s in
+  Fmt.pf ppf "=== serve report (%d workers) ===@." (size s);
+  Fmt.pf ppf "accepted %d  completed %d  rejected %d  cancelled %d  exceptions %d@." st.accepted
+    st.completed st.rejected st.cancelled st.exceptions;
+  Fmt.pf ppf "inbox: depth %d  high-water %d  capacity %d@." (inbox_depth s)
+    (inbox_high_water s) (inbox_capacity s);
+  (match queue_latency s with
+  | Some l -> Fmt.pf ppf "queue latency: %a@." pp_latency l
+  | None -> Fmt.pf ppf "queue latency: no samples@.");
+  (match run_latency s with
+  | Some l -> Fmt.pf ppf "run latency:   %a@." pp_latency l
+  | None -> Fmt.pf ppf "run latency:   no samples@.");
+  let q = ring_snapshot s s.queue_lat in
+  if Array.length q > 0 then
+    Fmt.pf ppf "queue latency histogram (ms):@.%a" Abp_stats.Histogram.pp (histogram_of q);
+  let r = ring_snapshot s s.run_lat in
+  if Array.length r > 0 then
+    Fmt.pf ppf "run latency histogram (ms):@.%a" Abp_stats.Histogram.pp (histogram_of r)

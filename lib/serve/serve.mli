@@ -1,0 +1,159 @@
+(** Persistent task-serving layer over the Hood work-stealing pool.
+
+    {!Abp_hood.Pool} runs one closed fork-join job launched from inside
+    [Pool.run]; this module turns the same pool into a {e service}:
+    every worker (including worker 0) is a spawned domain, and work
+    arrives from arbitrary outside domains through a bounded
+    multi-producer {!Injector} inbox that idle workers poll — after
+    their own deque and one steal attempt, keeping the paper's Figure 3
+    priority order.  Submitted tasks run in full worker context, so they
+    may use {!Abp_hood.Future} and {!Abp_hood.Par} freely: a submitted
+    request fans out across the pool by ordinary work stealing.
+
+    {2 Admission control}
+
+    The inbox is bounded: {!try_submit} returns [Error Inbox_full]
+    (backpressure) instead of queueing unboundedly, and {!submit} blocks
+    until the inbox has room.  A per-task relative [deadline] drops the
+    task (best-effort, observed when a worker dequeues it) if it is
+    still queued when it expires; {!cancel} drops a not-yet-started task
+    explicitly.  Started tasks always run to completion.
+
+    {2 Lifecycle}
+
+    {!create} starts the workers; {!drain} stops admission, runs
+    everything already accepted and reports {!stats}; {!shutdown} stops
+    the workers (started tasks finish, queued tasks are dropped as
+    [Cancelled Shutdown]) — no task runs after [shutdown] returns.  The
+    conservation invariant, checked by the test suite under multi-domain
+    submission stress:
+
+    {[ accepted = completed + cancelled + exceptions ]}
+
+    holds once the service has drained or shut down, with [rejected]
+    counting only refused (never-accepted) submissions. *)
+
+type t
+
+type reason =
+  | Deadline  (** still queued when its deadline expired *)
+  | Explicit  (** dropped by {!cancel} before it started *)
+  | Shutdown  (** still queued when {!shutdown} stopped the workers *)
+
+type 'a outcome = Returned of 'a | Raised of exn | Cancelled of reason
+
+type reject =
+  | Inbox_full  (** backpressure: the bounded injector inbox is full *)
+  | Draining  (** admission stopped by {!drain} or {!shutdown} *)
+
+type 'a ticket
+(** A handle for one submitted task. *)
+
+type stats = {
+  accepted : int;  (** submissions that entered the inbox *)
+  completed : int;  (** tasks that ran and returned normally *)
+  rejected : int;  (** submissions refused (full inbox or draining) *)
+  cancelled : int;  (** accepted tasks dropped before starting *)
+  exceptions : int;  (** tasks that ran and raised *)
+}
+
+type latency = {
+  samples : int;  (** observations in the (bounded) recording window *)
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+  max : float;
+}
+(** Seconds; computed over a sliding window of the most recent
+    [latency_window] requests. *)
+
+val create :
+  ?processes:int ->
+  ?deque_capacity:int ->
+  ?park_threshold:int ->
+  ?deque_impl:Abp_hood.Pool.deque_impl ->
+  ?inbox_capacity:int ->
+  ?latency_window:int ->
+  ?clock:(unit -> float) ->
+  ?trace:Abp_trace.Sink.t ->
+  unit ->
+  t
+(** Start the service: a {!Abp_hood.Pool} in [spawn_all] mode (all
+    [processes] workers are domains) wired to a fresh injector inbox of
+    [inbox_capacity] slots (default 1024, rounded up to a power of two).
+    [latency_window] (default 8192) bounds the per-request latency
+    recording ring.  [clock] (default [Unix.gettimeofday]) stamps
+    submissions, starts and completions; deadlines are measured against
+    it.  The remaining parameters are passed to {!Abp_hood.Pool.create};
+    with [trace] attached, injector polls/acquisitions appear in the
+    per-worker [inject_polls]/[inject_tasks] counters and as [Inject]
+    events in the Chrome export. *)
+
+val size : t -> int
+(** Worker count [P]. *)
+
+val try_submit : t -> ?deadline:float -> (unit -> 'a) -> ('a ticket, reject) result
+(** Admit a task, or refuse it without blocking.  [deadline] is relative
+    (seconds from now); an admitted task still queued past its deadline
+    is dropped as [Cancelled Deadline].  Every refusal increments
+    [rejected].  Callable from any domain. *)
+
+val submit : t -> ?deadline:float -> (unit -> 'a) -> 'a ticket
+(** Like {!try_submit} but blocks (spinning politely) while the inbox is
+    full, so a full inbox exerts backpressure on the submitter instead
+    of rejecting.  The wait does not inflate [rejected].
+    @raise Failure if admission has been stopped by {!drain} or
+    {!shutdown}. *)
+
+val cancel : 'a ticket -> bool
+(** Best-effort cancellation: [true] iff the task had not started and is
+    now dropped as [Cancelled Explicit].  [false] if it already started,
+    finished, or was already dropped. *)
+
+val poll : 'a ticket -> 'a outcome option
+(** Non-blocking status: [None] while queued or running. *)
+
+val await : 'a ticket -> 'a outcome
+(** Block until the task finishes or is dropped.  Parks on a condition
+    variable between checks; callable from any domain (including inside
+    another submitted task, though beware self-deadlock at [P = 1]). *)
+
+val drain : t -> stats
+(** Stop admission (subsequent submissions are [Draining]-rejected), run
+    every task already accepted, and return the final {!stats}, for
+    which [accepted = completed + cancelled + exceptions] holds.
+    Idempotent; admission cannot be re-opened. *)
+
+val shutdown : t -> unit
+(** Stop admission, join the worker domains (tasks already started run
+    to completion) and drop every still-queued task as
+    [Cancelled Shutdown].  No task runs after [shutdown] returns.
+    Idempotent.  Call {!drain} first for a graceful stop. *)
+
+val stats : t -> stats
+(** Advisory snapshot while running; exact after {!drain}/{!shutdown}. *)
+
+val inbox_depth : t -> int
+(** Injector depth gauge: tasks accepted but not yet dequeued. *)
+
+val inbox_high_water : t -> int
+(** Maximum inbox depth observed at submission time. *)
+
+val inbox_capacity : t -> int
+
+val queue_latency : t -> latency option
+(** Submission-to-start latency over the recording window; [None] before
+    the first task starts. *)
+
+val run_latency : t -> latency option
+(** Start-to-finish latency over the recording window. *)
+
+val pool : t -> Abp_hood.Pool.t
+(** The underlying pool, for telemetry accessors ([counters],
+    [steal_attempts], ...). *)
+
+val pp_report : Format.formatter -> t -> unit
+(** Human-readable service report: admission counters, inbox gauge,
+    latency summaries and ASCII latency histograms
+    ({!Abp_stats.Histogram}). *)

@@ -11,6 +11,8 @@ type t = {
   mutable deque_high_water : int;
   mutable parks : int;
   mutable task_exceptions : int;
+  mutable inject_polls : int;
+  mutable inject_tasks : int;
 }
 
 (* Each record is single-writer-hot (its owning worker bumps it on every
@@ -31,6 +33,8 @@ let create () =
       deque_high_water = 0;
       parks = 0;
       task_exceptions = 0;
+      inject_polls = 0;
+      inject_tasks = 0;
     }
 
 let reset c =
@@ -45,7 +49,9 @@ let reset c =
   c.lock_spins <- 0;
   c.deque_high_water <- 0;
   c.parks <- 0;
-  c.task_exceptions <- 0
+  c.task_exceptions <- 0;
+  c.inject_polls <- 0;
+  c.inject_tasks <- 0
 
 let copy c = Abp_deque.Padding.copy_as_padded { c with pushes = c.pushes }
 
@@ -63,7 +69,9 @@ let add ~into c =
   into.lock_spins <- into.lock_spins + c.lock_spins;
   into.deque_high_water <- max into.deque_high_water c.deque_high_water;
   into.parks <- into.parks + c.parks;
-  into.task_exceptions <- into.task_exceptions + c.task_exceptions
+  into.task_exceptions <- into.task_exceptions + c.task_exceptions;
+  into.inject_polls <- into.inject_polls + c.inject_polls;
+  into.inject_tasks <- into.inject_tasks + c.inject_tasks
 
 let sum cs =
   let acc = create () in
@@ -84,6 +92,8 @@ let fields c =
     ("deque_high_water", c.deque_high_water);
     ("parks", c.parks);
     ("task_exceptions", c.task_exceptions);
+    ("inject_polls", c.inject_polls);
+    ("inject_tasks", c.inject_tasks);
   ]
 
 let consistent c =
@@ -96,7 +106,10 @@ let complete c =
 
 let pp ppf c =
   Fmt.pf ppf
-    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s"
+    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s"
     c.successful_steals c.steal_attempts c.steal_empties c.cas_failures_pop_top c.pushes c.pops
     c.yields c.parks c.lock_spins c.deque_high_water
+    (if c.inject_tasks > 0 || c.inject_polls > 0 then
+       Printf.sprintf " inject %d/%d" c.inject_tasks c.inject_polls
+     else "")
     (if c.task_exceptions > 0 then Printf.sprintf " task-exns %d" c.task_exceptions else "")

@@ -32,6 +32,13 @@ type t = {
   mutable task_exceptions : int;
       (** tasks whose execution raised in a worker loop; the first such
           exception is re-raised at the [run]/[shutdown] boundary *)
+  mutable inject_polls : int;
+      (** polls of the pool's external submission source (the
+          {!Abp_serve.Injector} inbox), made only after the own-deque pop
+          and the steal attempt both came up empty — the Figure 3 loop
+          order extended with a third, lowest-priority source *)
+  mutable inject_tasks : int;
+      (** externally submitted tasks actually acquired from the inbox *)
 }
 
 val create : unit -> t

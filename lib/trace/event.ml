@@ -1,4 +1,4 @@
-type kind = Spawn | Steal | Execute | Idle | Yield | Park
+type kind = Spawn | Steal | Execute | Idle | Yield | Park | Inject
 
 type t = { kind : kind; worker : int; time : float; arg : int }
 
@@ -9,6 +9,7 @@ let kind_name = function
   | Idle -> "idle"
   | Yield -> "yield"
   | Park -> "park"
+  | Inject -> "inject"
 
 let pp ppf e =
   Fmt.pf ppf "[%g] w%d %s%s" e.time e.worker (kind_name e.kind)

@@ -17,6 +17,10 @@ type kind =
       (** the thief exhausted its backoff and blocked on the pool's
           condition variable until the next push or shutdown (Hood
           runtime only) *)
+  | Inject
+      (** an externally submitted task was acquired from the pool's
+          injector inbox ({!Abp_serve}), after both the own-deque pop and
+          a steal attempt failed (Hood runtime only) *)
 
 type t = { kind : kind; worker : int; time : float; arg : int }
 

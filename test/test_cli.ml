@@ -1,0 +1,60 @@
+(* Regression tests for the CLI binaries' error paths: a raising task (or
+   a bad flag) must exit nonzero with the error on stderr — previously it
+   surfaced as an uncaught backtrace through the cmdliner evaluator.
+
+   The test stanza declares ../bin/{hoodrun,simrun}.exe as deps, so dune
+   builds them before the suite runs (cwd is _build/default/test). *)
+
+let run_capturing cmd =
+  let err = Filename.temp_file "abp_cli" ".stderr" in
+  let code = Sys.command (Printf.sprintf "%s >/dev/null 2>%s" cmd err) in
+  let ic = open_in err in
+  let n = in_channel_length ic in
+  let stderr_text = really_input_string ic n in
+  close_in ic;
+  Sys.remove err;
+  (code, stderr_text)
+
+let contains s affix =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let hoodrun_crash_exits_nonzero () =
+  let code, err = run_capturing "../bin/hoodrun.exe crash -n 64 -p 2" in
+  Alcotest.(check int) "exit code 1" 1 code;
+  Alcotest.(check bool) "fatal prefix on stderr" true (contains err "hoodrun: fatal:");
+  Alcotest.(check bool) "task exception message on stderr" true
+    (contains err "crash workload task failure")
+
+let hoodrun_success_exits_zero () =
+  let code, err = run_capturing "../bin/hoodrun.exe fib -n 10 -p 2" in
+  Alcotest.(check int) "exit code 0" 0 code;
+  Alcotest.(check string) "silent stderr" "" err
+
+let hoodrun_unknown_workload_exits_nonzero () =
+  let code, err = run_capturing "../bin/hoodrun.exe nosuch -n 4 -p 1" in
+  Alcotest.(check int) "exit code 1" 1 code;
+  Alcotest.(check bool) "names the workload" true (contains err "unknown workload")
+
+let simrun_unknown_dag_exits_nonzero () =
+  let code, err = run_capturing "../bin/simrun.exe --dag nosuch -p 2" in
+  Alcotest.(check int) "exit code 1" 1 code;
+  Alcotest.(check bool) "fatal prefix on stderr" true (contains err "simrun: fatal:");
+  Alcotest.(check bool) "names the dag family" true (contains err "unknown dag family")
+
+let simrun_success_exits_zero () =
+  let code, _ = run_capturing "../bin/simrun.exe --dag tree --depth 4 -p 4" in
+  Alcotest.(check int) "exit code 0" 0 code
+
+let tests =
+  [
+    Alcotest.test_case "hoodrun: crash workload exits 1 + stderr" `Quick
+      hoodrun_crash_exits_nonzero;
+    Alcotest.test_case "hoodrun: success exits 0" `Quick hoodrun_success_exits_zero;
+    Alcotest.test_case "hoodrun: unknown workload exits 1" `Quick
+      hoodrun_unknown_workload_exits_nonzero;
+    Alcotest.test_case "simrun: unknown dag exits 1 + stderr" `Quick
+      simrun_unknown_dag_exits_nonzero;
+    Alcotest.test_case "simrun: success exits 0" `Quick simrun_success_exits_zero;
+  ]

@@ -254,6 +254,80 @@ let central_vs_ws_lock_surface () =
   Alcotest.(check bool) "central lock pressure grows with spawns" true
     (Central_pool.lock_acquisitions central > 1000)
 
+(* --- Central_pool as an external-submission baseline ------------------ *)
+
+(* spawn is callable from a domain that is not a pool worker (no run, no
+   DLS context): the work-sharing counterpart of Serve.submit. *)
+let central_pool_external_spawn () =
+  let pool = Central_pool.create ~processes:3 () in
+  Fun.protect
+    ~finally:(fun () -> Central_pool.shutdown pool)
+    (fun () ->
+      let futures = List.init 32 (fun i -> Central_pool.spawn pool (fun () -> i * i)) in
+      List.iteri
+        (fun i fut ->
+          Alcotest.(check int) (Printf.sprintf "task %d" i) (i * i)
+            (Central_pool.force pool fut))
+        futures)
+
+(* Several non-worker domains submitting concurrently, each awaiting its
+   own futures; the pool's workers plus the forcing submitters drain the
+   shared queue. *)
+let central_pool_multi_domain_submitters () =
+  let pool = Central_pool.create ~processes:2 () in
+  Fun.protect
+    ~finally:(fun () -> Central_pool.shutdown pool)
+    (fun () ->
+      let submitter d () =
+        let futures = List.init 50 (fun i -> Central_pool.spawn pool (fun () -> (d * 1000) + i)) in
+        List.fold_left (fun acc fut -> acc + Central_pool.force pool fut) 0 futures
+      in
+      let ds = Array.init 3 (fun d -> Domain.spawn (submitter d)) in
+      let got = Array.fold_left (fun acc d -> acc + Domain.join d) 0 ds in
+      let want =
+        let sum = ref 0 in
+        for d = 0 to 2 do
+          for i = 0 to 49 do
+            sum := !sum + (d * 1000) + i
+          done
+        done;
+        !sum
+      in
+      Alcotest.(check int) "all externally submitted tasks ran" want got)
+
+(* Shutdown with tasks still queued: deterministic at P=1, where the pool
+   has no worker domains and externally spawned tasks can only run inside
+   force.  Shutdown must return promptly, abandon the queue, and refuse
+   new spawns. *)
+let central_pool_shutdown_while_pending () =
+  let pool = Central_pool.create ~processes:1 () in
+  let futures = List.init 10 (fun i -> Central_pool.spawn pool (fun () -> i)) in
+  Alcotest.(check int) "all tasks pending" 10 (Central_pool.queued_tasks pool);
+  Alcotest.(check bool) "nothing resolved yet" false
+    (List.exists Central_pool.is_resolved futures);
+  Central_pool.shutdown pool;
+  Central_pool.shutdown pool;
+  Alcotest.(check int) "queue abandoned, not drained" 10 (Central_pool.queued_tasks pool);
+  Alcotest.(check bool) "abandoned futures stay unresolved" false
+    (List.exists Central_pool.is_resolved futures);
+  Alcotest.check_raises "spawn after shutdown rejected"
+    (Failure "Central_pool.spawn: pool is shut down") (fun () ->
+      ignore (Central_pool.spawn pool (fun () -> 0)))
+
+(* Shutdown with worker domains racing a half-drained queue: whatever was
+   started finishes, shutdown returns, and resolved futures hold correct
+   values. *)
+let central_pool_shutdown_race () =
+  let pool = Central_pool.create ~processes:3 () in
+  let futures = List.init 200 (fun i -> Central_pool.spawn pool (fun () -> i + 1)) in
+  Central_pool.shutdown pool;
+  List.iteri
+    (fun i fut ->
+      if Central_pool.is_resolved fut then
+        Alcotest.(check int) (Printf.sprintf "resolved task %d" i) (i + 1)
+          (Central_pool.force pool fut))
+    futures
+
 let tests =
   [
     Alcotest.test_case "fib matches sequential" `Quick fib_matches_sequential;
@@ -278,4 +352,12 @@ let tests =
     Alcotest.test_case "central pool: fib" `Quick central_pool_fib_matches;
     Alcotest.test_case "central pool: exceptions" `Quick central_pool_exceptions;
     Alcotest.test_case "central pool: lock surface" `Quick central_vs_ws_lock_surface;
+    Alcotest.test_case "central pool: external spawn (non-worker domain)" `Quick
+      central_pool_external_spawn;
+    Alcotest.test_case "central pool: multi-domain submitters" `Quick
+      central_pool_multi_domain_submitters;
+    Alcotest.test_case "central pool: shutdown while pending (P=1)" `Quick
+      central_pool_shutdown_while_pending;
+    Alcotest.test_case "central pool: shutdown race with workers" `Quick
+      central_pool_shutdown_race;
   ]

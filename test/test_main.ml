@@ -28,6 +28,9 @@ let () =
       ("invariants", Test_invariants.tests);
       ("misc", Test_misc.tests);
       ("trace-counters", Test_trace_counters.tests);
+      ("serve", Test_serve.tests);
+      ("bounded-tag-props", Test_bounded_tag_props.tests);
+      ("cli", Test_cli.tests);
       ("domain-stress", Test_domain_stress.tests);
       ("backoff", Test_backoff.tests);
     ]

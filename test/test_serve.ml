@@ -1,0 +1,358 @@
+(* Tests for the serving layer: the injector queue's conservation under
+   real multi-domain concurrency, admission control (backpressure,
+   deadlines, cancellation), the drain invariant under multi-producer
+   stress, and shutdown semantics. *)
+
+open Abp_serve
+
+let with_serve ?processes ?inbox_capacity f =
+  let s = Serve.create ?processes ?inbox_capacity () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown s) (fun () -> f s)
+
+(* ------------------------------------------------------------------ *)
+(* Injector *)
+
+let injector_fifo_single_thread () =
+  let q : int Injector.t = Injector.create ~capacity:8 () in
+  Alcotest.(check bool) "empty at start" true (Injector.is_empty q);
+  for i = 1 to 8 do
+    Alcotest.(check bool) (Printf.sprintf "push %d" i) true (Injector.try_push q i)
+  done;
+  Alcotest.(check bool) "full" false (Injector.try_push q 99);
+  Alcotest.(check int) "size" 8 (Injector.size q);
+  for i = 1 to 8 do
+    Alcotest.(check (option int)) (Printf.sprintf "pop %d" i) (Some i) (Injector.try_pop q)
+  done;
+  Alcotest.(check (option int)) "drained" None (Injector.try_pop q);
+  (* Wrap around the ring a few laps. *)
+  for lap = 0 to 20 do
+    Alcotest.(check bool) "lap push" true (Injector.try_push q lap);
+    Alcotest.(check (option int)) "lap pop" (Some lap) (Injector.try_pop q)
+  done
+
+let injector_capacity_rounding () =
+  let q : int Injector.t = Injector.create ~capacity:5 () in
+  Alcotest.(check int) "rounds up to 8" 8 (Injector.capacity q);
+  let tiny : int Injector.t = Injector.create ~capacity:1 () in
+  Alcotest.(check int) "minimum 2" 2 (Injector.capacity tiny);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Injector.create: capacity >= 1 required") (fun () ->
+      ignore (Injector.create ~capacity:0 () : int Injector.t))
+
+(* Multi-domain conservation: every pushed value is popped exactly once,
+   nothing is invented, nothing is lost. *)
+let injector_mpmc_conservation () =
+  let q : int Injector.t = Injector.create ~capacity:64 () in
+  let producers = 3 and per_producer = 5_000 in
+  let consumed = Atomic.make 0 and sum = Atomic.make 0 in
+  let produced_all = Atomic.make 0 in
+  let producer p () =
+    for i = 0 to per_producer - 1 do
+      let v = (p * per_producer) + i in
+      while not (Injector.try_push q v) do
+        Domain.cpu_relax ()
+      done
+    done;
+    Atomic.incr produced_all
+  in
+  let consumer () =
+    let rec go () =
+      match Injector.try_pop q with
+      | Some v ->
+          ignore (Atomic.fetch_and_add sum v);
+          ignore (Atomic.fetch_and_add consumed 1);
+          go ()
+      | None ->
+          if Atomic.get produced_all < producers || not (Injector.is_empty q) then begin
+            Domain.cpu_relax ();
+            go ()
+          end
+    in
+    go ()
+  in
+  let ds =
+    Array.append
+      (Array.init producers (fun p -> Domain.spawn (producer p)))
+      (Array.init 2 (fun _ -> Domain.spawn consumer))
+  in
+  Array.iter Domain.join ds;
+  (* A consumer may exit on a momentarily-empty queue while the last few
+     items are in flight; drain the remainder here. *)
+  let rec drain () =
+    match Injector.try_pop q with
+    | Some v ->
+        ignore (Atomic.fetch_and_add sum v);
+        ignore (Atomic.fetch_and_add consumed 1);
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  let n = producers * per_producer in
+  Alcotest.(check int) "every value consumed once" n (Atomic.get consumed);
+  Alcotest.(check int) "sum conserved" (n * (n - 1) / 2) (Atomic.get sum)
+
+(* ------------------------------------------------------------------ *)
+(* Serve basics *)
+
+let submit_and_await () =
+  with_serve ~processes:3 (fun s ->
+      let t = Serve.submit s (fun () -> 6 * 7) in
+      (match Serve.await t with
+      | Serve.Returned v -> Alcotest.(check int) "value" 42 v
+      | _ -> Alcotest.fail "expected Returned");
+      let st = Serve.drain s in
+      Alcotest.(check int) "accepted" 1 st.Serve.accepted;
+      Alcotest.(check int) "completed" 1 st.Serve.completed)
+
+let submitted_task_uses_parallel_skeletons () =
+  (* A submitted request runs in worker context: it can fan out over the
+     pool with Par/Future and get real stealing. *)
+  let rec fib_seq n = if n < 2 then n else fib_seq (n - 1) + fib_seq (n - 2) in
+  with_serve ~processes:4 (fun s ->
+      let tickets = List.init 8 (fun i -> Serve.submit s (fun () -> Abp_hood.Par.fib (15 + (i mod 3)))) in
+      List.iteri
+        (fun i t ->
+          match Serve.await t with
+          | Serve.Returned v ->
+              Alcotest.(check int) (Printf.sprintf "fib of request %d" i) (fib_seq (15 + (i mod 3))) v
+          | _ -> Alcotest.fail "expected Returned")
+        tickets)
+
+let exceptions_are_contained () =
+  let exception Boom in
+  with_serve ~processes:2 (fun s ->
+      let bad = Serve.submit s (fun () -> raise Boom) in
+      let good = Serve.submit s (fun () -> 1) in
+      (match Serve.await bad with
+      | Serve.Raised Boom -> ()
+      | _ -> Alcotest.fail "expected Raised Boom");
+      (match Serve.await good with
+      | Serve.Returned 1 -> ()
+      | _ -> Alcotest.fail "service survived the exception");
+      let st = Serve.drain s in
+      Alcotest.(check int) "exceptions counted" 1 st.Serve.exceptions;
+      Alcotest.(check int) "completion accounting" st.Serve.accepted
+        (st.Serve.completed + st.Serve.cancelled + st.Serve.exceptions))
+
+(* Deterministic admission tests run on a single busy worker: the first
+   submitted task blocks it, so everything behind queues in the inbox. *)
+let with_blocked_worker ?inbox_capacity f =
+  with_serve ~processes:1 ?inbox_capacity (fun s ->
+      let release = Atomic.make false in
+      let blocker =
+        Serve.submit s (fun () ->
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done)
+      in
+      f s ~release ~blocker)
+
+let try_submit_backpressure () =
+  with_blocked_worker ~inbox_capacity:2 (fun s ~release ~blocker ->
+      (* Wait for the worker to dequeue the blocker, leaving the inbox
+         empty with 2 slots. *)
+      while Serve.inbox_depth s > 0 do
+        Domain.cpu_relax ()
+      done;
+      let a = Serve.try_submit s (fun () -> 1) in
+      let b = Serve.try_submit s (fun () -> 2) in
+      let c = Serve.try_submit s (fun () -> 3) in
+      (match (a, b) with
+      | Ok _, Ok _ -> ()
+      | _ -> Alcotest.fail "two submissions fit the inbox");
+      (match c with
+      | Error Serve.Inbox_full -> ()
+      | _ -> Alcotest.fail "third submission must be rejected (inbox full)");
+      Atomic.set release true;
+      (match blocker |> Serve.await with
+      | Serve.Returned () -> ()
+      | _ -> Alcotest.fail "blocker completes");
+      let st = Serve.drain s in
+      Alcotest.(check int) "accepted: blocker + 2" 3 st.Serve.accepted;
+      Alcotest.(check int) "rejected only when full" 1 st.Serve.rejected;
+      Alcotest.(check int) "all accepted completed" 3 st.Serve.completed)
+
+let deadline_drops_queued_task () =
+  with_blocked_worker (fun s ~release ~blocker ->
+      let doomed = Serve.submit s ~deadline:0.0005 (fun () -> 42) in
+      (* Let the deadline lapse while the only worker is still busy. *)
+      Unix.sleepf 0.01;
+      Atomic.set release true;
+      (match Serve.await doomed with
+      | Serve.Cancelled Serve.Deadline -> ()
+      | Serve.Returned _ -> Alcotest.fail "expired task must not run"
+      | _ -> Alcotest.fail "expected Cancelled Deadline");
+      ignore (Serve.await blocker);
+      let st = Serve.drain s in
+      Alcotest.(check int) "cancelled counted" 1 st.Serve.cancelled;
+      Alcotest.(check int) "invariant" st.Serve.accepted
+        (st.Serve.completed + st.Serve.cancelled + st.Serve.exceptions))
+
+let cancel_before_start () =
+  with_blocked_worker (fun s ~release ~blocker ->
+      let victim = Serve.submit s (fun () -> 42) in
+      Alcotest.(check bool) "cancel wins the race" true (Serve.cancel victim);
+      Alcotest.(check bool) "second cancel is a no-op" false (Serve.cancel victim);
+      Atomic.set release true;
+      (match Serve.await victim with
+      | Serve.Cancelled Serve.Explicit -> ()
+      | _ -> Alcotest.fail "expected Cancelled Explicit");
+      (match Serve.await blocker with
+      | Serve.Returned () -> ()
+      | _ -> Alcotest.fail "blocker unaffected");
+      let st = Serve.drain s in
+      Alcotest.(check int) "cancelled" 1 st.Serve.cancelled)
+
+let cancel_after_completion_fails () =
+  with_serve ~processes:2 (fun s ->
+      let t = Serve.submit s (fun () -> 1) in
+      (match Serve.await t with Serve.Returned 1 -> () | _ -> Alcotest.fail "completes");
+      Alcotest.(check bool) "too late to cancel" false (Serve.cancel t))
+
+let drain_stops_admission () =
+  with_serve ~processes:2 (fun s ->
+      let t = Serve.submit s (fun () -> 7) in
+      let st = Serve.drain s in
+      Alcotest.(check int) "ran the accepted task" 1 st.Serve.completed;
+      (match Serve.await t with Serve.Returned 7 -> () | _ -> Alcotest.fail "value");
+      (match Serve.try_submit s (fun () -> 8) with
+      | Error Serve.Draining -> ()
+      | _ -> Alcotest.fail "admission must be closed");
+      Alcotest.check_raises "submit raises after drain"
+        (Failure "Serve.submit: admission stopped (draining or shut down)") (fun () ->
+          ignore (Serve.submit s (fun () -> 9))))
+
+let shutdown_drops_queued_and_is_idempotent () =
+  let executed = Atomic.make 0 in
+  let s = Serve.create ~processes:1 () in
+  let release = Atomic.make false in
+  let started = Atomic.make false in
+  let blocker =
+    Serve.submit s (fun () ->
+        Atomic.set started true;
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        Atomic.incr executed)
+  in
+  let queued = List.init 5 (fun i -> Serve.submit s (fun () -> Atomic.incr executed; i)) in
+  (* Wait until the worker is actually mid-run on the blocker; otherwise
+     shutdown could drop it while it is still queued. *)
+  while not (Atomic.get started) do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set release true;
+  (* The blocker is mid-run; shutdown lets it finish, then joins the
+     worker and drops whatever it did not get to. *)
+  Serve.shutdown s;
+  Serve.shutdown s;
+  (match Serve.await blocker with
+  | Serve.Returned () -> ()
+  | _ -> Alcotest.fail "started task ran to completion");
+  let st = Serve.stats s in
+  Alcotest.(check int) "no task runs after shutdown" st.Serve.completed (Atomic.get executed);
+  Alcotest.(check int) "every accepted task reached a terminal state" st.Serve.accepted
+    (st.Serve.completed + st.Serve.cancelled + st.Serve.exceptions);
+  (* Every queued ticket is resolved: completed before the join, or
+     dropped as Shutdown. *)
+  List.iter
+    (fun t ->
+      match Serve.poll t with
+      | Some (Serve.Returned _) | Some (Serve.Cancelled Serve.Shutdown) -> ()
+      | Some _ -> Alcotest.fail "unexpected terminal state"
+      | None -> Alcotest.fail "ticket unresolved after shutdown")
+    queued
+
+(* The acceptance-criterion stress: 4 submitting domains race a small
+   inbox; after the submitters finish, drain must satisfy
+   accepted = completed + cancelled + exceptions, with rejections
+   occurring only on a full inbox, and observed per-submitter outcomes
+   summing to the service's own counters. *)
+let drain_invariant_multi_producer () =
+  let s = Serve.create ~processes:4 ~inbox_capacity:16 () in
+  let submitters = 4 and per_submitter = 500 in
+  let observed_accepted = Atomic.make 0 and observed_rejected = Atomic.make 0 in
+  let executed = Atomic.make 0 in
+  let submitter d () =
+    let tickets = ref [] in
+    for i = 0 to per_submitter - 1 do
+      match
+        Serve.try_submit s (fun () ->
+            Atomic.incr executed;
+            (d * per_submitter) + i)
+      with
+      | Ok t ->
+          Atomic.incr observed_accepted;
+          tickets := t :: !tickets
+      | Error Serve.Inbox_full -> Atomic.incr observed_rejected
+      | Error Serve.Draining -> Alcotest.fail "admission closed during the stress"
+    done;
+    (* Every accepted ticket resolves. *)
+    List.iter (fun t -> ignore (Serve.await t)) !tickets
+  in
+  let ds = Array.init submitters (fun d -> Domain.spawn (submitter d)) in
+  Array.iter Domain.join ds;
+  let st = Serve.drain s in
+  Alcotest.(check int) "accepted matches submitters' view" (Atomic.get observed_accepted)
+    st.Serve.accepted;
+  Alcotest.(check int) "rejected matches submitters' view" (Atomic.get observed_rejected)
+    st.Serve.rejected;
+  Alcotest.(check int) "drain invariant: accepted = completed + cancelled + exceptions"
+    st.Serve.accepted
+    (st.Serve.completed + st.Serve.cancelled + st.Serve.exceptions);
+  Alcotest.(check int) "nothing cancelled without deadlines" 0 st.Serve.cancelled;
+  Alcotest.(check int) "every completed task actually ran" st.Serve.completed
+    (Atomic.get executed);
+  Serve.shutdown s;
+  Alcotest.(check int) "no task runs after shutdown" st.Serve.completed (Atomic.get executed)
+
+let telemetry_counts_injection () =
+  let sink = Abp_trace.Sink.create ~workers:2 () in
+  let s = Serve.create ~processes:2 ~trace:sink () in
+  let tickets = List.init 50 (fun i -> Serve.submit s (fun () -> i * i)) in
+  List.iter (fun t -> ignore (Serve.await t)) tickets;
+  ignore (Serve.drain s);
+  Serve.shutdown s;
+  let totals = Abp_trace.Sink.totals sink in
+  Alcotest.(check bool) "all tasks entered through the injector" true
+    (totals.Abp_trace.Counters.inject_tasks = 50);
+  Alcotest.(check bool) "acquisitions never exceed polls" true
+    (totals.Abp_trace.Counters.inject_polls >= totals.Abp_trace.Counters.inject_tasks);
+  Alcotest.(check bool) "high-water gauge saw traffic" true (Serve.inbox_high_water s >= 1)
+
+let contains s affix =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let report_renders () =
+  with_serve ~processes:2 (fun s ->
+      let tickets = List.init 20 (fun i -> Serve.submit s (fun () -> i)) in
+      List.iter (fun t -> ignore (Serve.await t)) tickets;
+      let text = Format.asprintf "%a" Serve.pp_report s in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool) (needle ^ " present") true (contains text needle))
+        [ "serve report"; "accepted"; "inbox"; "queue latency"; "run latency" ])
+
+let tests =
+  [
+    Alcotest.test_case "injector: fifo + full + wraparound" `Quick injector_fifo_single_thread;
+    Alcotest.test_case "injector: capacity rounding" `Quick injector_capacity_rounding;
+    Alcotest.test_case "injector: mpmc conservation (domains)" `Quick injector_mpmc_conservation;
+    Alcotest.test_case "submit and await" `Quick submit_and_await;
+    Alcotest.test_case "submitted tasks use Par/Future" `Quick
+      submitted_task_uses_parallel_skeletons;
+    Alcotest.test_case "exceptions contained + counted" `Quick exceptions_are_contained;
+    Alcotest.test_case "try_submit backpressure (full inbox)" `Quick try_submit_backpressure;
+    Alcotest.test_case "deadline drops queued task" `Quick deadline_drops_queued_task;
+    Alcotest.test_case "cancel before start" `Quick cancel_before_start;
+    Alcotest.test_case "cancel after completion fails" `Quick cancel_after_completion_fails;
+    Alcotest.test_case "drain stops admission" `Quick drain_stops_admission;
+    Alcotest.test_case "shutdown drops queued, idempotent" `Quick
+      shutdown_drops_queued_and_is_idempotent;
+    Alcotest.test_case "drain invariant under 4-domain stress" `Quick
+      drain_invariant_multi_producer;
+    Alcotest.test_case "telemetry: inject counters" `Quick telemetry_counts_injection;
+    Alcotest.test_case "report renders" `Quick report_renders;
+  ]

@@ -204,8 +204,10 @@ let fields_cover_every_counter () =
       "deque_high_water";
       "parks";
       "task_exceptions";
+      "inject_polls";
+      "inject_tasks";
     ];
-  Alcotest.(check int) "exactly the 12 fields" 12 (List.length names)
+  Alcotest.(check int) "exactly the 14 fields" 14 (List.length names)
 
 let tests =
   [
