@@ -101,9 +101,8 @@ let pool_throughput () =
       let t0 = Unix.gettimeofday () in
       let sum =
         Abp.Pool.run pool (fun () ->
-            Abp.Par.parallel_reduce ~grain:128 ~lo:0 ~hi:2_000_000 ~init:0
-              ~map:(fun i -> i land 7)
-              ~combine:( + ))
+            Abp.Par.parallel_reduce ~grain:128 ~lo:0 ~hi:2_000_000 ~init:0 ~combine:( + )
+              (fun i -> i land 7))
       in
       let dt = Unix.gettimeofday () -. t0 in
       Abp.Pool.shutdown pool;

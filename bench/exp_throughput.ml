@@ -117,9 +117,7 @@ let run_workload workload n =
   | "fib" -> Abp.Par.fib n
   | "nqueens" -> Abp.Par.nqueens n
   | "reduce" ->
-      Abp.Par.parallel_reduce ~grain:128 ~lo:0 ~hi:n ~init:0
-        ~map:(fun i -> i land 7)
-        ~combine:( + )
+      Abp.Par.parallel_reduce ~grain:128 ~lo:0 ~hi:n ~init:0 ~combine:( + ) (fun i -> i land 7)
   | other -> invalid_arg ("unknown workload: " ^ other)
 
 let measure_pool workload n p =

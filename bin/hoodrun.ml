@@ -16,11 +16,11 @@ let time f =
 
 (* Machine-readable result record, one JSON object per run, consumed by
    perf-trajectory tooling alongside bench/exp_throughput.exe. *)
-let write_json file ~workload ~n ~p ~deque ~elapsed ~result ~attempts ~successes =
+let write_json file ~workload ~n ~p ~deque ~batch ~elapsed ~result ~attempts ~successes ~stolen =
   let oc = open_out file in
   Printf.fprintf oc
-    {|{"schema":"hoodrun/1","workload":"%s","n":%d,"p":%d,"deque":"%s","seconds":%.6f,"result":%d,"steal_attempts":%d,"successful_steals":%d}|}
-    workload n p deque elapsed result attempts successes;
+    {|{"schema":"hoodrun/2","workload":"%s","n":%d,"p":%d,"deque":"%s","batch":%d,"seconds":%.6f,"result":%d,"steal_attempts":%d,"successful_steals":%d,"stolen_tasks":%d}|}
+    workload n p deque batch elapsed result attempts successes stolen;
   output_char oc '\n';
   close_out oc
 
@@ -33,7 +33,7 @@ let fatal_guard name f =
     Printf.eprintf "%s: fatal: %s\n%!" name (Printexc.to_string e);
     exit 1
 
-let run workload n p grain deque trace_file json_file =
+let run workload n p grain batch deque trace_file json_file =
  fatal_guard "hoodrun" @@ fun () ->
   let deque_impl =
     match deque with
@@ -42,13 +42,16 @@ let run workload n p grain deque trace_file json_file =
     | "locked" -> Abp.Pool.Locked
     | other -> raise (Invalid_argument ("unknown deque impl: " ^ other))
   in
+  (* --grain 0 selects lazy binary splitting (the library default when
+     [?grain] is omitted). *)
+  let grain_opt = if grain = 0 then None else Some grain in
   let sink =
     Option.map
       (fun _ ->
         Abp.Trace.Sink.create ~ring_capacity:(1 lsl 16) ~clock:Unix.gettimeofday ~workers:p ())
       trace_file
   in
-  let pool = Abp.Pool.create ~processes:p ~deque_impl ?trace:sink () in
+  let pool = Abp.Pool.create ~processes:p ~deque_impl ~batch ?trace:sink () in
   let result, elapsed =
     Abp.Pool.run pool (fun () ->
         time (fun () ->
@@ -56,9 +59,8 @@ let run workload n p grain deque trace_file json_file =
             | "fib" -> Abp.Par.fib n
             | "nqueens" -> Abp.Par.nqueens n
             | "reduce" ->
-                Abp.Par.parallel_reduce ~grain ~lo:0 ~hi:n ~init:0
-                  ~map:(fun i -> (i * i) mod 97)
-                  ~combine:( + )
+                Abp.Par.parallel_reduce ?grain:grain_opt ~lo:0 ~hi:n ~init:0 ~combine:( + )
+                  (fun i -> (i * i) mod 97)
             | "crash" ->
                 (* Test workload: a task deep in the parallel subtree
                    raises, exercising the exit-nonzero error path. *)
@@ -68,14 +70,20 @@ let run workload n p grain deque trace_file json_file =
             | other -> raise (Invalid_argument ("unknown workload: " ^ other))))
   in
   Abp.Pool.shutdown pool;
-  Format.printf "%s(%d) = %d  on P=%d in %.3fs  steals %d/%d@." workload n result p elapsed
+  let totals = Abp.Trace.Counters.sum (Abp.Pool.counters pool) in
+  Format.printf "%s(%d) = %d  on P=%d in %.3fs  steals %d/%d%s@." workload n result p elapsed
     (Abp.Pool.successful_steals pool)
-    (Abp.Pool.steal_attempts pool);
+    (Abp.Pool.steal_attempts pool)
+    (if Abp.Pool.batch_size pool > 1 then
+       Printf.sprintf "  batch=%d (moved %d tasks)" (Abp.Pool.batch_size pool)
+         totals.Abp.Trace.Counters.stolen_tasks
+     else "");
   Option.iter
     (fun file ->
-      write_json file ~workload ~n ~p ~deque ~elapsed ~result
+      write_json file ~workload ~n ~p ~deque ~batch ~elapsed ~result
         ~attempts:(Abp.Pool.steal_attempts pool)
-        ~successes:(Abp.Pool.successful_steals pool);
+        ~successes:(Abp.Pool.successful_steals pool)
+        ~stolen:totals.Abp.Trace.Counters.stolen_tasks;
       Format.printf "json result written to %s@." file)
     json_file;
   match (sink, trace_file) with
@@ -93,7 +101,18 @@ let cmd =
   in
   let n = Arg.(value & opt int 25 & info [ "n" ] ~doc:"problem size") in
   let p = Arg.(value & opt int 4 & info [ "p"; "processes" ] ~doc:"worker processes") in
-  let grain = Arg.(value & opt int 64 & info [ "grain" ] ~doc:"sequential grain for reduce") in
+  let grain =
+    Arg.(
+      value & opt int 0
+      & info [ "grain" ] ~doc:"sequential grain for reduce; 0 = lazy binary splitting (default)")
+  in
+  let batch =
+    Arg.(
+      value & opt int 0
+      & info [ "batch" ] ~docv:"K"
+          ~doc:"batched work transfer: steal/drain up to $(docv) tasks per acquisition (0 = off; \
+                native on circular/locked, degrades to single steals on abp)")
+  in
   let deque = Arg.(value & opt string "abp" & info [ "deque" ] ~doc:"abp|circular|locked") in
   let trace_file =
     Arg.(
@@ -112,6 +131,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "hoodrun" ~doc:"Run workloads on the Hood work-stealing runtime")
-    Term.(const run $ workload $ n $ p $ grain $ deque $ trace_file $ json_file)
+    Term.(const run $ workload $ n $ p $ grain $ batch $ deque $ trace_file $ json_file)
 
 let () = exit (Cmd.eval cmd)

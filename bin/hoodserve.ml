@@ -19,7 +19,7 @@ let fatal_guard name f =
 
 let rec fib_seq n = if n < 2 then n else fib_seq (n - 1) + fib_seq (n - 2)
 
-let run p clients requests fib inbox deadline trace_file =
+let run p clients requests fib inbox batch deadline trace_file =
  fatal_guard "hoodserve" @@ fun () ->
   if clients < 1 then raise (Invalid_argument "clients >= 1 required");
   let sink =
@@ -28,7 +28,7 @@ let run p clients requests fib inbox deadline trace_file =
         Abp.Trace.Sink.create ~ring_capacity:(1 lsl 16) ~clock:Unix.gettimeofday ~workers:p ())
       trace_file
   in
-  let s = Abp.Serve.create ~processes:p ~inbox_capacity:inbox ?trace:sink () in
+  let s = Abp.Serve.create ~processes:p ~inbox_capacity:inbox ~batch ?trace:sink () in
   let completed = Atomic.make 0 and dropped = Atomic.make 0 in
   let t0 = Unix.gettimeofday () in
   let ds =
@@ -67,6 +67,13 @@ let cmd =
   let requests = Arg.(value & opt int 1000 & info [ "requests" ] ~doc:"requests per client") in
   let fib = Arg.(value & opt int 16 & info [ "fib" ] ~doc:"per-request work: sequential fib N") in
   let inbox = Arg.(value & opt int 256 & info [ "inbox" ] ~doc:"injector inbox capacity") in
+  let batch =
+    Arg.(
+      value & opt int 0
+      & info [ "batch" ] ~docv:"K"
+          ~doc:"batched work transfer: idle workers drain up to $(docv) inbox submissions per \
+                poll and thieves steal up to $(docv) tasks (0 = off)")
+  in
   let deadline =
     Arg.(
       value
@@ -84,6 +91,6 @@ let cmd =
   in
   Cmd.v
     (Cmd.info "hoodserve" ~doc:"Serve external requests on the Hood work-stealing runtime")
-    Term.(const run $ p $ clients $ requests $ fib $ inbox $ deadline $ trace_file)
+    Term.(const run $ p $ clients $ requests $ fib $ inbox $ batch $ deadline $ trace_file)
 
 let () = exit (Cmd.eval cmd)

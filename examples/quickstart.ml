@@ -16,8 +16,8 @@ let () =
         Abp.Future.both
           (fun () -> Abp.Par.fib 25)
           (fun () ->
-            Abp.Par.parallel_reduce ~grain:256 ~lo:0 ~hi:1_000_000 ~init:0
-              ~map:(fun i -> i land 15) ~combine:( + )))
+            Abp.Par.parallel_reduce ~grain:256 ~lo:0 ~hi:1_000_000 ~init:0 ~combine:( + )
+              (fun i -> i land 15)))
   in
   Abp.Pool.shutdown pool;
   Format.printf "Hood runtime:  fib 25 = %d, reduce = %d (steals: %d/%d)@." fib25 sum

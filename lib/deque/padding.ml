@@ -22,15 +22,18 @@ let copy_as_padded (x : 'a) : 'a =
     let n = Obj.size o in
     (* Only plain scannable blocks (records, atomics) can be resized
        safely: custom blocks, strings and float arrays interpret their
-       size themselves. *)
-    if tag >= Obj.no_scan_tag || tag = Obj.double_array_tag || n >= cache_line_words then x
+       size themselves.  Blocks longer than one line round up to the
+       next line multiple, so a large record still never shares its
+       boundary lines with a neighbour. *)
+    let target = cache_line_words * ((n + cache_line_words - 1) / cache_line_words) in
+    if tag >= Obj.no_scan_tag || tag = Obj.double_array_tag || n >= target then x
     else begin
-      let b = Obj.new_block tag cache_line_words in
+      let b = Obj.new_block tag target in
       for i = 0 to n - 1 do
         Obj.set_field b i (Obj.field o i)
       done;
       (* The padding words are scanned by the GC; keep them immediate. *)
-      for i = n to cache_line_words - 1 do
+      for i = n to target - 1 do
         Obj.set_field b i (Obj.repr 0)
       done;
       Obj.obj b

@@ -1,39 +1,105 @@
-let default_grain = 32
+(* Sequential run length between deque probes in the lazy-splitting
+   loops: small enough that a loop notices an emptied deque quickly,
+   large enough that the probe (one size read of the worker's own
+   deque) amortizes to noise per iteration. *)
+let lazy_chunk = 16
 
-let parallel_for ?(grain = default_grain) ~lo ~hi f =
-  if grain < 1 then invalid_arg "Par.parallel_for: grain >= 1 required";
-  let rec go lo hi =
-    if hi - lo <= grain then
-      for i = lo to hi - 1 do
-        f i
-      done
-    else begin
-      let mid = lo + ((hi - lo) / 2) in
-      let right = Future.spawn (fun () -> go mid hi) in
-      go lo mid;
-      Future.force right
-    end
-  in
-  if hi > lo then go lo hi
+(* Lazy binary splitting (Tzannes et al., PPoPP 2010): instead of
+   cutting the range down to a fixed grain eagerly — spawning ~n/grain
+   tasks whether or not anyone ever steals them — split only when the
+   worker's own deque is observed empty, i.e. exactly when a thief
+   probing this worker would leave empty-handed.  While the deque still
+   holds stealable work, run a [lazy_chunk]-sized slice sequentially and
+   re-probe.  At P = 1 (or when every worker is busy) a whole range runs
+   as one task with zero spawns; under steal pressure the range splits
+   logarithmically, like the eager version — the grain knob disappears.
 
-let parallel_reduce ?(grain = default_grain) ~lo ~hi ~init ~map ~combine =
-  if grain < 1 then invalid_arg "Par.parallel_reduce: grain >= 1 required";
-  let rec go lo hi =
-    if hi - lo <= grain then begin
-      let acc = ref init in
-      for i = lo to hi - 1 do
-        acc := combine !acc (map i)
-      done;
-      !acc
-    end
-    else begin
-      let mid = lo + ((hi - lo) / 2) in
-      let right = Future.spawn (fun () -> go mid hi) in
-      let left_v = go lo mid in
-      combine left_v (Future.force right)
-    end
-  in
-  if hi <= lo then init else go lo hi
+   The probe must be the {e current} worker's deque: a stolen half
+   re-fetches its context ([Pool.current]) when it starts, because it
+   may be running on a different domain than the one that spawned it. *)
+let rec lazy_for_go f lo hi w =
+  if hi - lo <= 1 then begin
+    if hi > lo then f lo
+  end
+  else if Pool.local_deque_size w = 0 then begin
+    let mid = lo + ((hi - lo) / 2) in
+    let right = Future.spawn (fun () -> lazy_for_go f mid hi (Pool.current ())) in
+    lazy_for_go f lo mid w;
+    Future.force right
+  end
+  else begin
+    let stop = min hi (lo + lazy_chunk) in
+    for i = lo to stop - 1 do
+      f i
+    done;
+    if stop < hi then lazy_for_go f stop hi w
+  end
+
+let parallel_for ?grain ~lo ~hi f =
+  match grain with
+  | None -> if hi > lo then lazy_for_go f lo hi (Pool.current ())
+  | Some grain ->
+      if grain < 1 then invalid_arg "Par.parallel_for: grain >= 1 required";
+      let rec go lo hi =
+        if hi - lo <= grain then
+          for i = lo to hi - 1 do
+            f i
+          done
+        else begin
+          let mid = lo + ((hi - lo) / 2) in
+          let right = Future.spawn (fun () -> go mid hi) in
+          go lo mid;
+          Future.force right
+        end
+      in
+      if hi > lo then go lo hi
+
+let rec lazy_reduce_go ~init ~combine map lo hi w =
+  if hi - lo <= 1 then begin
+    if hi > lo then combine init (map lo) else init
+  end
+  else if Pool.local_deque_size w = 0 then begin
+    let mid = lo + ((hi - lo) / 2) in
+    let right =
+      Future.spawn (fun () -> lazy_reduce_go ~init ~combine map mid hi (Pool.current ()))
+    in
+    let left_v = lazy_reduce_go ~init ~combine map lo mid w in
+    combine left_v (Future.force right)
+  end
+  else begin
+    let stop = min hi (lo + lazy_chunk) in
+    let acc = ref init in
+    for i = lo to stop - 1 do
+      acc := combine !acc (map i)
+    done;
+    if stop < hi then combine !acc (lazy_reduce_go ~init ~combine map stop hi w) else !acc
+  end
+
+(* [map] is positional (like [parallel_for]'s body) so that [?grain] is
+   erased on a grainless call — with only labelled parameters after it,
+   the optional argument would never be discharged and the call would
+   have type [?grain:int -> _]. *)
+let parallel_reduce ?grain ~lo ~hi ~init ~combine map =
+  match grain with
+  | None -> if hi <= lo then init else lazy_reduce_go ~init ~combine map lo hi (Pool.current ())
+  | Some grain ->
+      if grain < 1 then invalid_arg "Par.parallel_reduce: grain >= 1 required";
+      let rec go lo hi =
+        if hi - lo <= grain then begin
+          let acc = ref init in
+          for i = lo to hi - 1 do
+            acc := combine !acc (map i)
+          done;
+          !acc
+        end
+        else begin
+          let mid = lo + ((hi - lo) / 2) in
+          let right = Future.spawn (fun () -> go mid hi) in
+          let left_v = go lo mid in
+          combine left_v (Future.force right)
+        end
+      in
+      if hi <= lo then init else go lo hi
 
 let parallel_map_array ?grain f a =
   let n = Array.length a in

@@ -3,18 +3,33 @@
     inside {!Pool.run}. *)
 
 val parallel_for : ?grain:int -> lo:int -> hi:int -> (int -> unit) -> unit
-(** [parallel_for ~grain ~lo ~hi f] applies [f] to [lo..hi-1] by
-    recursive halving; ranges of at most [grain] (default 32) indices run
-    serially. *)
+(** [parallel_for ~lo ~hi f] applies [f] to [lo..hi-1].
+
+    With [grain] omitted (the default) the range is cut by {e lazy
+    binary splitting}: the loop splits (spawning the right half) only
+    when the worker's own deque is observed empty — the moment a probing
+    thief would find nothing to steal — and otherwise runs a small fixed
+    chunk sequentially before re-probing.  At [P = 1], or while every
+    worker is busy, the whole range runs with zero spawns; under steal
+    pressure it splits logarithmically.  No grain tuning needed.
+
+    With [~grain] the classic eager policy is used: recursive halving
+    down to ranges of at most [grain] indices, which run serially.
+    [invalid_arg] if [grain < 1]. *)
 
 val parallel_reduce :
-  ?grain:int -> lo:int -> hi:int -> init:'a -> map:(int -> 'a) -> combine:('a -> 'a -> 'a) -> 'a
-(** Tree reduction of [combine (map lo) (... (map (hi-1)))]; [combine]
-    must be associative with unit [init]. *)
+  ?grain:int -> lo:int -> hi:int -> init:'a -> combine:('a -> 'a -> 'a) -> (int -> 'a) -> 'a
+(** [parallel_reduce ~lo ~hi ~init ~combine map] is the tree reduction
+    [combine (map lo) (... (map (hi-1)))]; [combine] must be associative
+    with unit [init].  Splitting policy as in {!parallel_for}: lazy
+    binary splitting when [grain] is omitted, eager halving to
+    [grain]-sized leaves otherwise.  [map] is positional (like
+    {!parallel_for}'s body) so a grainless call discharges [?grain]. *)
 
 val parallel_map_array : ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [f] is applied exactly once per element (safe for effectful [f]);
-    element 0 is mapped sequentially to seed the result array. *)
+    element 0 is mapped sequentially to seed the result array.  Shares
+    {!parallel_for}'s splitting policy (lazy when [grain] is omitted). *)
 
 val fib : int -> int
 (** The canonical spawn-tree microbenchmark (naive Fibonacci with a

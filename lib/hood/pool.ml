@@ -11,9 +11,12 @@ let default_park_threshold = 16
    worker only after its own deque pop AND a steal attempt both came up
    empty — the Figure 3 loop order extended with a third, lowest-priority
    source — and consulted by the parking protocol so a thief never blocks
-   while externally submitted work is pending. *)
+   while externally submitted work is pending.  [ext_drain n] removes up
+   to [n] tasks in one poll (the batch counterpart of the old
+   one-at-a-time [ext_poll]); a non-batched pool simply drains with
+   [n = 1]. *)
 type external_source = {
-  ext_poll : unit -> (unit -> unit) option;
+  ext_drain : int -> (unit -> unit) list;
   ext_pending : unit -> bool;
 }
 
@@ -30,6 +33,11 @@ type shared = {
   size : int;
   yield_between_steals : bool;
   park_threshold : int;
+  (* Batched transfer quota: a thief asks a victim for up to [batch]
+     tasks per steal and an idle worker drains up to [batch] injector
+     tasks per poll.  [1] is classic single-task stealing (the paper's
+     protocol, and the default). *)
+  batch : int;
   externals : external_source option;
   (* [spawn_all]: every worker including id 0 is a spawned domain (the
      lib/serve mode, where work arrives through [externals] rather than
@@ -100,6 +108,34 @@ module Impl (D : Spec.DETAILED) = struct
     emit w Abp_trace.Event.Spawn;
     wake_waiters w.pool.shared
 
+  (* Observed size of the worker's own deque — the signal lazy-splitting
+     loops ({!Par.parallel_for}) use to decide whether to split (deque
+     empty: thieves would find nothing) or keep a chunk sequential. *)
+  let local_size w = D.size w.pool.deques.(w.id)
+
+  (* A multi-task acquisition (batched steal or injector drain) keeps
+     one task to run now and re-homes the surplus on the thief's own
+     deque, pushed in list order so the oldest surplus task sits at the
+     top — exactly where the next thief's [popTop] looks, preserving the
+     outermost-first stealing order the paper's space/communication
+     bounds rely on.  Each re-push counts as an ordinary [pushes] (the
+     conservation law becomes [pushes = pops + stolen_tasks] at
+     quiescence), and waiters are woken once: the surplus is stealable
+     work that parked thieves must notice. *)
+  let repush_surplus w rest =
+    if rest <> [] then begin
+      let d = w.pool.deques.(w.id) in
+      let c = w.c in
+      List.iter
+        (fun task ->
+          D.push_bottom d task;
+          c.Counters.pushes <- c.Counters.pushes + 1)
+        rest;
+      Counters.note_depth c (D.size d);
+      emit w Abp_trace.Event.Spawn;
+      wake_waiters w.pool.shared
+    end
+
   let try_get_task w =
     let pool = w.pool in
     let c = w.c in
@@ -110,34 +146,64 @@ module Impl (D : Spec.DETAILED) = struct
         let v = Abp_stats.Rng.int w.rng_state (pool.shared.size - 1) in
         let victim = if v >= w.id then v + 1 else v in
         c.Counters.steal_attempts <- c.Counters.steal_attempts + 1;
-        match D.pop_top_detailed pool.deques.(victim) with
-        | Spec.Got task ->
-            c.Counters.successful_steals <- c.Counters.successful_steals + 1;
-            emit w ~arg:victim Abp_trace.Event.Steal;
-            Some task
-        | Spec.Empty ->
-            c.Counters.steal_empties <- c.Counters.steal_empties + 1;
-            emit w ~arg:victim Abp_trace.Event.Idle;
-            None
-        | Spec.Contended ->
-            c.Counters.cas_failures_pop_top <- c.Counters.cas_failures_pop_top + 1;
-            emit w ~arg:victim Abp_trace.Event.Idle;
-            None
+        if pool.shared.batch > 1 then begin
+          (* Batched steal: up to [batch] tasks, capped at half the
+             victim's observed size by the deque's [Spec.batch_quota].
+             The batch API folds a lost CAS into the empty result, so a
+             [[]] here lands in [steal_empties] (documented in
+             {!Abp_trace.Counters}). *)
+          match D.pop_top_n pool.deques.(victim) pool.shared.batch with
+          | [] ->
+              c.Counters.steal_empties <- c.Counters.steal_empties + 1;
+              emit w ~arg:victim Abp_trace.Event.Idle;
+              None
+          | task :: rest ->
+              let got = 1 + List.length rest in
+              c.Counters.successful_steals <- c.Counters.successful_steals + 1;
+              c.Counters.stolen_tasks <- c.Counters.stolen_tasks + got;
+              if got >= 2 then c.Counters.batch_steals <- c.Counters.batch_steals + 1;
+              Counters.note_batch c got;
+              emit w ~arg:victim Abp_trace.Event.Steal;
+              repush_surplus w rest;
+              Some task
+        end
+        else
+          match D.pop_top_detailed pool.deques.(victim) with
+          | Spec.Got task ->
+              c.Counters.successful_steals <- c.Counters.successful_steals + 1;
+              c.Counters.stolen_tasks <- c.Counters.stolen_tasks + 1;
+              Counters.note_batch c 1;
+              emit w ~arg:victim Abp_trace.Event.Steal;
+              Some task
+          | Spec.Empty ->
+              c.Counters.steal_empties <- c.Counters.steal_empties + 1;
+              emit w ~arg:victim Abp_trace.Event.Idle;
+              None
+          | Spec.Contended ->
+              c.Counters.cas_failures_pop_top <- c.Counters.cas_failures_pop_top + 1;
+              emit w ~arg:victim Abp_trace.Event.Idle;
+              None
       end
     in
     (* Lowest-priority source: the external injector inbox, polled only
-       once the local deque and one steal attempt have both failed. *)
+       once the local deque and one steal attempt have both failed.  A
+       batched pool drains up to [batch] submissions per poll,
+       amortizing the inbox's CAS cursor over the whole batch. *)
     let inject () =
       match pool.shared.externals with
       | None -> None
       | Some ext -> (
           c.Counters.inject_polls <- c.Counters.inject_polls + 1;
-          match ext.ext_poll () with
-          | Some task ->
-              c.Counters.inject_tasks <- c.Counters.inject_tasks + 1;
+          match ext.ext_drain pool.shared.batch with
+          | [] -> None
+          | task :: rest ->
+              let got = 1 + List.length rest in
+              c.Counters.inject_tasks <- c.Counters.inject_tasks + got;
+              if got >= 2 then c.Counters.inject_batches <- c.Counters.inject_batches + 1;
+              Counters.note_batch c got;
               emit w Abp_trace.Event.Inject;
-              Some task
-          | None -> None)
+              repush_surplus w rest;
+              Some task)
     in
     let steal_then_inject () =
       match steal () with Some task -> Some task | None -> inject ()
@@ -255,6 +321,7 @@ let pool_of = function
   | Locked_worker w -> Locked_pool w.Locked_impl.pool
 
 let size t = (shared_of t).size
+let batch_size t = (shared_of t).batch
 let relax () = Domain.cpu_relax ()
 
 (* Aggregates on demand from the per-worker records; exact once the
@@ -280,6 +347,11 @@ let try_get_task = function
   | Circular_worker w -> Circular_impl.try_get_task w
   | Locked_worker w -> Locked_impl.try_get_task w
 
+let local_deque_size = function
+  | Abp_worker w -> Abp_impl.local_size w
+  | Circular_worker w -> Circular_impl.local_size w
+  | Locked_worker w -> Locked_impl.local_size w
+
 let with_context w f =
   let slot = Domain.DLS.get context_key in
   let saved = !slot in
@@ -287,11 +359,14 @@ let with_context w f =
   Fun.protect ~finally:(fun () -> slot := saved) f
 
 let create ?processes ?deque_capacity ?(yield_between_steals = true)
-    ?(park_threshold = default_park_threshold) ?(deque_impl = Abp) ?trace ?external_source
-    ?(spawn_all = false) () =
+    ?(park_threshold = default_park_threshold) ?(deque_impl = Abp) ?(batch = 0) ?trace
+    ?external_source ?(spawn_all = false) () =
   let processes = Option.value processes ~default:(Domain.recommended_domain_count ()) in
   if processes < 1 then invalid_arg "Pool.create: processes >= 1 required";
   if park_threshold < 0 then invalid_arg "Pool.create: park_threshold >= 0 required";
+  if batch < 0 then invalid_arg "Pool.create: batch >= 0 required";
+  (* 0 and 1 both mean classic single-task transfer. *)
+  let batch = max 1 batch in
   (match trace with
   | Some s when Sink.workers s <> processes ->
       invalid_arg "Pool.create: trace sink must have one worker per process"
@@ -304,6 +379,7 @@ let create ?processes ?deque_capacity ?(yield_between_steals = true)
       size = processes;
       yield_between_steals;
       park_threshold;
+      batch;
       externals = external_source;
       all_spawned = spawn_all;
       counters =

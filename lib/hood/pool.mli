@@ -51,8 +51,11 @@ type deque_impl =
   | Locked  (** mutex-protected baseline ({!Abp_deque.Locked_deque}) *)
 
 type external_source = {
-  ext_poll : unit -> (unit -> unit) option;
-      (** dequeue one externally submitted task, if any *)
+  ext_drain : int -> (unit -> unit) list;
+      (** [ext_drain n] dequeues up to [n] externally submitted tasks
+          ([n >= 1]; [[]] when none are pending).  A non-batched pool
+          drains with [n = 1], so a source backed by a one-at-a-time
+          queue can simply loop its pop. *)
   ext_pending : unit -> bool;  (** advisory: is the source non-empty? *)
 }
 (** An external task source — in practice the {!Abp_serve} injector
@@ -62,7 +65,10 @@ type external_source = {
     priority order (own deque, then steal) and adding the inbox as a
     third, lowest-priority source; the parking protocol consults
     [ext_pending] so a thief never blocks while submitted work is
-    pending.  External producers must call {!wake} after enqueueing. *)
+    pending.  External producers must call {!wake} after enqueueing.
+    With [batch > 1] a single poll drains up to [batch] tasks: one is
+    run immediately, the surplus is pushed onto the polling worker's own
+    deque (stealable by everyone, and waking parked thieves). *)
 
 val create :
   ?processes:int ->
@@ -70,6 +76,7 @@ val create :
   ?yield_between_steals:bool ->
   ?park_threshold:int ->
   ?deque_impl:deque_impl ->
+  ?batch:int ->
   ?trace:Abp_trace.Sink.t ->
   ?external_source:external_source ->
   ?spawn_all:bool ->
@@ -90,7 +97,21 @@ val create :
     parks; [0] parks after the first failed trip (it still yields
     once), and it only applies when [yield_between_steals] is [true].
     [deque_impl] selects the worker-deque implementation (default
-    {!Abp}).  Requires [processes >= 1] and [park_threshold >= 0].
+    {!Abp}).  Requires [processes >= 1], [park_threshold >= 0] and
+    [batch >= 0].
+
+    [batch] (default 0) enables batched work transfer: a thief asks its
+    victim for up to [batch] tasks per steal (the deque grants at most
+    half the victim's observed size — {!Abp_deque.Spec.batch_quota}),
+    runs one, and pushes the surplus onto its own deque; idle workers
+    likewise drain up to [batch] injector tasks per poll.  [0] and [1]
+    both mean classic single-task transfer, the paper's protocol.
+    Batching changes {e how many} tasks one acquisition moves, not the
+    acquisition order: the own-deque / steal / inject priority and the
+    parking protocol are unchanged.  On the {!Abp} deque the batch
+    degrades to single steals (its Figure 5 packed-[age] CAS transfers
+    one item by design; see {!Abp_deque.Atomic_deque}) — use
+    {!Circular} or {!Locked} for native batching.
 
     [trace] attaches a telemetry sink (one worker per process, else
     [Invalid_argument]): every worker then counts its pushes, pops,
@@ -114,6 +135,10 @@ val create :
 
 val size : t -> int
 (** The number of processes [P]. *)
+
+val batch_size : t -> int
+(** The normalized batch quota: [1] for a classic single-transfer pool
+    ([batch] 0 or 1 at {!create}), the configured value otherwise. *)
 
 val run : t -> (unit -> 'a) -> 'a
 (** [run pool f] enters the pool as worker 0 and evaluates [f]; inside
@@ -152,6 +177,13 @@ val pool_of : worker -> t
 val push_task : worker -> (unit -> unit) -> unit
 val try_get_task : worker -> (unit -> unit) option
 val relax : unit -> unit
+
+val local_deque_size : worker -> int
+(** Observed size of the worker's own deque — the lazy-splitting signal
+    used by {!Par.parallel_for}: an empty own deque means thieves
+    looking here would leave empty-handed, so the loop splits; a
+    non-empty one means stealable work already exists, so it runs a
+    chunk sequentially instead. *)
 
 val steal_attempts : t -> int
 (** Sum of the per-worker [steal_attempts] counters.  Exact once the

@@ -22,6 +22,15 @@ val owner_vs_thief_interleave : Explorer.program
 (** Pushes and owner pops racing one thief around the one-element state,
     where the [popBottom]/[popTop] cas race lives. *)
 
+val batched_thief : Explorer.program
+(** One thief issuing three consecutive [popTop]s — the shape a
+    [pop_top_n _ 3] batch linearizes to (see
+    {!Abp_deque.Spec.S.pop_top_n}) — racing an owner that pushes four
+    values and pops two, so the owner's reset/retag path can land
+    between the batch's steps.  Verifies that a batch built from
+    individual [popTop]s stays conservation-safe under every
+    interleaving. *)
+
 val random_program : rng:(int -> int) -> ops:int -> thieves:int -> Explorer.program
 (** Random small program: [ops] owner operations (pushes of distinct
     values and pops, drawn with [rng n] uniform in [0, n)), and [thieves]

@@ -105,19 +105,19 @@ let wait_until s settled =
     Atomic.decr s.waiters
   done
 
-let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?(inbox_capacity = 1024)
-    ?(latency_window = 8192) ?(clock = Unix.gettimeofday) ?trace () =
+let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch
+    ?(inbox_capacity = 1024) ?(latency_window = 8192) ?(clock = Unix.gettimeofday) ?trace () =
   if latency_window < 1 then invalid_arg "Serve.create: latency_window >= 1 required";
   let inbox = Injector.create ~capacity:inbox_capacity () in
   let external_source =
     {
-      Pool.ext_poll = (fun () -> Option.map (fun j -> j.run) (Injector.try_pop inbox));
+      Pool.ext_drain = (fun n -> List.map (fun j -> j.run) (Injector.try_pop_n inbox n));
       ext_pending = (fun () -> not (Injector.is_empty inbox));
     }
   in
   let pool =
-    Pool.create ?processes ?deque_capacity ?park_threshold ?deque_impl ?trace ~external_source
-      ~spawn_all:true ()
+    Pool.create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?trace
+      ~external_source ~spawn_all:true ()
   in
   {
     pool;

@@ -73,6 +73,7 @@ val create :
   ?deque_capacity:int ->
   ?park_threshold:int ->
   ?deque_impl:Abp_hood.Pool.deque_impl ->
+  ?batch:int ->
   ?inbox_capacity:int ->
   ?latency_window:int ->
   ?clock:(unit -> float) ->
@@ -85,10 +86,15 @@ val create :
     [latency_window] (default 8192) bounds the per-request latency
     recording ring.  [clock] (default [Unix.gettimeofday]) stamps
     submissions, starts and completions; deadlines are measured against
-    it.  The remaining parameters are passed to {!Abp_hood.Pool.create};
-    with [trace] attached, injector polls/acquisitions appear in the
-    per-worker [inject_polls]/[inject_tasks] counters and as [Inject]
-    events in the Chrome export. *)
+    it.  [batch] (default 0 = off) enables batched work transfer in the
+    pool ({!Abp_hood.Pool.create}): an idle worker drains up to [batch]
+    inbox submissions per poll ({!Injector.try_pop_n}) — running one and
+    spreading the rest through its own deque for stealing — and thieves
+    steal up to [batch] tasks at a time.  The remaining parameters are
+    passed to {!Abp_hood.Pool.create}; with [trace] attached, injector
+    polls/acquisitions appear in the per-worker
+    [inject_polls]/[inject_tasks]/[inject_batches] counters and as
+    [Inject] events in the Chrome export. *)
 
 val size : t -> int
 (** Worker count [P]. *)

@@ -123,6 +123,9 @@ let perform_pop_top st p victim =
   | Some v ->
       st.assigned.(p) <- v;
       c.Counters.successful_steals <- c.Counters.successful_steals + 1;
+      (* The simulator always transfers one node per steal. *)
+      c.Counters.stolen_tasks <- c.Counters.stolen_tasks + 1;
+      Counters.note_batch c 1;
       emit st p ~arg:victim Abp_trace.Event.Steal;
       st.steal_latencies <- (st.cur_round - st.thief_since.(p) + 1) :: st.steal_latencies;
       st.thief_since.(p) <- -1

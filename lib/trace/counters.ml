@@ -3,17 +3,34 @@ type t = {
   mutable pops : int;
   mutable steal_attempts : int;
   mutable successful_steals : int;
+  mutable stolen_tasks : int;
+  mutable batch_steals : int;
   mutable steal_empties : int;
   mutable cas_failures_pop_top : int;
   mutable cas_failures_pop_bottom : int;
   mutable yields : int;
   mutable lock_spins : int;
   mutable deque_high_water : int;
+  mutable max_steal_batch : int;
   mutable parks : int;
   mutable task_exceptions : int;
   mutable inject_polls : int;
   mutable inject_tasks : int;
+  mutable inject_batches : int;
+  steal_batch_hist : int array;
 }
+
+(* Tasks-per-steal histogram buckets: 1, 2, 3-4, 5-8, 9-16, >16. *)
+let batch_buckets = 6
+let batch_bucket_labels = [| "1"; "2"; "3-4"; "5-8"; "9-16"; ">16" |]
+
+let batch_bucket n =
+  if n <= 1 then 0
+  else if n = 2 then 1
+  else if n <= 4 then 2
+  else if n <= 8 then 3
+  else if n <= 16 then 4
+  else 5
 
 (* Each record is single-writer-hot (its owning worker bumps it on every
    scheduler action), so records allocated back to back must not share a
@@ -25,16 +42,21 @@ let create () =
       pops = 0;
       steal_attempts = 0;
       successful_steals = 0;
+      stolen_tasks = 0;
+      batch_steals = 0;
       steal_empties = 0;
       cas_failures_pop_top = 0;
       cas_failures_pop_bottom = 0;
       yields = 0;
       lock_spins = 0;
       deque_high_water = 0;
+      max_steal_batch = 0;
       parks = 0;
       task_exceptions = 0;
       inject_polls = 0;
       inject_tasks = 0;
+      inject_batches = 0;
+      steal_batch_hist = Array.make batch_buckets 0;
     }
 
 let reset c =
@@ -42,36 +64,57 @@ let reset c =
   c.pops <- 0;
   c.steal_attempts <- 0;
   c.successful_steals <- 0;
+  c.stolen_tasks <- 0;
+  c.batch_steals <- 0;
   c.steal_empties <- 0;
   c.cas_failures_pop_top <- 0;
   c.cas_failures_pop_bottom <- 0;
   c.yields <- 0;
   c.lock_spins <- 0;
   c.deque_high_water <- 0;
+  c.max_steal_batch <- 0;
   c.parks <- 0;
   c.task_exceptions <- 0;
   c.inject_polls <- 0;
-  c.inject_tasks <- 0
+  c.inject_tasks <- 0;
+  c.inject_batches <- 0;
+  Array.fill c.steal_batch_hist 0 batch_buckets 0
 
-let copy c = Abp_deque.Padding.copy_as_padded { c with pushes = c.pushes }
+let copy c =
+  Abp_deque.Padding.copy_as_padded
+    { c with pushes = c.pushes; steal_batch_hist = Array.copy c.steal_batch_hist }
 
 let note_depth c n = if n > c.deque_high_water then c.deque_high_water <- n
+
+(* One steal (or injector drain) transferred [n] tasks: feed the
+   tasks-per-transfer telemetry. *)
+let note_batch c n =
+  if n > c.max_steal_batch then c.max_steal_batch <- n;
+  let b = batch_bucket n in
+  c.steal_batch_hist.(b) <- c.steal_batch_hist.(b) + 1
 
 let add ~into c =
   into.pushes <- into.pushes + c.pushes;
   into.pops <- into.pops + c.pops;
   into.steal_attempts <- into.steal_attempts + c.steal_attempts;
   into.successful_steals <- into.successful_steals + c.successful_steals;
+  into.stolen_tasks <- into.stolen_tasks + c.stolen_tasks;
+  into.batch_steals <- into.batch_steals + c.batch_steals;
   into.steal_empties <- into.steal_empties + c.steal_empties;
   into.cas_failures_pop_top <- into.cas_failures_pop_top + c.cas_failures_pop_top;
   into.cas_failures_pop_bottom <- into.cas_failures_pop_bottom + c.cas_failures_pop_bottom;
   into.yields <- into.yields + c.yields;
   into.lock_spins <- into.lock_spins + c.lock_spins;
   into.deque_high_water <- max into.deque_high_water c.deque_high_water;
+  into.max_steal_batch <- max into.max_steal_batch c.max_steal_batch;
   into.parks <- into.parks + c.parks;
   into.task_exceptions <- into.task_exceptions + c.task_exceptions;
   into.inject_polls <- into.inject_polls + c.inject_polls;
-  into.inject_tasks <- into.inject_tasks + c.inject_tasks
+  into.inject_tasks <- into.inject_tasks + c.inject_tasks;
+  into.inject_batches <- into.inject_batches + c.inject_batches;
+  Array.iteri
+    (fun i v -> into.steal_batch_hist.(i) <- into.steal_batch_hist.(i) + v)
+    c.steal_batch_hist
 
 let sum cs =
   let acc = create () in
@@ -84,21 +127,29 @@ let fields c =
     ("pops", c.pops);
     ("steal_attempts", c.steal_attempts);
     ("successful_steals", c.successful_steals);
+    ("stolen_tasks", c.stolen_tasks);
+    ("batch_steals", c.batch_steals);
     ("steal_empties", c.steal_empties);
     ("cas_failures_pop_top", c.cas_failures_pop_top);
     ("cas_failures_pop_bottom", c.cas_failures_pop_bottom);
     ("yields", c.yields);
     ("lock_spins", c.lock_spins);
     ("deque_high_water", c.deque_high_water);
+    ("max_steal_batch", c.max_steal_batch);
     ("parks", c.parks);
     ("task_exceptions", c.task_exceptions);
     ("inject_polls", c.inject_polls);
     ("inject_tasks", c.inject_tasks);
+    ("inject_batches", c.inject_batches);
   ]
+
+let batch_hist c = Array.copy c.steal_batch_hist
 
 let consistent c =
   List.for_all (fun (_, v) -> v >= 0) (fields c)
   && c.successful_steals + c.steal_empties + c.cas_failures_pop_top <= c.steal_attempts
+  && c.stolen_tasks >= c.successful_steals
+  && c.batch_steals <= c.successful_steals
 
 let complete c =
   consistent c
@@ -106,10 +157,15 @@ let complete c =
 
 let pp ppf c =
   Fmt.pf ppf
-    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s"
+    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s%s"
     c.successful_steals c.steal_attempts c.steal_empties c.cas_failures_pop_top c.pushes c.pops
     c.yields c.parks c.lock_spins c.deque_high_water
+    (if c.stolen_tasks > c.successful_steals then
+       Printf.sprintf " batched %d tasks/%d batch-steals (max %d)" c.stolen_tasks c.batch_steals
+         c.max_steal_batch
+     else "")
     (if c.inject_tasks > 0 || c.inject_polls > 0 then
-       Printf.sprintf " inject %d/%d" c.inject_tasks c.inject_polls
+       Printf.sprintf " inject %d/%d%s" c.inject_tasks c.inject_polls
+         (if c.inject_batches > 0 then Printf.sprintf " (%d batched)" c.inject_batches else "")
      else "")
     (if c.task_exceptions > 0 then Printf.sprintf " task-exns %d" c.task_exceptions else "")

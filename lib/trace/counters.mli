@@ -10,14 +10,30 @@
     (Section 5) count: steal attempts and successes, the CAS failures
     that distinguish contention from emptiness in [popTop]/[popBottom],
     owner pushes/pops, yields between failed steal attempts, lock spins
-    (Locked-deque models only), and the deque's high-water mark. *)
+    (Locked-deque models only), and the deque's high-water mark — plus
+    the batched-transfer telemetry added with steal-half scheduling:
+    tasks moved per steal, batch sizes, and injector batch drains. *)
 
 type t = {
   mutable pushes : int;  (** [pushBottom] invocations by the owner *)
   mutable pops : int;  (** successful [popBottom]s *)
-  mutable steal_attempts : int;  (** completed [popTop] invocations *)
-  mutable successful_steals : int;  (** [popTop]s that returned a task *)
-  mutable steal_empties : int;  (** [popTop]s that found the deque empty *)
+  mutable steal_attempts : int;  (** completed [popTop]/[pop_top_n] invocations *)
+  mutable successful_steals : int;
+      (** steal {e operations} that returned at least one task.  With
+          batching, one successful steal may move several tasks; the
+          per-task total is {!field:stolen_tasks}, keeping
+          [successful_steals <= steal_attempts] and the
+          {!consistent}/{!complete} breakdowns intact. *)
+  mutable stolen_tasks : int;
+      (** total tasks acquired via stealing; equals
+          [successful_steals] when batching is off *)
+  mutable batch_steals : int;
+      (** successful steals that moved {e two or more} tasks *)
+  mutable steal_empties : int;
+      (** steals that found the deque empty.  A batched [pop_top_n]
+          returning [[]] lands here: the batch API does not distinguish
+          a lost CAS from emptiness, so batch-mode contention is folded
+          into this bucket. *)
   mutable cas_failures_pop_top : int;
       (** [popTop]s that lost the [age]/[top] CAS to a racing process *)
   mutable cas_failures_pop_bottom : int;
@@ -25,6 +41,9 @@ type t = {
   mutable yields : int;  (** yields between failed steal attempts *)
   mutable lock_spins : int;  (** actions burnt spinning on a deque lock *)
   mutable deque_high_water : int;  (** maximum observed deque size *)
+  mutable max_steal_batch : int;
+      (** largest number of tasks moved by a single steal or injector
+          drain *)
   mutable parks : int;
       (** times an idle thief exhausted its backoff and blocked on the
           pool's condition variable (Hood runtime only; 0 in the
@@ -39,7 +58,24 @@ type t = {
           order extended with a third, lowest-priority source *)
   mutable inject_tasks : int;
       (** externally submitted tasks actually acquired from the inbox *)
+  mutable inject_batches : int;
+      (** injector polls that drained {e two or more} tasks at once *)
+  steal_batch_hist : int array;
+      (** tasks-per-transfer histogram over {!batch_buckets} fixed
+          buckets (see {!batch_bucket_labels}); fed by {!note_batch} on
+          every successful steal and injector drain.  Not part of
+          {!fields} (exporters get scalars); read via {!batch_hist}. *)
 }
+
+val batch_buckets : int
+(** Number of buckets in {!field:steal_batch_hist} (6). *)
+
+val batch_bucket_labels : string array
+(** Human-readable bucket bounds: [1], [2], [3-4], [5-8], [9-16], [>16]. *)
+
+val batch_bucket : int -> int
+(** [batch_bucket n] is the {!field:steal_batch_hist} index for a
+    transfer of [n] tasks. *)
 
 val create : unit -> t
 (** All counters zero.  The record is cache-line padded
@@ -54,15 +90,23 @@ val copy : t -> t
 val note_depth : t -> int -> unit
 (** [note_depth c n] raises the high-water mark to [n] if larger. *)
 
+val note_batch : t -> int -> unit
+(** [note_batch c n] records that one steal (or injector drain)
+    transferred [n] tasks: bumps {!field:max_steal_batch} and the
+    matching {!field:steal_batch_hist} bucket. *)
+
 val add : into:t -> t -> unit
-(** Accumulate counter-wise; high-water marks combine by [max]. *)
+(** Accumulate counter-wise; high-water marks and
+    {!field:max_steal_batch} combine by [max], the batch histogram
+    element-wise. *)
 
 val sum : t array -> t
 (** Fresh aggregate of all records (empty array => all zeros). *)
 
 val consistent : t -> bool
 (** [successful_steals + steal_empties + cas_failures_pop_top
-    <= steal_attempts], and every field non-negative. *)
+    <= steal_attempts], [stolen_tasks >= successful_steals],
+    [batch_steals <= successful_steals], and every field non-negative. *)
 
 val complete : t -> bool
 (** Like {!consistent} but with equality: every completed steal attempt
@@ -70,6 +114,11 @@ val complete : t -> bool
     for the instrumented engine and runtime. *)
 
 val fields : t -> (string * int) list
-(** Stable [(name, value)] view for exporters. *)
+(** Stable [(name, value)] view for exporters (scalar fields only; the
+    batch histogram is exposed via {!batch_hist}). *)
+
+val batch_hist : t -> int array
+(** Copy of the tasks-per-transfer histogram, indexable by
+    {!batch_bucket} / labelled by {!batch_bucket_labels}. *)
 
 val pp : Format.formatter -> t -> unit

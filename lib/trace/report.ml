@@ -16,6 +16,17 @@ let pp ppf sink =
     totals.Counters.steal_attempts totals.Counters.successful_steals
     totals.Counters.steal_empties totals.Counters.cas_failures_pop_top
     (if Counters.complete totals then "" else " (+ unclassified)");
+  (if totals.Counters.stolen_tasks > totals.Counters.successful_steals then
+     let hist = Counters.batch_hist totals in
+     Fmt.pf ppf
+       "batched transfer: %d tasks over %d steals (%d batched, max %d); tasks/transfer:"
+       totals.Counters.stolen_tasks totals.Counters.successful_steals
+       totals.Counters.batch_steals totals.Counters.max_steal_batch;
+     Array.iteri
+       (fun i v ->
+         if v > 0 then Fmt.pf ppf " %s:%d" Counters.batch_bucket_labels.(i) v)
+       hist;
+     Fmt.pf ppf "@.");
   Fmt.pf ppf "@.%-8s" "worker";
   List.iter (fun (name, _) -> Fmt.pf ppf "%s  " name) (Counters.fields totals);
   Fmt.pf ppf "@.";

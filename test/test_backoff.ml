@@ -85,9 +85,8 @@ let conservation_across_park_unpark () =
       (fun () ->
         ignore (wait_until (fun () -> Pool.parked_workers pool >= 1));
         Pool.run pool (fun () ->
-            Par.parallel_reduce ~grain:16 ~lo:0 ~hi:n ~init:0
-              ~map:(fun i -> i land 7)
-              ~combine:( + )))
+            Par.parallel_reduce ~grain:16 ~lo:0 ~hi:n ~init:0 ~combine:( + ) (fun i ->
+                i land 7)))
   in
   let want = ref 0 in
   for i = 0 to n - 1 do

@@ -37,6 +37,7 @@ let stress ops =
       (match ops.pop_top () with
       | Spec.Got v ->
           c.Counters.successful_steals <- c.Counters.successful_steals + 1;
+          c.Counters.stolen_tasks <- c.Counters.stolen_tasks + 1;
           take v
       | Spec.Empty ->
           c.Counters.steal_empties <- c.Counters.steal_empties + 1;

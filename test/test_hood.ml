@@ -36,7 +36,7 @@ let parallel_reduce_sum () =
       let n = 100_000 in
       let got =
         Pool.run pool (fun () ->
-            Par.parallel_reduce ~grain:64 ~lo:0 ~hi:n ~init:0 ~map:(fun i -> i) ~combine:( + ))
+            Par.parallel_reduce ~grain:64 ~lo:0 ~hi:n ~init:0 ~combine:( + ) (fun i -> i))
       in
       Alcotest.(check int) "sum 0..n-1" (n * (n - 1) / 2) got)
 
@@ -205,8 +205,8 @@ let circular_impl_survives_deep_spawns () =
       let n = 50_000 in
       let got =
         Pool.run pool (fun () ->
-            Par.parallel_reduce ~grain:8 ~lo:0 ~hi:n ~init:0 ~map:(fun i -> i land 3)
-              ~combine:( + ))
+            Par.parallel_reduce ~grain:8 ~lo:0 ~hi:n ~init:0 ~combine:( + ) (fun i ->
+                i land 3))
       in
       let want = ref 0 in
       for i = 0 to n - 1 do

@@ -33,4 +33,5 @@ let () =
       ("cli", Test_cli.tests);
       ("domain-stress", Test_domain_stress.tests);
       ("backoff", Test_backoff.tests);
+      ("batch", Test_batch.tests);
     ]

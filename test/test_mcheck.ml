@@ -36,6 +36,12 @@ let two_thieves_safe () = verified "two thieves" (Explorer.explore Props.two_thi
 let owner_vs_thief_safe () =
   verified "owner vs thief" (Explorer.explore Props.owner_vs_thief_interleave)
 
+(* A pop_top_n batch linearizes as consecutive single popTops
+   (Spec.S.pop_top_n); exhaustively interleaving that shape against an
+   owner that refills/drains — including its reset/retag path — must
+   stay conservation-safe. *)
+let batched_thief_safe () = verified "batched thief" (Explorer.explore Props.batched_thief)
+
 let empty_program () =
   let r = Explorer.explore { Explorer.owner = []; thieves = [] } in
   Alcotest.(check int) "one completion" 1 r.Explorer.complete_executions;
@@ -141,6 +147,7 @@ let tests =
     Alcotest.test_case "wraparound width 2 safe" `Quick wraparound_width2_safe;
     Alcotest.test_case "two thieves" `Quick two_thieves_safe;
     Alcotest.test_case "owner vs thief" `Quick owner_vs_thief_safe;
+    Alcotest.test_case "batched thief (pop_top_n as popTop sequence)" `Quick batched_thief_safe;
     Alcotest.test_case "empty program" `Quick empty_program;
     Alcotest.test_case "thief on empty deque" `Quick thief_on_empty_deque;
     Alcotest.test_case "rejects owner op in thief" `Quick rejects_owner_op_in_thief;

@@ -196,18 +196,22 @@ let fields_cover_every_counter () =
       "pops";
       "steal_attempts";
       "successful_steals";
+      "stolen_tasks";
+      "batch_steals";
       "steal_empties";
       "cas_failures_pop_top";
       "cas_failures_pop_bottom";
       "yields";
       "lock_spins";
       "deque_high_water";
+      "max_steal_batch";
       "parks";
       "task_exceptions";
       "inject_polls";
       "inject_tasks";
+      "inject_batches";
     ];
-  Alcotest.(check int) "exactly the 14 fields" 14 (List.length names)
+  Alcotest.(check int) "exactly the 18 fields" 18 (List.length names)
 
 let tests =
   [
