@@ -21,18 +21,12 @@ let make_dag family ~depth ~leaf ~width ~work ~stages ~items ~size ~n ~seed =
   | "irregular" -> Abp.Generators.irregular_tree ~rng ~depth ~max_branch:3 ~leaf_work_max:leaf
   | other -> raise (Invalid_argument ("unknown dag family: " ^ other))
 
-let make_adversary kind ~p ~avail ~rotor_run ~seed =
+(* The adversary grammar is shared with hoodrun (Abp.Adversary_spec):
+   bare names keep their historical defaults via --avail/--run, and
+   parameterized specs like "duty:on=3,off=1" work in both binaries. *)
+let make_adversary spec ~p ~avail ~rotor_run ~seed =
   let rng = Abp.Rng.create ~seed:(Int64.of_int (seed + 1)) () in
-  match kind with
-  | "dedicated" -> Abp.Adversary.dedicated ~num_processes:p
-  | "benign" -> Abp.Adversary.benign ~num_processes:p ~sizes:(fun _ -> avail) ~rng
-  | "rotor" -> Abp.Adversary.oblivious_rotor ~num_processes:p ~run:rotor_run
-  | "half" -> Abp.Adversary.oblivious_half_alternating ~num_processes:p ~run:rotor_run
-  | "starve-workers" -> Abp.Adversary.starve_workers ~num_processes:p ~width:avail ~rng
-  | "starve-thieves" -> Abp.Adversary.starve_thieves ~num_processes:p ~width:avail ~rng
-  | "preempt-locks" -> Abp.Adversary.preempt_lock_holders ~num_processes:p ~width:avail ~rng
-  | "markov" -> Abp.Adversary.markov_load ~num_processes:p ~up:0.2 ~down:0.2 ~rng
-  | other -> raise (Invalid_argument ("unknown adversary: " ^ other))
+  Abp.Adversary_spec.parse ~num_processes:p ~rng ~avail ~run:rotor_run ~width:avail spec
 
 let make_yield = function
   | "none" -> Abp.Yield.No_yield
@@ -122,8 +116,10 @@ let cmd =
   let adversary =
     Arg.(
       value & opt string "dedicated"
-      & info [ "adversary" ]
-          ~doc:"dedicated|benign|rotor|half|starve-workers|starve-thieves|preempt-locks|markov")
+      & info [ "adversary" ] ~docv:"SPEC"
+          ~doc:
+            "dedicated|benign:avail=N|rotor:run=N|half:run=N|duty:on=N,off=N|markov:up=F,down=F|starve-workers:width=N|starve-thieves:width=N|preempt-locks:width=N \
+             — the same grammar hoodrun accepts; bare names fall back to --avail/--run")
   in
   let avail = int_flag "avail" 4 "processes per round (benign) / width (adaptive)" in
   let rotor_run = int_flag "run" 4 "rounds per rotor/half phase" in

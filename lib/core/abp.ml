@@ -23,6 +23,11 @@
       submission from arbitrary domains through a bounded multi-producer
       injector inbox, with admission control (backpressure, deadlines,
       cancellation) and graceful drain.
+    - {!Gate}, {!Controller}, {!Antagonist} (library [abp_mp]): the
+      multiprogramming harness — the Section 4.4 kernel adversary
+      replayed against the {e real} pool through cooperative preemption
+      gates, measuring the processor average [Pbar] on hardware
+      (experiment E29).
     - {!Trace} ({!Abp_trace.Counters}, {!Abp_trace.Sink},
       {!Abp_trace.Chrome}, {!Abp_trace.Report}): the scheduler telemetry
       layer — per-worker counters, bounded event rings, Chrome
@@ -62,6 +67,7 @@ module Circular_deque = Abp_deque.Circular_deque
 (* Kernel model *)
 module Schedule = Abp_kernel.Schedule
 module Adversary = Abp_kernel.Adversary
+module Adversary_spec = Abp_kernel.Adversary_spec
 module Yield = Abp_kernel.Yield
 
 (* Off-line scheduling *)
@@ -96,3 +102,9 @@ module Central_pool = Abp_hood.Central_pool
 (* Serving layer: external task submission over the Hood pool *)
 module Serve = Abp_serve.Serve
 module Injector = Abp_serve.Injector
+
+(* Multiprogramming harness: the kernel adversary on hardware *)
+module Mp = Abp_mp
+module Gate = Abp_mp.Gate
+module Controller = Abp_mp.Controller
+module Antagonist = Abp_mp.Antagonist

@@ -18,9 +18,13 @@ let force p =
     match Atomic.get p with
     | Done v -> v
     | Failed e -> raise e
-    | Pending -> (
+    | Pending ->
+        (* Gate safe point: a worker helping inside [force] must honour
+           multiprogramming suspensions just like the outer worker loop
+           (it holds no unpublished tasks here). *)
+        Pool.checkpoint w;
         (* Help: run local or stolen tasks while waiting. *)
-        match Pool.try_get_task w with
+        (match Pool.try_get_task w with
         | Some task ->
             task ();
             wait ()

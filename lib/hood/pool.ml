@@ -1,5 +1,31 @@
 type deque_impl = Abp | Circular | Locked
 
+(* What a thief does on an empty-handed trip through the loop (Figure 3
+   line 15).  [Yield_local] is the classic backoff ladder; [No_yield] the
+   hot-spin ablation; the directed kinds additionally report the failed
+   steal to the preemption-gate controller, which applies the paper's
+   yieldToRandom/yieldToAll kernel-directive semantics (Section 4.4).
+   Without a gate attached they behave exactly like [Yield_local]. *)
+type yield_kind = No_yield | Yield_local | Yield_to_random | Yield_to_all
+
+let yield_kind_name = function
+  | No_yield -> "none"
+  | Yield_local -> "local"
+  | Yield_to_random -> "random"
+  | Yield_to_all -> "all"
+
+(* Cooperative preemption gate (the multiprogramming harness, lib/mp):
+   [poll] is the fast path (one atomic read when the gate is open);
+   [wait] blocks until the controller reopens the worker's gate and
+   returns the seconds spent blocked; [on_steal_fail] is the directed
+   stage-1 yield escalation.  The pool only calls these at safe points
+   where the worker holds no acquired-but-unpublished tasks. *)
+type gate_hook = {
+  poll : int -> bool;
+  wait : int -> float;
+  on_steal_fail : int -> unit;
+}
+
 module Spec = Abp_deque.Spec
 module Counters = Abp_trace.Counters
 module Sink = Abp_trace.Sink
@@ -31,8 +57,12 @@ type shared = {
   run_lock : Mutex.t;
   mutable domains : unit Domain.t array;
   size : int;
-  yield_between_steals : bool;
+  yield_kind : yield_kind;
   park_threshold : int;
+  (* The multiprogramming gate, if any.  Checked at safe points only; a
+     pool created without one pays a single branch on this immutable
+     field per scheduling-loop iteration. *)
+  gate : gate_hook option;
   (* Batched transfer quota: a thief asks a victim for up to [batch]
      tasks per steal and an idle worker drains up to [batch] injector
      tasks per poll.  [1] is classic single-task stealing (the paper's
@@ -98,6 +128,31 @@ module Impl (D : Spec.DETAILED) = struct
       Condition.signal sh.park_cond;
       Mutex.unlock sh.park_lock
     end
+
+  (* Blocked at a closed preemption gate: count the suspension, integrate
+     the suspended wall-clock time (the utilization sampler's per-worker
+     term), and bracket it with Suspend/Resume events. *)
+  let checkpoint_blocked w g =
+    let c = w.c in
+    c.Counters.gate_suspends <- c.Counters.gate_suspends + 1;
+    emit w Abp_trace.Event.Suspend;
+    let secs = g.wait w.id in
+    c.Counters.gate_wait_ns <- c.Counters.gate_wait_ns + int_of_float (secs *. 1e9);
+    emit w Abp_trace.Event.Resume
+
+  (* Safe-point check of the multiprogramming preemption gate.  Called
+     only where the worker holds no acquired-but-unpublished tasks: at
+     the top of the scheduling loop (i.e. after each completed task),
+     between failed steal attempts, before parking, and in
+     {!Future.force}'s help loop.  Batched acquisitions re-push their
+     surplus onto the worker's own deque inside [try_get_task], before
+     any of these points can be reached, so a worker suspended at a gate
+     can never strand transferable work — everything it owns sits in its
+     deque, stealable by the workers that remain scheduled. *)
+  let[@inline] checkpoint w =
+    match w.pool.shared.gate with
+    | None -> ()
+    | Some g -> if not (g.poll w.id) then checkpoint_blocked w g
 
   let push_task w task =
     let d = w.pool.deques.(w.id) in
@@ -228,6 +283,12 @@ module Impl (D : Spec.DETAILED) = struct
 
   let park w =
     let sh = w.pool.shared in
+    (* Never enter the park critical section with a closed gate: a gate
+       wait under [park_lock] would deadlock every other parker and the
+       wakers.  A thief woken from park while its gate is closed loops
+       back through the worker loop and blocks at the checkpoint there,
+       outside the lock. *)
+    checkpoint w;
     Mutex.lock sh.park_lock;
     Atomic.incr sh.n_parked;
     (* Registered in [n_parked] before the final emptiness check, both
@@ -248,26 +309,35 @@ module Impl (D : Spec.DETAILED) = struct
      stage 1 is the paper's yield between failed steal attempts; stage 2
      a bounded exponential cpu_relax backoff; stage 3 parks until the
      next push.  A spurious or stale wakeup only sends the thief around
-     the loop again.  With [yield_between_steals = false] (the E12/E15
-     ablation) thieves spin hot exactly as before: no yield, no backoff,
-     no parking. *)
+     the loop again.  With [No_yield] (the E12/E15 ablation) thieves
+     spin hot exactly as before: no yield, no backoff, no parking.
+     Under [Yield_to_random]/[Yield_to_all] with a gate attached, the
+     stage-1 yield is additionally reported to the gate controller,
+     which registers the paper's kernel-directive obligation and later
+     closes this worker's gate until the obligation discharges. *)
   let backoff_spin_cap = 6  (* at most 2^6 = 64 relaxes per failed trip *)
 
   let idle w =
     let sh = w.pool.shared in
-    if sh.yield_between_steals then begin
-      let c = w.c in
-      c.Counters.yields <- c.Counters.yields + 1;
-      emit w Abp_trace.Event.Yield;
-      Domain.cpu_relax ();
-      let k = w.failed_steals in
-      w.failed_steals <- k + 1;
-      if k >= sh.park_threshold then park w
-      else
-        for _ = 1 to 1 lsl min k backoff_spin_cap do
-          Domain.cpu_relax ()
-        done
-    end
+    match sh.yield_kind with
+    | No_yield -> ()
+    | kind ->
+        let c = w.c in
+        c.Counters.yields <- c.Counters.yields + 1;
+        emit w Abp_trace.Event.Yield;
+        Domain.cpu_relax ();
+        (match sh.gate with
+        | Some g when kind = Yield_to_random || kind = Yield_to_all ->
+            c.Counters.directed_yields <- c.Counters.directed_yields + 1;
+            g.on_steal_fail w.id
+        | _ -> ());
+        let k = w.failed_steals in
+        w.failed_steals <- k + 1;
+        if k >= sh.park_threshold then park w
+        else
+          for _ = 1 to 1 lsl min k backoff_spin_cap do
+            Domain.cpu_relax ()
+          done
 
   let exec w task =
     w.failed_steals <- 0;
@@ -284,8 +354,11 @@ module Impl (D : Spec.DETAILED) = struct
   let worker_loop w =
     let sh = w.pool.shared in
     while not (Atomic.get sh.shutdown_flag) do
+      checkpoint w;
       match try_get_task w with Some task -> exec w task | None -> idle w
     done
+
+  let deque_size t i = D.size t.deques.(i)
 end
 
 module Abp_impl = Impl (Abp_deque.Atomic_deque)
@@ -322,7 +395,16 @@ let pool_of = function
 
 let size t = (shared_of t).size
 let batch_size t = (shared_of t).batch
+let yield_kind t = (shared_of t).yield_kind
 let relax () = Domain.cpu_relax ()
+
+(* Advisory observed size of worker [i]'s deque — the gate controller's
+   view for adaptive adversaries (starve-workers and friends). *)
+let deque_size t i =
+  match t with
+  | Abp_pool p -> Abp_impl.deque_size p i
+  | Circular_pool p -> Circular_impl.deque_size p i
+  | Locked_pool p -> Locked_impl.deque_size p i
 
 (* Aggregates on demand from the per-worker records; exact once the
    workers have quiesced (after [run] returns / after [shutdown]),
@@ -352,21 +434,32 @@ let local_deque_size = function
   | Circular_worker w -> Circular_impl.local_size w
   | Locked_worker w -> Locked_impl.local_size w
 
+let checkpoint = function
+  | Abp_worker w -> Abp_impl.checkpoint w
+  | Circular_worker w -> Circular_impl.checkpoint w
+  | Locked_worker w -> Locked_impl.checkpoint w
+
 let with_context w f =
   let slot = Domain.DLS.get context_key in
   let saved = !slot in
   slot := Some w;
   Fun.protect ~finally:(fun () -> slot := saved) f
 
-let create ?processes ?deque_capacity ?(yield_between_steals = true)
+let create ?processes ?deque_capacity ?(yield_between_steals = true) ?yield_kind
     ?(park_threshold = default_park_threshold) ?(deque_impl = Abp) ?(batch = 0) ?trace
-    ?external_source ?(spawn_all = false) () =
+    ?external_source ?(spawn_all = false) ?gate () =
   let processes = Option.value processes ~default:(Domain.recommended_domain_count ()) in
   if processes < 1 then invalid_arg "Pool.create: processes >= 1 required";
   if park_threshold < 0 then invalid_arg "Pool.create: park_threshold >= 0 required";
   if batch < 0 then invalid_arg "Pool.create: batch >= 0 required";
   (* 0 and 1 both mean classic single-task transfer. *)
   let batch = max 1 batch in
+  (* [yield_kind] wins over the legacy boolean when both are given. *)
+  let yield_kind =
+    match yield_kind with
+    | Some k -> k
+    | None -> if yield_between_steals then Yield_local else No_yield
+  in
   (match trace with
   | Some s when Sink.workers s <> processes ->
       invalid_arg "Pool.create: trace sink must have one worker per process"
@@ -377,8 +470,9 @@ let create ?processes ?deque_capacity ?(yield_between_steals = true)
       run_lock = Mutex.create ();
       domains = [||];
       size = processes;
-      yield_between_steals;
+      yield_kind;
       park_threshold;
+      gate;
       batch;
       externals = external_source;
       all_spawned = spawn_all;

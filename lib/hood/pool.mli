@@ -50,6 +50,58 @@ type deque_impl =
           ({!Abp_deque.Circular_deque}) — never overflows *)
   | Locked  (** mutex-protected baseline ({!Abp_deque.Locked_deque}) *)
 
+type yield_kind =
+  | No_yield
+      (** thieves spin hot between failed steals — no yield, no backoff,
+          no parking (the E12/E15 "no yield" ablation, and the paper's
+          pathological configuration under an adversarial kernel) *)
+  | Yield_local
+      (** the default: the Figure 3 yield ([Domain.cpu_relax]) followed
+          by bounded exponential backoff and parking *)
+  | Yield_to_random
+      (** [Yield_local], plus each failed steal is reported to the
+          attached {!gate_hook} so the multiprogramming controller can
+          apply the paper's yieldToRandom kernel directive: the thief is
+          descheduled until a random other process has been granted a
+          quantum.  Without a gate this is exactly [Yield_local]. *)
+  | Yield_to_all
+      (** as [Yield_to_random] but with the yieldToAll directive: the
+          thief is descheduled until every other process has been
+          granted a quantum (Theorem 12's requirement against stronger
+          adversaries) *)
+
+val yield_kind_name : yield_kind -> string
+(** Stable lower-case name ("none", "local", "random", "all") — the
+    values accepted by [hoodrun --yield]. *)
+
+type gate_hook = {
+  poll : int -> bool;
+      (** [poll i] is [true] when worker [i] may proceed.  Called at
+          every safe point; must be cheap when open (the harness's gate
+          is one atomic read). *)
+  wait : int -> float;
+      (** [wait i] blocks until worker [i]'s gate reopens and returns
+          the seconds spent blocked (integrated into the per-worker
+          [gate_wait_ns] telemetry). *)
+  on_steal_fail : int -> unit;
+      (** [on_steal_fail i] reports a failed steal attempt by worker [i]
+          — the stage-1 directed yield under
+          {!Yield_to_random}/{!Yield_to_all}.  Must not block. *)
+}
+(** A cooperative preemption gate (see {!Abp_mp.Gate}): the
+    multiprogramming harness's stand-in for the kernel's right to
+    deschedule a process.  The pool polls it at {e safe points} only —
+    the top of the worker loop (so after each completed task), between
+    failed steal attempts, before parking, and inside {!Future.force}'s
+    help loop — points where the worker holds no
+    acquired-but-unpublished tasks: batched steal/inject surplus is
+    re-pushed onto the worker's own deque {e before} the next safe
+    point, so suspending a worker never strands transferable work.
+
+    The gate owner must reopen all gates before {!shutdown} (a worker
+    blocked at a gate cannot observe the shutdown flag);
+    {!Abp_mp.Controller.stop} does this. *)
+
 type external_source = {
   ext_drain : int -> (unit -> unit) list;
       (** [ext_drain n] dequeues up to [n] externally submitted tasks
@@ -74,12 +126,14 @@ val create :
   ?processes:int ->
   ?deque_capacity:int ->
   ?yield_between_steals:bool ->
+  ?yield_kind:yield_kind ->
   ?park_threshold:int ->
   ?deque_impl:deque_impl ->
   ?batch:int ->
   ?trace:Abp_trace.Sink.t ->
   ?external_source:external_source ->
   ?spawn_all:bool ->
+  ?gate:gate_hook ->
   unit ->
   t
 (** Start a pool with [processes] workers total (default:
@@ -92,7 +146,12 @@ val create :
     [yield_between_steals] (default true) controls the Figure 3 yield
     between failed steal attempts and the backoff/parking that extends
     it; disabling it is the E15 ablation showing thieves monopolizing
-    the processor.  [park_threshold] (default 16) is the number of
+    the processor.  [yield_kind] is the finer-grained selector (it wins
+    over the boolean when both are given): [No_yield] ≡
+    [yield_between_steals:false], [Yield_local] ≡ the default, and
+    [Yield_to_random]/[Yield_to_all] additionally escalate each failed
+    steal to the attached [gate] — the paper's kernel yield directives,
+    enforced by the {!Abp_mp} controller.  [park_threshold] (default 16) is the number of
     consecutive empty-handed worker-loop trips before an idle thief
     parks; [0] parks after the first failed trip (it still yields
     once), and it only applies when [yield_between_steals] is [true].
@@ -131,7 +190,12 @@ val create :
     domains, including worker 0 — the service mode used by
     {!Abp_serve.Serve}, where tasks arrive through [external_source]
     instead of a {!run} caller.  {!run} raises [Failure] on such a
-    pool. *)
+    pool.
+
+    [gate] attaches a multiprogramming preemption gate (see
+    {!gate_hook}); without one, the scheduling loop pays a single
+    never-taken branch per iteration and compiles to the ungated
+    code. *)
 
 val size : t -> int
 (** The number of processes [P]. *)
@@ -139,6 +203,15 @@ val size : t -> int
 val batch_size : t -> int
 (** The normalized batch quota: [1] for a classic single-transfer pool
     ([batch] 0 or 1 at {!create}), the configured value otherwise. *)
+
+val yield_kind : t -> yield_kind
+(** The thief idle policy selected at {!create}. *)
+
+val deque_size : t -> int -> int
+(** [deque_size t i] is the observed size of worker [i]'s deque —
+    advisory (racy) while workers run.  The gate controller's view for
+    adaptive adversaries; see also {!local_deque_size} for the owning
+    worker's own probe. *)
 
 val run : t -> (unit -> 'a) -> 'a
 (** [run pool f] enters the pool as worker 0 and evaluates [f]; inside
@@ -177,6 +250,12 @@ val pool_of : worker -> t
 val push_task : worker -> (unit -> unit) -> unit
 val try_get_task : worker -> (unit -> unit) option
 val relax : unit -> unit
+
+val checkpoint : worker -> unit
+(** Gate safe point: blocks while the worker's preemption gate is
+    closed (no-op on ungated pools).  {!Future.force} calls this each
+    trip around its help loop so a worker blocked on a future still
+    honours suspensions. *)
 
 val local_deque_size : worker -> int
 (** Observed size of the worker's own deque — the lazy-splitting signal

@@ -78,6 +78,15 @@ let oblivious_rotor ~num_processes ~run =
       let excluded = (round - 1) / run mod num_processes in
       Array.init num_processes (fun p -> p <> excluded))
 
+let duty_cycle ~num_processes ~on ~off =
+  check_p num_processes;
+  if on < 1 then invalid_arg "Adversary.duty_cycle: on >= 1 required";
+  if off < 0 then invalid_arg "Adversary.duty_cycle: off >= 0 required";
+  let period = on + off in
+  oblivious ~num_processes ~name:"duty-cycle" (fun round ->
+      if (round - 1) mod period < on then all num_processes
+      else Array.make num_processes false)
+
 let oblivious_half_alternating ~num_processes ~run =
   check_p num_processes;
   if run < 1 then invalid_arg "Adversary.oblivious_half_alternating: run >= 1 required";

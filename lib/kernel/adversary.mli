@@ -60,6 +60,16 @@ val oblivious_rotor : num_processes:int -> run:int -> t
     pattern can stall a victim-rich process; with [yieldToRandom] the
     Theorem 11 bound holds.  Requires [run >= 1], [P >= 2]. *)
 
+val duty_cycle : num_processes:int -> on:int -> off:int -> t
+(** Oblivious all-or-nothing pattern: every process runs for [on] rounds,
+    then {e no} process runs for [off] rounds, repeating.  This models a
+    kernel that time-slices the whole application against other jobs, and
+    is the one adversary whose processor average survives oversubscribed
+    hardware: on a machine with fewer cores than [P], suspending {e some}
+    workers does not change wall-clock throughput, but suspending {e all}
+    of them does, so [Pbar = P * on/(on+off)] is observable as real time.
+    Requires [on >= 1], [off >= 0] ([off = 0] is {!dedicated}). *)
+
 val oblivious_half_alternating : num_processes:int -> run:int -> t
 (** Runs the low half for [run] rounds, then the high half, alternating.
     [Pbar ~= P/2]. *)

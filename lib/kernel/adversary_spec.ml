@@ -1,0 +1,99 @@
+module Rng = Abp_stats.Rng
+
+let grammar =
+  "dedicated | benign[:avail=N] | rotor[:run=N] | half[:run=N] | duty[:on=N,off=N] | \
+   markov[:up=F,down=F] | starve-workers[:width=N] | starve-thieves[:width=N] | \
+   preempt-locks[:width=N]"
+
+let kinds =
+  [
+    "dedicated";
+    "benign";
+    "rotor";
+    "half";
+    "duty";
+    "markov";
+    "starve-workers";
+    "starve-thieves";
+    "preempt-locks";
+  ]
+
+exception Bad_spec of string
+
+let bad fmt = Format.kasprintf (fun s -> raise (Bad_spec s)) fmt
+
+(* "k=v,k=v" -> assoc list; bare values are not accepted, keeping specs
+   self-describing ("duty:3,1" would be ambiguous about order). *)
+let parse_params part =
+  if part = "" then []
+  else
+    String.split_on_char ',' part
+    |> List.map (fun kv ->
+           match String.index_opt kv '=' with
+           | Some i ->
+               (String.sub kv 0 i, String.sub kv (i + 1) (String.length kv - i - 1))
+           | None -> bad "adversary parameter %S is not of the form key=value" kv)
+
+let lookup params known key default convert =
+  if not (List.mem key known) then bad "internal: unknown key %s" key;
+  match List.assoc_opt key params with
+  | None -> default
+  | Some v -> (
+      match convert v with
+      | Some x -> x
+      | None -> bad "adversary parameter %s=%S: bad value" key v)
+
+let check_keys name known params =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k known) then
+        bad "adversary %s does not take parameter %S (takes: %s)" name k
+          (if known = [] then "none" else String.concat ", " known))
+    params
+
+let parse ~num_processes ~rng ?(avail = 4) ?(run = 4) ?(width = 4) spec =
+  let name, params =
+    match String.index_opt spec ':' with
+    | None -> (spec, [])
+    | Some i ->
+        ( String.sub spec 0 i,
+          parse_params (String.sub spec (i + 1) (String.length spec - i - 1)) )
+  in
+  let intp known key default = lookup params known key default int_of_string_opt in
+  let floatp known key default = lookup params known key default float_of_string_opt in
+  let ck known = check_keys name known params in
+  match name with
+  | "dedicated" ->
+      ck [];
+      Adversary.dedicated ~num_processes
+  | "benign" ->
+      ck [ "avail" ];
+      let avail = intp [ "avail" ] "avail" avail in
+      Adversary.benign ~num_processes ~sizes:(fun _ -> avail) ~rng
+  | "rotor" ->
+      ck [ "run" ];
+      Adversary.oblivious_rotor ~num_processes ~run:(intp [ "run" ] "run" run)
+  | "half" ->
+      ck [ "run" ];
+      Adversary.oblivious_half_alternating ~num_processes ~run:(intp [ "run" ] "run" run)
+  | "duty" ->
+      ck [ "on"; "off" ];
+      Adversary.duty_cycle ~num_processes
+        ~on:(intp [ "on" ] "on" 3)
+        ~off:(intp [ "off" ] "off" 1)
+  | "markov" ->
+      ck [ "up"; "down" ];
+      Adversary.markov_load ~num_processes
+        ~up:(floatp [ "up" ] "up" 0.2)
+        ~down:(floatp [ "down" ] "down" 0.2)
+        ~rng
+  | "starve-workers" ->
+      ck [ "width" ];
+      Adversary.starve_workers ~num_processes ~width:(intp [ "width" ] "width" width) ~rng
+  | "starve-thieves" ->
+      ck [ "width" ];
+      Adversary.starve_thieves ~num_processes ~width:(intp [ "width" ] "width" width) ~rng
+  | "preempt-locks" ->
+      ck [ "width" ];
+      Adversary.preempt_lock_holders ~num_processes ~width:(intp [ "width" ] "width" width) ~rng
+  | other -> bad "unknown adversary %S (grammar: %s)" other grammar

@@ -1,0 +1,47 @@
+(** One textual grammar for naming adversaries, shared by every binary
+    ([simrun], [hoodrun], the E29 bench), so the simulator and the
+    hardware harness accept the same [--adversary] strings.
+
+    A spec is [name] or [name:key=value,key=value]:
+
+    {v
+    dedicated                every process, every round
+    benign[:avail=N]         random N-subset per round
+    rotor[:run=N]            all but one; excluded rotates every N rounds
+    half[:run=N]             low half / high half, alternating every N
+    duty[:on=N,off=N]        everyone for N rounds, no one for N rounds
+    markov[:up=F,down=F]     background-load lazy random walk
+    starve-workers[:width=N] adaptive: prefer empty-handed thieves
+    starve-thieves[:width=N] adaptive: prefer processes holding work
+    preempt-locks[:width=N]  adaptive: avoid deque critical sections
+    v}
+
+    Parameters are keyword-only ([duty:on=3,off=1], never [duty:3,1]) so
+    specs stay self-describing in logs and JSON. *)
+
+exception Bad_spec of string
+(** Raised (with a human-readable message naming the offending spec and
+    the grammar) on an unknown adversary name, an unknown parameter, or
+    an unparsable value. *)
+
+val grammar : string
+(** One-line grammar summary for [--help] texts. *)
+
+val kinds : string list
+(** The accepted adversary names, for completion / error messages. *)
+
+val parse :
+  num_processes:int ->
+  rng:Abp_stats.Rng.t ->
+  ?avail:int ->
+  ?run:int ->
+  ?width:int ->
+  string ->
+  Adversary.t
+(** [parse ~num_processes ~rng spec] builds the adversary named by
+    [spec].  [avail], [run] and [width] (each defaulting to 4) supply
+    the fallback values used when the spec omits the corresponding
+    parameter — binaries pass their legacy [--avail]/[--run] flags here
+    so [benign] still honours them.  [duty] defaults to [on=3,off=1];
+    [markov] to [up=0.2,down=0.2].
+    @raise Bad_spec on any malformed spec. *)

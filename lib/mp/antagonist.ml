@@ -1,0 +1,28 @@
+type t = { stop_flag : bool Atomic.t; domains : unit Domain.t list; spinners : int }
+
+(* Compete for cycles, not for the scheduler's data structures: each
+   spinner chews a register-only loop and never syscalls, so the OS
+   scheduler must time-slice it against the pool's workers — background
+   load without cgroups. *)
+let spin stop_flag =
+  let x = ref 0 in
+  while not (Atomic.get stop_flag) do
+    for _ = 1 to 1024 do
+      x := (!x * 1103515245) + 12345
+    done
+  done;
+  ignore (Sys.opaque_identity !x)
+
+let start ~spinners =
+  if spinners < 0 then invalid_arg "Antagonist.start: spinners >= 0 required";
+  let stop_flag = Atomic.make false in
+  {
+    stop_flag;
+    domains = List.init spinners (fun _ -> Domain.spawn (fun () -> spin stop_flag));
+    spinners;
+  }
+
+let spinners t = t.spinners
+
+let stop t =
+  if not (Atomic.exchange t.stop_flag true) then List.iter Domain.join t.domains

@@ -1,0 +1,18 @@
+(** Background-load antagonist: the multiprogramming in
+    "multiprogrammed multiprocessors" without needing cgroups or a
+    second application.  [start ~spinners:k] spawns [k] domains that
+    burn CPU in a tight register loop, forcing the OS to time-slice
+    them against the pool's workers.  Unlike the {!Controller}'s gates,
+    the processor time the antagonist takes is {e not} observable from
+    inside the process, so antagonist runs are reported but excluded
+    from Pbar-based fits. *)
+
+type t
+
+val start : spinners:int -> t
+(** [spinners = 0] is a no-op antagonist (convenient in sweeps). *)
+
+val spinners : t -> int
+
+val stop : t -> unit
+(** Signal and join every spinner.  Idempotent. *)

@@ -1,0 +1,85 @@
+module Pool = Abp_hood.Pool
+
+(* One cell per worker.  [open_] is the fast-path flag the worker polls
+   at every safe point; the mutex/condition pair only comes into play on
+   the slow path, when the worker actually blocks.  Stats are atomics
+   because the blocked worker writes them while the controller (or a
+   test) reads them. *)
+type cell = {
+  open_ : bool Atomic.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+  suspends : int Atomic.t;
+  wait_ns : int Atomic.t;
+}
+
+type t = { cells : cell array; steal_fail : (int -> unit) Atomic.t }
+
+let make_cell () =
+  Abp_deque.Padding.copy_as_padded
+    {
+      open_ = Atomic.make true;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      suspends = Abp_deque.Padding.atomic 0;
+      wait_ns = Abp_deque.Padding.atomic 0;
+    }
+
+let create ~num_workers =
+  if num_workers < 1 then invalid_arg "Gate.create: num_workers >= 1 required";
+  { cells = Array.init num_workers (fun _ -> make_cell ()); steal_fail = Atomic.make ignore }
+
+let num_workers t = Array.length t.cells
+let is_open t i = Atomic.get t.cells.(i).open_
+let set_steal_fail t f = Atomic.set t.steal_fail f
+
+let open_one c =
+  if not (Atomic.get c.open_) then begin
+    Mutex.lock c.lock;
+    Atomic.set c.open_ true;
+    Condition.broadcast c.cond;
+    Mutex.unlock c.lock
+  end
+
+(* Closing takes the cell lock too: a worker between its [open_] check
+   and [Condition.wait] holds the lock, so the flip cannot slip into
+   that window and strand the worker against a stale value. *)
+let close_one c =
+  if Atomic.get c.open_ then begin
+    Mutex.lock c.lock;
+    Atomic.set c.open_ false;
+    Mutex.unlock c.lock
+  end
+
+let set t granted =
+  if Array.length granted <> Array.length t.cells then
+    invalid_arg "Gate.set: wrong set length";
+  Array.iteri (fun i g -> if g then open_one t.cells.(i) else close_one t.cells.(i)) granted
+
+let open_all t = Array.iter open_one t.cells
+
+let wait t i =
+  let c = t.cells.(i) in
+  let t0 = Unix.gettimeofday () in
+  Atomic.incr c.suspends;
+  Mutex.lock c.lock;
+  while not (Atomic.get c.open_) do
+    Condition.wait c.cond c.lock
+  done;
+  Mutex.unlock c.lock;
+  let dt = Unix.gettimeofday () -. t0 in
+  ignore (Atomic.fetch_and_add c.wait_ns (int_of_float (dt *. 1e9)));
+  dt
+
+let hook t =
+  {
+    Pool.poll = (fun i -> Atomic.get t.cells.(i).open_);
+    wait = (fun i -> wait t i);
+    on_steal_fail = (fun i -> (Atomic.get t.steal_fail) i);
+  }
+
+let suspends t i = Atomic.get t.cells.(i).suspends
+let suspended_seconds t i = float_of_int (Atomic.get t.cells.(i).wait_ns) /. 1e9
+
+let total_suspended_seconds t =
+  Array.fold_left (fun acc c -> acc +. (float_of_int (Atomic.get c.wait_ns) /. 1e9)) 0.0 t.cells

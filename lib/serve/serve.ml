@@ -105,7 +105,7 @@ let wait_until s settled =
     Atomic.decr s.waiters
   done
 
-let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch
+let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_kind ?gate
     ?(inbox_capacity = 1024) ?(latency_window = 8192) ?(clock = Unix.gettimeofday) ?trace () =
   if latency_window < 1 then invalid_arg "Serve.create: latency_window >= 1 required";
   let inbox = Injector.create ~capacity:inbox_capacity () in
@@ -116,8 +116,8 @@ let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch
     }
   in
   let pool =
-    Pool.create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?trace
-      ~external_source ~spawn_all:true ()
+    Pool.create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_kind ?gate
+      ?trace ~external_source ~spawn_all:true ()
   in
   {
     pool;

@@ -74,6 +74,8 @@ val create :
   ?park_threshold:int ->
   ?deque_impl:Abp_hood.Pool.deque_impl ->
   ?batch:int ->
+  ?yield_kind:Abp_hood.Pool.yield_kind ->
+  ?gate:Abp_hood.Pool.gate_hook ->
   ?inbox_capacity:int ->
   ?latency_window:int ->
   ?clock:(unit -> float) ->
@@ -90,7 +92,12 @@ val create :
     pool ({!Abp_hood.Pool.create}): an idle worker drains up to [batch]
     inbox submissions per poll ({!Injector.try_pop_n}) — running one and
     spreading the rest through its own deque for stealing — and thieves
-    steal up to [batch] tasks at a time.  The remaining parameters are
+    steal up to [batch] tasks at a time.  [yield_kind] and [gate] are
+    forwarded to the pool, so a service can run under the
+    multiprogramming harness ({!Abp_mp}): an adversary may suspend
+    workers mid-service, and the drain conservation invariant must
+    still hold — reopen the gates ({!Abp_mp.Controller.stop}) before
+    {!shutdown}.  The remaining parameters are
     passed to {!Abp_hood.Pool.create}; with [trace] attached, injector
     polls/acquisitions appear in the per-worker
     [inject_polls]/[inject_tasks]/[inject_batches] counters and as

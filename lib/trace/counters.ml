@@ -17,6 +17,9 @@ type t = {
   mutable inject_polls : int;
   mutable inject_tasks : int;
   mutable inject_batches : int;
+  mutable gate_suspends : int;
+  mutable gate_wait_ns : int;
+  mutable directed_yields : int;
   steal_batch_hist : int array;
 }
 
@@ -56,6 +59,9 @@ let create () =
       inject_polls = 0;
       inject_tasks = 0;
       inject_batches = 0;
+      gate_suspends = 0;
+      gate_wait_ns = 0;
+      directed_yields = 0;
       steal_batch_hist = Array.make batch_buckets 0;
     }
 
@@ -78,6 +84,9 @@ let reset c =
   c.inject_polls <- 0;
   c.inject_tasks <- 0;
   c.inject_batches <- 0;
+  c.gate_suspends <- 0;
+  c.gate_wait_ns <- 0;
+  c.directed_yields <- 0;
   Array.fill c.steal_batch_hist 0 batch_buckets 0
 
 let copy c =
@@ -112,6 +121,9 @@ let add ~into c =
   into.inject_polls <- into.inject_polls + c.inject_polls;
   into.inject_tasks <- into.inject_tasks + c.inject_tasks;
   into.inject_batches <- into.inject_batches + c.inject_batches;
+  into.gate_suspends <- into.gate_suspends + c.gate_suspends;
+  into.gate_wait_ns <- into.gate_wait_ns + c.gate_wait_ns;
+  into.directed_yields <- into.directed_yields + c.directed_yields;
   Array.iteri
     (fun i v -> into.steal_batch_hist.(i) <- into.steal_batch_hist.(i) + v)
     c.steal_batch_hist
@@ -141,6 +153,9 @@ let fields c =
     ("inject_polls", c.inject_polls);
     ("inject_tasks", c.inject_tasks);
     ("inject_batches", c.inject_batches);
+    ("gate_suspends", c.gate_suspends);
+    ("gate_wait_ns", c.gate_wait_ns);
+    ("directed_yields", c.directed_yields);
   ]
 
 let batch_hist c = Array.copy c.steal_batch_hist
@@ -157,7 +172,7 @@ let complete c =
 
 let pp ppf c =
   Fmt.pf ppf
-    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s%s"
+    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s%s%s"
     c.successful_steals c.steal_attempts c.steal_empties c.cas_failures_pop_top c.pushes c.pops
     c.yields c.parks c.lock_spins c.deque_high_water
     (if c.stolen_tasks > c.successful_steals then
@@ -169,3 +184,9 @@ let pp ppf c =
          (if c.inject_batches > 0 then Printf.sprintf " (%d batched)" c.inject_batches else "")
      else "")
     (if c.task_exceptions > 0 then Printf.sprintf " task-exns %d" c.task_exceptions else "")
+    (if c.gate_suspends > 0 then
+       Printf.sprintf " gate-suspends %d (%.1fms)%s" c.gate_suspends
+         (float_of_int c.gate_wait_ns /. 1e6)
+         (if c.directed_yields > 0 then Printf.sprintf " directed-yields %d" c.directed_yields
+          else "")
+     else "")

@@ -60,6 +60,20 @@ type t = {
       (** externally submitted tasks actually acquired from the inbox *)
   mutable inject_batches : int;
       (** injector polls that drained {e two or more} tasks at once *)
+  mutable gate_suspends : int;
+      (** times the worker blocked at a closed preemption gate — the
+          multiprogramming harness's ({!Abp_mp}) cooperative analogue of
+          being descheduled by the kernel (Hood runtime only; 0 without a
+          gate) *)
+  mutable gate_wait_ns : int;
+      (** total wall-clock time, in nanoseconds, the worker spent blocked
+          at closed gates; the utilization sampler integrates this into
+          the per-worker suspended time and the processor average
+          [Pbar] *)
+  mutable directed_yields : int;
+      (** stage-1 yields escalated to the gate controller under
+          [Yield_to_random]/[Yield_to_all] (the paper's yieldToRandom /
+          yieldToAll kernel directives) *)
   steal_batch_hist : int array;
       (** tasks-per-transfer histogram over {!batch_buckets} fixed
           buckets (see {!batch_bucket_labels}); fed by {!note_batch} on

@@ -1,4 +1,4 @@
-type kind = Spawn | Steal | Execute | Idle | Yield | Park | Inject
+type kind = Spawn | Steal | Execute | Idle | Yield | Park | Inject | Suspend | Resume
 
 type t = { kind : kind; worker : int; time : float; arg : int }
 
@@ -10,6 +10,8 @@ let kind_name = function
   | Yield -> "yield"
   | Park -> "park"
   | Inject -> "inject"
+  | Suspend -> "suspend"
+  | Resume -> "resume"
 
 let pp ppf e =
   Fmt.pf ppf "[%g] w%d %s%s" e.time e.worker (kind_name e.kind)

@@ -21,6 +21,13 @@ type kind =
       (** an externally submitted task was acquired from the pool's
           injector inbox ({!Abp_serve}), after both the own-deque pop and
           a steal attempt failed (Hood runtime only) *)
+  | Suspend
+      (** the worker reached a gate safe point with its preemption gate
+          closed and blocked (the multiprogramming harness's cooperative
+          analogue of a kernel descheduling; Hood runtime only) *)
+  | Resume
+      (** the worker's preemption gate reopened and it resumed the
+          scheduling loop (Hood runtime only) *)
 
 type t = { kind : kind; worker : int; time : float; arg : int }
 

@@ -47,6 +47,66 @@ let simrun_success_exits_zero () =
   let code, _ = run_capturing "../bin/simrun.exe --dag tree --depth 4 -p 4" in
   Alcotest.(check int) "exit code 0" 0 code
 
+(* The adversary grammar is one module (Abp_kernel.Adversary_spec)
+   shared by both binaries: the same spec string must be accepted by
+   the simulator and the hardware harness, and the same malformed spec
+   must be rejected by both with the offending parameter named. *)
+
+let shared_adversary_spec_accepted_by_both () =
+  let code, err =
+    run_capturing "../bin/simrun.exe --dag tree --depth 4 -p 4 --adversary duty:on=2,off=1"
+  in
+  Alcotest.(check int) "simrun accepts duty:on=2,off=1" 0 code;
+  Alcotest.(check string) "simrun silent stderr" "" err;
+  let code, err =
+    run_capturing "../bin/hoodrun.exe fib -n 12 -p 2 --adversary duty:on=2,off=1 --yield all"
+  in
+  Alcotest.(check int) "hoodrun accepts duty:on=2,off=1" 0 code;
+  Alcotest.(check string) "hoodrun silent stderr" "" err
+
+let shared_adversary_spec_rejected_by_both () =
+  List.iter
+    (fun (binary, cmd) ->
+      let code, err = run_capturing cmd in
+      Alcotest.(check int) (binary ^ " rejects unknown param") 1 code;
+      Alcotest.(check bool) (binary ^ " names the bad parameter") true
+        (contains err "does not take parameter"))
+    [
+      ("simrun", "../bin/simrun.exe --dag tree --depth 4 -p 4 --adversary duty:bogus=1");
+      ("hoodrun", "../bin/hoodrun.exe fib -n 12 -p 2 --adversary duty:bogus=1");
+    ];
+  let code, err = run_capturing "../bin/hoodrun.exe fib -n 12 -p 2 --adversary nosuch" in
+  Alcotest.(check int) "hoodrun rejects unknown adversary" 1 code;
+  Alcotest.(check bool) "unknown adversary named" true (contains err "nosuch")
+
+let hoodrun_mp_json_schema () =
+  let json = Filename.temp_file "abp_cli" ".json" in
+  let code, err =
+    run_capturing
+      (Printf.sprintf
+         "../bin/hoodrun.exe fib -n 20 -p 2 --adversary duty:on=2,off=1 --yield random \
+          --quantum 0.5 --json %s"
+         json)
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "silent stderr" "" err;
+  let ic = open_in json in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove json;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (Printf.sprintf "json has %s" key) true (contains s key))
+    [
+      {|"schema":"hoodrun/3"|};
+      {|"adversary":"duty:on=2,off=1"|};
+      {|"yield":"random"|};
+      {|"pbar"|};
+      {|"pbar_procs"|};
+      {|"quanta"|};
+      {|"suspended_seconds"|};
+    ]
+
 let tests =
   [
     Alcotest.test_case "hoodrun: crash workload exits 1 + stderr" `Quick
@@ -57,4 +117,9 @@ let tests =
     Alcotest.test_case "simrun: unknown dag exits 1 + stderr" `Quick
       simrun_unknown_dag_exits_nonzero;
     Alcotest.test_case "simrun: success exits 0" `Quick simrun_success_exits_zero;
+    Alcotest.test_case "shared adversary spec accepted by both" `Quick
+      shared_adversary_spec_accepted_by_both;
+    Alcotest.test_case "shared adversary spec rejected by both" `Quick
+      shared_adversary_spec_rejected_by_both;
+    Alcotest.test_case "hoodrun: mp json schema" `Quick hoodrun_mp_json_schema;
   ]

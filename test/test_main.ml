@@ -34,4 +34,5 @@ let () =
       ("domain-stress", Test_domain_stress.tests);
       ("backoff", Test_backoff.tests);
       ("batch", Test_batch.tests);
+      ("mp", Test_mp.tests);
     ]

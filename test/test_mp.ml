@@ -1,0 +1,386 @@
+(* The multiprogramming harness (lib/mp): preemption gates, the
+   adversary-spec grammar, the controller driving the real pool, and
+   the regressions the harness was built to catch — a parked thief
+   woken while its gate is closed, and a batched pool suspended
+   mid-run must both leave no task stranded.
+
+   Worker counts honour ABP_MP_PROCS so CI can rerun the suite
+   oversubscribed (more workers than cores) to shake out lost wakeups. *)
+
+module Pool = Abp_hood.Pool
+module Par = Abp_hood.Par
+module Serve = Abp_serve.Serve
+module Counters = Abp_trace.Counters
+module Gate = Abp_mp.Gate
+module Controller = Abp_mp.Controller
+module Antagonist = Abp_mp.Antagonist
+module Adversary = Abp_kernel.Adversary
+module Adversary_spec = Abp_kernel.Adversary_spec
+module Yield = Abp_kernel.Yield
+
+let procs () =
+  match Sys.getenv_opt "ABP_MP_PROCS" with
+  | Some s -> (try max 2 (int_of_string s) with _ -> 3)
+  | None -> 3
+
+let rng seed = Abp_stats.Rng.create ~seed:(Int64.of_int seed) ()
+
+(* Spin (politely) until [pred] holds; false on timeout.  Generous
+   timeout: the CI box may have one CPU. *)
+let wait_until ?(timeout = 30.0) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    pred ()
+    ||
+    if Unix.gettimeofday () -. t0 > timeout then false
+    else begin
+      Domain.cpu_relax ();
+      go ()
+    end
+  in
+  go ()
+
+let totals pool = Counters.sum (Pool.counters pool)
+
+(* A view for exercising adversaries directly: nobody holds work. *)
+let idle_view ~round ~p =
+  {
+    Adversary.round;
+    num_processes = p;
+    has_assigned = (fun _ -> false);
+    deque_size = (fun _ -> 0);
+    in_critical_section = (fun _ -> false);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Gate unit tests.                                                   *)
+
+let gate_defaults_and_set () =
+  let g = Gate.create ~num_workers:3 in
+  for i = 0 to 2 do
+    Alcotest.(check bool) "gates start open" true (Gate.is_open g i)
+  done;
+  Gate.set g [| true; false; true |];
+  Alcotest.(check bool) "gate 1 closed" false (Gate.is_open g 1);
+  Alcotest.(check bool) "gate 0 open" true (Gate.is_open g 0);
+  Gate.open_all g;
+  Alcotest.(check bool) "open_all reopens" true (Gate.is_open g 1);
+  Alcotest.(check int) "no suspends without a waiter" 0 (Gate.suspends g 1);
+  Alcotest.check_raises "set length checked"
+    (Invalid_argument "Gate.set: wrong set length") (fun () -> Gate.set g [| true |])
+
+let gate_wait_blocks_until_open () =
+  let g = Gate.create ~num_workers:2 in
+  Gate.set g [| true; false |];
+  let waited = Atomic.make (-1.0) in
+  let d = Domain.spawn (fun () -> Atomic.set waited (Gate.wait g 1)) in
+  (* The waiter must still be blocked while its gate stays closed. *)
+  Unix.sleepf 0.05;
+  Alcotest.(check bool) "still blocked" true (Atomic.get waited < 0.0);
+  Gate.open_all g;
+  Domain.join d;
+  Alcotest.(check bool) "wait measured the suspension" true (Atomic.get waited >= 0.04);
+  Alcotest.(check int) "one suspension recorded" 1 (Gate.suspends g 1);
+  Alcotest.(check bool) "suspended_seconds accumulated" true
+    (Gate.suspended_seconds g 1 >= 0.04);
+  Alcotest.(check bool) "total covers the worker" true
+    (Gate.total_suspended_seconds g >= Gate.suspended_seconds g 1)
+
+let gate_hook_reports_steal_fail () =
+  let g = Gate.create ~num_workers:2 in
+  let hits = ref [] in
+  Gate.set_steal_fail g (fun i -> hits := i :: !hits);
+  let hook = Gate.hook g in
+  hook.Pool.on_steal_fail 1;
+  hook.Pool.on_steal_fail 0;
+  Alcotest.(check (list int)) "handler saw both thieves" [ 0; 1 ] !hits;
+  Gate.set g [| false; true |];
+  Alcotest.(check bool) "hook poll mirrors the gate" false (hook.Pool.poll 0);
+  Alcotest.(check bool) "hook poll mirrors the gate" true (hook.Pool.poll 1)
+
+(* ------------------------------------------------------------------ *)
+(* Adversary grammar.                                                 *)
+
+let duty_cycle_schedule () =
+  let adv = Adversary.duty_cycle ~num_processes:3 ~on:2 ~off:1 in
+  let granted round =
+    Array.fold_left (fun n b -> if b then n + 1 else n) 0
+      (Adversary.choose adv (idle_view ~round ~p:3))
+  in
+  List.iter
+    (fun (round, want) ->
+      Alcotest.(check int) (Printf.sprintf "round %d" round) want (granted round))
+    [ (1, 3); (2, 3); (3, 0); (4, 3); (5, 3); (6, 0); (7, 3) ]
+
+let spec_parses_every_kind () =
+  List.iter
+    (fun spec ->
+      let adv = Adversary_spec.parse ~num_processes:4 ~rng:(rng 1) spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s yields a named adversary" spec)
+        true
+        (String.length (Adversary.name adv) > 0))
+    [
+      "dedicated";
+      "benign:avail=2";
+      "rotor:run=3";
+      "half";
+      "duty:on=2,off=2";
+      "markov:up=0.5,down=0.1";
+      "starve-workers:width=1";
+      "starve-thieves";
+      "preempt-locks:width=2";
+    ]
+
+let spec_rejects_malformed () =
+  let rejects spec =
+    match Adversary_spec.parse ~num_processes:4 ~rng:(rng 1) spec with
+    | exception Adversary_spec.Bad_spec _ -> ()
+    | _ -> Alcotest.failf "%s should have been rejected" spec
+  in
+  rejects "nosuch";
+  rejects "duty:on=2,frequency=3";
+  (* unknown key *)
+  rejects "duty:3,1";
+  (* bare values: keyword-only grammar *)
+  rejects "markov:up=notafloat";
+  rejects "rotor:run="
+
+let spec_duty_defaults () =
+  (* duty with no params is on=3,off=1: rounds 1-3 granted, 4 idle. *)
+  let adv = Adversary_spec.parse ~num_processes:2 ~rng:(rng 1) "duty" in
+  let granted round =
+    Array.exists Fun.id (Adversary.choose adv (idle_view ~round ~p:2))
+  in
+  Alcotest.(check bool) "round 3 on" true (granted 3);
+  Alcotest.(check bool) "round 4 off" false (granted 4);
+  Alcotest.(check bool) "round 5 on" true (granted 5)
+
+(* ------------------------------------------------------------------ *)
+(* Controller against the real pool.                                  *)
+
+(* Enough parallel work to span many 1ms quanta even on a fast box. *)
+let workload () = Par.fib 31
+let workload_expect = 1346269
+
+let rotor_controller_under_load () =
+  let p = procs () in
+  let gate = Gate.create ~num_workers:p in
+  let pool = Pool.create ~processes:p ~gate:(Gate.hook gate) () in
+  let adv = Adversary_spec.parse ~num_processes:p ~rng:(rng 2) "rotor:run=1" in
+  let c = Controller.create ~quantum:1e-3 ~gate ~pool adv in
+  Controller.start c;
+  Fun.protect
+    ~finally:(fun () ->
+      Controller.stop c;
+      Pool.shutdown pool)
+    (fun () ->
+      (* Suspensions are probabilistic (the run must straddle a quantum
+         boundary), so retry a few short runs rather than one long one. *)
+      let rec go tries =
+        let v = Pool.run pool workload in
+        Alcotest.(check int) "fib correct under rotor" workload_expect v;
+        if totals pool |> fun t -> t.Counters.gate_suspends = 0 && tries > 0 then go (tries - 1)
+      in
+      go 20;
+      Alcotest.(check bool) "controller issued quanta" true (Controller.quanta c > 0);
+      Alcotest.(check bool) "workers suspended at gates" true
+        ((totals pool).Counters.gate_suspends > 0);
+      Alcotest.(check bool) "gate time was integrated" true
+        (Controller.suspended_seconds c > 0.0));
+  Alcotest.(check string) "adversary name surfaced" "oblivious-rotor"
+    (Controller.adversary_name c)
+
+let yield_completion_under_starve () =
+  (* Both yield disciplines must complete under starve-workers on
+     hardware: a suspended worker's deque stays stealable (documented
+     divergence from the simulator, where No_yield can stall).  The
+     quantitative failed-steal comparison lives in bench/exp_mp. *)
+  List.iter
+    (fun (pool_yield, kernel_yield) ->
+      let p = procs () in
+      let gate = Gate.create ~num_workers:p in
+      let pool =
+        Pool.create ~processes:p ~yield_kind:pool_yield ~gate:(Gate.hook gate) ()
+      in
+      let adv =
+        Adversary_spec.parse ~num_processes:p ~rng:(rng 3) "starve-workers:width=1"
+      in
+      let c = Controller.create ~quantum:1e-3 ~yield:kernel_yield ~gate ~pool adv in
+      Controller.start c;
+      Fun.protect
+        ~finally:(fun () ->
+          Controller.stop c;
+          Pool.shutdown pool)
+        (fun () ->
+          let v = Pool.run pool workload in
+          Alcotest.(check int)
+            (Printf.sprintf "fib correct under %s" (Pool.yield_kind_name pool_yield))
+            workload_expect v))
+    [ (Pool.Yield_to_all, Yield.Yield_to_all); (Pool.No_yield, Yield.No_yield) ]
+
+let controller_pbar_sanity () =
+  let p = 2 in
+  let gate = Gate.create ~num_workers:p in
+  let pool = Pool.create ~processes:p ~gate:(Gate.hook gate) () in
+  let adv = Adversary_spec.parse ~num_processes:p ~rng:(rng 4) "duty:on=1,off=1" in
+  let c = Controller.create ~quantum:1e-3 ~gate ~pool adv in
+  Controller.start c;
+  Unix.sleepf 0.08;
+  Controller.stop c;
+  Pool.shutdown pool;
+  Alcotest.(check bool) "many quanta in 80ms" true (Controller.quanta c >= 5);
+  let pbar = Controller.pbar_procs c in
+  (* duty 1:1 grants everyone half the quanta; wall-clock weighting can
+     skew it, but it must sit strictly between the extremes. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "pbar_procs %.2f inside (0, P)" pbar)
+    true
+    (pbar > 0.0 && pbar < float_of_int p);
+  Alcotest.(check bool) "hardware pbar never exceeds granted pbar" true
+    (Controller.pbar c <= pbar +. 1e-9)
+
+let controller_start_stop_idempotent () =
+  let p = 2 in
+  let gate = Gate.create ~num_workers:p in
+  let pool = Pool.create ~processes:p ~gate:(Gate.hook gate) () in
+  let adv = Adversary.dedicated ~num_processes:p in
+  let c = Controller.create ~gate ~pool adv in
+  Controller.start c;
+  Controller.start c;
+  Controller.stop c;
+  Controller.stop c;
+  Pool.shutdown pool;
+  Alcotest.(check bool) "gates reopened by stop" true (Gate.is_open gate 0)
+
+(* ------------------------------------------------------------------ *)
+(* The regressions.                                                   *)
+
+(* A parked thief woken while its gate is closed must re-block at the
+   gate (outside the park lock) without stranding the task that woke
+   it: the granted worker finishes the job alone. *)
+let parked_thief_wakes_into_closed_gate () =
+  let gate = Gate.create ~num_workers:2 in
+  let pool =
+    Pool.create ~processes:2 ~park_threshold:2 ~gate:(Gate.hook gate) ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Gate.open_all gate;
+      Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check bool) "thief parks while idle" true
+        (wait_until (fun () -> Pool.parked_workers pool = 1));
+      Gate.set gate [| true; false |];
+      (* The first push of the run signals the parked thief; it wakes
+         into a closed gate and must suspend there, not deadlock and
+         not steal.  Worker 0 completes the whole job. *)
+      let v = Pool.run pool workload in
+      Alcotest.(check int) "result correct with thief gated" workload_expect v;
+      Alcotest.(check bool) "thief suspended at its closed gate" true
+        (wait_until (fun () -> Gate.suspends gate 1 >= 1));
+      Gate.open_all gate;
+      let v2 = Pool.run pool workload in
+      Alcotest.(check int) "pool healthy after reopening" workload_expect v2)
+
+(* A batched pool under a fast rotor: workers are suspended holding
+   steal-half surplus; since the surplus is re-homed on the worker's
+   own deque before any safe point, it stays stealable and the
+   conservation law survives arbitrary suspension points. *)
+let batched_suspension_conservation () =
+  let p = procs () in
+  let gate = Gate.create ~num_workers:p in
+  let pool =
+    Pool.create ~processes:p ~deque_impl:Pool.Circular ~batch:8 ~gate:(Gate.hook gate) ()
+  in
+  let adv = Adversary_spec.parse ~num_processes:p ~rng:(rng 5) "rotor:run=1" in
+  let c = Controller.create ~quantum:0.5e-3 ~gate ~pool adv in
+  Controller.start c;
+  Fun.protect
+    ~finally:(fun () ->
+      Controller.stop c;
+      Pool.shutdown pool)
+    (fun () ->
+      for _ = 1 to 3 do
+        let v = Pool.run pool workload in
+        Alcotest.(check int) "batched result correct under rotor" workload_expect v
+      done;
+      let t = totals pool in
+      Alcotest.(check int)
+        "pushes = pops + stolen_tasks at quiescence"
+        t.Counters.pushes
+        (t.Counters.pops + t.Counters.stolen_tasks))
+
+(* Serve.drain with the adversary still scheduling: admission stats
+   must balance even though workers were suspended mid-service. *)
+let serve_drain_conservation_under_adversary () =
+  let p = procs () in
+  let gate = Gate.create ~num_workers:p in
+  let srv =
+    Serve.create ~processes:p ~yield_kind:Pool.Yield_to_random ~gate:(Gate.hook gate) ()
+  in
+  let adv =
+    Adversary_spec.parse ~num_processes:p ~rng:(rng 6) "markov:up=0.4,down=0.2"
+  in
+  let c =
+    Controller.create ~quantum:1e-3 ~yield:Yield.Yield_to_random ~gate
+      ~pool:(Serve.pool srv) adv
+  in
+  Controller.start c;
+  let stats =
+    Fun.protect
+      ~finally:(fun () ->
+        Controller.stop c;
+        Serve.shutdown srv)
+      (fun () ->
+        let tickets =
+          List.init 200 (fun i ->
+              Serve.try_submit srv (fun () ->
+                  if i mod 50 = 49 then failwith "boom" else Par.fib 12))
+        in
+        (* Cancel a few; whether each cancel wins the race is immaterial,
+           conservation must hold either way. *)
+        List.iteri
+          (fun i t ->
+            match t with
+            | Ok t when i mod 7 = 0 -> ignore (Serve.cancel t)
+            | _ -> ())
+          tickets;
+        Serve.drain srv)
+  in
+  Alcotest.(check bool) "service made progress" true (stats.Serve.completed > 0);
+  Alcotest.(check int) "accepted = completed + cancelled + exceptions"
+    stats.Serve.accepted
+    (stats.Serve.completed + stats.Serve.cancelled + stats.Serve.exceptions)
+
+(* ------------------------------------------------------------------ *)
+(* Antagonist.                                                        *)
+
+let antagonist_starts_and_stops () =
+  let a = Antagonist.start ~spinners:2 in
+  Alcotest.(check int) "spinner count" 2 (Antagonist.spinners a);
+  Antagonist.stop a;
+  Antagonist.stop a (* idempotent *)
+
+let tests =
+  [
+    Alcotest.test_case "gate defaults and set" `Quick gate_defaults_and_set;
+    Alcotest.test_case "gate wait blocks until open" `Quick gate_wait_blocks_until_open;
+    Alcotest.test_case "gate hook reports steal fail" `Quick gate_hook_reports_steal_fail;
+    Alcotest.test_case "duty cycle schedule" `Quick duty_cycle_schedule;
+    Alcotest.test_case "spec parses every kind" `Quick spec_parses_every_kind;
+    Alcotest.test_case "spec rejects malformed" `Quick spec_rejects_malformed;
+    Alcotest.test_case "spec duty defaults" `Quick spec_duty_defaults;
+    Alcotest.test_case "rotor controller under load" `Slow rotor_controller_under_load;
+    Alcotest.test_case "yield completion under starve" `Slow yield_completion_under_starve;
+    Alcotest.test_case "controller pbar sanity" `Quick controller_pbar_sanity;
+    Alcotest.test_case "controller start/stop idempotent" `Quick
+      controller_start_stop_idempotent;
+    Alcotest.test_case "parked thief wakes into closed gate" `Slow
+      parked_thief_wakes_into_closed_gate;
+    Alcotest.test_case "batched suspension conservation" `Slow
+      batched_suspension_conservation;
+    Alcotest.test_case "serve drain conservation under adversary" `Slow
+      serve_drain_conservation_under_adversary;
+    Alcotest.test_case "antagonist starts and stops" `Quick antagonist_starts_and_stops;
+  ]

@@ -210,8 +210,11 @@ let fields_cover_every_counter () =
       "inject_polls";
       "inject_tasks";
       "inject_batches";
+      "gate_suspends";
+      "gate_wait_ns";
+      "directed_yields";
     ];
-  Alcotest.(check int) "exactly the 18 fields" 18 (List.length names)
+  Alcotest.(check int) "exactly the 21 fields" 21 (List.length names)
 
 let tests =
   [
