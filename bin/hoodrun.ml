@@ -28,6 +28,26 @@ type mp_summary = {
   mp_antagonist : int;
 }
 
+(* JSON string escaping for the interpolated fields below.  Today every
+   value reaching write_json has already passed workload/spec
+   validation, but that invariant is implicit — escape here so a future
+   grammar or workload addition (say, a spec value containing a quote)
+   cannot silently emit invalid JSON. *)
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b {|\"|}
+      | '\\' -> Buffer.add_string b {|\\|}
+      | '\n' -> Buffer.add_string b {|\n|}
+      | '\r' -> Buffer.add_string b {|\r|}
+      | '\t' -> Buffer.add_string b {|\t|}
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf {|\u%04x|} (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
 (* Machine-readable result record, one JSON object per run, consumed by
    perf-trajectory tooling alongside bench/exp_throughput.exe. *)
 let write_json file ~workload ~n ~p ~deque ~batch ~yield ~mp ~elapsed ~result ~attempts
@@ -35,14 +55,15 @@ let write_json file ~workload ~n ~p ~deque ~batch ~yield ~mp ~elapsed ~result ~a
   let oc = open_out file in
   Printf.fprintf oc
     {|{"schema":"hoodrun/3","workload":"%s","n":%d,"p":%d,"deque":"%s","batch":%d,"yield":"%s","seconds":%.6f,"result":%d,"steal_attempts":%d,"successful_steals":%d,"stolen_tasks":%d|}
-    workload n p deque batch yield elapsed result attempts successes stolen;
+    (json_escape workload) n p (json_escape deque) batch (json_escape yield) elapsed result
+    attempts successes stolen;
   (match mp with
   | None -> ()
   | Some m ->
       Printf.fprintf oc
         {|,"adversary":"%s","quantum_ms":%.3f,"quanta":%d,"pbar":%.4f,"pbar_procs":%.4f,"suspended_seconds":%.6f,"antagonist":%d|}
-        m.mp_adversary (m.mp_quantum *. 1e3) m.mp_quanta m.mp_pbar m.mp_pbar_procs
-        m.mp_suspended_s m.mp_antagonist);
+        (json_escape m.mp_adversary) (m.mp_quantum *. 1e3) m.mp_quanta m.mp_pbar
+        m.mp_pbar_procs m.mp_suspended_s m.mp_antagonist);
   output_string oc "}\n";
   close_out oc
 

@@ -97,7 +97,9 @@ let loop t =
   while not (Atomic.get t.stop_flag) do
     let g = quantum_step t prev_progress last_granted in
     let now = Unix.gettimeofday () in
-    let dt = now -. !last in
+    (* Wall clock: an NTP step can make [now < !last]; clamp so a
+       backwards jump cannot drive the utilization integrals negative. *)
+    let dt = Float.max 0.0 (now -. !last) in
     Atomic.set t.time_total (Atomic.get t.time_total +. dt);
     Atomic.set t.time_procs (Atomic.get t.time_procs +. (float_of_int !prev_granted *. dt));
     Atomic.set t.time_hw
@@ -147,16 +149,26 @@ let start t =
 
 let stop t =
   Atomic.set t.stop_flag true;
-  (* Reopen every gate BEFORE joining (and before any pool shutdown): a
-     worker blocked in [Gate.wait] cannot observe the pool's shutdown
-     flag, so leaving a gate closed here would deadlock the join. *)
+  (* Fast path: reopen gates right away so suspended workers resume
+     while we wait out the controller's final quantum.  Not sufficient
+     on its own — the controller may be mid-[quantum_step] (the flag is
+     only checked at the loop top) and re-close gates via [Gate.set]
+     after this. *)
   Gate.open_all t.gate;
-  Gate.set_steal_fail t.gate ignore;
   Mutex.lock t.stop_lock;
   let d = t.domain in
   t.domain <- None;
   Mutex.unlock t.stop_lock;
-  Option.iter Domain.join d
+  (* The controller domain never blocks on a gate, so joining first
+     always terminates (within ~one quantum). *)
+  Option.iter Domain.join d;
+  (* Authoritative reopen AFTER the join: no further [Gate.set] can
+     race it, so every gate is guaranteed open before the caller's
+     [Pool.shutdown] — a worker blocked in [Gate.wait] cannot observe
+     the pool's shutdown flag, so a gate left closed here would
+     deadlock that shutdown. *)
+  Gate.open_all t.gate;
+  Gate.set_steal_fail t.gate ignore
 
 let quanta t = Atomic.get t.quanta
 

@@ -67,7 +67,9 @@ let wait t i =
     Condition.wait c.cond c.lock
   done;
   Mutex.unlock c.lock;
-  let dt = Unix.gettimeofday () -. t0 in
+  (* Wall clock: clamp so an NTP step during the wait cannot push
+     [wait_ns] (and the derived suspended-time telemetry) negative. *)
+  let dt = Float.max 0.0 (Unix.gettimeofday () -. t0) in
   ignore (Atomic.fetch_and_add c.wait_ns (int_of_float (dt *. 1e9)));
   dt
 
