@@ -50,6 +50,23 @@ let reference_owner_pair () =
       Abp.Deque_spec.Reference.push_bottom d 1;
       ignore (Abp.Deque_spec.Reference.pop_bottom d))
 
+let wsm_owner_pair () =
+  (* The push publishes (board drained each cycle) and the popBottom
+     reclaims through the consume cursor: the owner's full cycle. *)
+  let d : int Abp.Wsm_deque.t = Abp.Wsm_deque.create ~capacity:64 () in
+  Staged.stage (fun () ->
+      Abp.Wsm_deque.push_bottom d 1;
+      ignore (Abp.Wsm_deque.pop_bottom d))
+
+let wsm_push_steal_pair () =
+  (* The fence-free steal path under measurement: popTop is loads plus
+     one blind store — no CAS, no fetch-and-add — against the ABP pair's
+     CASing popTop above. *)
+  let d : int Abp.Wsm_deque.t = Abp.Wsm_deque.create ~capacity:64 () in
+  Staged.stage (fun () ->
+      Abp.Wsm_deque.push_bottom d 1;
+      ignore (Abp.Wsm_deque.pop_top d))
+
 let tests =
   Test.make_grouped ~name:"deque"
     [
@@ -59,6 +76,8 @@ let tests =
       Test.make ~name:"circular push+popTop" (circular_push_steal_pair ());
       Test.make ~name:"locked push+popBottom" (locked_owner_pair ());
       Test.make ~name:"reference push+popBottom" (reference_owner_pair ());
+      Test.make ~name:"wsm push+popBottom" (wsm_owner_pair ());
+      Test.make ~name:"wsm push+popTop" (wsm_push_steal_pair ());
     ]
 
 let run_bechamel () =

@@ -21,8 +21,13 @@
    - antagonist: background spinner domains instead of gates.  Their
      processor share is invisible to the controller, so these runs are
      reported but excluded from the fit.
+   - backends: the same duty-cycle tree sweep run per deque backend
+     (ABP vs the fence-free wsm multiplicity deque), each fitted
+     separately, so BENCH_mp records whether the steal-path fence
+     savings survive the kernel adversary — along with the wsm pool's
+     duplicate_steals count (duplicates the claim flag discarded).
 
-   Emits machine-readable JSON (default BENCH_mp.json, schema abp-mp/1),
+   Emits machine-readable JSON (default BENCH_mp.json, schema abp-mp/2),
    then re-reads and schema-checks it, exiting nonzero on a malformed
    document or a failed acceptance check — CI relies on this:
 
@@ -126,6 +131,7 @@ type gated = {
   g_attempts : int;
   g_successes : int;
   g_tasks : int;
+  g_duplicates : int;
   g_result : int;
 }
 
@@ -139,9 +145,11 @@ let kernel_yield = function
    wall-clock shape stays close to the adversary's nominal pattern. *)
 let quantum () = if !smoke then 2e-3 else 4e-3
 
-let measure_gated ~label ~spec ~p ~yield ~seed f =
+let measure_gated ?(deque = Abp.Pool.Abp) ~label ~spec ~p ~yield ~seed f =
   let gate = Abp.Gate.create ~num_workers:p in
-  let pool = Abp.Pool.create ~processes:p ~yield_kind:yield ~gate:(Abp.Gate.hook gate) () in
+  let pool =
+    Abp.Pool.create ~processes:p ~deque_impl:deque ~yield_kind:yield ~gate:(Abp.Gate.hook gate) ()
+  in
   let rng = Abp.Rng.create ~seed:(Int64.of_int seed) () in
   let adv = Abp.Adversary_spec.parse ~num_processes:p ~rng spec in
   let c =
@@ -175,6 +183,7 @@ let measure_gated ~label ~spec ~p ~yield ~seed f =
     g_attempts = t.Abp.Trace.Counters.steal_attempts;
     g_successes = t.Abp.Trace.Counters.successful_steals;
     g_tasks = t.Abp.Trace.Counters.pushes;
+    g_duplicates = t.Abp.Trace.Counters.duplicate_steals;
     g_result = !value;
   }
 
@@ -337,6 +346,74 @@ let run_antagonist ips =
     [ 0; 4 ]
 
 (* ------------------------------------------------------------------ *)
+(* Section 5: per-backend bound fit — ABP's CASing popTop vs the      *)
+(* fence-free wsm multiplicity deque, under the same duty adversary.  *)
+
+type backend_fit = {
+  b_deque : string;
+  b_c1 : float;
+  b_cinf : float;
+  b_r2 : float;
+  b_max_ratio : float;
+  b_duplicates : int;  (* summed duplicate_steals over the sweep *)
+  b_result : int;
+}
+
+let run_backends ips =
+  let p = 3 in
+  let target = if !smoke then 0.03 else 0.1 in
+  (* Two workloads with different span/work ratios, so the per-backend
+     design matrix has full rank (a single workload's columns are
+     proportional: tinf/t1 is constant across duty levels). *)
+  let d = if !smoke then 8 else 10 in
+  let nodes = (1 lsl (d + 1)) - 1 in
+  let iters = max 1 (int_of_float (target /. float_of_int nodes *. ips)) in
+  let tree () = spin_tree d iters in
+  let tree_t1 = measure_t1 tree in
+  let tree_tinf = tree_t1 *. (float_of_int (d + 1) /. float_of_int nodes) in
+  let links = int_of_float (target /. 2.0 *. ips) / max 1 iters in
+  let chain () = spin_chain links iters in
+  let chain_t1 = measure_t1 chain in
+  let workloads =
+    [ (tree, tree_t1, tree_tinf, 0); (chain, chain_t1, chain_t1, 1) ]
+  in
+  List.map
+    (fun (deque, name) ->
+      Printf.printf "  backend: %s...\n%!" name;
+      let duplicates = ref 0 and result = ref 0 in
+      let pts =
+        List.concat_map
+          (fun (f, t1, tinf, tag) ->
+            List.map
+              (fun duty ->
+                let g =
+                  measure_gated ~deque ~label:name ~spec:duty ~p ~yield:Abp.Pool.Yield_local
+                    ~seed:(13 + tag) f
+                in
+                duplicates := !duplicates + g.g_duplicates;
+                if tag = 0 then result := g.g_result;
+                let pbar = Float.max g.g_pbar 1e-6 in
+                (t1 /. pbar, tinf *. float_of_int p /. pbar, g.g_median))
+              (duties ()))
+          workloads
+      in
+      let fit = Abp.Regression.fit_two_term (Array.of_list pts) in
+      let ratio =
+        Abp.Regression.max_ratio
+          (Array.of_list (List.map (fun (w, s, t) -> (t, w +. s)) pts))
+      in
+      {
+        b_deque = name;
+        b_c1 = fit.Abp.Regression.c1;
+        b_cinf = fit.Abp.Regression.c2;
+        b_r2 = fit.Abp.Regression.r2;
+        b_max_ratio = ratio;
+        b_duplicates = !duplicates;
+        b_result = !result;
+      })
+    [ (Abp.Pool.Abp, "abp"); (Abp.Pool.Wsm, "wsm") ]
+
+(* ------------------------------------------------------------------ *)
 (* Acceptance checks (the ISSUE's E29 criteria).                      *)
 
 let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "E29 check FAILED: %s\n" m; exit 1) fmt
@@ -403,6 +480,24 @@ let check_yield = function
         fail "No_yield failed-steals/task %.1f not strictly above Yield_to_all %.1f" fn fa
   | _ -> fail "yield section expects exactly two runs"
 
+let check_backends = function
+  | [ abp; wsm ] ->
+      if abp.b_deque <> "abp" || wsm.b_deque <> "wsm" then
+        fail "backend rows out of order (%s, %s)" abp.b_deque wsm.b_deque;
+      if abp.b_result <> wsm.b_result then
+        fail "backends disagree on the workload result (%d vs %d)" abp.b_result wsm.b_result;
+      (* The ABP pool never takes the claim-discard path, so any nonzero
+         count there means the counter plumbing is wrong. *)
+      if abp.b_duplicates <> 0 then
+        fail "abp backend reported %d duplicate steals" abp.b_duplicates;
+      if wsm.b_duplicates < 0 then fail "negative duplicate_steals";
+      if not !smoke then begin
+        if wsm.b_c1 <= 0.0 then fail "wsm fit c1 = %.3f <= 0" wsm.b_c1;
+        if wsm.b_max_ratio > 20.0 then
+          fail "wsm backend exceeds 20x the unit-constant bound (max ratio %.2f)" wsm.b_max_ratio
+      end
+  | _ -> fail "backend section expects exactly two rows"
+
 let check_antagonist = function
   | [ base; loaded ] ->
       if base.a_result <> loaded.a_result then fail "antagonist changed the workload result";
@@ -424,20 +519,25 @@ let point_json pt =
 
 let gated_json g =
   Printf.sprintf
-    {|    {"label":"%s","adversary":"%s","yield":"%s","p":%d,"seconds":%s,"pbar":%.4f,"pbar_procs":%.4f,"quanta":%d,"gate_suspends":%d,"suspended_seconds":%s,"steal_attempts":%d,"successful_steals":%d,"tasks":%d,"failed_per_task":%.2f,"result":%d}|}
+    {|    {"label":"%s","adversary":"%s","yield":"%s","p":%d,"seconds":%s,"pbar":%.4f,"pbar_procs":%.4f,"quanta":%d,"gate_suspends":%d,"suspended_seconds":%s,"steal_attempts":%d,"successful_steals":%d,"tasks":%d,"failed_per_task":%.2f,"duplicate_steals":%d,"result":%d}|}
     g.g_label g.g_adversary g.g_yield g.g_p (f6 g.g_median) g.g_pbar g.g_pbar_procs g.g_quanta
     g.g_suspends (f6 g.g_suspended_s) g.g_attempts g.g_successes g.g_tasks (failed_per_task g)
-    g.g_result
+    g.g_duplicates g.g_result
 
 let antag_json a =
   Printf.sprintf {|    {"spinners":%d,"p":%d,"seconds":%s,"result":%d}|} a.a_spinners a.a_p
     (f6 a.a_seconds) a.a_result
 
-let to_json points fit ratio advs yields antags =
+let backend_json b =
+  Printf.sprintf
+    {|    {"deque":"%s","c1":%.4f,"cinf":%.4f,"r2":%.4f,"max_ratio":%.3f,"duplicate_steals":%d,"result":%d}|}
+    b.b_deque b.b_c1 b.b_cinf b.b_r2 b.b_max_ratio b.b_duplicates b.b_result
+
+let to_json points fit ratio advs yields antags backends =
   String.concat "\n"
     ([
        "{";
-       {|  "schema": "abp-mp/1",|};
+       {|  "schema": "abp-mp/2",|};
        Printf.sprintf {|  "mode": "%s",|} (if !smoke then "smoke" else "full");
        Printf.sprintf {|  "repeats": %d,|} !repeats;
        Printf.sprintf {|  "quantum_ms": %.3f,|} (quantum () *. 1e3);
@@ -452,6 +552,8 @@ let to_json points fit ratio advs yields antags =
     @ [ String.concat ",\n" (List.map gated_json yields) ]
     @ [ "  ],"; {|  "antagonist": [|} ]
     @ [ String.concat ",\n" (List.map antag_json antags) ]
+    @ [ "  ],"; {|  "backends": [|} ]
+    @ [ String.concat ",\n" (List.map backend_json backends) ]
     @ [ "  ]"; "}"; "" ])
 
 (* Schema check on the written file: every required key present, braces
@@ -469,7 +571,7 @@ let validate path =
   in
   let required =
     [
-      {|"schema": "abp-mp/1"|};
+      {|"schema": "abp-mp/2"|};
       {|"mode"|};
       {|"quantum_ms"|};
       {|"fit"|};
@@ -487,6 +589,10 @@ let validate path =
       {|"gate_suspends"|};
       {|"antagonist"|};
       {|"spinners"|};
+      {|"backends"|};
+      {|"deque":"abp"|};
+      {|"deque":"wsm"|};
+      {|"duplicate_steals"|};
     ]
   in
   let missing = List.filter (fun k -> not (contains k)) required in
@@ -567,8 +673,16 @@ let () =
     (fun a -> Printf.printf "  antagonist %d spinners: T %.3fs\n" a.a_spinners a.a_seconds)
     antags;
   check_antagonist antags;
+  let backends = run_backends ips in
+  List.iter
+    (fun b ->
+      Printf.printf
+        "  backend %-4s c1 %.2f  cinf %.2f  r2 %.3f  max ratio %.2f  duplicate steals %d\n"
+        b.b_deque b.b_c1 b.b_cinf b.b_r2 b.b_max_ratio b.b_duplicates)
+    backends;
+  check_backends backends;
   let oc = open_out !json_file in
-  output_string oc (to_json points fit ratio advs yields antags);
+  output_string oc (to_json points fit ratio advs yields antags backends);
   close_out oc;
   validate !json_file;
   Printf.printf "wrote %s (schema ok)\n" !json_file

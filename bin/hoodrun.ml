@@ -51,12 +51,12 @@ let json_escape s =
 (* Machine-readable result record, one JSON object per run, consumed by
    perf-trajectory tooling alongside bench/exp_throughput.exe. *)
 let write_json file ~workload ~n ~p ~deque ~batch ~yield ~mp ~elapsed ~result ~attempts
-    ~successes ~stolen =
+    ~successes ~stolen ~duplicates =
   let oc = open_out file in
   Printf.fprintf oc
-    {|{"schema":"hoodrun/3","workload":"%s","n":%d,"p":%d,"deque":"%s","batch":%d,"yield":"%s","seconds":%.6f,"result":%d,"steal_attempts":%d,"successful_steals":%d,"stolen_tasks":%d|}
+    {|{"schema":"hoodrun/3","workload":"%s","n":%d,"p":%d,"deque":"%s","batch":%d,"yield":"%s","seconds":%.6f,"result":%d,"steal_attempts":%d,"successful_steals":%d,"stolen_tasks":%d,"duplicate_steals":%d|}
     (json_escape workload) n p (json_escape deque) batch (json_escape yield) elapsed result
-    attempts successes stolen;
+    attempts successes stolen duplicates;
   (match mp with
   | None -> ()
   | Some m ->
@@ -98,7 +98,12 @@ let run workload n p grain batch deque yield adversary quantum_ms antagonist see
     | "abp" -> Abp.Pool.Abp
     | "circular" -> Abp.Pool.Circular
     | "locked" -> Abp.Pool.Locked
-    | other -> raise (Invalid_argument ("unknown deque impl: " ^ other))
+    | "wsm" -> Abp.Pool.Wsm
+    | other ->
+        (* A clean one-liner, not an Invalid_argument rendering through
+           fatal_guard: name the offender and the valid choices. *)
+        Printf.eprintf "hoodrun: unknown deque %S (valid: abp, circular, locked, wsm)\n%!" other;
+        exit 1
   in
   let yield_kind = make_yield yield in
   (* --grain 0 selects lazy binary splitting (the library default when
@@ -200,7 +205,8 @@ let run workload n p grain batch deque yield adversary quantum_ms antagonist see
       write_json file ~workload ~n ~p ~deque ~batch ~yield ~mp ~elapsed ~result
         ~attempts:(Abp.Pool.steal_attempts pool)
         ~successes:(Abp.Pool.successful_steals pool)
-        ~stolen:totals.Abp.Trace.Counters.stolen_tasks;
+        ~stolen:totals.Abp.Trace.Counters.stolen_tasks
+        ~duplicates:totals.Abp.Trace.Counters.duplicate_steals;
       Format.printf "json result written to %s@." file)
     json_file;
   match (sink, trace_file) with
@@ -230,7 +236,9 @@ let cmd =
           ~doc:"batched work transfer: steal/drain up to $(docv) tasks per acquisition (0 = off; \
                 native on circular/locked, degrades to single steals on abp)")
   in
-  let deque = Arg.(value & opt string "abp" & info [ "deque" ] ~doc:"abp|circular|locked") in
+  let deque =
+    Arg.(value & opt string "abp" & info [ "deque" ] ~doc:"abp|circular|locked|wsm")
+  in
   let yield =
     Arg.(
       value & opt string "local"

@@ -9,6 +9,9 @@
       {!Figure1}: multithreaded computations as dags (Sections 1-2).
     - {!Deque_spec}, {!Age}, {!Atomic_deque}, {!Locked_deque},
       {!Step_deque}, {!Bounded_tag}: the Figure 4/5 deque (Section 3.2-3.3).
+    - {!Wsm_deque}, {!Wsm_step}, {!Wsm_explorer}: the fence-free deque
+      with multiplicity (Castañeda–Piña, arXiv 2008.04424) and its
+      relaxed-semantics model checking.
     - {!Schedule}, {!Adversary}, {!Yield}: the kernel model (Sections 2, 4.4).
     - {!Exec_schedule}, {!Greedy}, {!Brent}, {!Bounds}: off-line
       scheduling, Theorems 1-2.
@@ -63,6 +66,8 @@ module Locked_deque = Abp_deque.Locked_deque
 module Step_deque = Abp_deque.Step_deque
 module Bounded_tag = Abp_deque.Bounded_tag
 module Circular_deque = Abp_deque.Circular_deque
+module Wsm_deque = Abp_deque.Wsm_deque
+module Wsm_step = Abp_deque.Wsm_step
 
 (* Kernel model *)
 module Schedule = Abp_kernel.Schedule
@@ -85,6 +90,7 @@ module Run_result = Abp_sim.Run_result
 
 (* Model checker *)
 module Explorer = Abp_mcheck.Explorer
+module Wsm_explorer = Abp_mcheck.Wsm_explorer
 module Mcheck_props = Abp_mcheck.Props
 
 (* Telemetry *)

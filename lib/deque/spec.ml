@@ -83,3 +83,76 @@ module Reference = struct
   let size t = List.length t.items
   let to_list t = t.items
 end
+
+(* Multiset oracle for relaxed backends with multiplicity: instead of
+   tracking order, track how many times each item was pushed and how
+   many times it has been extracted.  An extraction of [x] is
+   - [Unique]       if extracted-count < pushed-count afterwards stays
+                    within the pushes seen so far (a fresh copy),
+   - [Duplicate]    if [x] was pushed but every pushed copy has already
+                    been extracted (legal only under multiplicity),
+   - [Never_pushed] if [x] was never pushed at all (always a bug).
+   Keyed by the item itself, so differential tests should push distinct
+   values (the QCheck/stress suites use a running integer). *)
+module Multiset_reference = struct
+  type verdict = Unique | Duplicate | Never_pushed
+
+  type 'a t = {
+    pushed : ('a, int) Hashtbl.t;
+    extracted : ('a, int) Hashtbl.t;
+    mutable n_pushed : int;
+    mutable n_unique : int;
+    mutable n_duplicate : int;
+    mutable n_never_pushed : int;
+  }
+
+  let create () =
+    {
+      pushed = Hashtbl.create 64;
+      extracted = Hashtbl.create 64;
+      n_pushed = 0;
+      n_unique = 0;
+      n_duplicate = 0;
+      n_never_pushed = 0;
+    }
+
+  let count tbl x = Option.value ~default:0 (Hashtbl.find_opt tbl x)
+
+  let push t x =
+    Hashtbl.replace t.pushed x (count t.pushed x + 1);
+    t.n_pushed <- t.n_pushed + 1
+
+  let extract t x =
+    let p = count t.pushed x in
+    let e = count t.extracted x in
+    Hashtbl.replace t.extracted x (e + 1);
+    if p = 0 then begin
+      t.n_never_pushed <- t.n_never_pushed + 1;
+      Never_pushed
+    end
+    else if e < p then begin
+      t.n_unique <- t.n_unique + 1;
+      Unique
+    end
+    else begin
+      t.n_duplicate <- t.n_duplicate + 1;
+      Duplicate
+    end
+
+  let pushes t = t.n_pushed
+  let uniques t = t.n_unique
+  let duplicates t = t.n_duplicate
+  let never_pushed t = t.n_never_pushed
+
+  (* Items pushed and not yet extracted even once: what a complete
+     drain must still surface. *)
+  let outstanding t =
+    Hashtbl.fold
+      (fun x p acc -> acc + max 0 (p - count t.extracted x))
+      t.pushed 0
+
+  (* The whole-history judgment: extractions never invent items, and
+     duplicates appear only where the backend's contract allows them. *)
+  let legal ~allows_multiplicity t =
+    t.n_never_pushed = 0 && (allows_multiplicity || t.n_duplicate = 0)
+end

@@ -97,6 +97,47 @@ end
 (** Serial deque with the ideal semantics; the oracle for unit,
     property, and model-checking tests. *)
 
+module Multiset_reference : sig
+  type verdict =
+    | Unique  (** A fresh copy: extracted no more times than pushed. *)
+    | Duplicate
+        (** Pushed, but every pushed copy was already extracted — legal
+            only for backends with multiplicity ({!Wsm_deque}). *)
+    | Never_pushed  (** Never pushed at all — always a bug. *)
+
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val push : 'a t -> 'a -> unit
+  (** Record that [x] entered the deque (once more). *)
+
+  val extract : 'a t -> 'a -> verdict
+  (** Record that some extraction returned [x], and classify it against
+      the push history so far. *)
+
+  val pushes : 'a t -> int
+  val uniques : 'a t -> int
+  val duplicates : 'a t -> int
+  val never_pushed : 'a t -> int
+
+  val outstanding : 'a t -> int
+  (** Items pushed and not yet extracted even once — [0] after a
+      complete drain (no item lost). *)
+
+  val legal : allows_multiplicity:bool -> 'a t -> bool
+  (** Whole-history judgment: no [Never_pushed] verdict occurred, and —
+      unless [allows_multiplicity] — no [Duplicate] either.  With
+      [allows_multiplicity = false] this is as strict about duplication
+      as {!Reference}-based differentials, which is what lets the same
+      harness test both exactly-once backends and {!Wsm_deque}. *)
+end
+(** Order-free oracle for relaxed-semantics differentials: tracks how
+    many times each item was pushed and extracted, so an extraction can
+    be judged "was pushed and not yet popped more times than pushed"
+    without assuming exactly-once extraction.  Push {e distinct} values
+    (e.g. a running integer) for meaningful verdicts. *)
+
 val batch_quota : size:int -> int -> int
 (** [batch_quota ~size n] is the steal-up-to-half policy shared by every
     {!S.pop_top_n} implementation: the number of items a batched steal

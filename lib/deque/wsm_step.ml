@@ -1,0 +1,146 @@
+(* Instruction-granular model of Wsm_deque for the interleaving
+   explorer: every transition is one shared-memory access of the
+   protocol (a load/store of [pub], [con] or a board slot).  The
+   owner-private ring is invisible to other processes, so its reads and
+   writes are folded into the adjacent shared access — the standard
+   reduction, and exactly what makes the model small enough for
+   exhaustive exploration. *)
+
+type value = int
+
+type state = {
+  board : value option array;
+  mutable pub : int;
+  mutable con : int;
+  (* Owner-private ring, oldest first.  List ops are O(n) but the
+     explorer's programs are tiny. *)
+  mutable priv : value list;
+}
+
+let board_length = 4
+
+let create_state () =
+  { board = Array.make board_length None; pub = 0; con = 0; priv = [] }
+
+let copy_state s = { s with board = Array.copy s.board }
+
+let state_equal a b =
+  a.pub = b.pub && a.con = b.con && a.priv = b.priv && a.board = b.board
+
+(* Abstract occupancy: private items plus the (possibly regressed)
+   published window. *)
+let abstract_size s = List.length s.priv + max 0 (s.pub - s.con)
+
+type op = Push_bottom of value | Pop_bottom | Pop_top
+type outcome = Unit | Nil | Value of value
+
+type ctx = {
+  op : op;
+  mutable pc : int;
+  mutable r_c : int;  (* consume cursor read *)
+  mutable r_p : int;  (* publish cursor read *)
+  mutable r_slot : value option;  (* board slot read *)
+  mutable r_node : value option;  (* owner's privately popped item *)
+  mutable result : outcome option;
+}
+
+let start op = { op; pc = 0; r_c = 0; r_p = 0; r_slot = None; r_node = None; result = None }
+let copy_ctx c = { c with op = c.op }
+let ctx_equal (a : ctx) (b : ctx) = a = b
+let finished c = c.result
+
+let priv_take_oldest s =
+  match s.priv with
+  | [] -> assert false
+  | x :: rest ->
+      s.priv <- rest;
+      x
+
+let priv_pop_newest s =
+  match List.rev s.priv with
+  | [] -> assert false
+  | x :: rest_rev ->
+      s.priv <- List.rev rest_rev;
+      x
+
+(* The owner's maybe_publish, shared accesses only: load pub, load con
+   (decide), store slot, store pub.  Used verbatim by push_bottom
+   (pcs 0-3) and by pop_bottom's top-up (pcs 1-3 after its pc 0). *)
+
+let step_push_bottom s c =
+  match c.pc with
+  | 0 ->
+      (* private push folded into the first shared access: load pub *)
+      let v = match c.op with Push_bottom v -> v | _ -> assert false in
+      s.priv <- s.priv @ [ v ];
+      c.r_p <- s.pub;
+      c.pc <- 1
+  | 1 ->
+      (* load con; publish only if drained (and something private) *)
+      if s.con >= c.r_p && s.priv <> [] then c.pc <- 2 else c.result <- Some Unit
+  | 2 ->
+      (* store board slot (private take of the oldest folded in) *)
+      s.board.(c.r_p land (board_length - 1)) <- Some (priv_take_oldest s);
+      c.pc <- 3
+  | 3 ->
+      (* store pub = r_p + 1 *)
+      s.pub <- c.r_p + 1;
+      c.result <- Some Unit
+  | _ -> assert false
+
+(* The fence-free extraction: load con, load pub (test), load slot,
+   blind store con.  Thieves run exactly this; the owner runs it as the
+   reclaim path when its private ring is empty. *)
+let step_take_published ~base s c =
+  match c.pc - base with
+  | 0 ->
+      c.r_c <- s.con;
+      c.pc <- base + 1
+  | 1 ->
+      c.r_p <- s.pub;
+      if c.r_c >= c.r_p then c.result <- Some Nil else c.pc <- base + 2
+  | 2 ->
+      c.r_slot <- s.board.(c.r_c land (board_length - 1));
+      (* Defensive NIL without advancing con (unreachable slot=None). *)
+      if c.r_slot = None then c.result <- Some Nil else c.pc <- base + 3
+  | 3 ->
+      s.con <- c.r_c + 1;
+      c.result <- Some (match c.r_slot with Some v -> Value v | None -> assert false)
+  | _ -> assert false
+
+let step_pop_top s c = step_take_published ~base:0 s c
+
+let step_pop_bottom s c =
+  match c.pc with
+  | 0 ->
+      if s.priv <> [] then begin
+        (* private pop of the newest, folded into the top-up's load pub *)
+        c.r_node <- Some (priv_pop_newest s);
+        c.r_p <- s.pub;
+        c.pc <- 1
+      end
+      else begin
+        (* nothing private: reclaim the published task *)
+        c.r_c <- s.con;
+        c.pc <- 11
+      end
+  | 1 ->
+      if s.con >= c.r_p && s.priv <> [] then c.pc <- 2
+      else c.result <- Some (match c.r_node with Some v -> Value v | None -> assert false)
+  | 2 ->
+      s.board.(c.r_p land (board_length - 1)) <- Some (priv_take_oldest s);
+      c.pc <- 3
+  | 3 ->
+      s.pub <- c.r_p + 1;
+      c.result <- Some (match c.r_node with Some v -> Value v | None -> assert false)
+  | _ -> step_take_published ~base:10 s c
+
+let step s c =
+  if c.result <> None then invalid_arg "Wsm_step.step: invocation already finished";
+  match c.op with
+  | Push_bottom _ -> step_push_bottom s c
+  | Pop_bottom -> step_pop_bottom s c
+  | Pop_top -> step_pop_top s c
+
+(* Every method is loop-free: at most four shared accesses. *)
+let steps_bound = function Push_bottom _ -> 4 | Pop_bottom -> 4 | Pop_top -> 4

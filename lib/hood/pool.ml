@@ -1,4 +1,4 @@
-type deque_impl = Abp | Circular | Locked
+type deque_impl = Abp | Circular | Locked | Wsm
 
 (* What a thief does on an empty-handed trip through the loop (Figure 3
    line 15).  [Yield_local] is the classic backoff ladder; [No_yield] the
@@ -73,6 +73,13 @@ type shared = {
      lib/serve mode, where work arrives through [externals] rather than
      a [run] caller); [run] is rejected on such pools. *)
   all_spawned : bool;
+  (* At-most-once execution guard for deque backends with multiplicity
+     (Wsm): every task entering a deque is wrapped in a per-task claim
+     flag resolved by one CAS at execution time, so a task surfaced
+     twice by the fence-free steal path runs once and the loser's copy
+     is discarded (counted in [duplicate_steals]).  False for the
+     exactly-once backends, which pay nothing. *)
+  claim_tasks : bool;
   counters : Counters.t array;  (* per-worker; the sink's records when traced *)
   trace : Sink.t option;
   (* Thief parking: idle thieves that exhaust their backoff block here
@@ -86,6 +93,29 @@ type shared = {
      [run]/[shutdown] boundary instead of silently killing the domain. *)
   pending_exn : (exn * Printexc.raw_backtrace) option Atomic.t;
 }
+
+(* The executing worker's counter record, published to task closures via
+   DLS so the claim guard's duplicate-discard path can attribute the
+   discard to whichever worker ran the losing copy.  Kept separate from
+   [context_key] (below): closures need only the counters, and this key
+   avoids a forward reference to the [worker] variant from inside the
+   [Impl] functor. *)
+let exec_counters_key : Counters.t option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+(* Wrap a task in a fresh claim flag: the first executor wins the CAS
+   and runs it; any later executor of a duplicate copy (same closure,
+   same flag) discards it and bumps its own [duplicate_steals].  The CAS
+   happens at execution time, off the steal path — the fence-free
+   [pop_top] stays read/write-only. *)
+let claim_wrap task =
+  let claimed = Atomic.make false in
+  fun () ->
+    if Atomic.compare_and_set claimed false true then task ()
+    else
+      match !(Domain.DLS.get exec_counters_key) with
+      | Some c -> c.Counters.duplicate_steals <- c.Counters.duplicate_steals + 1
+      | None -> ()
 
 (* The whole scheduling loop is a functor over the deque signature: each
    instantiation's [push_bottom]/[pop_*_detailed] are direct, statically
@@ -155,6 +185,11 @@ module Impl (D : Spec.DETAILED) = struct
     | Some g -> if not (g.poll w.id) then checkpoint_blocked w g
 
   let push_task w task =
+    (* Claim-wrap at the single entry point for new tasks, so every
+       closure a Wsm deque can duplicate carries exactly one flag.
+       Stolen surpluses re-pushed by [repush_surplus] are already
+       wrapped (the wrap travels with the closure). *)
+    let task = if w.pool.shared.claim_tasks then claim_wrap task else task in
     let d = w.pool.deques.(w.id) in
     D.push_bottom d task;
     let c = w.c in
@@ -249,7 +284,14 @@ module Impl (D : Spec.DETAILED) = struct
       | None -> None
       | Some ext -> (
           c.Counters.inject_polls <- c.Counters.inject_polls + 1;
-          match ext.ext_drain pool.shared.batch with
+          (* Externally submitted tasks enter the deque layer here for
+             the first time (the surplus is re-pushed below), so this is
+             their claim-wrap point on a multiplicity backend. *)
+          let drained =
+            let ts = ext.ext_drain pool.shared.batch in
+            if pool.shared.claim_tasks then List.map claim_wrap ts else ts
+          in
+          match drained with
           | [] -> None
           | task :: rest ->
               let got = 1 + List.length rest in
@@ -364,21 +406,25 @@ end
 module Abp_impl = Impl (Abp_deque.Atomic_deque)
 module Circular_impl = Impl (Abp_deque.Circular_deque)
 module Locked_impl = Impl (Abp_deque.Locked_deque)
+module Wsm_impl = Impl (Abp_deque.Wsm_deque)
 
 type t =
   | Abp_pool of Abp_impl.t
   | Circular_pool of Circular_impl.t
   | Locked_pool of Locked_impl.t
+  | Wsm_pool of Wsm_impl.t
 
 type worker =
   | Abp_worker of Abp_impl.worker
   | Circular_worker of Circular_impl.worker
   | Locked_worker of Locked_impl.worker
+  | Wsm_worker of Wsm_impl.worker
 
 let shared_of = function
   | Abp_pool p -> p.Abp_impl.shared
   | Circular_pool p -> p.Circular_impl.shared
   | Locked_pool p -> p.Locked_impl.shared
+  | Wsm_pool p -> p.Wsm_impl.shared
 
 (* Per-domain worker identity. *)
 let context_key : worker option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
@@ -392,6 +438,7 @@ let pool_of = function
   | Abp_worker w -> Abp_pool w.Abp_impl.pool
   | Circular_worker w -> Circular_pool w.Circular_impl.pool
   | Locked_worker w -> Locked_pool w.Locked_impl.pool
+  | Wsm_worker w -> Wsm_pool w.Wsm_impl.pool
 
 let size t = (shared_of t).size
 let batch_size t = (shared_of t).batch
@@ -405,6 +452,7 @@ let deque_size t i =
   | Abp_pool p -> Abp_impl.deque_size p i
   | Circular_pool p -> Circular_impl.deque_size p i
   | Locked_pool p -> Locked_impl.deque_size p i
+  | Wsm_pool p -> Wsm_impl.deque_size p i
 
 (* Aggregates on demand from the per-worker records; exact once the
    workers have quiesced (after [run] returns / after [shutdown]),
@@ -423,27 +471,43 @@ let push_task w task =
   | Abp_worker w -> Abp_impl.push_task w task
   | Circular_worker w -> Circular_impl.push_task w task
   | Locked_worker w -> Locked_impl.push_task w task
+  | Wsm_worker w -> Wsm_impl.push_task w task
 
 let try_get_task = function
   | Abp_worker w -> Abp_impl.try_get_task w
   | Circular_worker w -> Circular_impl.try_get_task w
   | Locked_worker w -> Locked_impl.try_get_task w
+  | Wsm_worker w -> Wsm_impl.try_get_task w
 
 let local_deque_size = function
   | Abp_worker w -> Abp_impl.local_size w
   | Circular_worker w -> Circular_impl.local_size w
   | Locked_worker w -> Locked_impl.local_size w
+  | Wsm_worker w -> Wsm_impl.local_size w
 
 let checkpoint = function
   | Abp_worker w -> Abp_impl.checkpoint w
   | Circular_worker w -> Circular_impl.checkpoint w
   | Locked_worker w -> Locked_impl.checkpoint w
+  | Wsm_worker w -> Wsm_impl.checkpoint w
+
+let worker_counters = function
+  | Abp_worker w -> w.Abp_impl.c
+  | Circular_worker w -> w.Circular_impl.c
+  | Locked_worker w -> w.Locked_impl.c
+  | Wsm_worker w -> w.Wsm_impl.c
 
 let with_context w f =
   let slot = Domain.DLS.get context_key in
-  let saved = !slot in
+  let cslot = Domain.DLS.get exec_counters_key in
+  let saved = !slot and csaved = !cslot in
   slot := Some w;
-  Fun.protect ~finally:(fun () -> slot := saved) f
+  cslot := Some (worker_counters w);
+  Fun.protect
+    ~finally:(fun () ->
+      slot := saved;
+      cslot := csaved)
+    f
 
 let create ?processes ?deque_capacity ?(yield_between_steals = true) ?yield_kind
     ?(park_threshold = default_park_threshold) ?(deque_impl = Abp) ?(batch = 0) ?trace
@@ -476,6 +540,7 @@ let create ?processes ?deque_capacity ?(yield_between_steals = true) ?yield_kind
       batch;
       externals = external_source;
       all_spawned = spawn_all;
+      claim_tasks = deque_impl = Wsm;
       counters =
         (match trace with
         | Some s -> Sink.per_worker s
@@ -532,6 +597,18 @@ let create ?processes ?deque_capacity ?(yield_between_steals = true) ?yield_kind
           let w = Locked_impl.make_worker it id in
           with_context (Locked_worker w) (fun () -> Locked_impl.worker_loop w));
       Locked_pool it
+  | Wsm ->
+      let it =
+        {
+          Wsm_impl.shared;
+          deques =
+            Array.init processes (fun _ -> Abp_deque.Wsm_deque.create ?capacity:deque_capacity ());
+        }
+      in
+      spawn_workers (fun id ->
+          let w = Wsm_impl.make_worker it id in
+          with_context (Wsm_worker w) (fun () -> Wsm_impl.worker_loop w));
+      Wsm_pool it
 
 let reraise_pending sh =
   match Atomic.exchange sh.pending_exn None with
@@ -559,6 +636,7 @@ let run pool f =
         | Abp_pool it -> Abp_worker (Abp_impl.make_worker it 0)
         | Circular_pool it -> Circular_worker (Circular_impl.make_worker it 0)
         | Locked_pool it -> Locked_worker (Locked_impl.make_worker it 0)
+        | Wsm_pool it -> Wsm_worker (Wsm_impl.make_worker it 0)
       in
       let v = with_context w f in
       reraise_pending sh;

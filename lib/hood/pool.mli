@@ -49,6 +49,19 @@ type deque_impl =
       (** the growable Chase-Lev-style extension
           ({!Abp_deque.Circular_deque}) — never overflows *)
   | Locked  (** mutex-protected baseline ({!Abp_deque.Locked_deque}) *)
+  | Wsm
+      (** the fence-free deque with multiplicity
+          ({!Abp_deque.Wsm_deque}, after Castañeda–Piña): no CAS and no
+          fence on the steal path, at the price of occasional duplicate
+          extractions.  The pool keeps scheduler-level semantics
+          exactly-once by wrapping every task entering a deque in a
+          per-task claim flag, resolved by a single
+          [Atomic.compare_and_set] at {e execution} time — off the
+          steal path — so a duplicated task runs once and the losing
+          copy is discarded, counted in the executing worker's
+          [duplicate_steals] telemetry
+          ({!Abp_trace.Counters.t.duplicate_steals}).  The other
+          backends pay nothing for this guard. *)
 
 type yield_kind =
   | No_yield

@@ -44,6 +44,43 @@ let batched_thief =
     thieves = [ [ Sd.Pop_top; Sd.Pop_top; Sd.Pop_top ] ];
   }
 
+module Ws = Abp_deque.Wsm_step
+
+(* The wsm backend's owner/thief race around the unfenced cursor reads:
+   the owner publishes, drains and republishes (exercising the pop_bottom
+   reclaim path and the board top-up) while two thieves race the same
+   published window — the interleavings where both thieves read the same
+   [con] and both blindly store [con + 1] are exactly where multiplicity
+   appears, and {!Wsm_explorer} verifies nothing worse does. *)
+let wsm_thief =
+  {
+    Wsm_explorer.owner =
+      [ Ws.Push_bottom 1; Ws.Push_bottom 2; Ws.Pop_bottom; Ws.Push_bottom 3; Ws.Pop_bottom ];
+    thieves = [ [ Ws.Pop_top; Ws.Pop_top ]; [ Ws.Pop_top ] ];
+  }
+
+(* Board-slot reuse: five pushes against a drain-happy owner wrap the
+   model's 4-slot publication ring, so a thief's in-flight invocation
+   can straddle a slot's overwrite — the stale-read scenario the
+   publish-requires-drained rule makes safe. *)
+let wsm_reuse =
+  {
+    Wsm_explorer.owner =
+      [
+        Ws.Push_bottom 1;
+        Ws.Pop_bottom;
+        Ws.Push_bottom 2;
+        Ws.Pop_bottom;
+        Ws.Push_bottom 3;
+        Ws.Pop_bottom;
+        Ws.Push_bottom 4;
+        Ws.Pop_bottom;
+        Ws.Push_bottom 5;
+        Ws.Pop_bottom;
+      ];
+    thieves = [ [ Ws.Pop_top ] ];
+  }
+
 let random_program ~rng ~ops ~thieves =
   if ops < 0 || thieves < 0 then invalid_arg "Props.random_program";
   let next_val = ref 0 in

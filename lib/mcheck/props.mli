@@ -31,6 +31,21 @@ val batched_thief : Explorer.program
     individual [popTop]s stays conservation-safe under every
     interleaving. *)
 
+val wsm_thief : Wsm_explorer.program
+(** The {!Abp_deque.Wsm_deque} owner/thief race around the unfenced
+    cursor reads: two thieves race the same published window while the
+    owner drains and republishes.  Interleavings where both thieves
+    read the same [con] exhibit multiplicity
+    ({!Wsm_explorer.report.max_duplicates} [> 0]); the explorer
+    verifies the relaxation goes no further (nothing lost, nothing
+    invented, serial executions exact). *)
+
+val wsm_reuse : Wsm_explorer.program
+(** Board-slot reuse: enough publishes to wrap
+    {!Abp_deque.Wsm_step.board_length} while a thief's invocation can
+    straddle a slot overwrite — the stale-read scenario made safe by
+    the publish-requires-drained rule. *)
+
 val random_program : rng:(int -> int) -> ops:int -> thieves:int -> Explorer.program
 (** Random small program: [ops] owner operations (pushes of distinct
     values and pops, drawn with [rng n] uniform in [0, n)), and [thieves]

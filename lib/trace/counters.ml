@@ -20,6 +20,7 @@ type t = {
   mutable gate_suspends : int;
   mutable gate_wait_ns : int;
   mutable directed_yields : int;
+  mutable duplicate_steals : int;
   steal_batch_hist : int array;
 }
 
@@ -62,6 +63,7 @@ let create () =
       gate_suspends = 0;
       gate_wait_ns = 0;
       directed_yields = 0;
+      duplicate_steals = 0;
       steal_batch_hist = Array.make batch_buckets 0;
     }
 
@@ -87,6 +89,7 @@ let reset c =
   c.gate_suspends <- 0;
   c.gate_wait_ns <- 0;
   c.directed_yields <- 0;
+  c.duplicate_steals <- 0;
   Array.fill c.steal_batch_hist 0 batch_buckets 0
 
 let copy c =
@@ -124,6 +127,7 @@ let add ~into c =
   into.gate_suspends <- into.gate_suspends + c.gate_suspends;
   into.gate_wait_ns <- into.gate_wait_ns + c.gate_wait_ns;
   into.directed_yields <- into.directed_yields + c.directed_yields;
+  into.duplicate_steals <- into.duplicate_steals + c.duplicate_steals;
   Array.iteri
     (fun i v -> into.steal_batch_hist.(i) <- into.steal_batch_hist.(i) + v)
     c.steal_batch_hist
@@ -156,6 +160,7 @@ let fields c =
     ("gate_suspends", c.gate_suspends);
     ("gate_wait_ns", c.gate_wait_ns);
     ("directed_yields", c.directed_yields);
+    ("duplicate_steals", c.duplicate_steals);
   ]
 
 let batch_hist c = Array.copy c.steal_batch_hist
@@ -172,13 +177,14 @@ let complete c =
 
 let pp ppf c =
   Fmt.pf ppf
-    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s%s%s"
+    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s%s%s%s"
     c.successful_steals c.steal_attempts c.steal_empties c.cas_failures_pop_top c.pushes c.pops
     c.yields c.parks c.lock_spins c.deque_high_water
     (if c.stolen_tasks > c.successful_steals then
        Printf.sprintf " batched %d tasks/%d batch-steals (max %d)" c.stolen_tasks c.batch_steals
          c.max_steal_batch
      else "")
+    (if c.duplicate_steals > 0 then Printf.sprintf " dup-steals %d" c.duplicate_steals else "")
     (if c.inject_tasks > 0 || c.inject_polls > 0 then
        Printf.sprintf " inject %d/%d%s" c.inject_tasks c.inject_polls
          (if c.inject_batches > 0 then Printf.sprintf " (%d batched)" c.inject_batches else "")

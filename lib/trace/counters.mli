@@ -74,6 +74,13 @@ type t = {
       (** stage-1 yields escalated to the gate controller under
           [Yield_to_random]/[Yield_to_all] (the paper's yieldToRandom /
           yieldToAll kernel directives) *)
+  mutable duplicate_steals : int;
+      (** tasks surfaced by the deque but discarded at execution time
+          because another worker had already claimed them — nonzero only
+          on the {!Abp_deque.Wsm_deque} backend, whose fence-free
+          [pop_top] is allowed multiplicity; the pool's per-task claim
+          flag keeps execution exactly-once and counts the discards
+          here *)
   steal_batch_hist : int array;
       (** tasks-per-transfer histogram over {!batch_buckets} fixed
           buckets (see {!batch_bucket_labels}); fed by {!note_batch} on

@@ -107,6 +107,46 @@ let hoodrun_mp_json_schema () =
       {|"suspended_seconds"|};
     ]
 
+(* --deque is a closed enum: an unknown backend must exit 1 with a clean
+   message listing the valid names (not a backtrace), and the wsm
+   backend must run end to end. *)
+let hoodrun_unknown_deque_exits_nonzero () =
+  let code, err = run_capturing "../bin/hoodrun.exe fib -n 10 -p 2 --deque nosuch" in
+  Alcotest.(check int) "exit code 1" 1 code;
+  Alcotest.(check bool) "names the bad backend" true (contains err "unknown deque");
+  List.iter
+    (fun backend ->
+      Alcotest.(check bool) (Printf.sprintf "lists %s" backend) true (contains err backend))
+    [ "abp"; "circular"; "locked"; "wsm" ];
+  Alcotest.(check bool) "no backtrace" false (contains err "Raised at")
+
+let hoodrun_wsm_deque_succeeds () =
+  let code, err = run_capturing "../bin/hoodrun.exe fib -n 15 -p 2 --deque wsm" in
+  Alcotest.(check int) "exit code 0" 0 code;
+  Alcotest.(check string) "silent stderr" "" err
+
+(* The wsm pool under the gated adversary emits the duplicate_steals
+   telemetry field (additive to schema hoodrun/3). *)
+let hoodrun_wsm_json_duplicates () =
+  let json = Filename.temp_file "abp_cli" ".json" in
+  let code, err =
+    run_capturing
+      (Printf.sprintf
+         "../bin/hoodrun.exe fib -n 18 -p 2 --deque wsm --adversary duty:on=1,off=1 \
+          --yield random --quantum 0.5 --json %s"
+         json)
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "silent stderr" "" err;
+  let ic = open_in json in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove json;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (Printf.sprintf "json has %s" key) true (contains s key))
+    [ {|"schema":"hoodrun/3"|}; {|"duplicate_steals"|} ]
+
 let tests =
   [
     Alcotest.test_case "hoodrun: crash workload exits 1 + stderr" `Quick
@@ -122,4 +162,9 @@ let tests =
     Alcotest.test_case "shared adversary spec rejected by both" `Quick
       shared_adversary_spec_rejected_by_both;
     Alcotest.test_case "hoodrun: mp json schema" `Quick hoodrun_mp_json_schema;
+    Alcotest.test_case "hoodrun: unknown deque exits 1 + lists backends" `Quick
+      hoodrun_unknown_deque_exits_nonzero;
+    Alcotest.test_case "hoodrun: wsm deque runs" `Quick hoodrun_wsm_deque_succeeds;
+    Alcotest.test_case "hoodrun: wsm json reports duplicate_steals" `Quick
+      hoodrun_wsm_json_duplicates;
   ]

@@ -398,6 +398,154 @@ let circular_concurrent_conservation_batched () =
   Alcotest.(check int) "every value consumed once" n (!own_count + Atomic.get stolen_count);
   Alcotest.(check int) "sum conserved" (n * (n + 1) / 2) (!own_sum + Atomic.get stolen_sum)
 
+(* --- wsm: the fence-free multiplicity deque -------------------------- *)
+
+(* Serially the wsm deque is exact for the owner and exact-when-it-answers
+   for the thief: popTop's [Some v] is always the true oldest item (the
+   published window holds the globally oldest), but [None] can come early
+   when the window is drained and the remaining items are still in the
+   owner's private segment — the documented weakening of {!Spec.S}. *)
+let wsm_serial_differential ~ops ~seed () =
+  let rng = Rng.create ~seed () in
+  let d : int Wsm_deque.t = Wsm_deque.create ~capacity:64 () in
+  let oracle = Spec.Reference.create () in
+  let next = ref 0 in
+  let nil_early = ref 0 in
+  for _ = 1 to ops do
+    match Rng.int rng 3 with
+    | 0 ->
+        incr next;
+        Wsm_deque.push_bottom d !next;
+        Spec.Reference.push_bottom oracle !next
+    | 1 ->
+        let got = Wsm_deque.pop_bottom d and want = Spec.Reference.pop_bottom oracle in
+        Alcotest.(check (option int)) "wsm pop_bottom exact" want got
+    | _ -> (
+        match Wsm_deque.pop_top d with
+        | Some v ->
+            Alcotest.(check (option int)) "wsm pop_top returns the true top"
+              (Spec.Reference.pop_top oracle) (Some v)
+        | None ->
+            (* Legal even when nonempty; the oracle is left untouched, so
+               both sides still hold the same items. *)
+            if Spec.Reference.size oracle > 0 then incr nil_early)
+  done;
+  Alcotest.(check int) "final size agrees" (Spec.Reference.size oracle) (Wsm_deque.size d);
+  let rec drain () =
+    let got = Wsm_deque.pop_bottom d and want = Spec.Reference.pop_bottom oracle in
+    Alcotest.(check (option int)) "drain agrees" want got;
+    if got <> None then drain ()
+  in
+  drain ();
+  (* The weakening must actually be exercised, or this test proves less
+     than it claims. *)
+  Alcotest.(check bool) "early Nil path exercised" true (!nil_early > 0)
+
+(* The documented wsm fallback: pop_top_n takes at most the one published
+   item, and an empty window yields an empty batch until the owner's next
+   push or popBottom republishes. *)
+let wsm_pop_top_n_fallback () =
+  let d : int Wsm_deque.t = Wsm_deque.create ~capacity:8 () in
+  for i = 1 to 6 do
+    Wsm_deque.push_bottom d i
+  done;
+  Alcotest.(check (list int)) "single item despite big n" [ 1 ] (Wsm_deque.pop_top_n d 10);
+  Alcotest.(check int) "rest untouched" 5 (Wsm_deque.size d);
+  Alcotest.(check (list int)) "drained window yields empty batch" [] (Wsm_deque.pop_top_n d 3);
+  Alcotest.(check (option int)) "owner pops newest" (Some 6) (Wsm_deque.pop_bottom d);
+  Alcotest.(check (list int)) "owner's pop republished the next oldest" [ 2 ]
+    (Wsm_deque.pop_top_n d 3);
+  Alcotest.check_raises "n >= 1 enforced"
+    (Invalid_argument "Wsm_deque.pop_top_n: n >= 1 required") (fun () ->
+      ignore (Wsm_deque.pop_top_n d 0))
+
+(* --- the multiset oracle --------------------------------------------- *)
+
+(* Mutation-style self-test: the oracle must actually reject bad traces,
+   otherwise the differentials below prove nothing.  A deliberately
+   duplicated extraction is illegal under the exactly-once law yet legal
+   under multiplicity; extracting a never-pushed value is illegal under
+   both. *)
+let multiset_rejects_mutants () =
+  let m : int Spec.Multiset_reference.t = Spec.Multiset_reference.create () in
+  Spec.Multiset_reference.push m 1;
+  Alcotest.(check bool) "first extract unique" true
+    (Spec.Multiset_reference.extract m 1 = Spec.Multiset_reference.Unique);
+  Alcotest.(check bool) "clean trace legal (strict)" true
+    (Spec.Multiset_reference.legal ~allows_multiplicity:false m);
+  (* The mutant: replay the same steal, as a lost CAS race would. *)
+  Alcotest.(check bool) "duplicate flagged" true
+    (Spec.Multiset_reference.extract m 1 = Spec.Multiset_reference.Duplicate);
+  Alcotest.(check bool) "strict law rejects the duplicated trace" false
+    (Spec.Multiset_reference.legal ~allows_multiplicity:false m);
+  Alcotest.(check bool) "multiplicity law tolerates it" true
+    (Spec.Multiset_reference.legal ~allows_multiplicity:true m);
+  Alcotest.(check int) "one duplicate counted" 1 (Spec.Multiset_reference.duplicates m);
+  Alcotest.(check int) "nothing outstanding" 0 (Spec.Multiset_reference.outstanding m);
+  (* An invented value breaks even the relaxed law. *)
+  Alcotest.(check bool) "never-pushed flagged" true
+    (Spec.Multiset_reference.extract m 2 = Spec.Multiset_reference.Never_pushed);
+  Alcotest.(check bool) "relaxed law rejects invention" false
+    (Spec.Multiset_reference.legal ~allows_multiplicity:true m)
+
+(* qcheck: every backend run serially against the multiset oracle.  The
+   exactly-once backends must satisfy the strict law; wsm is held to the
+   law its contract actually promises (multiplicity allowed — serially it
+   never duplicates, but the harness must not assume so). *)
+let prop_multiset_differential name (module D : Spec.S) ~allows_multiplicity =
+  QCheck2.Test.make ~name ~count:50
+    QCheck2.Gen.(list_size (int_range 1 200) (int_range 0 2))
+    (fun ops ->
+      let d = D.create ~capacity:1024 () in
+      let m = Spec.Multiset_reference.create () in
+      let next = ref 0 in
+      let extract v = ignore (Spec.Multiset_reference.extract m v) in
+      List.iter
+        (fun op ->
+          match op with
+          | 0 ->
+              incr next;
+              D.push_bottom d !next;
+              Spec.Multiset_reference.push m !next
+          | 1 -> Option.iter extract (D.pop_bottom d)
+          | _ -> Option.iter extract (D.pop_top d))
+        ops;
+      let rec drain () =
+        match D.pop_bottom d with
+        | Some v ->
+            extract v;
+            drain ()
+        | None -> ()
+      in
+      drain ();
+      Spec.Multiset_reference.legal ~allows_multiplicity m
+      && Spec.Multiset_reference.outstanding m = 0)
+
+(* Batch early-cutoff legality, uniform across every backend including
+   wsm's single-item fallback: whatever [pop_top_n d n] returns must be
+   at most [n] items and linearize as exactly that many individual
+   oracle popTops, oldest first; an empty batch pops nothing. *)
+let prop_batch_linearizes name (module D : Spec.S) =
+  QCheck2.Test.make ~name ~count:50
+    QCheck2.Gen.(list_size (int_range 1 150) (pair (int_range 0 1) (int_range 1 6)))
+    (fun ops ->
+      let d = D.create ~capacity:1024 () in
+      let oracle = Spec.Reference.create () in
+      let next = ref 0 in
+      List.for_all
+        (fun (op, n) ->
+          match op with
+          | 0 ->
+              incr next;
+              D.push_bottom d !next;
+              Spec.Reference.push_bottom oracle !next;
+              true
+          | _ ->
+              let got = D.pop_top_n d n in
+              List.length got <= n
+              && List.for_all (fun v -> Spec.Reference.pop_top oracle = Some v) got)
+        ops)
+
 let tests =
   [
     Alcotest.test_case "atomic: smoke" `Quick (lifo_fifo_smoke (module Atomic_deque));
@@ -444,4 +592,29 @@ let tests =
       (prop_differential_batch "circular batched steal matches oracle" (module Circular_deque));
     QCheck_alcotest.to_alcotest
       (prop_differential_batch "locked batched steal matches oracle" (module Locked_deque));
+    Alcotest.test_case "wsm: smoke" `Quick (lifo_fifo_smoke (module Wsm_deque));
+    Alcotest.test_case "wsm: serial differential (relaxed popTop)" `Quick
+      (wsm_serial_differential ~ops:5000 ~seed:107L);
+    Alcotest.test_case "wsm: pop_top_n single-item fallback" `Quick wsm_pop_top_n_fallback;
+    Alcotest.test_case "multiset oracle: rejects mutant traces" `Quick multiset_rejects_mutants;
+    QCheck_alcotest.to_alcotest
+      (prop_multiset_differential "atomic exactly-once vs multiset oracle" (module Atomic_deque)
+         ~allows_multiplicity:false);
+    QCheck_alcotest.to_alcotest
+      (prop_multiset_differential "circular exactly-once vs multiset oracle"
+         (module Circular_deque) ~allows_multiplicity:false);
+    QCheck_alcotest.to_alcotest
+      (prop_multiset_differential "locked exactly-once vs multiset oracle" (module Locked_deque)
+         ~allows_multiplicity:false);
+    QCheck_alcotest.to_alcotest
+      (prop_multiset_differential "wsm vs multiset oracle (multiplicity allowed)"
+         (module Wsm_deque) ~allows_multiplicity:true);
+    QCheck_alcotest.to_alcotest
+      (prop_batch_linearizes "atomic batch linearizes as popTops" (module Atomic_deque));
+    QCheck_alcotest.to_alcotest
+      (prop_batch_linearizes "circular batch linearizes as popTops" (module Circular_deque));
+    QCheck_alcotest.to_alcotest
+      (prop_batch_linearizes "locked batch linearizes as popTops" (module Locked_deque));
+    QCheck_alcotest.to_alcotest
+      (prop_batch_linearizes "wsm batch linearizes as popTops" (module Wsm_deque));
   ]

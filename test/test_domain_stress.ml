@@ -183,6 +183,117 @@ let untraced_pool_accessors_are_sums () =
     (totals.Counters.pops + totals.Counters.successful_steals);
   Alcotest.(check int) "no task exceptions" 0 totals.Counters.task_exceptions
 
+(* --- wsm: the fence-free multiplicity deque -------------------------- *)
+
+(* Thief parallelism follows ABP_MP_PROCS (the lib/mp convention) so CI
+   can oversubscribe the box; at least 2 so there is always one thief. *)
+let wsm_procs () =
+  match Sys.getenv_opt "ABP_MP_PROCS" with
+  | Some s -> ( try max 2 (int_of_string s) with _ -> 3)
+  | None -> 3
+
+let wsm_n_items = 1_000_000
+
+(* Raw-deque stress at >= 1e6 owner operations.  Duplicates are LEGAL on
+   this backend, so the harness must not reuse [stress]'s exactly-once
+   bookkeeping: [remaining] is decremented only on the FIRST extraction
+   of a value (a duplicate would otherwise strand later values), and
+   conservation is at-least-once — nothing lost, every extra extraction
+   counted, and the exactly-once arithmetic restored once the duplicate
+   count is added back.  The steal path is also wait-free without CAS,
+   so no attempt may classify as Contended. *)
+let wsm_deque_stress () =
+  let d : int Abp_deque.Wsm_deque.t = Abp_deque.Wsm_deque.create ~capacity:1024 () in
+  let n_thieves = max 1 (wsm_procs () - 1) in
+  let seen = Array.init wsm_n_items (fun _ -> Atomic.make 0) in
+  let remaining = Atomic.make wsm_n_items in
+  let duplicates = Atomic.make 0 in
+  let take v =
+    if Atomic.fetch_and_add seen.(v) 1 = 0 then Atomic.decr remaining
+    else Atomic.incr duplicates
+  in
+  let owner = Counters.create () in
+  let thief_counters = Array.init n_thieves (fun _ -> Counters.create ()) in
+  let thief i =
+    let c = thief_counters.(i) in
+    while Atomic.get remaining > 0 do
+      c.Counters.steal_attempts <- c.Counters.steal_attempts + 1;
+      match Abp_deque.Wsm_deque.pop_top_detailed d with
+      | Spec.Got v ->
+          c.Counters.successful_steals <- c.Counters.successful_steals + 1;
+          take v
+      | Spec.Empty ->
+          c.Counters.steal_empties <- c.Counters.steal_empties + 1;
+          Domain.cpu_relax ()
+      | Spec.Contended -> c.Counters.cas_failures_pop_top <- c.Counters.cas_failures_pop_top + 1
+    done
+  in
+  let domains = Array.init n_thieves (fun i -> Domain.spawn (fun () -> thief i)) in
+  let owner_pop () =
+    match Abp_deque.Wsm_deque.pop_bottom_detailed d with
+    | Spec.Got v ->
+        owner.Counters.pops <- owner.Counters.pops + 1;
+        take v
+    | Spec.Empty -> ()
+    | Spec.Contended -> Alcotest.fail "wsm popBottom returned Contended"
+  in
+  for v = 0 to wsm_n_items - 1 do
+    Abp_deque.Wsm_deque.push_bottom d v;
+    owner.Counters.pushes <- owner.Counters.pushes + 1;
+    if v mod 7 = 0 then owner_pop ()
+  done;
+  while Atomic.get remaining > 0 do
+    owner_pop ()
+  done;
+  Array.iter Domain.join domains;
+  let lost = ref 0 in
+  Array.iter (fun slot -> if Atomic.get slot = 0 then incr lost) seen;
+  Alcotest.(check int) "wsm: no value lost" 0 !lost;
+  Alcotest.(check int) "wsm: all pushes counted" wsm_n_items owner.Counters.pushes;
+  Alcotest.(check bool) "wsm: duplicate count sane" true (Atomic.get duplicates >= 0);
+  let stolen = Array.fold_left (fun a c -> a + c.Counters.successful_steals) 0 thief_counters in
+  Alcotest.(check int) "wsm: pops + steals = pushes + duplicates"
+    (wsm_n_items + Atomic.get duplicates)
+    (owner.Counters.pops + stolen);
+  Array.iteri
+    (fun i c ->
+      let name = Printf.sprintf "wsm: thief %d" i in
+      Alcotest.(check int) (name ^ " no Contended (no-CAS popTop)") 0
+        c.Counters.cas_failures_pop_top;
+      Alcotest.(check int)
+        (name ^ " attempts = successes + empties")
+        c.Counters.steal_attempts
+        (c.Counters.successful_steals + c.Counters.steal_empties))
+    thief_counters
+
+(* Pool-level exactly-once on the wsm backend: the deque may surface a
+   task closure twice, but the per-task claim flag must discard the
+   duplicate before it runs.  Every cell is bumped exactly once, and
+   discarded duplicates stay visible in the telemetry: at quiescence
+   pops + stolen tasks = pushes + duplicate_steals. *)
+let wsm_pool_exactly_once () =
+  let p = wsm_procs () in
+  let n = 50_000 in
+  let cells = Array.init n (fun _ -> Atomic.make 0) in
+  let sink = Sink.create ~workers:p () in
+  let pool = Abp_hood.Pool.create ~processes:p ~deque_impl:Abp_hood.Pool.Wsm ~trace:sink () in
+  Fun.protect
+    ~finally:(fun () -> Abp_hood.Pool.shutdown pool)
+    (fun () ->
+      Abp_hood.Pool.run pool (fun () ->
+          Abp_hood.Par.parallel_for ~grain:1 ~lo:0 ~hi:n (fun i -> Atomic.incr cells.(i))));
+  Array.iteri
+    (fun i c ->
+      let got = Atomic.get c in
+      if got <> 1 then Alcotest.failf "cell %d executed %d times (want exactly 1)" i got)
+    cells;
+  let totals = Sink.totals sink in
+  Alcotest.(check bool) "attempts fully classified" true (Counters.complete totals);
+  Alcotest.(check bool) "duplicates never negative" true (totals.Counters.duplicate_steals >= 0);
+  Alcotest.(check int) "pops + stolen tasks = pushes + discarded duplicates"
+    (totals.Counters.pushes + totals.Counters.duplicate_steals)
+    (totals.Counters.pops + totals.Counters.stolen_tasks)
+
 let tests =
   [
     Alcotest.test_case "owner vs 3 thieves on ABP deque" `Quick atomic_deque_stress;
@@ -191,4 +302,7 @@ let tests =
       pool_instrumented_arithmetic;
     Alcotest.test_case "untraced pool: accessors are per-worker sums" `Quick
       untraced_pool_accessors_are_sums;
+    Alcotest.test_case "wsm deque: owner vs thieves, at-least-once + counted duplicates" `Quick
+      wsm_deque_stress;
+    Alcotest.test_case "wsm pool: exactly-once via claim flag" `Quick wsm_pool_exactly_once;
   ]

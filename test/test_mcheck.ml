@@ -130,6 +130,67 @@ let corpus_untagged_aba () =
             [] r.Explorer.violations)
     corpus
 
+(* --- wsm: the fence-free multiplicity deque (Wsm_explorer) ----------- *)
+
+module Ws = Abp_deque.Wsm_step
+
+let wsm_verified name (r : Wsm_explorer.report) =
+  Alcotest.(check (list string)) (name ^ ": no violations") [] r.Wsm_explorer.violations;
+  Alcotest.(check bool) (name ^ ": explored states") true (r.Wsm_explorer.states_explored > 0);
+  Alcotest.(check bool)
+    (name ^ ": complete executions")
+    true
+    (r.Wsm_explorer.complete_executions > 0)
+
+(* The headline property: the owner/thief race MUST exhibit multiplicity
+   in some interleaving (two thieves reading the same [con] before either
+   blind store lands), the harness must see and count it, and nothing
+   beyond that relaxation may occur — nothing lost, nothing invented,
+   serial executions exact against the LIFO oracle. *)
+let wsm_thief_multiplicity () =
+  let r = Wsm_explorer.explore Props.wsm_thief in
+  wsm_verified "wsm thief" r;
+  Alcotest.(check bool) "serial executions checked" true (r.Wsm_explorer.serial_executions > 0);
+  Alcotest.(check bool) "multiplicity observed" true (r.Wsm_explorer.max_duplicates >= 1)
+
+(* Board-slot reuse across the 4-slot model ring: publishes wrapping the
+   ring while a thief invocation straddles a slot overwrite stay safe
+   (publish requires a drained window, so a stale slot read cannot be
+   confused for a live item). *)
+let wsm_reuse_safe () = wsm_verified "wsm reuse" (Wsm_explorer.explore Props.wsm_reuse)
+
+let wsm_owner_only_fully_serial () =
+  let r =
+    Wsm_explorer.explore
+      {
+        Wsm_explorer.owner =
+          [ Ws.Push_bottom 1; Ws.Push_bottom 2; Ws.Pop_bottom; Ws.Pop_bottom; Ws.Pop_bottom ];
+        thieves = [];
+      }
+  in
+  wsm_verified "wsm owner only" r;
+  Alcotest.(check int) "every execution is serial" r.Wsm_explorer.complete_executions
+    r.Wsm_explorer.serial_executions;
+  Alcotest.(check int) "no duplicates without thieves" 0 r.Wsm_explorer.max_duplicates
+
+let wsm_thief_on_empty () =
+  (* A lone popTop on an empty deque: NIL must be legal (the window is
+     empty at every instant of the invocation). *)
+  wsm_verified "wsm thief on empty"
+    (Wsm_explorer.explore { Wsm_explorer.owner = []; thieves = [ [ Ws.Pop_top ] ] })
+
+let wsm_rejects_owner_op_in_thief () =
+  Alcotest.check_raises "thief pushes"
+    (Invalid_argument "Wsm_explorer: thief may only popTop, got pushBottom(1)") (fun () ->
+      ignore (Wsm_explorer.explore { Wsm_explorer.owner = []; thieves = [ [ Ws.Push_bottom 1 ] ] }))
+
+let wsm_rejects_duplicate_push () =
+  Alcotest.check_raises "duplicate pushed value"
+    (Invalid_argument "Wsm_explorer: pushed values must be distinct") (fun () ->
+      ignore
+        (Wsm_explorer.explore
+           { Wsm_explorer.owner = [ Ws.Push_bottom 1; Ws.Push_bottom 1 ]; thieves = [] }))
+
 let prop_random_programs_safe =
   QCheck2.Test.make ~name:"random programs meet relaxed semantics" ~count:25
     QCheck2.Gen.(triple (int_range 1 1000) (int_range 1 5) (int_range 0 2))
@@ -155,5 +216,12 @@ let tests =
     Alcotest.test_case "owner drain vs two thieves" `Quick owner_drain_vs_two_thieves;
     Alcotest.test_case "corpus: safe at full tag width" `Quick corpus_safe_at_full_width;
     Alcotest.test_case "corpus: untagged ABA iff owner resets" `Quick corpus_untagged_aba;
+    Alcotest.test_case "wsm: thief race exhibits bounded multiplicity" `Quick
+      wsm_thief_multiplicity;
+    Alcotest.test_case "wsm: board-slot reuse safe" `Quick wsm_reuse_safe;
+    Alcotest.test_case "wsm: owner-only program fully serial" `Quick wsm_owner_only_fully_serial;
+    Alcotest.test_case "wsm: thief on empty deque" `Quick wsm_thief_on_empty;
+    Alcotest.test_case "wsm: rejects owner op in thief" `Quick wsm_rejects_owner_op_in_thief;
+    Alcotest.test_case "wsm: rejects duplicate pushed values" `Quick wsm_rejects_duplicate_push;
     QCheck_alcotest.to_alcotest prop_random_programs_safe;
   ]

@@ -213,8 +213,9 @@ let fields_cover_every_counter () =
       "gate_suspends";
       "gate_wait_ns";
       "directed_yields";
+      "duplicate_steals";
     ];
-  Alcotest.(check int) "exactly the 21 fields" 21 (List.length names)
+  Alcotest.(check int) "exactly the 22 fields" 22 (List.length names)
 
 let tests =
   [
