@@ -26,8 +26,14 @@
      separately, so BENCH_mp records whether the steal-path fence
      savings survive the kernel adversary — along with the wsm pool's
      duplicate_steals count (duplicates the claim flag discarded).
+   - steal_volume: measured stolen_tasks on ungated tree/chain runs per
+     backend, normalized by the P*Tinf steal-count bound (the
+     work-stealing steal volume is O(P*Tinf) in expectation — the bound
+     localized stealing preserves, Suksompong–Leiserson–Schardl).  The
+     ratio is the empirical constant; full mode asserts it stays under
+     a generous cap.
 
-   Emits machine-readable JSON (default BENCH_mp.json, schema abp-mp/2),
+   Emits machine-readable JSON (default BENCH_mp.json, schema abp-mp/3),
    then re-reads and schema-checks it, exiting nonzero on a malformed
    document or a failed acceptance check — CI relies on this:
 
@@ -414,6 +420,72 @@ let run_backends ips =
     [ (Abp.Pool.Abp, "abp"); (Abp.Pool.Wsm, "wsm") ]
 
 (* ------------------------------------------------------------------ *)
+(* Section 6: steal-volume validation — measured stolen_tasks against *)
+(* the O(P*Tinf) steal-count bound on the tree/chain corpus.          *)
+
+type steal_volume = {
+  sv_backend : string;
+  sv_workload : string;
+  sv_p : int;
+  sv_tinf_nodes : int;  (* exact span in node units *)
+  sv_stolen : int;  (* summed over the repeats *)
+  sv_ratio : float;  (* stolen_tasks / (P * Tinf), per run *)
+  sv_result : int;
+}
+
+(* Generous empirical cap on stolen_tasks / (P * Tinf): the expectation
+   bound's constant is small (a handful), and the structural ceiling
+   (every task stolen) sits near nodes/(P*Tinf) ~ 110 for the full-mode
+   tree — so 64 is far above honest behaviour yet still falsifiable. *)
+let steal_ratio_cap = 64.0
+
+let run_steal_volume ips =
+  let p = 3 in
+  let target = if !smoke then 0.02 else 0.08 in
+  (* Deeper than the fit tree so the all-stolen ceiling sits well above
+     the cap and the assertion has teeth. *)
+  let d = if !smoke then 8 else 11 in
+  let nodes = (1 lsl (d + 1)) - 1 in
+  let iters = max 1 (int_of_float (target /. float_of_int nodes *. ips)) in
+  let links = max 1 (int_of_float (target /. 2.0 *. ips) / max 1 iters) in
+  let workloads =
+    [
+      ("tree", (fun () -> spin_tree d iters), d + 1);
+      ("chain", (fun () -> spin_chain links iters), links + 1);
+    ]
+  in
+  List.concat_map
+    (fun (deque, name) ->
+      List.map
+        (fun (wname, f, tinf_nodes) ->
+          let pool = Abp.Pool.create ~processes:p ~deque_impl:deque () in
+          let result =
+            Fun.protect
+              ~finally:(fun () -> Abp.Pool.shutdown pool)
+              (fun () ->
+                let r = ref 0 in
+                for _ = 1 to !repeats do
+                  r := Abp.Pool.run pool f
+                done;
+                !r)
+          in
+          let t = Abp.Trace.Counters.sum (Abp.Pool.counters pool) in
+          let stolen = t.Abp.Trace.Counters.stolen_tasks in
+          {
+            sv_backend = name;
+            sv_workload = wname;
+            sv_p = p;
+            sv_tinf_nodes = tinf_nodes;
+            sv_stolen = stolen;
+            sv_ratio =
+              float_of_int stolen
+              /. (float_of_int p *. float_of_int tinf_nodes *. float_of_int !repeats);
+            sv_result = result;
+          })
+        workloads)
+    [ (Abp.Pool.Abp, "abp"); (Abp.Pool.Wsm, "wsm") ]
+
+(* ------------------------------------------------------------------ *)
 (* Acceptance checks (the ISSUE's E29 criteria).                      *)
 
 let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "E29 check FAILED: %s\n" m; exit 1) fmt
@@ -505,6 +577,32 @@ let check_antagonist = function
         fail "4 spinners did not slow the run (%.3fs vs %.3fs)" loaded.a_seconds base.a_seconds
   | _ -> fail "antagonist section expects exactly two runs"
 
+let check_steal_volume = function
+  | [ at; ac; wt; wc ] as rows ->
+      if at.sv_backend <> "abp" || at.sv_workload <> "tree" || ac.sv_workload <> "chain"
+         || wt.sv_backend <> "wsm" || wt.sv_workload <> "tree" || wc.sv_workload <> "chain"
+      then fail "steal_volume rows out of order";
+      if at.sv_result <> wt.sv_result then
+        fail "steal_volume backends disagree on the tree result (%d vs %d)" at.sv_result
+          wt.sv_result;
+      if ac.sv_result <> wc.sv_result then
+        fail "steal_volume backends disagree on the chain result (%d vs %d)" ac.sv_result
+          wc.sv_result;
+      List.iter
+        (fun sv ->
+          if sv.sv_stolen < 0 then
+            fail "steal_volume %s/%s: negative stolen_tasks" sv.sv_backend sv.sv_workload;
+          if sv.sv_tinf_nodes < 1 then
+            fail "steal_volume %s/%s: degenerate Tinf" sv.sv_backend sv.sv_workload;
+          (* The O(P*Tinf) steal-count bound: the measured volume must sit
+             under a generous constant times P*Tinf.  Asserted full-mode
+             only — smoke trees are tiny and timing-noisy. *)
+          if (not !smoke) && sv.sv_ratio > steal_ratio_cap then
+            fail "steal_volume %s/%s: stolen/(P*Tinf) = %.2f exceeds the %.0fx cap" sv.sv_backend
+              sv.sv_workload sv.sv_ratio steal_ratio_cap)
+        rows
+  | _ -> fail "steal_volume section expects four rows (2 backends x 2 workloads)"
+
 (* ------------------------------------------------------------------ *)
 (* JSON out (hand-rolled: fixed ASCII keys, numbers only).            *)
 
@@ -533,11 +631,16 @@ let backend_json b =
     {|    {"deque":"%s","c1":%.4f,"cinf":%.4f,"r2":%.4f,"max_ratio":%.3f,"duplicate_steals":%d,"result":%d}|}
     b.b_deque b.b_c1 b.b_cinf b.b_r2 b.b_max_ratio b.b_duplicates b.b_result
 
-let to_json points fit ratio advs yields antags backends =
+let steal_volume_json sv =
+  Printf.sprintf
+    {|    {"deque":"%s","workload":"%s","p":%d,"tinf_nodes":%d,"stolen_tasks":%d,"steal_ratio":%.3f,"result":%d}|}
+    sv.sv_backend sv.sv_workload sv.sv_p sv.sv_tinf_nodes sv.sv_stolen sv.sv_ratio sv.sv_result
+
+let to_json points fit ratio advs yields antags backends svs =
   String.concat "\n"
     ([
        "{";
-       {|  "schema": "abp-mp/2",|};
+       {|  "schema": "abp-mp/3",|};
        Printf.sprintf {|  "mode": "%s",|} (if !smoke then "smoke" else "full");
        Printf.sprintf {|  "repeats": %d,|} !repeats;
        Printf.sprintf {|  "quantum_ms": %.3f,|} (quantum () *. 1e3);
@@ -554,6 +657,8 @@ let to_json points fit ratio advs yields antags backends =
     @ [ String.concat ",\n" (List.map antag_json antags) ]
     @ [ "  ],"; {|  "backends": [|} ]
     @ [ String.concat ",\n" (List.map backend_json backends) ]
+    @ [ "  ],"; {|  "steal_volume": [|} ]
+    @ [ String.concat ",\n" (List.map steal_volume_json svs) ]
     @ [ "  ]"; "}"; "" ])
 
 (* Schema check on the written file: every required key present, braces
@@ -571,7 +676,7 @@ let validate path =
   in
   let required =
     [
-      {|"schema": "abp-mp/2"|};
+      {|"schema": "abp-mp/3"|};
       {|"mode"|};
       {|"quantum_ms"|};
       {|"fit"|};
@@ -593,6 +698,10 @@ let validate path =
       {|"deque":"abp"|};
       {|"deque":"wsm"|};
       {|"duplicate_steals"|};
+      {|"steal_volume"|};
+      {|"tinf_nodes"|};
+      {|"stolen_tasks"|};
+      {|"steal_ratio"|};
     ]
   in
   let missing = List.filter (fun k -> not (contains k)) required in
@@ -681,8 +790,15 @@ let () =
         b.b_deque b.b_c1 b.b_cinf b.b_r2 b.b_max_ratio b.b_duplicates)
     backends;
   check_backends backends;
+  let svs = run_steal_volume ips in
+  List.iter
+    (fun sv ->
+      Printf.printf "  steal volume %-4s %-5s P*Tinf %d  stolen %d  ratio %.2f\n" sv.sv_backend
+        sv.sv_workload (sv.sv_p * sv.sv_tinf_nodes) sv.sv_stolen sv.sv_ratio)
+    svs;
+  check_steal_volume svs;
   let oc = open_out !json_file in
-  output_string oc (to_json points fit ratio advs yields antags backends);
+  output_string oc (to_json points fit ratio advs yields antags backends svs);
   close_out oc;
   validate !json_file;
   Printf.printf "wrote %s (schema ok)\n" !json_file

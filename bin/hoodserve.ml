@@ -1,10 +1,12 @@
 (* hoodserve: drive the serving layer from the command line — a
-   closed-loop load generator over Abp.Serve with the full service
-   report (admission counters, inbox gauge, latency histograms) and
-   optional telemetry.
+   closed-loop load generator over Abp.Shard (k micropools; k = 1 is the
+   classic single-inbox Abp.Serve topology) with the full service report
+   (admission counters, routing histogram, cross-shard steal telemetry,
+   inbox gauge, latency histograms) and optional telemetry.
 
    Examples:
      hoodserve -p 4 --clients 8 --requests 2000
+     hoodserve -p 2 --shards 4 --affinity key --clients 8
      hoodserve -p 2 --clients 4 --fib 18 --inbox 128
      hoodserve -p 4 --clients 4 --deadline 0.05      # drop slow queuers
      hoodserve -p 4 --clients 4 --trace serve.json   # chrome://tracing *)
@@ -19,23 +21,52 @@ let fatal_guard name f =
 
 let rec fib_seq n = if n < 2 then n else fib_seq (n - 1) + fib_seq (n - 2)
 
-let run p clients requests fib inbox batch deadline trace_file =
+type affinity = Hash | Key
+
+let affinity_name = function Hash -> "hash" | Key -> "key"
+
+(* Hand-rolled JSON on the model of the bench executables: no external
+   dependency, schema-stamped for the CI artifact check. *)
+let write_json file ~p ~shards ~affinity ~clients ~requests ~fib ~elapsed ~throughput
+    ~(st : Abp.Serve.stats) ~conserved ~cross ~routes ~depths =
+  let cross_polls, cross_steals, cross_tasks = cross in
+  let int_array a =
+    "[" ^ String.concat "," (Array.to_list (Array.map string_of_int a)) ^ "]"
+  in
+  let oc = open_out file in
+  Printf.fprintf oc
+    {|{"schema":"hoodserve/1","p":%d,"shards":%d,"affinity":"%s","clients":%d,"requests":%d,"fib":%d,"elapsed_s":%.6f,"throughput_rps":%.1f,"accepted":%d,"completed":%d,"rejected":%d,"cancelled":%d,"exceptions":%d,"conserved":%b,"cross_polls":%d,"cross_shard_steals":%d,"cross_stolen_tasks":%d,"route_counts":%s,"inbox_depths":%s}|}
+    p shards (affinity_name affinity) clients requests fib elapsed throughput st.Abp.Serve.accepted
+    st.Abp.Serve.completed st.Abp.Serve.rejected st.Abp.Serve.cancelled st.Abp.Serve.exceptions
+    conserved cross_polls cross_steals cross_tasks (int_array routes) (int_array depths);
+  output_char oc '\n';
+  close_out oc
+
+let run p shards affinity clients requests fib inbox batch deadline trace_file json_file =
  fatal_guard "hoodserve" @@ fun () ->
   if clients < 1 then raise (Invalid_argument "clients >= 1 required");
-  let sink =
+  if shards < 1 then raise (Invalid_argument "shards >= 1 required");
+  if shards > 256 then raise (Invalid_argument "shards <= 256 required");
+  let sinks =
     Option.map
       (fun _ ->
-        Abp.Trace.Sink.create ~ring_capacity:(1 lsl 16) ~clock:Unix.gettimeofday ~workers:p ())
+        Array.init shards (fun _ ->
+            Abp.Trace.Sink.create ~ring_capacity:(1 lsl 16) ~clock:Unix.gettimeofday ~workers:p
+              ()))
       trace_file
   in
-  let s = Abp.Serve.create ~processes:p ~inbox_capacity:inbox ~batch ?trace:sink () in
+  let s = Abp.Shard.create ~processes:p ~inbox_capacity:inbox ~batch ?traces:sinks ~shards () in
   let completed = Atomic.make 0 and dropped = Atomic.make 0 in
   let t0 = Unix.gettimeofday () in
   let ds =
-    Array.init clients (fun _ ->
+    Array.init clients (fun client ->
         Domain.spawn (fun () ->
+            (* [Key]: pin this client's whole request stream to the shard
+               of its client id; [Hash]: spread requests shard-by-shard
+               (the keyless round-robin route). *)
+            let key = match affinity with Key -> Some client | Hash -> None in
             for _ = 1 to requests do
-              let t = Abp.Serve.submit s ?deadline (fun () -> fib_seq fib) in
+              let t = Abp.Shard.submit s ?key ?deadline (fun () -> fib_seq fib) in
               match Abp.Serve.await t with
               | Abp.Serve.Returned _ -> Atomic.incr completed
               | Abp.Serve.Raised e -> raise e
@@ -44,29 +75,74 @@ let run p clients requests fib inbox batch deadline trace_file =
   in
   Array.iter Domain.join ds;
   let elapsed = Unix.gettimeofday () -. t0 in
-  let st = Abp.Serve.drain s in
-  Format.printf "%d clients x %d requests (fib %d) on P=%d in %.3fs  %.0f req/s@." clients
-    requests fib p elapsed
-    (float_of_int (Atomic.get completed) /. elapsed);
+  let st = Abp.Shard.drain s in
+  let throughput = float_of_int (Atomic.get completed) /. elapsed in
+  Format.printf "%d clients x %d requests (fib %d) on %d shard(s) x P=%d (affinity %s) in \
+                 %.3fs  %.0f req/s@."
+    clients requests fib shards p (affinity_name affinity) elapsed throughput;
   if Atomic.get dropped > 0 then
     Format.printf "dropped %d requests (deadline/cancel)@." (Atomic.get dropped);
-  Format.printf "%a" Abp.Serve.pp_report s;
-  ignore st;
-  Abp.Serve.shutdown s;
-  (match (sink, trace_file) with
-  | Some sink, Some file ->
-      Format.printf "%a" Abp.Trace.Report.pp sink;
-      Abp.Trace.Chrome.write_file file sink;
-      Format.printf "chrome trace written to %s (load in chrome://tracing)@." file
+  Format.printf "%a" Abp.Shard.pp_report s;
+  for i = 0 to shards - 1 do
+    Format.printf "%a" Abp.Serve.pp_report (Abp.Shard.serve s i)
+  done;
+  let conserved = Abp.Shard.conserved s in
+  let cross =
+    (Abp.Shard.cross_polls s, Abp.Shard.cross_shard_steals s, Abp.Shard.cross_stolen_tasks s)
+  in
+  let routes = Abp.Shard.route_counts s in
+  let depths = Abp.Shard.inbox_depths s in
+  Abp.Shard.shutdown s;
+  Option.iter
+    (fun file ->
+      write_json file ~p ~shards ~affinity ~clients ~requests ~fib ~elapsed ~throughput ~st
+        ~conserved ~cross ~routes ~depths;
+      Format.printf "json written to %s@." file)
+    json_file;
+  (match (sinks, trace_file) with
+  | Some sinks, Some file ->
+      Array.iteri
+        (fun i sink ->
+          Format.printf "shard %d:@.%a" i Abp.Trace.Report.pp sink;
+          let out =
+            if shards = 1 then file
+            else
+              let base = Filename.remove_extension file in
+              let ext = Filename.extension file in
+              Printf.sprintf "%s.shard%d%s" base i ext
+          in
+          Abp.Trace.Chrome.write_file out sink;
+          Format.printf "chrome trace written to %s (load in chrome://tracing)@." out)
+        sinks
   | _ -> ());
+  if not conserved then begin
+    Printf.eprintf "hoodserve: fatal: conservation invariant violated\n%!";
+    exit 1
+  end;
   if Atomic.get completed = 0 then exit 2
 
 let cmd =
-  let p = Arg.(value & opt int 4 & info [ "p"; "processes" ] ~doc:"worker processes") in
+  let p = Arg.(value & opt int 4 & info [ "p"; "processes" ] ~doc:"worker processes per shard") in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"K"
+          ~doc:"number of micropool shards, each with its own injector inbox and $(b,-p) workers")
+  in
+  let affinity =
+    Arg.(
+      value
+      & opt (enum [ ("hash", Hash); ("key", Key) ]) Hash
+      & info [ "affinity" ] ~docv:"POLICY"
+          ~doc:"request routing: $(b,hash) spreads requests across shards; $(b,key) pins each \
+                client's stream to the shard of its client id")
+  in
   let clients = Arg.(value & opt int 4 & info [ "clients" ] ~doc:"closed-loop client domains") in
   let requests = Arg.(value & opt int 1000 & info [ "requests" ] ~doc:"requests per client") in
   let fib = Arg.(value & opt int 16 & info [ "fib" ] ~doc:"per-request work: sequential fib N") in
-  let inbox = Arg.(value & opt int 256 & info [ "inbox" ] ~doc:"injector inbox capacity") in
+  let inbox =
+    Arg.(value & opt int 256 & info [ "inbox" ] ~doc:"injector inbox capacity (per shard)")
+  in
   let batch =
     Arg.(
       value & opt int 0
@@ -86,11 +162,21 @@ let cmd =
       value
       & opt (some string) None
       & info [ "trace" ] ~docv:"FILE"
-          ~doc:"collect scheduler telemetry (including injector polls); print the aggregate \
-                report and write a Chrome trace-event JSON to $(docv)")
+          ~doc:"collect scheduler telemetry (including injector and cross-shard polls); print \
+                the aggregate report and write a Chrome trace-event JSON to $(docv) (per-shard \
+                suffixed files when --shards > 1)")
+  in
+  let json_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"write a machine-readable run summary (schema hoodserve/1) to $(docv)")
   in
   Cmd.v
     (Cmd.info "hoodserve" ~doc:"Serve external requests on the Hood work-stealing runtime")
-    Term.(const run $ p $ clients $ requests $ fib $ inbox $ batch $ deadline $ trace_file)
+    Term.(
+      const run $ p $ shards $ affinity $ clients $ requests $ fib $ inbox $ batch $ deadline
+      $ trace_file $ json_file)
 
 let () = exit (Cmd.eval cmd)

@@ -22,10 +22,12 @@
       of the deque's relaxed semantics (the TR-99-11 substitute).
     - {!Pool}, {!Future}, {!Par}: Hood, the real runtime on OCaml 5
       domains.
-    - {!Serve}, {!Injector}: the serving layer — external task
-      submission from arbitrary domains through a bounded multi-producer
-      injector inbox, with admission control (backpressure, deadlines,
-      cancellation) and graceful drain.
+    - {!Serve}, {!Injector}, {!Shard}: the serving layer — external
+      task submission from arbitrary domains through a bounded
+      multi-producer injector inbox, with admission control
+      (backpressure, deadlines, cancellation), graceful drain, and the
+      sharded multi-pool topology with locality-biased bounded
+      cross-shard stealing.
     - {!Gate}, {!Controller}, {!Antagonist} (library [abp_mp]): the
       multiprogramming harness — the Section 4.4 kernel adversary
       replayed against the {e real} pool through cooperative preemption
@@ -108,6 +110,7 @@ module Central_pool = Abp_hood.Central_pool
 (* Serving layer: external task submission over the Hood pool *)
 module Serve = Abp_serve.Serve
 module Injector = Abp_serve.Injector
+module Shard = Abp_serve.Shard
 
 (* Multiprogramming harness: the kernel adversary on hardware *)
 module Mp = Abp_mp

@@ -46,6 +46,19 @@ type external_source = {
   ext_pending : unit -> bool;
 }
 
+(* A remote (cross-shard) work source: polled strictly after every
+   intra-pool source — own deque, one steal attempt, own injector — all
+   came up empty, so a balanced shard never crosses the boundary.  The
+   policy (victim choice, rate limit, steal-up-to-half quota) lives
+   entirely in the closure ({!Abp_serve.Shard}); the pool only fixes
+   where in the Figure 3 order the poll happens and does the claim-wrap/
+   surplus/telemetry bookkeeping.  [remote_pending] keeps a thief from
+   parking while a remote shard still has drainable work. *)
+type remote_source = {
+  remote_steal : int -> (unit -> unit) list;
+  remote_pending : unit -> bool;
+}
+
 (* State independent of the deque implementation.  Note what is NOT
    here: no aggregate steal counters.  Steal accounting lives entirely in
    the per-worker (cache-line-padded) [Counters.t] records, so a steal
@@ -69,6 +82,7 @@ type shared = {
      protocol, and the default). *)
   batch : int;
   externals : external_source option;
+  remotes : remote_source option;
   (* [spawn_all]: every worker including id 0 is a spawned domain (the
      lib/serve mode, where work arrives through [externals] rather than
      a [run] caller); [run] is rejected on such pools. *)
@@ -302,8 +316,37 @@ module Impl (D : Spec.DETAILED) = struct
               repush_surplus w rest;
               Some task)
     in
+    (* Last resort: cross the shard boundary.  The closure decides
+       whether to actually touch a remote shard this trip (rate limit,
+       victim preference); an empty answer is indistinguishable from
+       "remote shards are balanced", which is the common case. *)
+    let remote () =
+      match pool.shared.remotes with
+      | None -> None
+      | Some r -> (
+          c.Counters.cross_polls <- c.Counters.cross_polls + 1;
+          (* Tasks arriving from a remote pool may already carry a claim
+             flag (wrapped at their home pool); wrapping again is
+             harmless — the inner flag still decides. *)
+          let drained =
+            let ts = r.remote_steal pool.shared.batch in
+            if pool.shared.claim_tasks then List.map claim_wrap ts else ts
+          in
+          match drained with
+          | [] -> None
+          | task :: rest ->
+              let got = 1 + List.length rest in
+              c.Counters.cross_shard_steals <- c.Counters.cross_shard_steals + 1;
+              c.Counters.cross_stolen_tasks <- c.Counters.cross_stolen_tasks + got;
+              Counters.note_batch c got;
+              emit w ~arg:got Abp_trace.Event.Cross;
+              repush_surplus w rest;
+              Some task)
+    in
     let steal_then_inject () =
-      match steal () with Some task -> Some task | None -> inject ()
+      match steal () with
+      | Some task -> Some task
+      | None -> ( match inject () with Some task -> Some task | None -> remote ())
     in
     match D.pop_bottom_detailed pool.deques.(w.id) with
     | Spec.Got task ->
@@ -322,6 +365,7 @@ module Impl (D : Spec.DETAILED) = struct
     let rec go i = i < n && (D.size (Array.unsafe_get d i) > 0 || go (i + 1)) in
     go 0
     || (match t.shared.externals with Some ext -> ext.ext_pending () | None -> false)
+    || (match t.shared.remotes with Some r -> r.remote_pending () | None -> false)
 
   let park w =
     let sh = w.pool.shared in
@@ -401,6 +445,17 @@ module Impl (D : Spec.DETAILED) = struct
     done
 
   let deque_size t i = D.size t.deques.(i)
+
+  (* External steal entry point: a worker of ANOTHER pool takes up to
+     [max] tasks off [victim]'s deque top, subject to the deque's own
+     steal-up-to-half quota ([Spec.batch_quota] inside [pop_top_n]).
+     No counters are touched here — the caller is not one of this pool's
+     workers and must not write their padded records; the thief's own
+     pool attributes the transfer to its cross_* counters. *)
+  let steal_external t ~victim ~max =
+    if victim < 0 || victim >= t.shared.size then
+      invalid_arg "Pool.steal_from: victim out of range";
+    D.pop_top_n t.deques.(victim) max
 end
 
 module Abp_impl = Impl (Abp_deque.Atomic_deque)
@@ -511,7 +566,7 @@ let with_context w f =
 
 let create ?processes ?deque_capacity ?(yield_between_steals = true) ?yield_kind
     ?(park_threshold = default_park_threshold) ?(deque_impl = Abp) ?(batch = 0) ?trace
-    ?external_source ?(spawn_all = false) ?gate () =
+    ?external_source ?remote_source ?(spawn_all = false) ?gate () =
   let processes = Option.value processes ~default:(Domain.recommended_domain_count ()) in
   if processes < 1 then invalid_arg "Pool.create: processes >= 1 required";
   if park_threshold < 0 then invalid_arg "Pool.create: park_threshold >= 0 required";
@@ -539,6 +594,7 @@ let create ?processes ?deque_capacity ?(yield_between_steals = true) ?yield_kind
       gate;
       batch;
       externals = external_source;
+      remotes = remote_source;
       all_spawned = spawn_all;
       claim_tasks = deque_impl = Wsm;
       counters =
@@ -641,6 +697,15 @@ let run pool f =
       let v = with_context w f in
       reraise_pending sh;
       v)
+
+let steal_from pool ~victim ~max =
+  if max <= 0 then []
+  else
+    match pool with
+    | Abp_pool p -> Abp_impl.steal_external p ~victim ~max
+    | Circular_pool p -> Circular_impl.steal_external p ~victim ~max
+    | Locked_pool p -> Locked_impl.steal_external p ~victim ~max
+    | Wsm_pool p -> Wsm_impl.steal_external p ~victim ~max
 
 let shutdown pool =
   let sh = shared_of pool in

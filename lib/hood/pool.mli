@@ -135,6 +135,29 @@ type external_source = {
     run immediately, the surplus is pushed onto the polling worker's own
     deque (stealable by everyone, and waking parked thieves). *)
 
+type remote_source = {
+  remote_steal : int -> (unit -> unit) list;
+      (** [remote_steal n] tries to acquire up to [n] tasks ([n >= 1])
+          from outside the pool — another shard's deques (via
+          {!steal_from}) or its injector inbox.  All policy (victim
+          choice, rate limiting, the steal-up-to-half quota) lives in
+          this closure; returning [[]] is the common, cheap case.  Must
+          not block. *)
+  remote_pending : unit -> bool;
+      (** advisory: does any remote shard have drainable work?  Consulted
+          by the parking protocol so a thief never blocks while a remote
+          imbalance persists. *)
+}
+(** A remote (cross-shard) work source — the overflow path of the
+    sharded serving topology ({!Abp_serve.Shard}).  Polled {e strictly
+    last} in the scheduling loop: own-deque pop, one intra-pool steal
+    attempt, and the own injector must all come up empty first, so a
+    balanced shard never pays a cross-shard cache miss.  Acquisitions
+    are counted in the thief's [cross_polls] / [cross_shard_steals] /
+    [cross_stolen_tasks] telemetry and surface as [Cross] events; a
+    multi-task acquisition keeps one task and re-homes the surplus on
+    the thief's own deque exactly like a batched steal. *)
+
 val create :
   ?processes:int ->
   ?deque_capacity:int ->
@@ -145,6 +168,7 @@ val create :
   ?batch:int ->
   ?trace:Abp_trace.Sink.t ->
   ?external_source:external_source ->
+  ?remote_source:remote_source ->
   ?spawn_all:bool ->
   ?gate:gate_hook ->
   unit ->
@@ -199,6 +223,10 @@ val create :
     {!external_source}); polls and acquisitions are counted in the
     per-worker [inject_polls]/[inject_tasks] telemetry.
 
+    [remote_source] attaches a cross-shard overflow source (see
+    {!remote_source}), polled only after the own deque, a steal attempt,
+    and the injector all came up empty.
+
     [spawn_all] (default false) spawns all [processes] workers as
     domains, including worker 0 — the service mode used by
     {!Abp_serve.Serve}, where tasks arrive through [external_source]
@@ -240,6 +268,21 @@ val wake : t -> unit
     on the fast path).  External producers call this after pushing into
     the pool's [external_source] so a fully parked pool notices the new
     work. *)
+
+val steal_from : t -> victim:int -> max:int -> (unit -> unit) list
+(** [steal_from t ~victim ~max] is the external steal entry point: take
+    up to [max] tasks off worker [victim]'s deque top, subject to the
+    deque's own steal-up-to-half quota ({!Abp_deque.Spec.batch_quota};
+    the {!Abp} backend transfers at most one task per call by design).
+    Safe to call from any domain — it runs the same lock-free/locked
+    [pop_top_n] protocol an intra-pool thief would — and used by the
+    sharded topology ({!Abp_serve.Shard}) to let one shard's thief
+    relieve another shard's overload.  Returns [[]] when [max <= 0].
+    None of [t]'s per-worker counters are touched: the calling pool
+    attributes the transfer to its own cross-shard telemetry.  On a
+    {!Wsm} pool the returned closures carry their claim flags, so
+    exactly-once execution is preserved across the pool boundary.
+    @raise Invalid_argument if [victim] is out of range. *)
 
 val shutdown : t -> unit
 (** Stop the worker domains (waking any parked thieves) and join them.

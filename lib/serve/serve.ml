@@ -106,7 +106,8 @@ let wait_until s settled =
   done
 
 let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_kind ?gate
-    ?(inbox_capacity = 1024) ?(latency_window = 8192) ?(clock = Unix.gettimeofday) ?trace () =
+    ?(inbox_capacity = 1024) ?(latency_window = 8192) ?(clock = Unix.gettimeofday) ?trace
+    ?remote_source () =
   if latency_window < 1 then invalid_arg "Serve.create: latency_window >= 1 required";
   let inbox = Injector.create ~capacity:inbox_capacity () in
   let external_source =
@@ -117,7 +118,7 @@ let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_
   in
   let pool =
     Pool.create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_kind ?gate
-      ?trace ~external_source ~spawn_all:true ()
+      ?trace ~external_source ?remote_source ~spawn_all:true ()
   in
   {
     pool;
@@ -230,6 +231,7 @@ let try_submit_gen ~count_reject s ?deadline f =
   end
 
 let try_submit s ?deadline f = try_submit_gen ~count_reject:true s ?deadline f
+let try_submit_quiet s ?deadline f = try_submit_gen ~count_reject:false s ?deadline f
 
 let rec submit s ?deadline f =
   match try_submit_gen ~count_reject:false s ?deadline f with
@@ -264,21 +266,33 @@ let drain s =
   wait_until s (fun () -> settled s);
   stats s
 
-let shutdown s =
+let stop_admission s = Atomic.set s.admitting false
+
+(* Another shard's thief takes up to [n] queued jobs.  The jobs keep
+   their closures over THIS service's ticket cells and counters, so the
+   per-service conservation invariant is unaffected by where they run. *)
+let steal_inbox s n =
+  if n <= 0 then [] else List.map (fun j -> j.run) (Injector.try_pop_n s.inbox n)
+
+let join_workers s =
   Atomic.set s.admitting false;
-  if not (Atomic.exchange s.stopped true) then begin
-    Pool.shutdown s.pool;
-    (* Workers are joined: nothing dequeues anymore.  Drop what is left
-       so every accepted task reaches a terminal state. *)
-    let rec drop_all () =
-      match Injector.try_pop s.inbox with
-      | Some j ->
-          j.abort ();
-          drop_all ()
-      | None -> ()
-    in
-    drop_all ()
-  end
+  if not (Atomic.exchange s.stopped true) then Pool.shutdown s.pool
+
+let drop_queued s =
+  (* Workers are joined (or known not to dequeue anymore): drop what is
+     left so every accepted task reaches a terminal state. *)
+  let rec drop_all () =
+    match Injector.try_pop s.inbox with
+    | Some j ->
+        j.abort ();
+        drop_all ()
+    | None -> ()
+  in
+  drop_all ()
+
+let shutdown s =
+  join_workers s;
+  drop_queued s
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)

@@ -80,6 +80,7 @@ val create :
   ?latency_window:int ->
   ?clock:(unit -> float) ->
   ?trace:Abp_trace.Sink.t ->
+  ?remote_source:Abp_hood.Pool.remote_source ->
   unit ->
   t
 (** Start the service: a {!Abp_hood.Pool} in [spawn_all] mode (all
@@ -101,7 +102,11 @@ val create :
     passed to {!Abp_hood.Pool.create}; with [trace] attached, injector
     polls/acquisitions appear in the per-worker
     [inject_polls]/[inject_tasks]/[inject_batches] counters and as
-    [Inject] events in the Chrome export. *)
+    [Inject] events in the Chrome export.  [remote_source] attaches a
+    cross-shard overflow source to the pool
+    ({!Abp_hood.Pool.remote_source}) — used by {!Shard} to let this
+    service's idle workers relieve sibling shards after every intra-shard
+    source came up empty. *)
 
 val size : t -> int
 (** Worker count [P]. *)
@@ -111,6 +116,12 @@ val try_submit : t -> ?deadline:float -> (unit -> 'a) -> ('a ticket, reject) res
     (seconds from now); an admitted task still queued past its deadline
     is dropped as [Cancelled Deadline].  Every refusal increments
     [rejected].  Callable from any domain. *)
+
+val try_submit_quiet : t -> ?deadline:float -> (unit -> 'a) -> ('a ticket, reject) result
+(** As {!try_submit} but a refusal does {e not} increment [rejected] —
+    the building block for blocking submit loops ({!submit},
+    {!Shard.submit}) whose transient full-inbox probes are backpressure,
+    not refusals. *)
 
 val submit : t -> ?deadline:float -> (unit -> 'a) -> 'a ticket
 (** Like {!try_submit} but blocks (spinning politely) while the inbox is
@@ -142,7 +153,37 @@ val shutdown : t -> unit
 (** Stop admission, join the worker domains (tasks already started run
     to completion) and drop every still-queued task as
     [Cancelled Shutdown].  No task runs after [shutdown] returns.
-    Idempotent.  Call {!drain} first for a graceful stop. *)
+    Idempotent.  Call {!drain} first for a graceful stop.
+    Equivalent to {!join_workers} followed by {!drop_queued}. *)
+
+val stop_admission : t -> unit
+(** Stop admission only: subsequent submissions are [Draining]-rejected,
+    accepted work keeps running.  The first phase of a multi-shard
+    drain/shutdown — {!Shard} stops admission on {e every} shard before
+    waiting on any, so no shard keeps feeding tasks that another shard's
+    thieves could cross-steal mid-stop.  Idempotent. *)
+
+val join_workers : t -> unit
+(** Stop admission and join this service's worker domains {e without}
+    dropping queued tasks.  In a sharded topology, queued tasks of a
+    still-running sibling may legitimately be cross-stolen; dropping
+    must wait until every shard's workers are joined.  Call
+    {!drop_queued} afterwards to reach terminal states.  Idempotent. *)
+
+val drop_queued : t -> unit
+(** Drop every still-queued task as [Cancelled Shutdown].  Only
+    meaningful once no worker of any pool can still dequeue from this
+    service's inbox (after {!join_workers} on all shards); {!Shard}
+    sequences this globally. *)
+
+val steal_inbox : t -> int -> (unit -> unit) list
+(** [steal_inbox s n] removes up to [n] queued jobs from [s]'s inbox and
+    returns their run closures — the cross-shard overflow entry point
+    used by a sibling shard's {!Abp_hood.Pool.remote_source}.  The jobs
+    keep their closures over [s]'s tickets and counters, so [s]'s
+    conservation invariant holds no matter which pool runs them (the
+    runner's pool counts them in its own cross-shard telemetry).
+    Returns [[]] for [n <= 0].  Callable from any domain. *)
 
 val stats : t -> stats
 (** Advisory snapshot while running; exact after {!drain}/{!shutdown}. *)

@@ -1,0 +1,331 @@
+module Pool = Abp_hood.Pool
+module Counters = Abp_trace.Counters
+module Padding = Abp_deque.Padding
+
+type t = {
+  serves : Serve.t array;
+  shards : int;
+  cross_period : int;
+  cross_quota : int;
+  (* Round-robin cursor for keyless routing; one fetch-and-add per
+     submission, on its own cache line. *)
+  rr : int Atomic.t;
+  (* Per-shard admission histogram (the shard_route telemetry): which
+     shard each accepted submission was routed to.  One padded atomic per
+     shard — submitters from many domains bump them concurrently. *)
+  routed : int Atomic.t array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Cross-shard stealing policy                                         *)
+
+(* Per-thief (per-domain) cross-steal state.  A worker domain belongs to
+   exactly one shard's pool, so domain-local storage gives each thief its
+   own single-writer record with no indexing protocol: [probe] drives the
+   rate limit, [last_shard]/[last_victim] remember the last productive
+   victim (the localized-stealing preference), and [rng] picks fresh
+   victims.  The record is created lazily on the thief's first
+   empty-handed trip past its own injector. *)
+type thief = {
+  mutable probe : int;
+  mutable last_shard : int;  (* -1 = no remembered victim *)
+  mutable last_victim : int;  (* worker index, or -1 = that shard's inbox *)
+  rng : Abp_stats.Rng.t;
+}
+
+let thief_seed = Atomic.make 0
+
+let thief_key : thief Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let n = Atomic.fetch_and_add thief_seed 1 in
+      {
+        (* Stagger the rate-limit phase across thieves so they do not
+           cross the shard boundary in lockstep. *)
+        probe = n;
+        last_shard = -1;
+        last_victim = -1;
+        rng = Abp_stats.Rng.create ~seed:(Int64.of_int (0x51ED + (n * 0x9E37))) ();
+      })
+
+(* The closures below are built before the serve array exists (each
+   serve's pool needs its remote source at creation), so they read the
+   array through [cell], set once after construction.  A worker that
+   races construction sees [[||]] and treats the topology as unsharded —
+   no remote work, nothing pending. *)
+
+let try_victim serves j victim quota =
+  let s = serves.(j) in
+  if victim >= 0 then Pool.steal_from (Serve.pool s) ~victim ~max:quota
+  else Serve.steal_inbox s quota
+
+let remote_steal cell ~cross_period ~cross_quota my n =
+  let serves = Atomic.get cell in
+  let k = Array.length serves in
+  if k <= 1 then []
+  else begin
+    let st = Domain.DLS.get thief_key in
+    st.probe <- st.probe + 1;
+    (* Rate limit: only every [cross_period]-th empty-handed trip
+       actually touches a remote shard; the other trips return
+       immediately, so transient imbalance is absorbed locally and the
+       steady state never degenerates into all-to-all stealing. *)
+    if st.probe mod cross_period <> 0 then []
+    else begin
+      let quota = max 1 (min n cross_quota) in
+      (* 1. The last productive victim first (the localized-stealing
+         preference): a shard that overflowed once is likely still the
+         hot one, and revisiting it keeps the traffic pairwise. *)
+      let from_last =
+        if st.last_shard < 0 || st.last_shard >= k || st.last_shard = my then []
+        else
+          let victim =
+            if st.last_victim < Pool.size (Serve.pool serves.(st.last_shard)) then
+              st.last_victim
+            else -1
+          in
+          try_victim serves st.last_shard victim quota
+      in
+      if from_last <> [] then from_last
+      else begin
+        st.last_shard <- -1;
+        (* 2. One uniformly random remote shard: a random victim deque
+           first (steal-up-to-half, enforced by the deque's batch
+           quota), then that shard's injector inbox. *)
+        let j0 = Abp_stats.Rng.int st.rng (k - 1) in
+        let j = if j0 >= my then j0 + 1 else j0 in
+        let p = Serve.pool serves.(j) in
+        let v = Abp_stats.Rng.int st.rng (Pool.size p) in
+        match Pool.steal_from p ~victim:v ~max:quota with
+        | _ :: _ as got ->
+            st.last_shard <- j;
+            st.last_victim <- v;
+            got
+        | [] -> (
+            match Serve.steal_inbox serves.(j) quota with
+            | [] -> []
+            | got ->
+                st.last_shard <- j;
+                st.last_victim <- -1;
+                got)
+      end
+    end
+  end
+
+(* Advisory view for the parking protocol: is there anything a
+   cross-shard steal could still acquire?  O(total workers), but only
+   consulted when a thief is about to block. *)
+let remote_pending cell my () =
+  let serves = Atomic.get cell in
+  let k = Array.length serves in
+  let shard_has j =
+    j <> my
+    && begin
+         let s = serves.(j) in
+         Serve.inbox_depth s > 0
+         ||
+         let p = Serve.pool s in
+         let n = Pool.size p in
+         let rec go w = w < n && (Pool.deque_size p w > 0 || go (w + 1)) in
+         go 0
+       end
+  in
+  let rec any j = j < k && (shard_has j || any (j + 1)) in
+  k > 1 && any 0
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+
+let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_kind ?gates
+    ?inbox_capacity ?latency_window ?clock ?traces ?(cross_period = 8) ?(cross_quota = 4)
+    ~shards () =
+  if shards < 1 then invalid_arg "Shard.create: shards >= 1 required";
+  if cross_period < 1 then invalid_arg "Shard.create: cross_period >= 1 required";
+  if cross_quota < 1 then invalid_arg "Shard.create: cross_quota >= 1 required";
+  (match gates with
+  | Some a when Array.length a <> shards ->
+      invalid_arg "Shard.create: gates must have one entry per shard"
+  | _ -> ());
+  (match traces with
+  | Some a when Array.length a <> shards ->
+      invalid_arg "Shard.create: traces must have one entry per shard"
+  | _ -> ());
+  let cell = Atomic.make [||] in
+  let serves =
+    Array.init shards (fun i ->
+        let remote_source =
+          if shards = 1 then None
+          else
+            Some
+              {
+                Pool.remote_steal = remote_steal cell ~cross_period ~cross_quota i;
+                remote_pending = remote_pending cell i;
+              }
+        in
+        Serve.create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_kind
+          ?gate:(match gates with Some a -> Some a.(i) | None -> None)
+          ?inbox_capacity ?latency_window ?clock
+          ?trace:(match traces with Some a -> Some a.(i) | None -> None)
+          ?remote_source ())
+  in
+  Atomic.set cell serves;
+  {
+    serves;
+    shards;
+    cross_period;
+    cross_quota;
+    rr = Padding.atomic 0;
+    routed = Array.init shards (fun _ -> Padding.atomic 0);
+  }
+
+let shards t = t.shards
+let cross_period t = t.cross_period
+let cross_quota t = t.cross_quota
+
+let serve t i =
+  if i < 0 || i >= t.shards then invalid_arg "Shard.serve: shard index out of range";
+  t.serves.(i)
+
+let size t = Array.fold_left (fun acc s -> acc + Serve.size s) 0 t.serves
+
+(* ------------------------------------------------------------------ *)
+(* Routing and submission                                              *)
+
+let shard_of_key t key = Hashtbl.hash key mod t.shards
+
+let wake_siblings t i =
+  Array.iteri (fun j s -> if j <> i then Pool.wake (Serve.pool s)) t.serves
+
+(* One admission attempt against shard [i].  The empty->nonempty
+   transition of [i]'s inbox is detected against the pre-push depth: if
+   this submission is (racily) the one that made the inbox nonempty,
+   every sibling pool is woken so a parked thief of an idle shard can
+   cross-steal it — [Serve.try_submit] itself only wakes shard [i]'s own
+   pool.  Waking is cheap when nobody is parked (one atomic read per
+   sibling), and over-waking is harmless; the losing racer's extra wake
+   is absorbed the same way. *)
+let submit_on ~count_reject t i ?deadline f =
+  let s = t.serves.(i) in
+  let was_empty = Serve.inbox_depth s = 0 in
+  let r =
+    if count_reject then Serve.try_submit s ?deadline f
+    else Serve.try_submit_quiet s ?deadline f
+  in
+  (match r with
+  | Ok _ ->
+      Atomic.incr t.routed.(i);
+      if was_empty && t.shards > 1 then wake_siblings t i
+  | Error _ -> ());
+  r
+
+let route t = function
+  | Some key -> shard_of_key t key
+  | None -> Atomic.fetch_and_add t.rr 1 land max_int mod t.shards
+
+let try_submit t ?key ?deadline f = submit_on ~count_reject:true t (route t key) ?deadline f
+
+let rec submit t ?key ?deadline f =
+  match submit_on ~count_reject:false t (route t key) ?deadline f with
+  | Ok tk -> tk
+  | Error Serve.Draining -> failwith "Shard.submit: admission stopped (draining or shut down)"
+  | Error Serve.Inbox_full ->
+      (* Backpressure: spin politely.  A keyless submission re-routes
+         through the round-robin cursor, so it lands on the next shard
+         rather than hammering the full one; a keyed submission must
+         stay on its shard to preserve affinity. *)
+      Domain.cpu_relax ();
+      submit t ?key ?deadline f
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry                                                           *)
+
+let stats t =
+  Array.fold_left
+    (fun acc s ->
+      let st = Serve.stats s in
+      {
+        Serve.accepted = acc.Serve.accepted + st.Serve.accepted;
+        completed = acc.Serve.completed + st.Serve.completed;
+        rejected = acc.Serve.rejected + st.Serve.rejected;
+        cancelled = acc.Serve.cancelled + st.Serve.cancelled;
+        exceptions = acc.Serve.exceptions + st.Serve.exceptions;
+      })
+    { Serve.accepted = 0; completed = 0; rejected = 0; cancelled = 0; exceptions = 0 }
+    t.serves
+
+let conserved t =
+  Array.for_all
+    (fun s ->
+      let st = Serve.stats s in
+      st.Serve.accepted = st.Serve.completed + st.Serve.cancelled + st.Serve.exceptions)
+    t.serves
+
+let route_counts t = Array.map Atomic.get t.routed
+let inbox_depths t = Array.map Serve.inbox_depth t.serves
+
+let cross_counters t =
+  Array.fold_left
+    (fun (p, s, k) sv ->
+      let c = Counters.sum (Pool.counters (Serve.pool sv)) in
+      ( p + c.Counters.cross_polls,
+        s + c.Counters.cross_shard_steals,
+        k + c.Counters.cross_stolen_tasks ))
+    (0, 0, 0) t.serves
+
+let cross_polls t =
+  let p, _, _ = cross_counters t in
+  p
+
+let cross_shard_steals t =
+  let _, s, _ = cross_counters t in
+  s
+
+let cross_stolen_tasks t =
+  let _, _, k = cross_counters t in
+  k
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+(* Admission is stopped on EVERY shard before waiting on any: otherwise
+   a still-admitting sibling could keep feeding tasks that this shard's
+   thieves cross-steal, and the per-shard settled conditions would chase
+   a moving target. *)
+let drain t =
+  Array.iter Serve.stop_admission t.serves;
+  Array.iter (fun s -> Pool.wake (Serve.pool s)) t.serves;
+  Array.iter (fun s -> ignore (Serve.drain s)) t.serves;
+  stats t
+
+(* Shutdown ordering: join ALL pools before dropping ANY queue.  A task
+   queued on shard [i] may be cross-stolen and running on shard [j]'s
+   worker; only once every worker domain is joined is "still queued"
+   terminal, and the global no-task-runs-after-shutdown guarantee
+   carries over from the single-pool case. *)
+let shutdown t =
+  Array.iter Serve.stop_admission t.serves;
+  Array.iter Serve.join_workers t.serves;
+  Array.iter Serve.drop_queued t.serves
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+
+let pp_report ppf t =
+  let st = stats t in
+  let polls, csteals, ctasks = cross_counters t in
+  Fmt.pf ppf "=== shard report (%d shards, %d workers total) ===@." t.shards (size t);
+  Fmt.pf ppf "accepted %d  completed %d  rejected %d  cancelled %d  exceptions %d@."
+    st.Serve.accepted st.Serve.completed st.Serve.rejected st.Serve.cancelled
+    st.Serve.exceptions;
+  Fmt.pf ppf "cross-shard: polls %d  steals %d  tasks %d (period %d, quota %d)@." polls csteals
+    ctasks t.cross_period t.cross_quota;
+  Array.iteri
+    (fun i s ->
+      let sst = Serve.stats s in
+      Fmt.pf ppf
+        "shard %d: routed %d  accepted %d  completed %d  cancelled %d  exceptions %d  \
+         inbox depth %d (high-water %d)@."
+        i
+        (Atomic.get t.routed.(i))
+        sst.Serve.accepted sst.Serve.completed sst.Serve.cancelled sst.Serve.exceptions
+        (Serve.inbox_depth s) (Serve.inbox_high_water s))
+    t.serves

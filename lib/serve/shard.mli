@@ -1,0 +1,166 @@
+(** Sharded multi-pool serving: k micropools behind one submission API.
+
+    A {!Serve} service funnels every request through a single bounded
+    injector — a central-list bottleneck once submitters outnumber the
+    inbox's cache line.  A shard group replaces it with [k] independent
+    micropools ({!Serve.t}), each with its own injector, workers, and
+    latency telemetry, plus two cross-shard mechanisms that keep the
+    topology one logical service:
+
+    {ul
+    {- {b Routing}: {!submit}/{!try_submit} place each request on one
+       shard — by the hash of a caller-supplied affinity [key] (stable:
+       equal keys always land on the same shard), or round-robin when no
+       key is given.  The per-shard admission histogram is
+       {!route_counts}.}
+    {- {b Bounded cross-shard overflow}: a worker follows the Figure 3
+       order {e within its shard} first — own deque, one intra-shard
+       steal attempt, own injector — and only when all three come up
+       empty does it poll the remote source
+       ({!Abp_hood.Pool.remote_source}).  That poll is rate-limited (one
+       real attempt per [cross_period] empty-handed trips), prefers the
+       last productive victim (the localized-stealing policy of
+       Suksompong–Leiserson–Schardl), and otherwise tries one random
+       remote shard: a random victim deque first (steal-up-to-half via
+       {!Abp_hood.Pool.steal_from}), then that shard's inbox
+       ({!Serve.steal_inbox}), taking at most
+       [min cross_quota batch] tasks.  So load imbalance drains without
+       recreating the all-to-all stealing a single flat pool exhibits.}}
+
+    Cross-stolen jobs keep their closures over their {e home} shard's
+    tickets and admission counters, so each shard's conservation
+    invariant [accepted = completed + cancelled + exceptions] holds no
+    matter where its tasks run ({!conserved} checks all shards after
+    {!drain}/{!shutdown}).  The thief's pool counts the transfer in its
+    [cross_polls]/[cross_shard_steals]/[cross_stolen_tasks] telemetry
+    ({!Abp_trace.Counters}) and emits [Cross] events when traced.
+
+    A submission that flips a shard's inbox from empty to nonempty wakes
+    every sibling pool's parked thieves (not just its own shard's), and
+    the parking protocol consults the remote source's pending check — so
+    a fully parked shard group never strands a submission on a busy
+    sibling (the cross-pool lost-wakeup regression in [test_backoff]). *)
+
+type t
+
+val create :
+  ?processes:int ->
+  ?deque_capacity:int ->
+  ?park_threshold:int ->
+  ?deque_impl:Abp_hood.Pool.deque_impl ->
+  ?batch:int ->
+  ?yield_kind:Abp_hood.Pool.yield_kind ->
+  ?gates:Abp_hood.Pool.gate_hook array ->
+  ?inbox_capacity:int ->
+  ?latency_window:int ->
+  ?clock:(unit -> float) ->
+  ?traces:Abp_trace.Sink.t array ->
+  ?cross_period:int ->
+  ?cross_quota:int ->
+  shards:int ->
+  unit ->
+  t
+(** Start [shards] micropools of [processes] workers each (so
+    [shards * processes] worker domains total).  [processes],
+    [deque_capacity], [park_threshold], [deque_impl], [batch],
+    [yield_kind], [inbox_capacity], [latency_window] and [clock] are
+    forwarded to each {!Serve.create} identically; [gates] and [traces],
+    when given, must have exactly one entry per shard (per-shard
+    preemption gates let the {!Abp_mp} adversary suspend shards
+    independently; per-shard sinks keep the one-record-per-worker
+    discipline).
+
+    [cross_period] (default 8) rate-limits cross-shard stealing: a thief
+    makes one real cross-shard attempt per [cross_period] trips that
+    exhausted every intra-shard source.  [cross_quota] (default 4) caps
+    the tasks moved per cross-shard acquisition (further capped by the
+    pool's [batch] and the victim deque's steal-up-to-half quota).  With
+    [shards = 1] no remote source is attached and the group degenerates
+    to a plain {!Serve} service with zero cross-shard overhead.
+
+    @raise Invalid_argument if [shards < 1], [cross_period < 1],
+    [cross_quota < 1], or a [gates]/[traces] array length mismatches
+    [shards]. *)
+
+val shards : t -> int
+(** Number of micropools [k]. *)
+
+val size : t -> int
+(** Total worker count across all shards. *)
+
+val cross_period : t -> int
+
+val cross_quota : t -> int
+
+val serve : t -> int -> Serve.t
+(** [serve t i] is shard [i]'s underlying service, for per-shard stats,
+    latency and pool telemetry.  @raise Invalid_argument if [i] is out
+    of range. *)
+
+val shard_of_key : t -> 'k -> int
+(** The shard a given affinity key routes to ([Hashtbl.hash key mod k]):
+    stable across the group's lifetime, so equal keys share a shard's
+    cache footprint. *)
+
+val try_submit :
+  t -> ?key:'k -> ?deadline:float -> (unit -> 'a) -> ('a Serve.ticket, Serve.reject) result
+(** Admit a task on the shard selected by [key] (or round-robin without
+    one), without blocking; semantics per shard are {!Serve.try_submit}.
+    If the submission flips the target inbox empty->nonempty, every
+    sibling pool is woken so an idle shard's parked thief can
+    cross-steal it. *)
+
+val submit : t -> ?key:'k -> ?deadline:float -> (unit -> 'a) -> 'a Serve.ticket
+(** Blocking submit: spins politely under backpressure.  A keyless
+    submission re-routes round-robin on each retry (landing on the next
+    shard instead of hammering a full inbox); a keyed submission stays
+    on its shard to preserve affinity.  The wait does not inflate any
+    shard's [rejected].
+    @raise Failure once admission has been stopped by {!drain} or
+    {!shutdown}. *)
+
+val stats : t -> Serve.stats
+(** Field-wise sum of the per-shard {!Serve.stats}; exact after
+    {!drain}/{!shutdown}, advisory while running. *)
+
+val conserved : t -> bool
+(** [accepted = completed + cancelled + exceptions] on {e every} shard
+    individually (hence also in aggregate).  Meaningful after
+    {!drain}/{!shutdown}. *)
+
+val route_counts : t -> int array
+(** Per-shard count of accepted submissions routed to each shard (the
+    shard_route histogram). *)
+
+val inbox_depths : t -> int array
+(** Per-shard injector depth gauge (advisory). *)
+
+val cross_polls : t -> int
+(** Total remote-source polls across all pools (rate-limited trips
+    included — an immediately-declined trip still counts one poll).
+    Exact after the group quiesces. *)
+
+val cross_shard_steals : t -> int
+(** Total cross-shard acquisitions (polls that moved at least one task);
+    always [<= cross_polls]. *)
+
+val cross_stolen_tasks : t -> int
+(** Total tasks moved across shard boundaries; with quota [q] per
+    acquisition, [cross_stolen_tasks <= q * cross_shard_steals]. *)
+
+val drain : t -> Serve.stats
+(** Stop admission on every shard {e first}, then run everything already
+    accepted to a terminal state and return the aggregate stats, for
+    which the conservation invariant holds shard-wise.  Idempotent. *)
+
+val shutdown : t -> unit
+(** Stop admission everywhere, join {e all} shards' worker domains, and
+    only then drop still-queued tasks as [Cancelled Shutdown] — a task
+    queued on one shard may be running on another shard's worker until
+    the joins complete.  No task runs after [shutdown] returns.
+    Idempotent. *)
+
+val pp_report : Format.formatter -> t -> unit
+(** Aggregate admission counters, cross-shard steal telemetry, and a
+    per-shard routing/depth line.  See {!Serve.pp_report} for the
+    per-shard deep dive. *)

@@ -17,6 +17,9 @@ type t = {
   mutable inject_polls : int;
   mutable inject_tasks : int;
   mutable inject_batches : int;
+  mutable cross_polls : int;
+  mutable cross_shard_steals : int;
+  mutable cross_stolen_tasks : int;
   mutable gate_suspends : int;
   mutable gate_wait_ns : int;
   mutable directed_yields : int;
@@ -60,6 +63,9 @@ let create () =
       inject_polls = 0;
       inject_tasks = 0;
       inject_batches = 0;
+      cross_polls = 0;
+      cross_shard_steals = 0;
+      cross_stolen_tasks = 0;
       gate_suspends = 0;
       gate_wait_ns = 0;
       directed_yields = 0;
@@ -86,6 +92,9 @@ let reset c =
   c.inject_polls <- 0;
   c.inject_tasks <- 0;
   c.inject_batches <- 0;
+  c.cross_polls <- 0;
+  c.cross_shard_steals <- 0;
+  c.cross_stolen_tasks <- 0;
   c.gate_suspends <- 0;
   c.gate_wait_ns <- 0;
   c.directed_yields <- 0;
@@ -124,6 +133,9 @@ let add ~into c =
   into.inject_polls <- into.inject_polls + c.inject_polls;
   into.inject_tasks <- into.inject_tasks + c.inject_tasks;
   into.inject_batches <- into.inject_batches + c.inject_batches;
+  into.cross_polls <- into.cross_polls + c.cross_polls;
+  into.cross_shard_steals <- into.cross_shard_steals + c.cross_shard_steals;
+  into.cross_stolen_tasks <- into.cross_stolen_tasks + c.cross_stolen_tasks;
   into.gate_suspends <- into.gate_suspends + c.gate_suspends;
   into.gate_wait_ns <- into.gate_wait_ns + c.gate_wait_ns;
   into.directed_yields <- into.directed_yields + c.directed_yields;
@@ -157,6 +169,9 @@ let fields c =
     ("inject_polls", c.inject_polls);
     ("inject_tasks", c.inject_tasks);
     ("inject_batches", c.inject_batches);
+    ("cross_polls", c.cross_polls);
+    ("cross_shard_steals", c.cross_shard_steals);
+    ("cross_stolen_tasks", c.cross_stolen_tasks);
     ("gate_suspends", c.gate_suspends);
     ("gate_wait_ns", c.gate_wait_ns);
     ("directed_yields", c.directed_yields);
@@ -177,7 +192,7 @@ let complete c =
 
 let pp ppf c =
   Fmt.pf ppf
-    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s%s%s%s"
+    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s%s%s%s%s"
     c.successful_steals c.steal_attempts c.steal_empties c.cas_failures_pop_top c.pushes c.pops
     c.yields c.parks c.lock_spins c.deque_high_water
     (if c.stolen_tasks > c.successful_steals then
@@ -188,6 +203,9 @@ let pp ppf c =
     (if c.inject_tasks > 0 || c.inject_polls > 0 then
        Printf.sprintf " inject %d/%d%s" c.inject_tasks c.inject_polls
          (if c.inject_batches > 0 then Printf.sprintf " (%d batched)" c.inject_batches else "")
+     else "")
+    (if c.cross_polls > 0 || c.cross_stolen_tasks > 0 then
+       Printf.sprintf " cross %d/%d" c.cross_stolen_tasks c.cross_polls
      else "")
     (if c.task_exceptions > 0 then Printf.sprintf " task-exns %d" c.task_exceptions else "")
     (if c.gate_suspends > 0 then

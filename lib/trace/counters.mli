@@ -60,6 +60,17 @@ type t = {
       (** externally submitted tasks actually acquired from the inbox *)
   mutable inject_batches : int;
       (** injector polls that drained {e two or more} tasks at once *)
+  mutable cross_polls : int;
+      (** polls of the pool's remote (cross-shard) work source, made only
+          after the own deque, an intra-pool steal attempt, and the own
+          injector all came up empty — the lowest-priority rung of the
+          sharded Figure 3 order ({!Abp_serve.Shard}) *)
+  mutable cross_shard_steals : int;
+      (** cross-shard polls that acquired at least one task from a remote
+          shard (deque steal or remote-inbox drain) *)
+  mutable cross_stolen_tasks : int;
+      (** total tasks acquired across shard boundaries; equals
+          [cross_shard_steals] when every cross poll moves one task *)
   mutable gate_suspends : int;
       (** times the worker blocked at a closed preemption gate — the
           multiprogramming harness's ({!Abp_mp}) cooperative analogue of

@@ -1,4 +1,14 @@
-type kind = Spawn | Steal | Execute | Idle | Yield | Park | Inject | Suspend | Resume
+type kind =
+  | Spawn
+  | Steal
+  | Execute
+  | Idle
+  | Yield
+  | Park
+  | Inject
+  | Cross
+  | Suspend
+  | Resume
 
 type t = { kind : kind; worker : int; time : float; arg : int }
 
@@ -10,6 +20,7 @@ let kind_name = function
   | Yield -> "yield"
   | Park -> "park"
   | Inject -> "inject"
+  | Cross -> "cross"
   | Suspend -> "suspend"
   | Resume -> "resume"
 

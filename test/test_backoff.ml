@@ -155,6 +155,74 @@ let task_exception_reraised_at_shutdown () =
   (* Idempotent shutdown does not raise twice. *)
   Pool.shutdown pool
 
+(* Cross-pool lost-wakeup regression: one shard's only worker is blocked
+   mid-task and the other shard's only worker is parked (threshold 0).
+   A request keyed to the busy shard then lands in its inbox — nobody in
+   that shard can run it.  The submit path must wake the sibling pool's
+   parked thief on the empty->nonempty flip, and that thief must
+   cross-steal the stranded job from the busy shard's inbox and run it
+   while the busy shard is still blocked.  Without the sibling wake, the
+   poll below times out (the classic lost wakeup).  The blocker itself
+   may be cross-stolen before its home worker picks it up, so the test
+   discovers which shard ended up busy instead of assuming. *)
+let shard_submit_wakes_remote_parked_thief () =
+  let module Shard = Abp_serve.Shard in
+  let module Serve = Abp_serve.Serve in
+  let s =
+    Shard.create ~processes:1 ~park_threshold:0 ~cross_period:1 ~cross_quota:1 ~shards:2 ()
+  in
+  let release = Atomic.make false in
+  Fun.protect
+    ~finally:(fun () ->
+      (* Always unblock before shutdown: a failed assertion must not
+         leave the blocker's worker spinning forever under the join. *)
+      Atomic.set release true;
+      Shard.shutdown s)
+    (fun () ->
+      let started = Atomic.make false in
+      let blocker =
+        Shard.submit s (fun () ->
+            Atomic.set started true;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done)
+      in
+      Alcotest.(check bool) "blocker started" true (wait_until (fun () -> Atomic.get started));
+      (* The blocker occupies one shard's only worker; the other worker,
+         with nothing to do anywhere, must park. *)
+      let parked_shard () =
+        let p i = Pool.parked_workers (Serve.pool (Shard.serve s i)) = 1 in
+        if p 0 then Some 0 else if p 1 then Some 1 else None
+      in
+      Alcotest.(check bool) "the idle shard's thief parked" true
+        (wait_until (fun () -> parked_shard () <> None));
+      let busy =
+        match parked_shard () with
+        | Some idle -> 1 - idle
+        | None -> Alcotest.fail "no parked thief"
+      in
+      (* A key that routes to the busy shard, flipping its inbox
+         empty->nonempty; only the sibling wake can deliver the job. *)
+      let kb =
+        let rec go i = if Shard.shard_of_key s i = busy then i else go (i + 1) in
+        go 0
+      in
+      let t = Shard.submit s ~key:kb (fun () -> 42) in
+      (* Poll with a timeout instead of awaiting: a lost wakeup would
+         otherwise hang the test forever instead of failing it. *)
+      Alcotest.(check bool) "remote parked thief completed the stranded job" true
+        (wait_until (fun () -> Serve.poll t <> None));
+      (match Serve.poll t with
+      | Some (Serve.Returned 42) -> ()
+      | _ -> Alcotest.fail "expected Returned 42");
+      Alcotest.(check bool) "the job crossed the shard boundary" true
+        (Shard.cross_stolen_tasks s >= 1);
+      Atomic.set release true;
+      match Serve.await blocker with
+      | Serve.Returned () -> ()
+      | _ -> Alcotest.fail "blocker completed");
+  Alcotest.(check bool) "conserved after shutdown" true (Abp_serve.Shard.conserved s)
+
 let tests =
   [
     Alcotest.test_case "idle thieves park" `Quick idle_thieves_park;
@@ -167,4 +235,6 @@ let tests =
     Alcotest.test_case "task exception re-raised at run" `Quick task_exception_reraised_at_run;
     Alcotest.test_case "task exception re-raised at shutdown" `Quick
       task_exception_reraised_at_shutdown;
+    Alcotest.test_case "shard submit wakes a remote parked thief" `Quick
+      shard_submit_wakes_remote_parked_thief;
   ]

@@ -2,8 +2,9 @@
    a bad flag) must exit nonzero with the error on stderr — previously it
    surfaced as an uncaught backtrace through the cmdliner evaluator.
 
-   The test stanza declares ../bin/{hoodrun,simrun}.exe as deps, so dune
-   builds them before the suite runs (cwd is _build/default/test). *)
+   The test stanza declares ../bin/{hoodrun,simrun,hoodserve}.exe as
+   deps, so dune builds them before the suite runs (cwd is
+   _build/default/test). *)
 
 let run_capturing cmd =
   let err = Filename.temp_file "abp_cli" ".stderr" in
@@ -147,6 +148,63 @@ let hoodrun_wsm_json_duplicates () =
       Alcotest.(check bool) (Printf.sprintf "json has %s" key) true (contains s key))
     [ {|"schema":"hoodrun/3"|}; {|"duplicate_steals"|} ]
 
+(* hoodserve: the sharded serving CLI.  A k-shard run must exit 0 with a
+   conserved, schema-stamped JSON summary; an invalid shard count must
+   exit 1 with the fatal prefix, not a backtrace. *)
+let hoodserve_sharded_json_schema () =
+  let json = Filename.temp_file "abp_cli" ".json" in
+  let code, err =
+    run_capturing
+      (Printf.sprintf
+         "../bin/hoodserve.exe -p 1 --shards 3 --affinity key --clients 3 --requests 40 \
+          --fib 10 --json %s"
+         json)
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "silent stderr" "" err;
+  let ic = open_in json in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove json;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (Printf.sprintf "json has %s" key) true (contains s key))
+    [
+      {|"schema":"hoodserve/1"|};
+      {|"shards":3|};
+      {|"affinity":"key"|};
+      {|"conserved":true|};
+      {|"cross_polls"|};
+      {|"cross_shard_steals"|};
+      {|"cross_stolen_tasks"|};
+      {|"route_counts"|};
+      {|"inbox_depths"|};
+      {|"throughput_rps"|};
+    ]
+
+let hoodserve_hash_affinity_succeeds () =
+  let code, err =
+    run_capturing "../bin/hoodserve.exe -p 1 --shards 2 --affinity hash --clients 2 --requests 30 --fib 8"
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "silent stderr" "" err
+
+let hoodserve_invalid_shards_exit_nonzero () =
+  List.iter
+    (fun (label, cmd) ->
+      let code, err = run_capturing cmd in
+      Alcotest.(check int) (label ^ " exits 1") 1 code;
+      Alcotest.(check bool) (label ^ " fatal prefix on stderr") true
+        (contains err "hoodserve: fatal:");
+      Alcotest.(check bool) (label ^ " no backtrace") false (contains err "Raised at"))
+    [
+      ("shards 0", "../bin/hoodserve.exe --shards 0 --clients 1 --requests 1");
+      ("shards 257", "../bin/hoodserve.exe --shards 257 --clients 1 --requests 1");
+    ];
+  (* An unknown affinity policy is a cmdliner enum error: exit 124. *)
+  let code, _ = run_capturing "../bin/hoodserve.exe --affinity nosuch --clients 1 --requests 1" in
+  Alcotest.(check bool) "unknown affinity rejected" true (code <> 0)
+
 let tests =
   [
     Alcotest.test_case "hoodrun: crash workload exits 1 + stderr" `Quick
@@ -167,4 +225,8 @@ let tests =
     Alcotest.test_case "hoodrun: wsm deque runs" `Quick hoodrun_wsm_deque_succeeds;
     Alcotest.test_case "hoodrun: wsm json reports duplicate_steals" `Quick
       hoodrun_wsm_json_duplicates;
+    Alcotest.test_case "hoodserve: sharded json schema" `Quick hoodserve_sharded_json_schema;
+    Alcotest.test_case "hoodserve: hash affinity runs" `Quick hoodserve_hash_affinity_succeeds;
+    Alcotest.test_case "hoodserve: invalid shards exit 1" `Quick
+      hoodserve_invalid_shards_exit_nonzero;
   ]

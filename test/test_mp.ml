@@ -383,6 +383,63 @@ let serve_drain_conservation_under_adversary () =
     stats.Serve.accepted
     (stats.Serve.completed + stats.Serve.cancelled + stats.Serve.exceptions)
 
+(* The sharded topology under the kernel adversary: per-shard gates let
+   the duty-cycle adversary suspend each shard's workers independently
+   (one shard can be fully gated while a sibling runs), so cross-shard
+   steals race gate closures.  Conservation must hold on every shard
+   individually and the cross-steal telemetry must obey its bounds.
+   With ABP_MP_PROCS > cores this also runs oversubscribed. *)
+let shard_conservation_under_adversary () =
+  let module Shard = Abp_serve.Shard in
+  let shards = 2 in
+  let p = procs () in
+  let gates = Array.init shards (fun _ -> Gate.create ~num_workers:p) in
+  let s =
+    Shard.create ~processes:p ~yield_kind:Pool.Yield_to_random
+      ~gates:(Array.map Gate.hook gates) ~cross_period:2 ~cross_quota:4 ~shards ()
+  in
+  let controllers =
+    Array.init shards (fun i ->
+        let adv =
+          Adversary_spec.parse ~num_processes:p ~rng:(rng (60 + i)) "duty:on=2,off=1"
+        in
+        Controller.create ~quantum:1e-3 ~yield:Yield.Yield_to_random ~gate:gates.(i)
+          ~pool:(Serve.pool (Shard.serve s i)) adv)
+  in
+  Array.iter Controller.start controllers;
+  let stats =
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter Controller.stop controllers;
+        Shard.shutdown s)
+      (fun () ->
+        let tickets =
+          List.init 300 (fun i ->
+              (* Mixed traffic: most keyed to one hot key (a single home
+                 shard, forcing cross-shard overflow), the rest keyless. *)
+              let key = if i mod 4 < 3 then Some "hot" else None in
+              Shard.try_submit s ?key (fun () ->
+                  if i mod 50 = 49 then failwith "boom" else Par.fib 12))
+        in
+        List.iteri
+          (fun i t ->
+            match t with
+            | Ok t when i mod 7 = 0 -> ignore (Serve.cancel t)
+            | _ -> ())
+          tickets;
+        Shard.drain s)
+  in
+  Alcotest.(check bool) "service made progress" true (stats.Serve.completed > 0);
+  Alcotest.(check bool) "per-shard conservation under the adversary" true (Shard.conserved s);
+  Alcotest.(check int) "aggregate conservation" stats.Serve.accepted
+    (stats.Serve.completed + stats.Serve.cancelled + stats.Serve.exceptions);
+  let polls = Shard.cross_polls s
+  and steals = Shard.cross_shard_steals s
+  and tasks = Shard.cross_stolen_tasks s in
+  Alcotest.(check bool) "cross steals <= cross polls" true (steals <= polls);
+  Alcotest.(check bool) "cross tasks within quota" true
+    (tasks >= steals && tasks <= Shard.cross_quota s * steals)
+
 (* ------------------------------------------------------------------ *)
 (* Antagonist.                                                        *)
 
@@ -414,5 +471,7 @@ let tests =
       wsm_conservation_under_duty;
     Alcotest.test_case "serve drain conservation under adversary" `Slow
       serve_drain_conservation_under_adversary;
+    Alcotest.test_case "shard conservation under adversary" `Slow
+      shard_conservation_under_adversary;
     Alcotest.test_case "antagonist starts and stops" `Quick antagonist_starts_and_stops;
   ]

@@ -335,6 +335,163 @@ let report_renders () =
           Alcotest.(check bool) (needle ^ " present") true (contains text needle))
         [ "serve report"; "accepted"; "inbox"; "queue latency"; "run latency" ])
 
+(* ------------------------------------------------------------------ *)
+(* Shard: the sharded multi-pool topology *)
+
+let with_shard ?processes ?inbox_capacity ?cross_period ?cross_quota ~shards f =
+  let s = Shard.create ?processes ?inbox_capacity ?cross_period ?cross_quota ~shards () in
+  Fun.protect ~finally:(fun () -> Shard.shutdown s) (fun () -> f s)
+
+let shard_create_validation () =
+  Alcotest.check_raises "shards = 0 rejected" (Invalid_argument "Shard.create: shards >= 1 required")
+    (fun () -> ignore (Shard.create ~shards:0 ()));
+  Alcotest.check_raises "cross_period = 0 rejected"
+    (Invalid_argument "Shard.create: cross_period >= 1 required") (fun () ->
+      ignore (Shard.create ~shards:2 ~cross_period:0 ()));
+  Alcotest.check_raises "cross_quota = 0 rejected"
+    (Invalid_argument "Shard.create: cross_quota >= 1 required") (fun () ->
+      ignore (Shard.create ~shards:2 ~cross_quota:0 ()));
+  Alcotest.check_raises "traces length mismatch rejected"
+    (Invalid_argument "Shard.create: traces must have one entry per shard") (fun () ->
+      ignore (Shard.create ~shards:2 ~traces:[| Abp_trace.Sink.create ~workers:1 () |] ()))
+
+let shard_routing_is_stable () =
+  with_shard ~processes:1 ~shards:4 (fun s ->
+      Alcotest.(check int) "shards" 4 (Shard.shards s);
+      Alcotest.(check int) "size" 4 (Shard.size s);
+      (* shard_of_key is a pure function of the key. *)
+      List.iter
+        (fun k ->
+          let i = Shard.shard_of_key s k in
+          Alcotest.(check bool) "in range" true (i >= 0 && i < 4);
+          Alcotest.(check int) (Printf.sprintf "key %d stable" k) i (Shard.shard_of_key s k))
+        [ 0; 1; 17; 12345; -3 ];
+      (* Keyed submissions land on exactly the shard the key hashes to. *)
+      let key = "client-7" in
+      let home = Shard.shard_of_key s key in
+      let tickets = List.init 12 (fun i -> Shard.submit s ~key (fun () -> i)) in
+      List.iter (fun t -> ignore (Serve.await t)) tickets;
+      ignore (Shard.drain s);
+      let routes = Shard.route_counts s in
+      Alcotest.(check int) "all keyed requests on the home shard" 12 routes.(home);
+      Array.iteri
+        (fun i n -> if i <> home then Alcotest.(check int) "other shards untouched" 0 n)
+        routes)
+
+let shard_round_robin_spreads () =
+  with_shard ~processes:1 ~shards:3 (fun s ->
+      let tickets = List.init 30 (fun i -> Shard.submit s (fun () -> i)) in
+      List.iter (fun t -> ignore (Serve.await t)) tickets;
+      ignore (Shard.drain s);
+      let routes = Shard.route_counts s in
+      Alcotest.(check int) "route histogram sums to accepted" 30
+        (Array.fold_left ( + ) 0 routes);
+      Array.iteri
+        (fun i n ->
+          Alcotest.(check bool) (Printf.sprintf "shard %d saw traffic" i) true (n > 0))
+        routes)
+
+let shard_single_degenerates_to_serve () =
+  with_shard ~processes:2 ~shards:1 (fun s ->
+      let tickets = List.init 40 (fun i -> Shard.submit s (fun () -> i * i)) in
+      List.iter (fun t -> ignore (Serve.await t)) tickets;
+      let st = Shard.drain s in
+      Alcotest.(check int) "completed" 40 st.Serve.completed;
+      Alcotest.(check bool) "conserved" true (Shard.conserved s);
+      Alcotest.(check int) "no remote source: zero cross polls" 0 (Shard.cross_polls s);
+      Alcotest.(check int) "zero cross steals" 0 (Shard.cross_shard_steals s))
+
+(* The tentpole stress: multiple submitting domains race keyed and
+   keyless traffic onto a skewed k-shard group; cross-shard stealing
+   moves work, yet every shard's own conservation invariant holds and
+   the cross-steal telemetry obeys its bounds. *)
+let shard_conservation_multi_domain () =
+  let shards = 3 in
+  let s = Shard.create ~processes:2 ~inbox_capacity:32 ~cross_period:2 ~cross_quota:4 ~shards () in
+  let submitters = 4 and per_submitter = 300 in
+  let executed = Atomic.make 0 in
+  let ds =
+    Array.init submitters (fun d ->
+        Domain.spawn (fun () ->
+            let tickets = ref [] in
+            for i = 0 to per_submitter - 1 do
+              (* Skew: three quarters of the traffic is keyed to ONE hot
+                 key (a single home shard), the rest keyless — the hot
+                 shard overflows and siblings must cross-steal. *)
+              let key = if i mod 4 < 3 then Some "hot" else None in
+              let t = Shard.submit s ?key (fun () -> Atomic.incr executed; (d, i)) in
+              tickets := t :: !tickets
+            done;
+            List.iter (fun t -> ignore (Serve.await t)) !tickets))
+  in
+  Array.iter Domain.join ds;
+  let st = Shard.drain s in
+  let n = submitters * per_submitter in
+  Alcotest.(check int) "all submissions accepted (blocking submit)" n st.Serve.accepted;
+  Alcotest.(check int) "all completed" n st.Serve.completed;
+  Alcotest.(check int) "every completed task ran" n (Atomic.get executed);
+  Alcotest.(check bool) "per-shard conservation" true (Shard.conserved s);
+  (* Cross-steal telemetry bounds. *)
+  let polls = Shard.cross_polls s
+  and steals = Shard.cross_shard_steals s
+  and tasks = Shard.cross_stolen_tasks s in
+  Alcotest.(check bool) "steals <= polls" true (steals <= polls);
+  Alcotest.(check bool) "tasks >= steals" true (tasks >= steals);
+  Alcotest.(check bool) "tasks <= quota * steals" true (tasks <= Shard.cross_quota s * steals);
+  Alcotest.(check int) "route histogram sums to accepted" n
+    (Array.fold_left ( + ) 0 (Shard.route_counts s));
+  Shard.shutdown s
+
+let shard_shutdown_resolves_every_ticket () =
+  let s = Shard.create ~processes:1 ~shards:2 () in
+  let release = Atomic.make false and started = Atomic.make 0 in
+  (* Block both shards' single workers so later submissions stay queued. *)
+  let blockers =
+    List.init 2 (fun i ->
+        Shard.submit s ~key:(string_of_int i) (fun () ->
+            Atomic.incr started;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done))
+  in
+  while Atomic.get started < 2 do
+    Domain.cpu_relax ()
+  done;
+  let queued = List.init 6 (fun i -> Shard.submit s (fun () -> i)) in
+  Atomic.set release true;
+  Shard.shutdown s;
+  Shard.shutdown s;
+  List.iter
+    (fun t ->
+      match Serve.await t with
+      | Serve.Returned () -> ()
+      | _ -> Alcotest.fail "blocker completed")
+    blockers;
+  List.iter
+    (fun t ->
+      match Serve.poll t with
+      | Some (Serve.Returned _) | Some (Serve.Cancelled Serve.Shutdown) -> ()
+      | Some _ -> Alcotest.fail "unexpected terminal state"
+      | None -> Alcotest.fail "ticket unresolved after shutdown")
+    queued;
+  Alcotest.(check bool) "conserved after shutdown" true (Shard.conserved s);
+  (match Shard.try_submit s (fun () -> 0) with
+  | Error Serve.Draining -> ()
+  | _ -> Alcotest.fail "admission closed after shutdown");
+  Alcotest.check_raises "submit raises after shutdown"
+    (Failure "Shard.submit: admission stopped (draining or shut down)") (fun () ->
+      ignore (Shard.submit s (fun () -> 0)))
+
+let shard_report_renders () =
+  with_shard ~processes:1 ~shards:2 (fun s ->
+      let tickets = List.init 10 (fun i -> Shard.submit s (fun () -> i)) in
+      List.iter (fun t -> ignore (Serve.await t)) tickets;
+      ignore (Shard.drain s);
+      let text = Format.asprintf "%a" Shard.pp_report s in
+      List.iter
+        (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains text needle))
+        [ "shard report"; "cross"; "shard 0"; "shard 1" ])
+
 let tests =
   [
     Alcotest.test_case "injector: fifo + full + wraparound" `Quick injector_fifo_single_thread;
@@ -355,4 +512,13 @@ let tests =
       drain_invariant_multi_producer;
     Alcotest.test_case "telemetry: inject counters" `Quick telemetry_counts_injection;
     Alcotest.test_case "report renders" `Quick report_renders;
+    Alcotest.test_case "shard: create validation" `Quick shard_create_validation;
+    Alcotest.test_case "shard: keyed routing is stable" `Quick shard_routing_is_stable;
+    Alcotest.test_case "shard: round-robin spreads" `Quick shard_round_robin_spreads;
+    Alcotest.test_case "shard: k=1 degenerates to serve" `Quick shard_single_degenerates_to_serve;
+    Alcotest.test_case "shard: conservation + cross bounds under 4-domain skew" `Quick
+      shard_conservation_multi_domain;
+    Alcotest.test_case "shard: shutdown resolves every ticket" `Quick
+      shard_shutdown_resolves_every_ticket;
+    Alcotest.test_case "shard: report renders" `Quick shard_report_renders;
   ]

@@ -210,12 +210,15 @@ let fields_cover_every_counter () =
       "inject_polls";
       "inject_tasks";
       "inject_batches";
+      "cross_polls";
+      "cross_shard_steals";
+      "cross_stolen_tasks";
       "gate_suspends";
       "gate_wait_ns";
       "directed_yields";
       "duplicate_steals";
     ];
-  Alcotest.(check int) "exactly the 22 fields" 22 (List.length names)
+  Alcotest.(check int) "exactly the 25 fields" 25 (List.length names)
 
 let tests =
   [
