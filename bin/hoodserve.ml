@@ -27,26 +27,47 @@ let affinity_name = function Hash -> "hash" | Key -> "key"
 
 (* Hand-rolled JSON on the model of the bench executables: no external
    dependency, schema-stamped for the CI artifact check. *)
-let write_json file ~p ~shards ~affinity ~clients ~requests ~fib ~elapsed ~throughput
-    ~(st : Abp.Serve.stats) ~conserved ~cross ~routes ~depths =
+let write_json file ~p ~shards ~affinity ~clients ~requests ~fib ~await_depth ~backend_ms
+    ~elapsed ~throughput ~(st : Abp.Serve.stats) ~conserved ~cross ~fiber ~routes ~depths =
   let cross_polls, cross_steals, cross_tasks = cross in
+  let suspensions, resumes, suspended_peak = fiber in
   let int_array a =
     "[" ^ String.concat "," (Array.to_list (Array.map string_of_int a)) ^ "]"
   in
   let oc = open_out file in
   Printf.fprintf oc
-    {|{"schema":"hoodserve/1","p":%d,"shards":%d,"affinity":"%s","clients":%d,"requests":%d,"fib":%d,"elapsed_s":%.6f,"throughput_rps":%.1f,"accepted":%d,"completed":%d,"rejected":%d,"cancelled":%d,"exceptions":%d,"conserved":%b,"cross_polls":%d,"cross_shard_steals":%d,"cross_stolen_tasks":%d,"route_counts":%s,"inbox_depths":%s}|}
-    p shards (affinity_name affinity) clients requests fib elapsed throughput st.Abp.Serve.accepted
-    st.Abp.Serve.completed st.Abp.Serve.rejected st.Abp.Serve.cancelled st.Abp.Serve.exceptions
-    conserved cross_polls cross_steals cross_tasks (int_array routes) (int_array depths);
+    {|{"schema":"hoodserve/2","p":%d,"shards":%d,"affinity":"%s","clients":%d,"requests":%d,"fib":%d,"await_depth":%d,"backend_ms":%.3f,"elapsed_s":%.6f,"throughput_rps":%.1f,"accepted":%d,"completed":%d,"rejected":%d,"cancelled":%d,"exceptions":%d,"suspended":%d,"conserved":%b,"cross_polls":%d,"cross_shard_steals":%d,"cross_stolen_tasks":%d,"suspensions":%d,"resumes":%d,"suspended_peak":%d,"route_counts":%s,"inbox_depths":%s}|}
+    p shards (affinity_name affinity) clients requests fib await_depth backend_ms elapsed
+    throughput st.Abp.Serve.accepted st.Abp.Serve.completed st.Abp.Serve.rejected
+    st.Abp.Serve.cancelled st.Abp.Serve.exceptions st.Abp.Serve.suspended conserved cross_polls
+    cross_steals cross_tasks suspensions resumes suspended_peak (int_array routes)
+    (int_array depths);
   output_char oc '\n';
   close_out oc
 
-let run p shards affinity clients requests fib inbox batch deadline trace_file json_file =
+(* Aggregate fiber telemetry over every shard's pool: total suspensions
+   and resumes, and the largest per-shard suspended peak (peaks of
+   different pools are concurrent gauges — they max, not sum). *)
+let fiber_counters s shards =
+  let susp = ref 0 and res = ref 0 and peak = ref 0 in
+  for i = 0 to shards - 1 do
+    let c = Abp.Trace_counters.sum (Abp.Pool.counters (Abp.Serve.pool (Abp.Shard.serve s i))) in
+    susp := !susp + c.Abp.Trace_counters.suspensions;
+    res := !res + c.Abp.Trace_counters.resumes;
+    peak := max !peak c.Abp.Trace_counters.suspended_peak
+  done;
+  (!susp, !res, !peak)
+
+let run p shards affinity clients requests fib await_depth backend_ms inbox batch deadline
+    trace_file json_file =
  fatal_guard "hoodserve" @@ fun () ->
   if clients < 1 then raise (Invalid_argument "clients >= 1 required");
   if shards < 1 then raise (Invalid_argument "shards >= 1 required");
   if shards > 256 then raise (Invalid_argument "shards <= 256 required");
+  if await_depth < 0 || await_depth > 64 then
+    raise (Invalid_argument "await-depth in [0,64] required");
+  if backend_ms < 0.0 || backend_ms > 1000.0 then
+    raise (Invalid_argument "backend-ms in [0,1000] required");
   let sinks =
     Option.map
       (fun _ ->
@@ -56,6 +77,22 @@ let run p shards affinity clients requests fib inbox batch deadline trace_file j
       trace_file
   in
   let s = Abp.Shard.create ~processes:p ~inbox_capacity:inbox ~batch ?traces:sinks ~shards () in
+  (* With --await-depth > 0 each request suspends on a simulated
+     downstream backend between compute slices: the body awaits a
+     promise fulfilled by an external backend domain ~backend_ms later,
+     so the worker serves other requests while this one is parked. *)
+  let backend = if await_depth > 0 then Some (Abp.Backend.create ~workers:2 ()) else None in
+  let backend_s = backend_ms /. 1000.0 in
+  let body () =
+    let v = ref (fib_seq fib) in
+    (match backend with
+    | Some b ->
+        for _ = 1 to await_depth do
+          v := Abp.Fiber.await (Abp.Backend.call b ~delay:backend_s !v)
+        done
+    | None -> ());
+    !v
+  in
   let completed = Atomic.make 0 and dropped = Atomic.make 0 in
   let t0 = Unix.gettimeofday () in
   let ds =
@@ -66,7 +103,7 @@ let run p shards affinity clients requests fib inbox batch deadline trace_file j
                (the keyless round-robin route). *)
             let key = match affinity with Key -> Some client | Hash -> None in
             for _ = 1 to requests do
-              let t = Abp.Shard.submit s ?key ?deadline (fun () -> fib_seq fib) in
+              let t = Abp.Shard.submit s ?key ?deadline body in
               match Abp.Serve.await t with
               | Abp.Serve.Returned _ -> Atomic.incr completed
               | Abp.Serve.Raised e -> raise e
@@ -76,10 +113,14 @@ let run p shards affinity clients requests fib inbox batch deadline trace_file j
   Array.iter Domain.join ds;
   let elapsed = Unix.gettimeofday () -. t0 in
   let st = Abp.Shard.drain s in
+  Option.iter Abp.Backend.stop backend;
   let throughput = float_of_int (Atomic.get completed) /. elapsed in
-  Format.printf "%d clients x %d requests (fib %d) on %d shard(s) x P=%d (affinity %s) in \
+  Format.printf "%d clients x %d requests (fib %d%s) on %d shard(s) x P=%d (affinity %s) in \
                  %.3fs  %.0f req/s@."
-    clients requests fib shards p (affinity_name affinity) elapsed throughput;
+    clients requests fib
+    (if await_depth > 0 then Printf.sprintf ", await depth %d x %.1fms" await_depth backend_ms
+     else "")
+    shards p (affinity_name affinity) elapsed throughput;
   if Atomic.get dropped > 0 then
     Format.printf "dropped %d requests (deadline/cancel)@." (Atomic.get dropped);
   Format.printf "%a" Abp.Shard.pp_report s;
@@ -90,13 +131,17 @@ let run p shards affinity clients requests fib inbox batch deadline trace_file j
   let cross =
     (Abp.Shard.cross_polls s, Abp.Shard.cross_shard_steals s, Abp.Shard.cross_stolen_tasks s)
   in
+  let fiber = fiber_counters s shards in
+  (let susp, res, peak = fiber in
+   if susp > 0 then
+     Format.printf "fiber: %d suspensions, %d resumes, suspended peak %d@." susp res peak);
   let routes = Abp.Shard.route_counts s in
   let depths = Abp.Shard.inbox_depths s in
   Abp.Shard.shutdown s;
   Option.iter
     (fun file ->
-      write_json file ~p ~shards ~affinity ~clients ~requests ~fib ~elapsed ~throughput ~st
-        ~conserved ~cross ~routes ~depths;
+      write_json file ~p ~shards ~affinity ~clients ~requests ~fib ~await_depth ~backend_ms
+        ~elapsed ~throughput ~st ~conserved ~cross ~fiber ~routes ~depths;
       Format.printf "json written to %s@." file)
     json_file;
   (match (sinks, trace_file) with
@@ -140,6 +185,19 @@ let cmd =
   let clients = Arg.(value & opt int 4 & info [ "clients" ] ~doc:"closed-loop client domains") in
   let requests = Arg.(value & opt int 1000 & info [ "requests" ] ~doc:"requests per client") in
   let fib = Arg.(value & opt int 16 & info [ "fib" ] ~doc:"per-request work: sequential fib N") in
+  let await_depth =
+    Arg.(
+      value & opt int 0
+      & info [ "await-depth" ] ~docv:"D"
+          ~doc:"suspensions per request: the body awaits a simulated backend $(docv) times \
+                between compute slices (0 = plain blocking requests; max 64)")
+  in
+  let backend_ms =
+    Arg.(
+      value & opt float 0.2
+      & info [ "backend-ms" ] ~docv:"MS"
+          ~doc:"simulated backend latency per await, in milliseconds (max 1000)")
+  in
   let inbox =
     Arg.(value & opt int 256 & info [ "inbox" ] ~doc:"injector inbox capacity (per shard)")
   in
@@ -171,12 +229,12 @@ let cmd =
       value
       & opt (some string) None
       & info [ "json" ] ~docv:"FILE"
-          ~doc:"write a machine-readable run summary (schema hoodserve/1) to $(docv)")
+          ~doc:"write a machine-readable run summary (schema hoodserve/2) to $(docv)")
   in
   Cmd.v
     (Cmd.info "hoodserve" ~doc:"Serve external requests on the Hood work-stealing runtime")
     Term.(
-      const run $ p $ shards $ affinity $ clients $ requests $ fib $ inbox $ batch $ deadline
-      $ trace_file $ json_file)
+      const run $ p $ shards $ affinity $ clients $ requests $ fib $ await_depth $ backend_ms
+      $ inbox $ batch $ deadline $ trace_file $ json_file)
 
 let () = exit (Cmd.eval cmd)

@@ -15,9 +15,31 @@ let scenarios =
     ("owner-vs-thief", Abp.Mcheck_props.owner_vs_thief_interleave);
   ]
 
+(* The fiber promise protocol is a different machine from the deque
+   explorer (awaiters/fulfiller instead of owner/thieves), so the
+   [fiber_await] scenario gets its own dispatch: exhaustive
+   exactly-once-resumption check at 1..3 racing awaiters. *)
+let run_fiber_await () =
+  let any_violation = ref false in
+  List.iter
+    (fun k ->
+      let r = Abp.Fiber_model.explore ~awaiters:k in
+      Format.printf "%-16s (%d awaiters + 1 fulfiller): %a@." "fiber_await" k
+        Abp.Fiber_model.pp_report r;
+      if r.Abp.Fiber_model.violations <> [] then any_violation := true;
+      (* At >= 2 awaiters both resume paths must be reachable. *)
+      if k >= 2 && (r.Abp.Fiber_model.immediate_resumes = 0 || r.Abp.Fiber_model.scheduled_resumes = 0)
+      then begin
+        Format.printf "fiber_await: race coverage incomplete at %d awaiters@." k;
+        any_violation := true
+      end)
+    [ 1; 2; 3 ];
+  !any_violation
+
 let run scenario tag_width =
-  let chosen =
+  let deque_chosen =
     if scenario = "all" then scenarios
+    else if scenario = "fiber_await" then []
     else
       match List.assoc_opt scenario scenarios with
       | Some p -> [ (scenario, p) ]
@@ -31,12 +53,17 @@ let run scenario tag_width =
         (Abp.Explorer.program_total_ops program)
         tag_width Abp.Explorer.pp_report report;
       if report.Abp.Explorer.violations <> [] then any_violation := true)
-    chosen;
+    deque_chosen;
+  if scenario = "all" || scenario = "fiber_await" then
+    if run_fiber_await () then any_violation := true;
   if !any_violation then exit 2
 
 let cmd =
   let scenario =
-    Arg.(value & opt string "all" & info [ "scenario" ] ~doc:"all|aba|wraparound|two-thieves|owner-vs-thief")
+    Arg.(
+      value
+      & opt string "all"
+      & info [ "scenario" ] ~doc:"all|aba|wraparound|two-thieves|owner-vs-thief|fiber_await")
   in
   let tag_width =
     Arg.(

@@ -22,6 +22,12 @@
       of the deque's relaxed semantics (the TR-99-11 substitute).
     - {!Pool}, {!Future}, {!Par}: Hood, the real runtime on OCaml 5
       domains.
+    - {!Fiber} (library [abp_fiber]): effects-based suspendable tasks —
+      an [Await] effect and a promise API; a pending [await] parks the
+      one-shot continuation on the promise and returns the worker to
+      the Figure 3 loop, and [fulfil] re-injects the continuation as an
+      ordinary task.  {!Fiber_model} exhaustively model-checks the
+      park/fulfil race for exactly-once resumption.
     - {!Serve}, {!Injector}, {!Shard}: the serving layer — external
       task submission from arbitrary domains through a bounded
       multi-producer injector inbox, with admission control
@@ -93,12 +99,16 @@ module Run_result = Abp_sim.Run_result
 (* Model checker *)
 module Explorer = Abp_mcheck.Explorer
 module Wsm_explorer = Abp_mcheck.Wsm_explorer
+module Fiber_model = Abp_mcheck.Fiber_model
 module Mcheck_props = Abp_mcheck.Props
 
 (* Telemetry *)
 module Trace = Abp_trace
 module Trace_counters = Abp_trace.Counters
 module Trace_sink = Abp_trace.Sink
+
+(* Suspendable tasks: Await effect + promises *)
+module Fiber = Abp_fiber.Fiber
 
 (* Hood runtime *)
 module Pool = Abp_hood.Pool
@@ -111,6 +121,7 @@ module Central_pool = Abp_hood.Central_pool
 module Serve = Abp_serve.Serve
 module Injector = Abp_serve.Injector
 module Shard = Abp_serve.Shard
+module Backend = Abp_serve.Backend
 
 (* Multiprogramming harness: the kernel adversary on hardware *)
 module Mp = Abp_mp

@@ -1,38 +1,58 @@
-type 'a state = Pending | Done of 'a | Failed of exn
+(* Futures are promises resolved by a spawned pool task.  [force] has
+   two waiting strategies:
 
-type 'a t = 'a state Atomic.t
+   - In a fiber context (any task body, and the [Pool.run] body — i.e.
+     essentially always on the new runtime), a pending [force] suspends
+     via [Await]: the continuation parks on the promise and the worker
+     returns to the scheduling loop.  The worker never sits on the
+     join, and the blocked computation costs no stack.
+
+   - Outside any fiber handler (defensive fallback: code calling
+     [force] from a context the pool did not wrap), the classic
+     helping loop: run local or stolen tasks while polling.  Helped
+     tasks are executed via [Pool.run_task] so each gets its own
+     handler — run raw, a helped task's [Await] would be captured by
+     an enclosing handler and park the helper itself. *)
+
+module Fiber = Abp_fiber.Fiber
+
+type 'a t = 'a Fiber.Promise.t
 
 let spawn f =
   let w = Pool.current () in
-  let promise = Atomic.make Pending in
+  let promise = Fiber.Promise.create () in
   Pool.push_task w (fun () ->
-      let result = try Done (f ()) with e -> Failed e in
-      Atomic.set promise result);
+      match f () with
+      | v -> Fiber.Promise.fulfil promise v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Fiber.Promise.try_fail ~bt promise e));
   promise
 
-let is_resolved p = match Atomic.get p with Pending -> false | Done _ | Failed _ -> true
+let is_resolved = Fiber.Promise.is_resolved
 
 let force p =
-  let w = Pool.current () in
-  let rec wait () =
-    match Atomic.get p with
-    | Done v -> v
-    | Failed e -> raise e
-    | Pending ->
-        (* Gate safe point: a worker helping inside [force] must honour
-           multiprogramming suspensions just like the outer worker loop
-           (it holds no unpublished tasks here). *)
-        Pool.checkpoint w;
-        (* Help: run local or stolen tasks while waiting. *)
-        (match Pool.try_get_task w with
-        | Some task ->
-            task ();
-            wait ()
-        | None ->
-            Pool.relax ();
-            wait ())
-  in
-  wait ()
+  match Fiber.Promise.try_await p with
+  | Some v -> v
+  | None ->
+      if Fiber.in_context () then Fiber.Promise.await p
+      else begin
+        let w = Pool.current () in
+        let rec wait () =
+          match Fiber.Promise.try_await p with
+          | Some v -> v
+          | None ->
+              (* Gate safe point: a worker helping inside [force] must
+                 honour multiprogramming suspensions just like the outer
+                 worker loop (it holds no unpublished tasks here). *)
+              Pool.checkpoint w;
+              (match Pool.try_get_task w with
+              | Some task -> Pool.run_task w task
+              | None -> Pool.relax ());
+              wait ()
+        in
+        wait ()
+      end
 
 let both f g =
   let fa = spawn f in

@@ -2,13 +2,19 @@
     work-stealing runtime.
 
     [spawn] pushes a task onto the calling worker's deque bottom (the
-    thread-creation action of the scheduling loop); [force] joins: while
-    the value is pending, the worker {e helps} — it executes tasks from
-    its own deque and steals from others — so a blocked join never
-    wastes its process, mirroring how a blocked thread's process pops a
-    new assigned thread in the paper's loop. *)
+    thread-creation action of the scheduling loop); [force] joins.  A
+    future is an {!Abp_fiber.Fiber.Promise.t} resolved by the spawned
+    task, and a pending [force] called from a fiber context (any task
+    body on the pool) {e suspends}: the continuation parks on the
+    promise and the worker returns to the Figure 3 loop — a blocked
+    join never occupies its process.  Outside a fiber context [force]
+    falls back to the classic helping loop (execute local or stolen
+    tasks while polling), mirroring how a blocked thread's process pops
+    a new assigned thread in the paper's loop. *)
 
-type 'a t
+type 'a t = 'a Abp_fiber.Fiber.Promise.t
+(** A future is its underlying promise: [Fiber.await]-able directly,
+    and resolvable only by the spawned task. *)
 
 val spawn : (unit -> 'a) -> 'a t
 (** Must be called from inside {!Pool.run} (or a task).  The computation
@@ -16,8 +22,9 @@ val spawn : (unit -> 'a) -> 'a t
     {!force}. *)
 
 val force : 'a t -> 'a
-(** Wait for (and help compute) the value.  Re-raises the task's
-    exception if it failed. *)
+(** Wait for the value: suspend the current fiber when pending (in a
+    fiber context), or help compute it (out of context).  Re-raises the
+    task's exception, with its original backtrace, if it failed. *)
 
 val is_resolved : 'a t -> bool
 

@@ -30,6 +30,7 @@ module Spec = Abp_deque.Spec
 module Counters = Abp_trace.Counters
 module Sink = Abp_trace.Sink
 module Padding = Abp_deque.Padding
+module Fiber = Abp_fiber.Fiber
 
 let default_park_threshold = 16
 
@@ -106,6 +107,25 @@ type shared = {
   (* First exception raised by a task in a worker loop; re-raised at the
      [run]/[shutdown] boundary instead of silently killing the domain. *)
   pending_exn : (exn * Printexc.raw_backtrace) option Atomic.t;
+  (* Fiber resume inbox: parked continuations made ready by a fulfil
+     that happened OFF this pool's workers (a backend domain, another
+     pool's worker with no context).  Workers drain it in the scheduling
+     loop; [resume_n] (padded) gives waiters and the parking protocol a
+     lock-free emptiness check.  A fulfil performed ON a worker skips
+     this entirely — the continuation goes straight onto that worker's
+     own deque like any spawned task. *)
+  resume_lock : Mutex.t;
+  resume_q : (unit -> unit) Queue.t;
+  resume_n : int Atomic.t;
+  (* Continuations currently parked on promises under this pool's
+     handler: the gauge behind the await-aware conservation invariant
+     and the [suspended_peak] counter. *)
+  n_suspended : int Atomic.t;
+  (* The fiber scheduler wrapped around every task this pool executes.
+     Built right after [shared] (its closures capture this record);
+     [inline_sched] only until [create] replaces it, before any worker
+     spawns. *)
+  mutable fsched : Fiber.sched;
 }
 
 (* The executing worker's counter record, published to task closures via
@@ -343,10 +363,36 @@ module Impl (D : Spec.DETAILED) = struct
               repush_surplus w rest;
               Some task)
     in
+    (* Resumed continuations made ready by an off-pool fulfil.  Polled
+       right after the steal attempt and before NEW external work (the
+       injector): a resume is the tail of an already-admitted task, so
+       finishing in-flight work takes priority over admitting more.
+       Drained one at a time — a resume is executed directly, never
+       re-enters a deque, so no claim-wrap is needed even on a
+       multiplicity backend (queue pop is exactly-once). *)
+    let resume () =
+      if Atomic.get pool.shared.resume_n = 0 then None
+      else begin
+        Mutex.lock pool.shared.resume_lock;
+        let task =
+          if Queue.is_empty pool.shared.resume_q then None
+          else begin
+            Atomic.decr pool.shared.resume_n;
+            Some (Queue.pop pool.shared.resume_q)
+          end
+        in
+        Mutex.unlock pool.shared.resume_lock;
+        task
+      end
+    in
     let steal_then_inject () =
       match steal () with
       | Some task -> Some task
-      | None -> ( match inject () with Some task -> Some task | None -> remote ())
+      | None -> (
+          match resume () with
+          | Some task -> Some task
+          | None -> (
+              match inject () with Some task -> Some task | None -> remote ()))
     in
     match D.pop_bottom_detailed pool.deques.(w.id) with
     | Spec.Got task ->
@@ -364,6 +410,7 @@ module Impl (D : Spec.DETAILED) = struct
     let n = Array.length d in
     let rec go i = i < n && (D.size (Array.unsafe_get d i) > 0 || go (i + 1)) in
     go 0
+    || Atomic.get t.shared.resume_n > 0
     || (match t.shared.externals with Some ext -> ext.ext_pending () | None -> false)
     || (match t.shared.remotes with Some r -> r.remote_pending () | None -> false)
 
@@ -427,7 +474,12 @@ module Impl (D : Spec.DETAILED) = struct
 
   let exec w task =
     w.failed_steals <- 0;
-    try task ()
+    (* Every task body runs under the fiber handler: if it awaits a
+       pending promise, [Fiber.run] returns as soon as the continuation
+       is parked and this worker falls straight back into the loop.
+       A resumed continuation re-installs its own captured handler, so
+       the extra wrapper around a resume closure is inert. *)
+    try Fiber.run w.pool.shared.fsched task
     with e ->
       (* A raising task must not kill its domain (the pool would wedge:
          the domain's deque keeps its tasks but nobody owns it).  Record
@@ -442,6 +494,20 @@ module Impl (D : Spec.DETAILED) = struct
     while not (Atomic.get sh.shutdown_flag) do
       checkpoint w;
       match try_get_task w with Some task -> exec w task | None -> idle w
+    done
+
+  (* Scheduling loop for the [run] caller's domain: keep executing pool
+     work until [stop ()].  Unlike [worker_loop] it never parks — the
+     stop condition is flipped by the run body's continuation, which may
+     complete on another worker (or be resumed by an external fulfil)
+     with no push to wake a parked caller reliably; a plain relax keeps
+     the exit prompt instead. *)
+  let help_until w stop =
+    while not (stop ()) do
+      checkpoint w;
+      match try_get_task w with
+      | Some task -> exec w task
+      | None -> Domain.cpu_relax ()
     done
 
   let deque_size t i = D.size t.deques.(i)
@@ -552,6 +618,34 @@ let worker_counters = function
   | Locked_worker w -> w.Locked_impl.c
   | Wsm_worker w -> w.Wsm_impl.c
 
+let worker_id = function
+  | Abp_worker w -> w.Abp_impl.id
+  | Circular_worker w -> w.Circular_impl.id
+  | Locked_worker w -> w.Locked_impl.id
+  | Wsm_worker w -> w.Wsm_impl.id
+
+let help_until w stop =
+  match w with
+  | Abp_worker w -> Abp_impl.help_until w stop
+  | Circular_worker w -> Circular_impl.help_until w stop
+  | Locked_worker w -> Locked_impl.help_until w stop
+  | Wsm_worker w -> Wsm_impl.help_until w stop
+
+(* The pool's fiber scheduler, for layers that install their own
+   handler on top (Serve wraps it to count suspended requests). *)
+let fiber_sched t = (shared_of t).fsched
+
+(* Continuations currently parked on promises under this pool's
+   handler (advisory while workers run, exact at quiescence). *)
+let suspended t = Atomic.get (shared_of t).n_suspended
+
+(* Run one task under the pool's fiber handler, exactly as the worker
+   loop would.  For helpers executing tasks outside [exec] (the
+   [Future.force] fallback loop): running a task RAW there would let
+   the helped task's [Await] be captured by the enclosing task's
+   handler, parking the helper itself. *)
+let run_task w task = Fiber.run (shared_of (pool_of w)).fsched task
+
 let with_context w f =
   let slot = Domain.DLS.get context_key in
   let cslot = Domain.DLS.get exec_counters_key in
@@ -563,6 +657,70 @@ let with_context w f =
       slot := saved;
       cslot := csaved)
     f
+
+(* Emit a [Fiber] event ([arg] 0 = suspend, 1 = resume) to the current
+   worker's OWN pool's sink — its own single-writer ring — which may
+   differ from the pool owning the handler when a continuation has
+   migrated across a shard boundary. *)
+let emit_fiber_event arg =
+  match !(Domain.DLS.get context_key) with
+  | Some w -> (
+      match (shared_of (pool_of w)).trace with
+      | Some s -> Sink.emit s ~worker:(worker_id w) ~arg Abp_trace.Event.Fiber
+      | None -> ())
+  | None -> ()
+
+(* Hand an externally produced ready continuation to [sh]'s workers:
+   enqueue on the resume inbox, then wake parked thieves.  The wake
+   runs after the [resume_n] increment, so a thief registering in
+   [n_parked] concurrently either observes [resume_n > 0] in its
+   [has_work] recheck or serializes with this broadcast on [park_lock]
+   — the same lost-wakeup argument as [push_task]/[wake_waiters]. *)
+let resume_push sh k =
+  Mutex.lock sh.resume_lock;
+  Queue.push k sh.resume_q;
+  Atomic.incr sh.resume_n;
+  Mutex.unlock sh.resume_lock;
+  if Atomic.get sh.n_parked > 0 then begin
+    Mutex.lock sh.park_lock;
+    Condition.broadcast sh.park_cond;
+    Mutex.unlock sh.park_lock
+  end
+
+(* The pool's fiber scheduler — the [sched] record [Fiber.run] is
+   parameterized by, installed around every task body by [exec].  The
+   closures resolve the CURRENT worker dynamically (via DLS) rather
+   than capturing one: a continuation resumes under its original
+   handler on whichever worker runs it, so a captured worker would be
+   the wrong one (and a cross-thread [push_bottom] is owner-only). *)
+let make_fiber_sched sh =
+  let schedule task =
+    match !(Domain.DLS.get context_key) with
+    (* Fulfilled from a worker (of any pool): the continuation becomes
+       an ordinary task on the fulfiller's own deque — locality for
+       same-pool wakes, natural cross-shard migration otherwise. *)
+    | Some w -> push_task w task
+    (* Fulfilled off-pool (a backend domain): hand it to the handler's
+       home pool through the resume inbox. *)
+    | None -> resume_push sh task
+  in
+  let on_suspend () =
+    let n = 1 + Atomic.fetch_and_add sh.n_suspended 1 in
+    (match !(Domain.DLS.get exec_counters_key) with
+    | Some c ->
+        c.Counters.suspensions <- c.Counters.suspensions + 1;
+        if n > c.Counters.suspended_peak then c.Counters.suspended_peak <- n
+    | None -> ());
+    emit_fiber_event 0
+  in
+  let on_resume () =
+    Atomic.decr sh.n_suspended;
+    (match !(Domain.DLS.get exec_counters_key) with
+    | Some c -> c.Counters.resumes <- c.Counters.resumes + 1
+    | None -> ());
+    emit_fiber_event 1
+  in
+  { Fiber.schedule; on_suspend; on_resume }
 
 let create ?processes ?deque_capacity ?(yield_between_steals = true) ?yield_kind
     ?(park_threshold = default_park_threshold) ?(deque_impl = Abp) ?(batch = 0) ?trace
@@ -606,8 +764,14 @@ let create ?processes ?deque_capacity ?(yield_between_steals = true) ?yield_kind
       park_cond = Condition.create ();
       n_parked = Padding.atomic 0;
       pending_exn = Atomic.make None;
+      resume_lock = Mutex.create ();
+      resume_q = Queue.create ();
+      resume_n = Padding.atomic 0;
+      n_suspended = Padding.atomic 0;
+      fsched = Fiber.inline_sched;
     }
   in
+  shared.fsched <- make_fiber_sched shared;
   let spawn_workers enter =
     shared.domains <-
       (if spawn_all then Array.init processes (fun i -> Domain.spawn (fun () -> enter i))
@@ -694,9 +858,31 @@ let run pool f =
         | Locked_pool it -> Locked_worker (Locked_impl.make_worker it 0)
         | Wsm_pool it -> Wsm_worker (Wsm_impl.make_worker it 0)
       in
-      let v = with_context w f in
-      reraise_pending sh;
-      v)
+      with_context w (fun () ->
+          (* The body runs as a fiber on this domain (worker 0).  If it
+             suspends on a promise, [Fiber.run] returns with the
+             continuation parked and worker 0 drops into the scheduling
+             loop below, keeping the pool moving until the body's
+             continuation — possibly resumed on another worker —
+             deposits the result. *)
+          let result = Atomic.make None in
+          Fiber.run sh.fsched (fun () ->
+              let r =
+                match f () with
+                | v -> Ok v
+                | exception e -> Error (e, Printexc.get_raw_backtrace ())
+              in
+              Atomic.set result (Some r);
+              (* Worker 0 may be deep in backoff while the finishing
+                 continuation ran elsewhere: make the exit prompt. *)
+              wake pool);
+          help_until w (fun () -> Atomic.get result <> None);
+          match Atomic.get result with
+          | Some (Ok v) ->
+              reraise_pending sh;
+              v
+          | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+          | None -> assert false))
 
 let steal_from pool ~victim ~max =
   if max <= 0 then []

@@ -261,7 +261,20 @@ val run : t -> (unit -> 'a) -> 'a
     raise [Failure].  Exceptions from [f] are re-raised.  If any task
     raised in a worker loop during the run (see
     {!Abp_trace.Counters.t.task_exceptions}), the first such exception
-    is re-raised here after [f] returns. *)
+    is re-raised here after [f] returns.
+
+    [f] runs as a fiber (under the pool's {!Abp_fiber.Fiber} handler),
+    so it may [await] promises directly: while the body is suspended,
+    the calling domain keeps scheduling pool work and [run] returns
+    once the body's continuation — wherever it was resumed — has
+    completed. *)
+
+val suspended : t -> int
+(** Number of continuations currently parked on promises under this
+    pool's fiber handler (see {!Abp_fiber.Fiber}): tasks that performed
+    [await] on a pending promise and have not yet been resumed.
+    Advisory while workers run; exact at quiescence.  The [suspended]
+    term of the serve layer's await-aware conservation invariant. *)
 
 val wake : t -> unit
 (** Wake every parked thief (no-op when none are parked: one atomic read
@@ -306,6 +319,24 @@ val pool_of : worker -> t
 val push_task : worker -> (unit -> unit) -> unit
 val try_get_task : worker -> (unit -> unit) option
 val relax : unit -> unit
+
+val run_task : worker -> (unit -> unit) -> unit
+(** Execute one task under the worker's pool's fiber handler, exactly
+    as the worker loop would.  Helpers running tasks outside the loop
+    ({!Future.force}'s out-of-context fallback) must use this rather
+    than calling the closure raw: an un-handled task could otherwise
+    perform [Await] into the {e enclosing} task's handler and park the
+    helper itself. *)
+
+val fiber_sched : t -> Abp_fiber.Fiber.sched
+(** The pool's fiber scheduler: ready continuations are pushed onto the
+    current worker's deque (when scheduled from a worker — of this pool
+    or, after a cross-shard migration, another) or enqueued on the
+    pool's resume inbox and parked thieves woken (when scheduled from
+    an external domain, e.g. a backend fulfilling a promise).  Layers
+    installing their own handler around task bodies ({!Abp_serve.Serve})
+    wrap this record's hooks so the pool's gauge and telemetry keep
+    counting. *)
 
 val checkpoint : worker -> unit
 (** Gate safe point: blocks while the worker's preemption gate is

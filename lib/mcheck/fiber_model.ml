@@ -1,0 +1,166 @@
+(* Exhaustive model of the promise park/fulfil protocol of
+   [Abp_fiber.Fiber]: k awaiters race one fulfiller for a single
+   promise, and every interleaving of their shared-memory steps is
+   explored by DFS with state memoization.
+
+   The model mirrors the implementation instruction-for-instruction at
+   the level of shared accesses:
+
+   - an awaiter LOADs the promise state; on [Fulfilled] it resumes
+     immediately, on [Pending ws] it attempts CAS(Pending ws ->
+     Pending (self :: ws)) and retries from the LOAD on failure
+     (the fulfil-races-await window lives between these two steps);
+   - the fulfiller LOADs, attempts CAS(Pending ws -> Fulfilled),
+     retries on failure (a racing park moved the list under it), and
+     on success schedules the detached waiters one per step in park
+     order (the implementation's [List.rev ws]).
+
+   Checked on every execution: each awaiter is resumed exactly once —
+   immediately or by a schedule, never both, never zero — and every
+   interleaving terminates. *)
+
+type resume_kind = Immediate | Scheduled
+
+type awaiter =
+  | AStart  (* about to LOAD the promise state *)
+  | ALoaded of int list option
+      (* LOAD observed: [Some ws] = Pending with parked ids [ws]
+         (newest first, the CAS-expected value); [None] = Fulfilled *)
+  | AParked  (* CAS succeeded; only a schedule step may resume it *)
+  | AResumed of resume_kind
+
+type fulfiller =
+  | FStart
+  | FLoaded of int list  (* observed Pending ws (single fulfiller) *)
+  | FScheduling of int list  (* detached waiters, park order *)
+  | FDone
+
+type state = {
+  promise : int list option;  (* [Some ws] pending, [None] fulfilled *)
+  awaiters : awaiter array;
+  fulfiller : fulfiller;
+}
+
+type report = {
+  states_explored : int;
+  complete_executions : int;  (* distinct terminal states *)
+  immediate_resumes : int;  (* terminal states with an immediate resume *)
+  scheduled_resumes : int;  (* terminal states with a scheduled resume *)
+  violations : string list;
+}
+
+let terminal st =
+  st.fulfiller = FDone && Array.for_all (function AResumed _ -> true | _ -> false) st.awaiters
+
+(* One enabled step of awaiter [i].  Steps are deterministic given the
+   state; the only branching is WHICH thread moves. *)
+let awaiter_step st i =
+  let aw = Array.copy st.awaiters in
+  match st.awaiters.(i) with
+  | AStart ->
+      aw.(i) <- ALoaded st.promise;
+      Ok { st with awaiters = aw }
+  | ALoaded None ->
+      aw.(i) <- AResumed Immediate;
+      Ok { st with awaiters = aw }
+  | ALoaded (Some ws) ->
+      if st.promise = Some ws then begin
+        (* CAS success: park self at the head, implementation order. *)
+        aw.(i) <- AParked;
+        Ok { st with promise = Some (i :: ws); awaiters = aw }
+      end
+      else begin
+        (* CAS failure: re-read (either a sibling parked or the
+           fulfiller resolved meanwhile). *)
+        aw.(i) <- AStart;
+        Ok { st with awaiters = aw }
+      end
+  | AParked | AResumed _ -> Error "awaiter stepped while parked or resumed"
+
+let fulfiller_step st =
+  match st.fulfiller with
+  | FStart -> (
+      match st.promise with
+      | Some ws -> Ok { st with fulfiller = FLoaded ws }
+      | None -> Error "promise fulfilled twice")
+  | FLoaded ws ->
+      if st.promise = Some ws then
+        (* CAS success: resolve and detach; waiters are then scheduled
+           one per step, oldest parker first (List.rev of the LIFO
+           push list, as in the implementation). *)
+        Ok { st with promise = None; fulfiller = FScheduling (List.rev ws) }
+      else Ok { st with fulfiller = FStart }
+  | FScheduling [] -> Ok { st with fulfiller = FDone }
+  | FScheduling (i :: rest) -> (
+      let aw = Array.copy st.awaiters in
+      match st.awaiters.(i) with
+      | AParked ->
+          aw.(i) <- AResumed Scheduled;
+          Ok { st with awaiters = aw; fulfiller = FScheduling rest }
+      | AResumed _ -> Error (Printf.sprintf "awaiter %d resumed twice" i)
+      | AStart | ALoaded _ ->
+          Error (Printf.sprintf "awaiter %d scheduled while not parked" i))
+  | FDone -> Error "fulfiller stepped after done"
+
+let check_terminal st =
+  let bad = ref [] in
+  Array.iteri
+    (fun i a ->
+      match a with
+      | AResumed _ -> ()
+      | _ -> bad := Printf.sprintf "awaiter %d never resumed (lost wakeup)" i :: !bad)
+    st.awaiters;
+  !bad
+
+let explore ~awaiters:k =
+  if k < 1 then invalid_arg "Fiber_model.explore: need at least one awaiter";
+  let visited = Hashtbl.create 4096 in
+  let states = ref 0 in
+  let executions = ref 0 in
+  let immediate = ref 0 in
+  let scheduled = ref 0 in
+  let violations = ref [] in
+  let note v = if not (List.mem v !violations) then violations := v :: !violations in
+  let rec dfs st =
+    if not (Hashtbl.mem visited st) then begin
+      Hashtbl.add visited st ();
+      incr states;
+      if terminal st then begin
+        incr executions;
+        List.iter note (check_terminal st);
+        if Array.exists (fun a -> a = AResumed Immediate) st.awaiters then incr immediate;
+        if Array.exists (fun a -> a = AResumed Scheduled) st.awaiters then incr scheduled
+      end
+      else begin
+        let moved = ref false in
+        for i = 0 to k - 1 do
+          match st.awaiters.(i) with
+          | AParked | AResumed _ -> ()
+          | _ -> (
+              moved := true;
+              match awaiter_step st i with Ok st' -> dfs st' | Error v -> note v)
+        done;
+        (match st.fulfiller with
+        | FDone -> ()
+        | _ -> (
+            moved := true;
+            match fulfiller_step st with Ok st' -> dfs st' | Error v -> note v));
+        if not !moved then note "deadlock: no enabled step in non-terminal state"
+      end
+    end
+  in
+  dfs { promise = Some []; awaiters = Array.make k AStart; fulfiller = FStart };
+  {
+    states_explored = !states;
+    complete_executions = !executions;
+    immediate_resumes = !immediate;
+    scheduled_resumes = !scheduled;
+    violations = List.rev !violations;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf "states %d  terminal %d  immediate %d  scheduled %d  %s" r.states_explored
+    r.complete_executions r.immediate_resumes r.scheduled_resumes
+    (match r.violations with
+    | [] -> "verified"
+    | vs -> Printf.sprintf "VIOLATIONS: %s" (String.concat "; " vs))

@@ -1,5 +1,6 @@
 module Pool = Abp_hood.Pool
 module Padding = Abp_deque.Padding
+module Fiber = Abp_fiber.Fiber
 
 type reason = Deadline | Explicit | Shutdown
 type 'a outcome = Returned of 'a | Raised of exn | Cancelled of reason
@@ -11,6 +12,7 @@ type stats = {
   rejected : int;
   cancelled : int;
   exceptions : int;
+  suspended : int;
 }
 
 type latency = {
@@ -57,6 +59,21 @@ type t = {
   lat_lock : Mutex.t;
   queue_lat : ring;
   run_lat : ring;
+  (* Requests currently suspended on a promise: their job body
+     performed [await], parked its continuation, and has neither
+     completed nor been cancelled.  The [suspended] term of the
+     await-aware conservation invariant: at every quiescent point
+     [accepted = completed + cancelled + exceptions + suspended],
+     collapsing to the old identity at drain (when every promise has
+     been resolved and suspended = 0). *)
+  suspended_now : int Atomic.t;
+  (* The serve-level fiber scheduler: the pool's sched with the
+     suspend/resume hooks wrapped to maintain [suspended_now].
+     Installed around every job body by [make_job] — the innermost
+     handler wins, so only top-level request suspensions count here
+     (a request's internal future joins park against the same record,
+     still counted once per park at the request level). *)
+  fsched : Fiber.sched;
 }
 
 (* The ticket cell: [Queued] until a worker (or canceller) claims it;
@@ -68,6 +85,12 @@ type 'a ticket = {
   srv : t;
   submitted : float;
   deadline : float option;  (* absolute, against [srv.clock] *)
+  notify : ('a outcome -> unit) option;
+      (* Invoked exactly once, at the ticket's terminal transition
+         (Finished/Excepted in the worker, Dropped in the canceller) —
+         the ticket-to-promise bridge behind [submit_async].  The cell's
+         terminal CAS already guarantees at-most-once, so the callback
+         never needs its own guard. *)
 }
 
 let make_ring n = { buf = Array.make (max 1 n) 0.0; len = 0; idx = 0 }
@@ -120,6 +143,21 @@ let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_
     Pool.create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_kind ?gate
       ?trace ~external_source ?remote_source ~spawn_all:true ()
   in
+  let suspended_now = Padding.atomic 0 in
+  let base = Pool.fiber_sched pool in
+  let fsched =
+    {
+      base with
+      Fiber.on_suspend =
+        (fun () ->
+          Atomic.incr suspended_now;
+          base.Fiber.on_suspend ());
+      on_resume =
+        (fun () ->
+          Atomic.decr suspended_now;
+          base.Fiber.on_resume ());
+    }
+  in
   {
     pool;
     inbox;
@@ -138,6 +176,8 @@ let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_
     lat_lock = Mutex.create ();
     queue_lat = make_ring latency_window;
     run_lat = make_ring latency_window;
+    suspended_now;
+    fsched;
   }
 
 let size s = Pool.size s.pool
@@ -150,7 +190,10 @@ let stats s =
     rejected = Atomic.get s.rejected;
     cancelled = Atomic.get s.cancelled;
     exceptions = Atomic.get s.exceptions;
+    suspended = Atomic.get s.suspended_now;
   }
+
+let suspended s = Atomic.get s.suspended_now
 
 let inbox_depth s = Injector.size s.inbox
 let inbox_high_water s = Atomic.get s.high_water
@@ -164,9 +207,12 @@ let note_high_water s =
   in
   go ()
 
+let notify_tk tk o = match tk.notify with Some n -> n o | None -> ()
+
 let drop s tk why =
   if Atomic.compare_and_set tk.cell Queued (Dropped why) then begin
     Atomic.incr s.cancelled;
+    notify_tk tk (Cancelled why);
     signal_done s;
     true
   end
@@ -174,23 +220,33 @@ let drop s tk why =
 
 let make_job s tk f =
   let run () =
-    let start = s.clock () in
-    let expired = match tk.deadline with Some dl -> start > dl | None -> false in
-    if expired then ignore (drop s tk Deadline)
-    else if Atomic.compare_and_set tk.cell Queued Started then begin
-      note s s.queue_lat (start -. tk.submitted);
-      (match f () with
-      | v ->
-          Atomic.set tk.cell (Finished v);
-          Atomic.incr s.completed
-      | exception e ->
-          Atomic.set tk.cell (Excepted e);
-          Atomic.incr s.exceptions);
-      note s s.run_lat (s.clock () -. start);
-      signal_done s
-    end
-    (* else: cancelled between dequeue and claim — the canceller counted
-       and signalled. *)
+    (* The whole body — claim, work, settle — runs under the serve
+       fiber handler.  If [f] awaits a pending promise, [run] returns
+       with the continuation (including the settlement code below)
+       parked, and the worker moves on: the ticket stays [Started] and
+       the request counts in [suspended_now] until its resume settles
+       it.  Note that [run_lat] therefore measures claim-to-settle
+       request latency, await time included. *)
+    Fiber.run s.fsched (fun () ->
+        let start = s.clock () in
+        let expired = match tk.deadline with Some dl -> start > dl | None -> false in
+        if expired then ignore (drop s tk Deadline)
+        else if Atomic.compare_and_set tk.cell Queued Started then begin
+          note s s.queue_lat (start -. tk.submitted);
+          (match f () with
+          | v ->
+              Atomic.set tk.cell (Finished v);
+              Atomic.incr s.completed;
+              notify_tk tk (Returned v)
+          | exception e ->
+              Atomic.set tk.cell (Excepted e);
+              Atomic.incr s.exceptions;
+              notify_tk tk (Raised e));
+          note s s.run_lat (s.clock () -. start);
+          signal_done s
+        end
+        (* else: cancelled between dequeue and claim — the canceller
+           counted and signalled. *))
   in
   let abort () = ignore (drop s tk Shutdown) in
   { run; abort }
@@ -198,7 +254,7 @@ let make_job s tk f =
 (* [count_reject]: a blocking [submit] retries a full inbox rather than
    refusing, so its transient full-inbox probes must not count as
    rejections. *)
-let try_submit_gen ~count_reject s ?deadline f =
+let try_submit_gen ~count_reject ?notify s ?deadline f =
   if not (Atomic.get s.admitting) then begin
     if count_reject then Atomic.incr s.rejected;
     Error Draining
@@ -211,6 +267,7 @@ let try_submit_gen ~count_reject s ?deadline f =
         srv = s;
         submitted = now;
         deadline = Option.map (fun d -> now +. d) deadline;
+        notify;
       }
     in
     (* [accepted] is raised before the push so the drain condition
@@ -242,6 +299,32 @@ let rec submit s ?deadline f =
       submit s ?deadline f
 
 let cancel tk = drop tk.srv tk Explicit
+
+(* Promise-returning admission: the ticket's terminal transition
+   fulfils the promise with the request's outcome, so the caller —
+   typically another fiber — can [await] it instead of blocking a
+   thread in [await]'s condvar protocol.  The ticket is not returned:
+   the promise IS the handle (cancellation still goes through
+   [try_submit] + [cancel] when needed). *)
+let try_submit_async_gen ~count_reject s ?deadline f =
+  let p = Fiber.Promise.create () in
+  let notify o = ignore (Fiber.Promise.try_fulfil p o) in
+  match try_submit_gen ~count_reject ~notify s ?deadline f with
+  | Ok _tk -> Ok p
+  | Error _ as e -> e
+
+let try_submit_async s ?deadline f = try_submit_async_gen ~count_reject:true s ?deadline f
+
+let try_submit_async_quiet s ?deadline f =
+  try_submit_async_gen ~count_reject:false s ?deadline f
+
+let rec submit_async s ?deadline f =
+  match try_submit_async_gen ~count_reject:false s ?deadline f with
+  | Ok p -> p
+  | Error Draining -> failwith "Serve.submit_async: admission stopped (draining or shut down)"
+  | Error Inbox_full ->
+      Domain.cpu_relax ();
+      submit_async s ?deadline f
 
 let poll tk =
   match Atomic.get tk.cell with

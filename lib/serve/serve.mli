@@ -31,7 +31,28 @@
     {[ accepted = completed + cancelled + exceptions ]}
 
     holds once the service has drained or shut down, with [rejected]
-    counting only refused (never-accepted) submissions. *)
+    counting only refused (never-accepted) submissions.
+
+    {2 Suspendable requests}
+
+    Request bodies run under a fiber handler ({!Abp_fiber.Fiber}): a
+    body may [await] a promise (a downstream backend, a future join);
+    while it waits, its continuation is parked on the promise and the
+    worker serves other work.  A suspended request is neither completed
+    nor cancelled, so the invariant gains a term — at every quiescent
+    point
+
+    {[ accepted = completed + cancelled + exceptions + suspended ]}
+
+    collapsing to the old identity at {!drain}, which can only finish
+    once every promise a request awaits has been resolved (resolving
+    them is the caller's or backend's responsibility; drain blocks
+    forever on a promise nobody will fulfil).  {!shutdown} with parked
+    continuations leaves their tickets [Started] — never terminal —
+    and their resumes are dropped with the pool.  {!submit_async}
+    closes the loop outward: admission itself returns a promise,
+    fulfilled with the request's outcome, that other fibers may
+    [await]. *)
 
 type t
 
@@ -55,6 +76,9 @@ type stats = {
   rejected : int;  (** submissions refused (full inbox or draining) *)
   cancelled : int;  (** accepted tasks dropped before starting *)
   exceptions : int;  (** tasks that ran and raised *)
+  suspended : int;
+      (** requests currently parked on a promise (started, not yet
+          settled) — the await-aware term; 0 after {!drain} *)
 }
 
 type latency = {
@@ -129,6 +153,33 @@ val submit : t -> ?deadline:float -> (unit -> 'a) -> 'a ticket
     of rejecting.  The wait does not inflate [rejected].
     @raise Failure if admission has been stopped by {!drain} or
     {!shutdown}. *)
+
+val try_submit_async :
+  t -> ?deadline:float -> (unit -> 'a) -> ('a outcome Abp_fiber.Fiber.Promise.t, reject) result
+(** Promise-returning admission: like {!try_submit}, but the handle is
+    a promise fulfilled with the request's outcome at its terminal
+    transition (completion, exception, or any [Cancelled _] drop).  A
+    fiber — e.g. another request — can [await] it without occupying a
+    worker; external domains can poll it with
+    {!Abp_fiber.Fiber.Promise.try_await}.  Refusals count in
+    [rejected]. *)
+
+val try_submit_async_quiet :
+  t -> ?deadline:float -> (unit -> 'a) -> ('a outcome Abp_fiber.Fiber.Promise.t, reject) result
+(** As {!try_submit_async} but refusals do not inflate [rejected] — the
+    building block for blocking async submit loops ({!submit_async},
+    {!Shard.submit_async}). *)
+
+val submit_async : t -> ?deadline:float -> (unit -> 'a) -> 'a outcome Abp_fiber.Fiber.Promise.t
+(** Blocking-admission variant of {!try_submit_async}: retries a full
+    inbox like {!submit} (without inflating [rejected]).
+    @raise Failure if admission has been stopped by {!drain} or
+    {!shutdown}. *)
+
+val suspended : t -> int
+(** Requests currently suspended on promises (the [suspended] stats
+    term): advisory while workers run, exact at quiescent points, 0
+    after a completed {!drain}. *)
 
 val cancel : 'a ticket -> bool
 (** Best-effort cancellation: [true] iff the task had not started and is

@@ -223,6 +223,36 @@ let route t = function
 
 let try_submit t ?key ?deadline f = submit_on ~count_reject:true t (route t key) ?deadline f
 
+(* Async admission attempt against shard [i]; same wake-siblings
+   empty->nonempty protocol as [submit_on]. *)
+let submit_async_on ~count_reject t i ?deadline f =
+  let s = t.serves.(i) in
+  let was_empty = Serve.inbox_depth s = 0 in
+  let r =
+    if count_reject then Serve.try_submit_async s ?deadline f
+    else Serve.try_submit_async_quiet s ?deadline f
+  in
+  (match r with
+  | Ok _ ->
+      Atomic.incr t.routed.(i);
+      if was_empty && t.shards > 1 then wake_siblings t i
+  | Error _ -> ());
+  r
+
+let try_submit_async t ?key ?deadline f =
+  submit_async_on ~count_reject:true t (route t key) ?deadline f
+
+let rec submit_async t ?key ?deadline f =
+  match submit_async_on ~count_reject:false t (route t key) ?deadline f with
+  | Ok p -> p
+  | Error Serve.Draining ->
+      failwith "Shard.submit_async: admission stopped (draining or shut down)"
+  | Error Serve.Inbox_full ->
+      (* Same backpressure policy as [submit]: keyless submissions
+         re-route via round-robin, keyed ones keep shard affinity. *)
+      Domain.cpu_relax ();
+      submit_async t ?key ?deadline f
+
 let rec submit t ?key ?deadline f =
   match submit_on ~count_reject:false t (route t key) ?deadline f with
   | Ok tk -> tk
@@ -248,15 +278,22 @@ let stats t =
         rejected = acc.Serve.rejected + st.Serve.rejected;
         cancelled = acc.Serve.cancelled + st.Serve.cancelled;
         exceptions = acc.Serve.exceptions + st.Serve.exceptions;
+        suspended = acc.Serve.suspended + st.Serve.suspended;
       })
-    { Serve.accepted = 0; completed = 0; rejected = 0; cancelled = 0; exceptions = 0 }
+    { Serve.accepted = 0; completed = 0; rejected = 0; cancelled = 0; exceptions = 0; suspended = 0 }
     t.serves
 
+(* Await-aware conservation: a request parked on a promise is accepted
+   but neither completed nor cancelled, so the quiescent-point identity
+   carries the [suspended] term.  After a full drain every promise has
+   resolved, suspended = 0, and this collapses to the classic
+   accepted = completed + cancelled + exceptions. *)
 let conserved t =
   Array.for_all
     (fun s ->
       let st = Serve.stats s in
-      st.Serve.accepted = st.Serve.completed + st.Serve.cancelled + st.Serve.exceptions)
+      st.Serve.accepted
+      = st.Serve.completed + st.Serve.cancelled + st.Serve.exceptions + st.Serve.suspended)
     t.serves
 
 let route_counts t = Array.map Atomic.get t.routed
@@ -313,9 +350,9 @@ let pp_report ppf t =
   let st = stats t in
   let polls, csteals, ctasks = cross_counters t in
   Fmt.pf ppf "=== shard report (%d shards, %d workers total) ===@." t.shards (size t);
-  Fmt.pf ppf "accepted %d  completed %d  rejected %d  cancelled %d  exceptions %d@."
-    st.Serve.accepted st.Serve.completed st.Serve.rejected st.Serve.cancelled
-    st.Serve.exceptions;
+  Fmt.pf ppf "accepted %d  completed %d  rejected %d  cancelled %d  exceptions %d  suspended %d@."
+    st.Serve.accepted st.Serve.completed st.Serve.rejected st.Serve.cancelled st.Serve.exceptions
+    st.Serve.suspended;
   Fmt.pf ppf "cross-shard: polls %d  steals %d  tasks %d (period %d, quota %d)@." polls csteals
     ctasks t.cross_period t.cross_quota;
   Array.iteri

@@ -119,14 +119,37 @@ val submit : t -> ?key:'k -> ?deadline:float -> (unit -> 'a) -> 'a Serve.ticket
     @raise Failure once admission has been stopped by {!drain} or
     {!shutdown}. *)
 
+val try_submit_async :
+  t ->
+  ?key:'k ->
+  ?deadline:float ->
+  (unit -> 'a) ->
+  ('a Serve.outcome Abp_fiber.Fiber.Promise.t, Serve.reject) result
+(** Promise-returning admission on the shard selected by [key] (or
+    round-robin): per-shard semantics are {!Serve.try_submit_async},
+    with the same empty->nonempty sibling-wake protocol as
+    {!try_submit}. *)
+
+val submit_async :
+  t -> ?key:'k -> ?deadline:float -> (unit -> 'a) -> 'a Serve.outcome Abp_fiber.Fiber.Promise.t
+(** Blocking async admission: backpressure policy of {!submit}
+    (keyless retries re-route round-robin, keyed ones keep affinity;
+    no [rejected] inflation), handle semantics of
+    {!Serve.submit_async}.
+    @raise Failure once admission has been stopped by {!drain} or
+    {!shutdown}. *)
+
 val stats : t -> Serve.stats
 (** Field-wise sum of the per-shard {!Serve.stats}; exact after
     {!drain}/{!shutdown}, advisory while running. *)
 
 val conserved : t -> bool
-(** [accepted = completed + cancelled + exceptions] on {e every} shard
-    individually (hence also in aggregate).  Meaningful after
-    {!drain}/{!shutdown}. *)
+(** [accepted = completed + cancelled + exceptions + suspended] on
+    {e every} shard individually (hence also in aggregate) — the
+    await-aware identity, which collapses to the classic
+    [accepted = completed + cancelled + exceptions] after {!drain}
+    (every promise resolved, so [suspended = 0]).  Meaningful at
+    quiescent points and after {!drain}/{!shutdown}. *)
 
 val route_counts : t -> int array
 (** Per-shard count of accepted submissions routed to each shard (the

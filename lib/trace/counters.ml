@@ -24,6 +24,9 @@ type t = {
   mutable gate_wait_ns : int;
   mutable directed_yields : int;
   mutable duplicate_steals : int;
+  mutable suspensions : int;
+  mutable resumes : int;
+  mutable suspended_peak : int;
   steal_batch_hist : int array;
 }
 
@@ -70,6 +73,9 @@ let create () =
       gate_wait_ns = 0;
       directed_yields = 0;
       duplicate_steals = 0;
+      suspensions = 0;
+      resumes = 0;
+      suspended_peak = 0;
       steal_batch_hist = Array.make batch_buckets 0;
     }
 
@@ -99,6 +105,9 @@ let reset c =
   c.gate_wait_ns <- 0;
   c.directed_yields <- 0;
   c.duplicate_steals <- 0;
+  c.suspensions <- 0;
+  c.resumes <- 0;
+  c.suspended_peak <- 0;
   Array.fill c.steal_batch_hist 0 batch_buckets 0
 
 let copy c =
@@ -140,6 +149,9 @@ let add ~into c =
   into.gate_wait_ns <- into.gate_wait_ns + c.gate_wait_ns;
   into.directed_yields <- into.directed_yields + c.directed_yields;
   into.duplicate_steals <- into.duplicate_steals + c.duplicate_steals;
+  into.suspensions <- into.suspensions + c.suspensions;
+  into.resumes <- into.resumes + c.resumes;
+  into.suspended_peak <- max into.suspended_peak c.suspended_peak;
   Array.iteri
     (fun i v -> into.steal_batch_hist.(i) <- into.steal_batch_hist.(i) + v)
     c.steal_batch_hist
@@ -176,6 +188,9 @@ let fields c =
     ("gate_wait_ns", c.gate_wait_ns);
     ("directed_yields", c.directed_yields);
     ("duplicate_steals", c.duplicate_steals);
+    ("suspensions", c.suspensions);
+    ("resumes", c.resumes);
+    ("suspended_peak", c.suspended_peak);
   ]
 
 let batch_hist c = Array.copy c.steal_batch_hist
@@ -192,7 +207,7 @@ let complete c =
 
 let pp ppf c =
   Fmt.pf ppf
-    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s%s%s%s%s"
+    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s%s%s%s%s%s"
     c.successful_steals c.steal_attempts c.steal_empties c.cas_failures_pop_top c.pushes c.pops
     c.yields c.parks c.lock_spins c.deque_high_water
     (if c.stolen_tasks > c.successful_steals then
@@ -206,6 +221,9 @@ let pp ppf c =
      else "")
     (if c.cross_polls > 0 || c.cross_stolen_tasks > 0 then
        Printf.sprintf " cross %d/%d" c.cross_stolen_tasks c.cross_polls
+     else "")
+    (if c.suspensions > 0 || c.resumes > 0 then
+       Printf.sprintf " fiber-susp %d/%d (peak %d)" c.resumes c.suspensions c.suspended_peak
      else "")
     (if c.task_exceptions > 0 then Printf.sprintf " task-exns %d" c.task_exceptions else "")
     (if c.gate_suspends > 0 then

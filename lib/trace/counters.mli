@@ -92,6 +92,22 @@ type t = {
           [pop_top] is allowed multiplicity; the pool's per-task claim
           flag keeps execution exactly-once and counts the discards
           here *)
+  mutable suspensions : int;
+      (** fiber suspensions: tasks that performed [Await] on a pending
+          {!Abp_fiber.Fiber.Promise.t} and parked their continuation,
+          freeing this worker back into the Figure 3 loop (Hood runtime
+          only; 0 in the simulator) *)
+  mutable resumes : int;
+      (** parked continuations this worker resumed.  Suspend and resume
+          may land on different workers (the continuation migrates), so
+          the identity [resumes = suspensions] holds only on the
+          aggregate, and only once every promise has been resolved and
+          its waiters run *)
+  mutable suspended_peak : int;
+      (** high-water mark of simultaneously parked continuations on the
+          owning pool, as observed by this worker at its own suspend
+          instants; aggregates by [max], so the pool-wide peak is exact
+          (the peak-reaching suspension records it) *)
   steal_batch_hist : int array;
       (** tasks-per-transfer histogram over {!batch_buckets} fixed
           buckets (see {!batch_bucket_labels}); fed by {!note_batch} on
@@ -128,9 +144,9 @@ val note_batch : t -> int -> unit
     matching {!field:steal_batch_hist} bucket. *)
 
 val add : into:t -> t -> unit
-(** Accumulate counter-wise; high-water marks and
-    {!field:max_steal_batch} combine by [max], the batch histogram
-    element-wise. *)
+(** Accumulate counter-wise; high-water marks ([deque_high_water],
+    {!field:max_steal_batch}, {!field:suspended_peak}) combine by
+    [max], the batch histogram element-wise. *)
 
 val sum : t array -> t
 (** Fresh aggregate of all records (empty array => all zeros). *)

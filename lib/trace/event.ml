@@ -9,6 +9,7 @@ type kind =
   | Cross
   | Suspend
   | Resume
+  | Fiber
 
 type t = { kind : kind; worker : int; time : float; arg : int }
 
@@ -23,6 +24,7 @@ let kind_name = function
   | Cross -> "cross"
   | Suspend -> "suspend"
   | Resume -> "resume"
+  | Fiber -> "fiber"
 
 let pp ppf e =
   Fmt.pf ppf "[%g] w%d %s%s" e.time e.worker (kind_name e.kind)

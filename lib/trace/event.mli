@@ -33,6 +33,12 @@ type kind =
   | Resume
       (** the worker's preemption gate reopened and it resumed the
           scheduling loop (Hood runtime only) *)
+  | Fiber
+      (** a fiber suspension-protocol step: [arg = 0] when a task
+          performed [Await] on a pending promise and parked its
+          continuation (freeing the worker), [arg = 1] when a parked
+          continuation was resumed on this worker
+          ({!Abp_fiber.Fiber}; Hood runtime only) *)
 
 type t = { kind : kind; worker : int; time : float; arg : int }
 

@@ -1,0 +1,443 @@
+(* Tests for the fiber subsystem: promise semantics, the Await handler
+   in isolation (inline scheduler), suspension and resumption through
+   the real pool (external fulfillers exercising the resume inbox),
+   the Future bridge (suspending force, exception propagation, [both]
+   evaluation order), promise-returning Serve/Shard admission, the
+   await-aware conservation identity mid-flight and at drain, and the
+   suspension telemetry counters. *)
+
+module Fiber = Abp_fiber.Fiber
+module Promise = Abp_fiber.Fiber.Promise
+module Pool = Abp_hood.Pool
+module Future = Abp_hood.Future
+module Serve = Abp_serve.Serve
+module Shard = Abp_serve.Shard
+module Backend = Abp_serve.Backend
+module Counters = Abp_trace.Counters
+
+let rec fib_seq n = if n < 2 then n else fib_seq (n - 1) + fib_seq (n - 2)
+
+(* Worker count for the multi-worker tests; honours ABP_MP_PROCS so CI
+   can rerun the suite oversubscribed (more workers than cores) to
+   shake out lost resumes. *)
+let procs () =
+  match Sys.getenv_opt "ABP_MP_PROCS" with
+  | Some s -> ( try max 2 (int_of_string s) with _ -> 2)
+  | None -> 2
+
+(* Bounded wait for an asynchronous condition (external fulfillers,
+   workers catching up); failing the bound fails the test instead of
+   hanging it. *)
+let eventually ?(timeout = 10.0) pred =
+  let t0 = Unix.gettimeofday () in
+  let rec go () =
+    pred ()
+    ||
+    if Unix.gettimeofday () -. t0 > timeout then false
+    else begin
+      Domain.cpu_relax ();
+      go ()
+    end
+  in
+  go ()
+
+let rec poll_outcome p =
+  match Promise.try_await p with
+  | Some o -> o
+  | None ->
+      Domain.cpu_relax ();
+      poll_outcome p
+
+let pool_fiber_counters pool =
+  let t = Counters.sum (Pool.counters pool) in
+  (t.Counters.suspensions, t.Counters.resumes, t.Counters.suspended_peak)
+
+(* ------------------------------------------------------------------ *)
+(* Promise semantics (no scheduler involved)                           *)
+
+let promise_basics () =
+  let p = Promise.create () in
+  Alcotest.(check bool) "pending" false (Promise.is_resolved p);
+  Alcotest.(check (option int)) "try_await pending" None (Promise.try_await p);
+  Alcotest.(check bool) "peek pending" true (Promise.peek p = None);
+  Promise.fulfil p 42;
+  Alcotest.(check bool) "resolved" true (Promise.is_resolved p);
+  Alcotest.(check (option int)) "try_await" (Some 42) (Promise.try_await p);
+  (* [await] on a resolved promise returns on the fast path — legal
+     even outside any handler. *)
+  Alcotest.(check int) "await resolved, no handler" 42 (Promise.await p);
+  Alcotest.(check bool) "double try_fulfil refused" false (Promise.try_fulfil p 0);
+  Alcotest.check_raises "double fulfil raises"
+    (Invalid_argument "Fiber.Promise.fulfil: promise already resolved") (fun () ->
+      Promise.fulfil p 0);
+  Alcotest.check_raises "fail after fulfil raises"
+    (Invalid_argument "Fiber.Promise.fail: promise already resolved") (fun () ->
+      Promise.fail p Exit)
+
+exception Boom
+
+let promise_failure () =
+  let p = Promise.create () in
+  Promise.fail p Boom;
+  Alcotest.(check bool) "resolved" true (Promise.is_resolved p);
+  Alcotest.check_raises "try_await re-raises" Boom (fun () ->
+      ignore (Promise.try_await p : int option));
+  (match Promise.peek p with
+  | Some (Error (Boom, _)) -> ()
+  | _ -> Alcotest.fail "peek should expose the failure");
+  Alcotest.(check bool) "try_fulfil after fail refused" false (Promise.try_fulfil p 1)
+
+(* The handler in isolation: under the inline scheduler a pending await
+   parks the continuation, [run] returns with the body suspended, and
+   the fulfil executes the rest of the body on the fulfiller's stack. *)
+let inline_sched_suspends_and_resumes () =
+  let p = Promise.create () in
+  let r = ref 0 in
+  Fiber.run Fiber.inline_sched (fun () -> r := Fiber.await p + 1);
+  Alcotest.(check int) "body parked, nothing ran" 0 !r;
+  Promise.fulfil p 41;
+  Alcotest.(check int) "fulfil drove the continuation" 42 !r
+
+let inline_sched_discontinues_on_fail () =
+  let p = Promise.create () in
+  let observed = ref "" in
+  Fiber.run Fiber.inline_sched (fun () ->
+      match Fiber.await p with
+      | (_ : int) -> observed := "returned"
+      | exception Boom -> observed := "boom");
+  Alcotest.(check string) "parked" "" !observed;
+  Promise.fail p Boom;
+  Alcotest.(check string) "failure delivered into the continuation" "boom" !observed
+
+(* ------------------------------------------------------------------ *)
+(* Through the pool: external fulfil -> resume inbox -> continuation    *)
+
+let pool_await_external_fulfil () =
+  let pool = Pool.create ~processes:(procs ()) () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let v =
+        Pool.run pool (fun () ->
+            let p = Promise.create () in
+            let d =
+              Domain.spawn (fun () ->
+                  Unix.sleepf 0.002;
+                  Promise.fulfil p 1234)
+            in
+            let v = Fiber.await p in
+            Domain.join d;
+            v)
+      in
+      Alcotest.(check int) "value through suspension" 1234 v;
+      let susp, res, peak = pool_fiber_counters pool in
+      Alcotest.(check int) "one suspension" 1 susp;
+      Alcotest.(check int) "one resume" 1 res;
+      Alcotest.(check int) "peak gauge" 1 peak;
+      Alcotest.(check int) "nothing left suspended" 0 (Pool.suspended pool))
+
+let pool_fiber_spawn_await () =
+  let pool = Pool.create ~processes:(procs ()) () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let total =
+        Pool.run pool (fun () ->
+            let ps = List.init 8 (fun i -> Fiber.spawn (fun () -> fib_seq (10 + (i mod 3)))) in
+            List.fold_left (fun acc p -> acc + Fiber.await p) 0 ps)
+      in
+      let expected =
+        List.fold_left (fun acc i -> acc + fib_seq (10 + (i mod 3))) 0 (List.init 8 Fun.id)
+      in
+      Alcotest.(check int) "spawned fibers all joined" expected total;
+      let susp, res, _ = pool_fiber_counters pool in
+      Alcotest.(check int) "suspensions balance resumes" res susp;
+      Alcotest.(check int) "nothing left suspended" 0 (Pool.suspended pool))
+
+(* ------------------------------------------------------------------ *)
+(* Future bridge                                                       *)
+
+let future_differential_fib () =
+  let pool = Pool.create ~processes:(procs ()) () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let rec fib n =
+        if n < 10 then fib_seq n
+        else
+          let a, b = Future.both (fun () -> fib (n - 1)) (fun () -> fib (n - 2)) in
+          a + b
+      in
+      let v = Pool.run pool (fun () -> fib 18) in
+      Alcotest.(check int) "parallel fib = sequential fib" (fib_seq 18) v;
+      let susp, res, _ = pool_fiber_counters pool in
+      Alcotest.(check int) "suspensions balance resumes" res susp;
+      Alcotest.(check int) "nothing left suspended" 0 (Pool.suspended pool))
+
+let future_exception_propagates () =
+  let pool = Pool.create ~processes:(procs ()) () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let observed =
+        Pool.run pool (fun () ->
+            let f = Future.spawn (fun () -> raise Boom) in
+            match Future.force f with (_ : int) -> "returned" | exception Boom -> "boom")
+      in
+      Alcotest.(check string) "spawned task's exception re-raised at force" "boom" observed;
+      Alcotest.(check int) "nothing left suspended" 0 (Pool.suspended pool))
+
+let future_both_evaluation_order () =
+  let pool = Pool.create ~processes:(procs ()) () in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown pool)
+    (fun () ->
+      let g_ran_before_force = Atomic.make false in
+      let a, b =
+        Pool.run pool (fun () ->
+            Future.both
+              (fun () -> fib_seq 12)
+              (fun () ->
+                (* [both] must run [g] inline BEFORE forcing [f]'s
+                   future — the paper's fork-join order. *)
+                Atomic.set g_ran_before_force true;
+                99))
+      in
+      Alcotest.(check int) "f's value" (fib_seq 12) a;
+      Alcotest.(check int) "g's value" 99 b;
+      Alcotest.(check bool) "g ran inline" true (Atomic.get g_ran_before_force))
+
+(* ------------------------------------------------------------------ *)
+(* Serve: promise-returning admission                                  *)
+
+let with_serve ?processes ?inbox_capacity f =
+  let s = Serve.create ?processes ?inbox_capacity () in
+  Fun.protect ~finally:(fun () -> Serve.shutdown s) (fun () -> f s)
+
+let serve_submit_async_returns () =
+  with_serve ~processes:(procs ()) (fun s ->
+      let p = Serve.submit_async s (fun () -> fib_seq 12) in
+      (match poll_outcome p with
+      | Serve.Returned v -> Alcotest.(check int) "value" (fib_seq 12) v
+      | _ -> Alcotest.fail "expected Returned");
+      let q = Serve.submit_async s (fun () -> raise Boom) in
+      (match poll_outcome q with
+      | Serve.Raised Boom -> ()
+      | _ -> Alcotest.fail "expected Raised Boom");
+      let st = Serve.drain s in
+      Alcotest.(check int) "conserved at drain" st.Serve.accepted
+        (st.Serve.completed + st.Serve.cancelled + st.Serve.exceptions);
+      Alcotest.(check int) "one exception" 1 st.Serve.exceptions)
+
+(* A queued-but-never-started async submission must settle its promise
+   as Cancelled: deadline expiry observed at dequeue time... *)
+let serve_submit_async_deadline_cancelled () =
+  with_serve ~processes:1 (fun s ->
+      let release = Atomic.make false in
+      let blocker =
+        Serve.submit_async s (fun () ->
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done;
+            0)
+      in
+      (* The only worker is pinned; this submission sits queued past
+         its (already expired) deadline. *)
+      let doomed = Serve.submit_async s ~deadline:1e-9 (fun () -> 1) in
+      Unix.sleepf 0.005;
+      Atomic.set release true;
+      (match poll_outcome doomed with
+      | Serve.Cancelled Serve.Deadline -> ()
+      | Serve.Cancelled _ -> Alcotest.fail "cancelled for the wrong reason"
+      | _ -> Alcotest.fail "expected Cancelled Deadline");
+      (match poll_outcome blocker with
+      | Serve.Returned 0 -> ()
+      | _ -> Alcotest.fail "blocker should complete");
+      let st = Serve.drain s in
+      Alcotest.(check int) "cancelled counted" 1 st.Serve.cancelled)
+
+(* ...and shutdown drop: stop the workers with the task still queued,
+   then drop the queue — the promise must settle Cancelled Shutdown. *)
+let serve_submit_async_shutdown_cancelled () =
+  let s = Serve.create ~processes:1 () in
+  let release = Atomic.make false in
+  let blocker =
+    Serve.submit_async s (fun () ->
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        0)
+  in
+  (* Wait until the blocker holds the only worker, so the next
+     submission stays queued. *)
+  Alcotest.(check bool) "blocker started" true
+    (eventually (fun () -> (Serve.stats s).Serve.accepted = 1 && Serve.inbox_depth s = 0));
+  let doomed = Serve.submit_async s (fun () -> 1) in
+  Serve.stop_admission s;
+  Atomic.set release true;
+  Serve.join_workers s;
+  Serve.drop_queued s;
+  (match Promise.try_await doomed with
+  | Some (Serve.Cancelled Serve.Shutdown) -> ()
+  | _ -> Alcotest.fail "expected Cancelled Shutdown after drop_queued");
+  match poll_outcome blocker with
+  | Serve.Returned 0 -> ()
+  | _ -> Alcotest.fail "started task should have completed"
+
+let serve_try_submit_async_rejects_when_draining () =
+  with_serve ~processes:1 (fun s ->
+      ignore (Serve.drain s);
+      (match Serve.try_submit_async s (fun () -> 0) with
+      | Error Serve.Draining -> ()
+      | _ -> Alcotest.fail "expected Draining reject");
+      Alcotest.check_raises "submit_async raises once draining"
+        (Failure "Serve.submit_async: admission stopped (draining or shut down)") (fun () ->
+          ignore (Serve.submit_async s (fun () -> 0))))
+
+(* ------------------------------------------------------------------ *)
+(* The await-aware conservation identity, observed mid-flight           *)
+
+let serve_suspended_identity_midflight () =
+  with_serve ~processes:(procs ()) (fun s ->
+      let gatep : int Promise.t = Promise.create () in
+      let n = 4 in
+      let tickets = List.init n (fun _ -> Serve.submit s (fun () -> Fiber.await gatep)) in
+      (* Quiescent point: all n requests accepted, started, and parked
+         on the promise; no worker holds any of them on its stack. *)
+      Alcotest.(check bool) "all requests parked" true
+        (eventually (fun () -> Serve.suspended s = n));
+      let st = Serve.stats s in
+      Alcotest.(check int) "accepted" n st.Serve.accepted;
+      Alcotest.(check int) "none completed while parked" 0 st.Serve.completed;
+      Alcotest.(check int) "suspended gauge" n st.Serve.suspended;
+      Alcotest.(check int) "extended identity holds mid-flight" st.Serve.accepted
+        (st.Serve.completed + st.Serve.cancelled + st.Serve.exceptions + st.Serve.suspended);
+      Promise.fulfil gatep 7;
+      List.iter
+        (fun t ->
+          match Serve.await t with
+          | Serve.Returned 7 -> ()
+          | _ -> Alcotest.fail "parked request should resume with the fulfilled value")
+        tickets;
+      let st = Serve.drain s in
+      Alcotest.(check int) "completed after fulfil" n st.Serve.completed;
+      Alcotest.(check int) "identity collapses at drain" st.Serve.accepted
+        (st.Serve.completed + st.Serve.cancelled + st.Serve.exceptions);
+      Alcotest.(check int) "suspended zero at drain" 0 st.Serve.suspended;
+      let susp, res, peak = pool_fiber_counters (Serve.pool s) in
+      Alcotest.(check int) "suspensions" n susp;
+      Alcotest.(check int) "resumes" n res;
+      Alcotest.(check bool) "peak within [1..n]" true (peak >= 1 && peak <= n))
+
+(* ------------------------------------------------------------------ *)
+(* Backend simulator + counters balance under load                     *)
+
+let backend_basics () =
+  let b = Backend.create ~workers:1 () in
+  let p = Backend.call b ~delay:0.0 17 in
+  Alcotest.(check bool) "fulfilled soon" true (eventually (fun () -> Promise.is_resolved p));
+  Alcotest.(check (option int)) "value" (Some 17) (Promise.try_await p);
+  Alcotest.(check int) "calls counted" 1 (Backend.calls b);
+  Backend.stop b;
+  Alcotest.check_raises "call after stop rejected"
+    (Invalid_argument "Backend.call: backend stopped") (fun () ->
+      ignore (Backend.call b ~delay:0.0 0 : int Promise.t));
+  Alcotest.check_raises "zero workers rejected"
+    (Invalid_argument "Backend.create: workers >= 1 required") (fun () ->
+      ignore (Backend.create ~workers:0 ()))
+
+let counters_balance_under_async_load () =
+  let s = Serve.create ~processes:(procs ()) ~inbox_capacity:256 () in
+  let b = Backend.create ~workers:2 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Backend.stop b;
+      Serve.shutdown s)
+    (fun () ->
+      let clients = 4 and per_client = 100 and depth = 2 in
+      let ds =
+        Array.init clients (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to per_client do
+                  let p =
+                    Serve.submit_async s (fun () ->
+                        let v = ref (fib_seq 8) in
+                        for _ = 1 to depth do
+                          v := Fiber.await (Backend.call b ~delay:2e-4 !v)
+                        done;
+                        !v)
+                  in
+                  match poll_outcome p with
+                  | Serve.Returned _ -> ()
+                  | _ -> Alcotest.fail "async request should return"
+                done))
+      in
+      Array.iter Domain.join ds;
+      let st = Serve.drain s in
+      Alcotest.(check int) "all completed" (clients * per_client) st.Serve.completed;
+      Alcotest.(check int) "suspended zero at drain" 0 st.Serve.suspended;
+      let susp, res, peak = pool_fiber_counters (Serve.pool s) in
+      Alcotest.(check int) "suspensions balance resumes exactly" res susp;
+      Alcotest.(check bool) "requests actually suspended" true (susp > 0);
+      Alcotest.(check bool) "peak gauge positive" true (peak > 0);
+      Alcotest.(check bool) "peak bounded by in-flight requests" true
+        (peak <= clients * per_client))
+
+(* ------------------------------------------------------------------ *)
+(* Shard: async admission and await-aware conservation                 *)
+
+let shard_async_conservation () =
+  let s = Shard.create ~processes:1 ~shards:2 () in
+  let b = Backend.create ~workers:1 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Backend.stop b;
+      Shard.shutdown s)
+    (fun () ->
+      let n = 40 in
+      let ps =
+        List.init n (fun i ->
+            Shard.submit_async s ~key:i (fun () ->
+                Fiber.await (Backend.call b ~delay:1e-4 (i * 2))))
+      in
+      List.iteri
+        (fun i p ->
+          match poll_outcome p with
+          | Serve.Returned v -> Alcotest.(check int) "routed value" (i * 2) v
+          | _ -> Alcotest.fail "shard async request should return")
+        ps;
+      let st = Shard.drain s in
+      Alcotest.(check int) "all completed" n st.Serve.completed;
+      Alcotest.(check bool) "conserved (await-aware identity)" true (Shard.conserved s);
+      Alcotest.(check int) "suspended zero at drain" 0 st.Serve.suspended)
+
+let tests =
+  [
+    Alcotest.test_case "promise basics" `Quick promise_basics;
+    Alcotest.test_case "promise failure" `Quick promise_failure;
+    Alcotest.test_case "inline sched: suspend + fulfil-driven resume" `Quick
+      inline_sched_suspends_and_resumes;
+    Alcotest.test_case "inline sched: fail discontinues into the body" `Quick
+      inline_sched_discontinues_on_fail;
+    Alcotest.test_case "pool: await external fulfil (resume inbox)" `Quick
+      pool_await_external_fulfil;
+    Alcotest.test_case "pool: Fiber.spawn/await fan-out" `Quick pool_fiber_spawn_await;
+    Alcotest.test_case "future: differential fib vs sequential" `Quick future_differential_fib;
+    Alcotest.test_case "future: exception propagates through force" `Quick
+      future_exception_propagates;
+    Alcotest.test_case "future: both runs g inline before force" `Quick
+      future_both_evaluation_order;
+    Alcotest.test_case "serve: submit_async Returned/Raised" `Quick serve_submit_async_returns;
+    Alcotest.test_case "serve: submit_async deadline -> Cancelled" `Quick
+      serve_submit_async_deadline_cancelled;
+    Alcotest.test_case "serve: submit_async shutdown -> Cancelled" `Quick
+      serve_submit_async_shutdown_cancelled;
+    Alcotest.test_case "serve: async admission rejected when draining" `Quick
+      serve_try_submit_async_rejects_when_draining;
+    Alcotest.test_case "serve: extended identity mid-flight + collapse at drain" `Quick
+      serve_suspended_identity_midflight;
+    Alcotest.test_case "backend simulator basics" `Quick backend_basics;
+    Alcotest.test_case "counters balance under async load" `Quick
+      counters_balance_under_async_load;
+    Alcotest.test_case "shard: async admission conserves" `Quick shard_async_conservation;
+  ]

@@ -191,6 +191,37 @@ let wsm_rejects_duplicate_push () =
         (Wsm_explorer.explore
            { Wsm_explorer.owner = [ Ws.Push_bottom 1; Ws.Push_bottom 1 ]; thieves = [] }))
 
+(* Fiber promise protocol: every interleaving of k awaiters racing one
+   fulfiller resumes each parked continuation exactly once — including
+   the fulfil-races-await window (LOAD saw Pending, CAS-park races the
+   fulfiller's CAS-to-Fulfilled).  At >= 2 awaiters both resume paths
+   (immediate and scheduled) must be reachable, or the model is not
+   actually exercising the race. *)
+let fiber_await_exactly_once () =
+  List.iter
+    (fun k ->
+      let name = Printf.sprintf "fiber_await k=%d" k in
+      let r = Fiber_model.explore ~awaiters:k in
+      Alcotest.(check (list string)) (name ^ ": no violations") [] r.Fiber_model.violations;
+      Alcotest.(check bool) (name ^ ": states") true (r.Fiber_model.states_explored > 0);
+      Alcotest.(check bool) (name ^ ": terminal states") true (r.Fiber_model.complete_executions > 0);
+      if k >= 2 then begin
+        Alcotest.(check bool)
+          (name ^ ": immediate path reached")
+          true
+          (r.Fiber_model.immediate_resumes > 0);
+        Alcotest.(check bool)
+          (name ^ ": scheduled path reached")
+          true
+          (r.Fiber_model.scheduled_resumes > 0)
+      end)
+    [ 1; 2; 3 ]
+
+let fiber_await_rejects_zero_awaiters () =
+  Alcotest.check_raises "k=0 rejected"
+    (Invalid_argument "Fiber_model.explore: need at least one awaiter") (fun () ->
+      ignore (Fiber_model.explore ~awaiters:0))
+
 let prop_random_programs_safe =
   QCheck2.Test.make ~name:"random programs meet relaxed semantics" ~count:25
     QCheck2.Gen.(triple (int_range 1 1000) (int_range 1 5) (int_range 0 2))
@@ -223,5 +254,9 @@ let tests =
     Alcotest.test_case "wsm: thief on empty deque" `Quick wsm_thief_on_empty;
     Alcotest.test_case "wsm: rejects owner op in thief" `Quick wsm_rejects_owner_op_in_thief;
     Alcotest.test_case "wsm: rejects duplicate pushed values" `Quick wsm_rejects_duplicate_push;
+    Alcotest.test_case "fiber_await: parked continuation resumed exactly once" `Quick
+      fiber_await_exactly_once;
+    Alcotest.test_case "fiber_await: rejects zero awaiters" `Quick
+      fiber_await_rejects_zero_awaiters;
     QCheck_alcotest.to_alcotest prop_random_programs_safe;
   ]

@@ -441,6 +441,131 @@ let shard_conservation_under_adversary () =
     (tasks >= steals && tasks <= Shard.cross_quota s * steals)
 
 (* ------------------------------------------------------------------ *)
+(* Fibers under the adversary.                                        *)
+
+module Fiber = Abp_fiber.Fiber
+module Promise = Abp_fiber.Fiber.Promise
+
+(* A parked continuation must survive a full gate close/reopen cycle:
+   park the only in-flight computation on a promise, close EVERY gate,
+   fulfil from outside (the resume lands in the pool's inbox while no
+   worker may run), and verify nothing completes until the gates
+   reopen — and that nothing is lost once they do.  This is the
+   fiber-era version of the parked-thief-vs-closed-gate regression:
+   the resume broadcast wakes parked workers straight into closed
+   gates, and the wakeup must not be consumed by the gate block. *)
+let parked_continuation_survives_gate_cycle () =
+  let p = procs () in
+  let gate = Gate.create ~num_workers:p in
+  let pool = Pool.create ~processes:p ~gate:(Gate.hook gate) () in
+  let fiber : int Promise.t = Promise.create () in
+  let result = Atomic.make None in
+  let runner =
+    Domain.spawn (fun () ->
+        Atomic.set result (Some (Pool.run pool (fun () -> Fiber.await fiber))))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Gate.open_all gate;
+      Domain.join runner;
+      Pool.shutdown pool)
+    (fun () ->
+      Alcotest.(check bool) "computation parked" true
+        (wait_until (fun () -> Pool.suspended pool = 1));
+      Gate.set gate (Array.make p false);
+      (* Let every worker reach a safe point and block (or park). *)
+      Unix.sleepf 0.05;
+      Promise.fulfil fiber 777;
+      Unix.sleepf 0.05;
+      Alcotest.(check bool) "nothing completes while every gate is closed" true
+        (Atomic.get result = None);
+      Gate.open_all gate;
+      Alcotest.(check bool) "continuation resumed after reopen" true
+        (wait_until (fun () -> Atomic.get result <> None));
+      Alcotest.(check (option int)) "value survived the gate cycle" (Some 777)
+        (Atomic.get result);
+      let t = Counters.sum (Pool.counters pool) in
+      Alcotest.(check int) "one suspension" 1 t.Counters.suspensions;
+      Alcotest.(check int) "one resume" 1 t.Counters.resumes;
+      Alcotest.(check int) "nothing left suspended" 0 (Pool.suspended pool))
+
+(* Await-heavy sharded service under per-shard duty-cycle adversaries:
+   requests suspend on a simulated backend (plus a few on a promise
+   that is failed, driving the discontinue path) while gates open and
+   close under them.  The extended conservation identity must collapse
+   cleanly at drain and the suspension counters must balance across
+   every shard pool.  With ABP_MP_PROCS > cores this runs
+   oversubscribed. *)
+let fiber_await_shard_under_adversary () =
+  let module Shard = Abp_serve.Shard in
+  let module Backend = Abp_serve.Backend in
+  let shards = 2 in
+  let p = procs () in
+  let gates = Array.init shards (fun _ -> Gate.create ~num_workers:p) in
+  let s =
+    Shard.create ~processes:p ~yield_kind:Pool.Yield_to_random
+      ~gates:(Array.map Gate.hook gates) ~shards ()
+  in
+  let backend = Backend.create ~workers:2 () in
+  let controllers =
+    Array.init shards (fun i ->
+        let adv =
+          Adversary_spec.parse ~num_processes:p ~rng:(rng (80 + i)) "duty:on=2,off=1"
+        in
+        Controller.create ~quantum:1e-3 ~yield:Yield.Yield_to_random ~gate:gates.(i)
+          ~pool:(Serve.pool (Shard.serve s i)) adv)
+  in
+  Array.iter Controller.start controllers;
+  let stats =
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter Controller.stop controllers;
+        Shard.shutdown s;
+        Backend.stop backend)
+      (fun () ->
+        let doomed : int Promise.t = Promise.create () in
+        let outcomes =
+          List.init 200 (fun i ->
+              let key = if i mod 4 < 3 then Some "hot" else None in
+              Shard.submit_async s ?key (fun () ->
+                  if i mod 40 = 39 then
+                    (* Failure delivered INTO a parked continuation:
+                       the discontinue path under the adversary. *)
+                    Fiber.await doomed
+                  else begin
+                    let v = Fiber.await (Backend.call backend ~delay:2e-4 i) in
+                    if i mod 50 = 49 then failwith "boom" else v
+                  end))
+        in
+        Promise.fail doomed (Failure "doomed");
+        List.iter (fun o -> ignore (wait_until (fun () -> Promise.is_resolved o))) outcomes;
+        let raised =
+          List.length
+            (List.filter
+               (fun o -> match Promise.try_await o with Some (Serve.Raised _) -> true | _ -> false)
+               outcomes)
+        in
+        (* 5 requests hit the failed promise (i mod 40 = 39) and 3 more
+           raise after resuming (i mod 50 = 49, minus the overlap at
+           199): 8 raised outcomes in total. *)
+        Alcotest.(check int) "both exception paths observed" 8 raised;
+        Shard.drain s)
+  in
+  Alcotest.(check bool) "service made progress" true (stats.Serve.completed > 0);
+  Alcotest.(check bool) "per-shard conservation under the adversary" true (Shard.conserved s);
+  Alcotest.(check int) "aggregate extended identity collapses at drain" stats.Serve.accepted
+    (stats.Serve.completed + stats.Serve.cancelled + stats.Serve.exceptions);
+  Alcotest.(check int) "nothing left suspended" 0 stats.Serve.suspended;
+  let susp = ref 0 and res = ref 0 in
+  for i = 0 to shards - 1 do
+    let t = Counters.sum (Pool.counters (Serve.pool (Shard.serve s i))) in
+    susp := !susp + t.Counters.suspensions;
+    res := !res + t.Counters.resumes
+  done;
+  Alcotest.(check int) "suspensions balance resumes across shards" !res !susp;
+  Alcotest.(check bool) "requests actually suspended" true (!susp > 0)
+
+(* ------------------------------------------------------------------ *)
 (* Antagonist.                                                        *)
 
 let antagonist_starts_and_stops () =
@@ -473,5 +598,9 @@ let tests =
       serve_drain_conservation_under_adversary;
     Alcotest.test_case "shard conservation under adversary" `Slow
       shard_conservation_under_adversary;
+    Alcotest.test_case "parked continuation survives gate cycle" `Slow
+      parked_continuation_survives_gate_cycle;
+    Alcotest.test_case "fiber await shard conservation under adversary" `Slow
+      fiber_await_shard_under_adversary;
     Alcotest.test_case "antagonist starts and stops" `Quick antagonist_starts_and_stops;
   ]

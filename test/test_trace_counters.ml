@@ -217,8 +217,11 @@ let fields_cover_every_counter () =
       "gate_wait_ns";
       "directed_yields";
       "duplicate_steals";
+      "suspensions";
+      "resumes";
+      "suspended_peak";
     ];
-  Alcotest.(check int) "exactly the 25 fields" 25 (List.length names)
+  Alcotest.(check int) "exactly the 28 fields" 28 (List.length names)
 
 let tests =
   [
