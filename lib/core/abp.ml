@@ -44,13 +44,18 @@
       layer — per-worker counters, bounded event rings, Chrome
       trace-event and text exporters (Section 5's measurements).
     - {!Rng}, {!Descriptive}, {!Regression}, {!Histogram}, {!Montecarlo}:
-      deterministic randomness and statistics for the experiments. *)
+      deterministic randomness and statistics for the experiments.
+    - {!Log_histogram}: HDR-style log-linear latency histograms with
+      bounded relative quantile error and per-worker sharded recording;
+      {!Clock}: the monotonic nanosecond timestamp source — the
+      tail-latency measurement substrate (experiment E32). *)
 
 (* Statistics substrate *)
 module Rng = Abp_stats.Rng
 module Descriptive = Abp_stats.Descriptive
 module Regression = Abp_stats.Regression
 module Histogram = Abp_stats.Histogram
+module Log_histogram = Abp_stats.Log_histogram
 module Montecarlo = Abp_stats.Montecarlo
 module Ascii_plot = Abp_stats.Ascii_plot
 
@@ -106,6 +111,7 @@ module Mcheck_props = Abp_mcheck.Props
 module Trace = Abp_trace
 module Trace_counters = Abp_trace.Counters
 module Trace_sink = Abp_trace.Sink
+module Clock = Abp_trace.Clock
 
 (* Suspendable tasks: Await effect + promises *)
 module Fiber = Abp_fiber.Fiber

@@ -137,6 +137,18 @@ type shared = {
 let exec_counters_key : Counters.t option ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref None)
 
+(* Attribute deadline-lane arbiter telemetry to the executing worker.
+   Called by the serving layer from inside its [ext_drain] closure,
+   which runs under [with_context] in the worker loop, so the DLS slot
+   is populated; a non-worker caller (unit tests driving the closure
+   directly) is a silent no-op. *)
+let note_lane ~polls ~tasks =
+  match !(Domain.DLS.get exec_counters_key) with
+  | Some c ->
+      c.Counters.lane_polls <- c.Counters.lane_polls + polls;
+      c.Counters.lane_tasks <- c.Counters.lane_tasks + tasks
+  | None -> ()
+
 (* Wrap a task in a fresh claim flag: the first executor wins the CAS
    and runs it; any later executor of a duplicate copy (same closure,
    same flag) discards it and bumps its own [duplicate_steals].  The CAS
@@ -287,6 +299,7 @@ module Impl (D : Spec.DETAILED) = struct
               c.Counters.stolen_tasks <- c.Counters.stolen_tasks + got;
               if got >= 2 then c.Counters.batch_steals <- c.Counters.batch_steals + 1;
               Counters.note_batch c got;
+              Counters.note_victim c victim;
               emit w ~arg:victim Abp_trace.Event.Steal;
               repush_surplus w rest;
               Some task
@@ -297,6 +310,7 @@ module Impl (D : Spec.DETAILED) = struct
               c.Counters.successful_steals <- c.Counters.successful_steals + 1;
               c.Counters.stolen_tasks <- c.Counters.stolen_tasks + 1;
               Counters.note_batch c 1;
+              Counters.note_victim c victim;
               emit w ~arg:victim Abp_trace.Event.Steal;
               Some task
           | Spec.Empty ->
@@ -623,6 +637,14 @@ let worker_id = function
   | Circular_worker w -> w.Circular_impl.id
   | Locked_worker w -> w.Locked_impl.id
   | Wsm_worker w -> w.Wsm_impl.id
+
+(* The calling domain's worker index within its own pool, or [None] off
+   the pool — the shard selector for per-worker sharded telemetry
+   ({!Abp_stats.Log_histogram.Sharded}): code that may run either on a
+   worker or on an external domain picks its single-writer slot with
+   it. *)
+let self_id () =
+  match !(Domain.DLS.get context_key) with Some w -> Some (worker_id w) | None -> None
 
 let help_until w stop =
   match w with

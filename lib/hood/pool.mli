@@ -315,6 +315,20 @@ val current : unit -> worker
 (** The calling domain's worker context.  @raise Failure if the calling
     domain is not a pool worker. *)
 
+val self_id : unit -> int option
+(** The calling domain's worker index within its own pool, or [None]
+    when not a pool worker — the shard selector for per-worker sharded
+    telemetry ({!Abp_stats.Log_histogram.Sharded}): code that may run
+    either on a worker or on an external domain picks its
+    single-writer slot with it. *)
+
+val note_lane : polls:int -> tasks:int -> unit
+(** Attribute deadline-lane arbiter telemetry ([lane_polls] /
+    [lane_tasks], {!Abp_trace.Counters}) to the calling worker's own
+    counter record.  For the serving layer's [ext_drain] closure, which
+    executes on a worker domain but is written outside the pool; a
+    non-worker caller is a no-op. *)
+
 val pool_of : worker -> t
 val push_task : worker -> (unit -> unit) -> unit
 val try_get_task : worker -> (unit -> unit) option

@@ -9,11 +9,14 @@
    drops. *)
 
 module Fiber = Abp_fiber.Fiber
+module Clock = Abp_trace.Clock
 
 type t = {
   lock : Mutex.t;
   cond : Condition.t;
-  q : (float * (unit -> unit)) Queue.t;
+  (* due times are absolute monotonic nanoseconds ({!Abp_trace.Clock}):
+     immune to wall-clock steps, and integer comparisons all the way. *)
+  q : (int * (unit -> unit)) Queue.t;
   mutable stopped : bool;
   mutable workers : unit Domain.t list;
   calls : int Atomic.t;
@@ -32,8 +35,7 @@ let worker_loop b =
     else begin
       let due, fulfil = Queue.pop b.q in
       Mutex.unlock b.lock;
-      let now = Unix.gettimeofday () in
-      if due > now then Unix.sleepf (due -. now);
+      Clock.sleep_until due;
       fulfil ();
       loop ()
     end
@@ -57,7 +59,7 @@ let create ?(workers = 1) () =
 
 let call b ~delay v =
   let p = Fiber.Promise.create () in
-  let due = Unix.gettimeofday () +. delay in
+  let due = Clock.now () + Clock.of_s delay in
   Mutex.lock b.lock;
   if b.stopped then begin
     Mutex.unlock b.lock;

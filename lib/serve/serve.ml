@@ -1,6 +1,19 @@
 module Pool = Abp_hood.Pool
 module Padding = Abp_deque.Padding
 module Fiber = Abp_fiber.Fiber
+module Clock = Abp_trace.Clock
+module Log_histogram = Abp_stats.Log_histogram
+
+(* [lane] is defined before [reason] on purpose: both have a [Deadline]
+   constructor, and with this order an unqualified [Deadline] keeps
+   meaning the cancellation reason (the later definition wins), so all
+   pre-lane code and tests read unchanged; lane contexts pick the lane
+   constructor by type-directed disambiguation. *)
+type lane = Bulk | Deadline
+
+let lane_idx = function Bulk -> 0 | Deadline -> 1
+let lane_name = function Bulk -> "bulk" | Deadline -> "deadline"
+let lanes = [ Bulk; Deadline ]
 
 type reason = Deadline | Explicit | Shutdown
 type 'a outcome = Returned of 'a | Raised of exn | Cancelled of reason
@@ -15,30 +28,57 @@ type stats = {
   suspended : int;
 }
 
+type lane_stats = {
+  lane_accepted : int;
+  lane_completed : int;
+  lane_rejected : int;
+  lane_cancelled : int;
+  lane_exceptions : int;
+}
+
 type latency = {
   samples : int;
   mean : float;
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
   max : float;
 }
 
-(* What the inbox holds: the work itself plus an abort hook so [shutdown]
-   can drop still-queued tasks without running them.  Both close over the
-   ticket cell, so the record stays monomorphic. *)
-type job = { run : unit -> unit; abort : unit -> unit }
+(* What the inboxes hold: the work itself, an abort hook so [shutdown]
+   can drop still-queued tasks without running them, and the EDF key
+   ([due], absolute ns) the deadline-lane drain sorts by.  All close
+   over the ticket cell, so the record stays monomorphic. *)
+type job = { run : unit -> unit; abort : unit -> unit; due : int }
 
-(* Sliding window of latency observations (seconds).  Mutated under
-   [lat_lock]: completions are orders of magnitude rarer than deque
-   operations, so a plain mutex here never touches the scheduling hot
-   path. *)
-type ring = { buf : float array; mutable len : int; mutable idx : int }
+(* Per-lane admission counters, each padded (written from many
+   domains).  The lane-wise invariant [lane_accepted = lane_completed +
+   lane_cancelled + lane_exceptions] holds once drained/shut down (the
+   [suspended] gauge is service-global: the fiber hooks that maintain
+   it cannot see lanes). *)
+type lane_counters = {
+  l_accepted : int Atomic.t;
+  l_completed : int Atomic.t;
+  l_rejected : int Atomic.t;
+  l_cancelled : int Atomic.t;
+  l_exceptions : int Atomic.t;
+}
+
+(* Per-lane, per-worker-sharded latency histograms (nanoseconds): the
+   record path is plain writes into the executing worker's own shard —
+   no shared atomics per request — merged at report time. *)
+type lane_lat = {
+  queue_h : Log_histogram.Sharded.t;  (* submission -> start *)
+  run_h : Log_histogram.Sharded.t;  (* start -> settle (await included) *)
+  sojourn_h : Log_histogram.Sharded.t;  (* submission -> settle *)
+}
 
 type t = {
   pool : Pool.t;
-  inbox : job Injector.t;
-  clock : unit -> float;
+  inbox : job Injector.t;  (* bulk lane *)
+  dl_inbox : job Injector.t;  (* deadline lane, polled first *)
+  clock : unit -> int;  (* monotonic nanoseconds *)
   admitting : bool Atomic.t;
   stopped : bool Atomic.t;
   (* Admission counters, each on its own cache line (written from many
@@ -50,15 +90,21 @@ type t = {
   cancelled : int Atomic.t;
   exceptions : int Atomic.t;
   high_water : int Atomic.t;
+  by_lane : lane_counters array;  (* indexed by [lane_idx] *)
+  lat : lane_lat array;  (* indexed by [lane_idx] *)
+  (* Bulk anti-starvation credit: every arbiter poll that served the
+     deadline lane while bulk work waited accrues one credit; at
+     [bulk_credit_period - 1] the next poll drains bulk first and the
+     balance resets, guaranteeing bulk at least a 1-in-
+     [bulk_credit_period] share of polls under sustained deadline
+     traffic. *)
+  credit : int Atomic.t;
   (* Completion signalling for [await]/[drain]: terminal transitions
      broadcast, gated by [waiters] so an uncontested completion pays one
      atomic read. *)
   done_lock : Mutex.t;
   done_cond : Condition.t;
   waiters : int Atomic.t;
-  lat_lock : Mutex.t;
-  queue_lat : ring;
-  run_lat : ring;
   (* Requests currently suspended on a promise: their job body
      performed [await], parked its continuation, and has neither
      completed nor been cancelled.  The [suspended] term of the
@@ -76,6 +122,8 @@ type t = {
   fsched : Fiber.sched;
 }
 
+let bulk_credit_period = 4
+
 (* The ticket cell: [Queued] until a worker (or canceller) claims it;
    only workers move it to [Started]; every other state is terminal. *)
 type 'a cell = Queued | Started | Finished of 'a | Excepted of exn | Dropped of reason
@@ -83,8 +131,9 @@ type 'a cell = Queued | Started | Finished of 'a | Excepted of exn | Dropped of 
 type 'a ticket = {
   cell : 'a cell Atomic.t;
   srv : t;
-  submitted : float;
-  deadline : float option;  (* absolute, against [srv.clock] *)
+  tk_lane : lane;
+  submitted : int;  (* ns, against [srv.clock] *)
+  t_deadline : int option;  (* absolute ns, against [srv.clock] *)
   notify : ('a outcome -> unit) option;
       (* Invoked exactly once, at the ticket's terminal transition
          (Finished/Excepted in the worker, Dropped in the canceller) —
@@ -92,21 +141,6 @@ type 'a ticket = {
          terminal CAS already guarantees at-most-once, so the callback
          never needs its own guard. *)
 }
-
-let make_ring n = { buf = Array.make (max 1 n) 0.0; len = 0; idx = 0 }
-
-let note s ring x =
-  Mutex.lock s.lat_lock;
-  ring.buf.(ring.idx) <- x;
-  ring.idx <- (ring.idx + 1) mod Array.length ring.buf;
-  if ring.len < Array.length ring.buf then ring.len <- ring.len + 1;
-  Mutex.unlock s.lat_lock
-
-let ring_snapshot s ring =
-  Mutex.lock s.lat_lock;
-  let a = Array.sub ring.buf 0 ring.len in
-  Mutex.unlock s.lat_lock;
-  a
 
 let signal_done s =
   if Atomic.get s.waiters > 0 then begin
@@ -128,20 +162,79 @@ let wait_until s settled =
     Atomic.decr s.waiters
   done
 
+(* Earliest-deadline-first over one drained batch.  The consumer (the
+   pool's inject/remote path) runs the list HEAD immediately and
+   re-pushes the tail bottom-up onto the worker's deque, which the
+   owner pops LIFO — so the batch is returned earliest-due first with
+   the tail reversed: the owner then executes the whole batch in
+   ascending-due order, while thieves (stealing from the top) take the
+   latest-due, least urgent jobs.  Ordering is per-acquisition — tasks
+   already spread across deques keep their positions — which is the
+   "EDF-ish" the lane promises: strict global EDF would put a shared
+   priority queue back on the hot path. *)
+let edf_order js =
+  match
+    match js with
+    | [] | [ _ ] -> js
+    | _ -> List.stable_sort (fun a b -> compare a.due b.due) js
+  with
+  | [] -> []
+  | hd :: tl -> hd :: List.rev tl
+
 let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_kind ?gate
-    ?(inbox_capacity = 1024) ?(latency_window = 8192) ?(clock = Unix.gettimeofday) ?trace
-    ?remote_source () =
-  if latency_window < 1 then invalid_arg "Serve.create: latency_window >= 1 required";
+    ?(inbox_capacity = 1024) ?(clock = Clock.now) ?trace ?remote_source () =
   let inbox = Injector.create ~capacity:inbox_capacity () in
+  let dl_inbox = Injector.create ~capacity:inbox_capacity () in
+  let credit = Padding.atomic 0 in
+  let drain_dl n = edf_order (Injector.try_pop_n dl_inbox n) in
+  (* The lane arbiter behind the pool's external source: deadline lane
+     first in EDF order, bulk when it is empty — except that accrued
+     bulk credit forces a bulk-first poll (anti-starvation).  A drain
+     never mixes lanes, so the telemetry and the EDF order of the
+     surplus stay lane-pure. *)
+  let ext_drain n =
+    let bulk_first =
+      Atomic.get credit >= bulk_credit_period - 1 && not (Injector.is_empty inbox)
+    in
+    let dl, bulk =
+      if bulk_first then begin
+        match Injector.try_pop_n inbox n with
+        | [] -> (drain_dl n, [])
+        | js ->
+            Atomic.set credit 0;
+            ([], js)
+      end
+      else
+        match drain_dl n with
+        | [] -> ([], Injector.try_pop_n inbox n)
+        | js ->
+            if not (Injector.is_empty inbox) then Atomic.incr credit;
+            (js, [])
+    in
+    Pool.note_lane ~polls:1 ~tasks:(List.length dl);
+    List.map (fun j -> j.run) (match dl with [] -> bulk | _ -> dl)
+  in
   let external_source =
     {
-      Pool.ext_drain = (fun n -> List.map (fun j -> j.run) (Injector.try_pop_n inbox n));
-      ext_pending = (fun () -> not (Injector.is_empty inbox));
+      Pool.ext_drain;
+      ext_pending = (fun () -> not (Injector.is_empty dl_inbox && Injector.is_empty inbox));
     }
   in
   let pool =
     Pool.create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_kind ?gate
       ?trace ~external_source ?remote_source ~spawn_all:true ()
+  in
+  let shards = Pool.size pool in
+  (* ~1 h of nanoseconds per histogram: far beyond any realistic
+     request latency, so overflow clamping is effectively unreachable
+     while the bucket array stays small. *)
+  let max_ns = 3600 * Clock.ns_per_s in
+  let mk_lat () =
+    {
+      queue_h = Log_histogram.Sharded.create ~max_value:max_ns ~shards ();
+      run_h = Log_histogram.Sharded.create ~max_value:max_ns ~shards ();
+      sojourn_h = Log_histogram.Sharded.create ~max_value:max_ns ~shards ();
+    }
   in
   let suspended_now = Padding.atomic 0 in
   let base = Pool.fiber_sched pool in
@@ -161,6 +254,7 @@ let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_
   {
     pool;
     inbox;
+    dl_inbox;
     clock;
     admitting = Atomic.make true;
     stopped = Atomic.make false;
@@ -170,12 +264,20 @@ let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_
     cancelled = Padding.atomic 0;
     exceptions = Padding.atomic 0;
     high_water = Padding.atomic 0;
+    by_lane =
+      Array.init 2 (fun _ ->
+          {
+            l_accepted = Padding.atomic 0;
+            l_completed = Padding.atomic 0;
+            l_rejected = Padding.atomic 0;
+            l_cancelled = Padding.atomic 0;
+            l_exceptions = Padding.atomic 0;
+          });
+    lat = [| mk_lat (); mk_lat () |];
+    credit;
     done_lock = Mutex.create ();
     done_cond = Condition.create ();
     waiters = Padding.atomic 0;
-    lat_lock = Mutex.create ();
-    queue_lat = make_ring latency_window;
-    run_lat = make_ring latency_window;
     suspended_now;
     fsched;
   }
@@ -193,14 +295,27 @@ let stats s =
     suspended = Atomic.get s.suspended_now;
   }
 
+let lane_stats s lane =
+  let l = s.by_lane.(lane_idx lane) in
+  {
+    lane_accepted = Atomic.get l.l_accepted;
+    lane_completed = Atomic.get l.l_completed;
+    lane_rejected = Atomic.get l.l_rejected;
+    lane_cancelled = Atomic.get l.l_cancelled;
+    lane_exceptions = Atomic.get l.l_exceptions;
+  }
+
 let suspended s = Atomic.get s.suspended_now
 
-let inbox_depth s = Injector.size s.inbox
+let lane_depth s lane =
+  Injector.size (match lane with Bulk -> s.inbox | Deadline -> s.dl_inbox)
+
+let inbox_depth s = Injector.size s.inbox + Injector.size s.dl_inbox
 let inbox_high_water s = Atomic.get s.high_water
 let inbox_capacity s = Injector.capacity s.inbox
 
 let note_high_water s =
-  let d = Injector.size s.inbox in
+  let d = inbox_depth s in
   let rec go () =
     let cur = Atomic.get s.high_water in
     if d > cur && not (Atomic.compare_and_set s.high_water cur d) then go ()
@@ -212,51 +327,76 @@ let notify_tk tk o = match tk.notify with Some n -> n o | None -> ()
 let drop s tk why =
   if Atomic.compare_and_set tk.cell Queued (Dropped why) then begin
     Atomic.incr s.cancelled;
+    Atomic.incr s.by_lane.(lane_idx tk.tk_lane).l_cancelled;
     notify_tk tk (Cancelled why);
     signal_done s;
     true
   end
   else false
 
+(* The executing worker's shard slot for the latency histograms; an
+   off-pool settle (an external domain running the job closure in a
+   test) folds into shard 0. *)
+let rec_shard () = match Pool.self_id () with Some i -> i | None -> 0
+
 let make_job s tk f =
+  let lat = s.lat.(lane_idx tk.tk_lane) in
   let run () =
     (* The whole body — claim, work, settle — runs under the serve
        fiber handler.  If [f] awaits a pending promise, [run] returns
        with the continuation (including the settlement code below)
        parked, and the worker moves on: the ticket stays [Started] and
        the request counts in [suspended_now] until its resume settles
-       it.  Note that [run_lat] therefore measures claim-to-settle
+       it.  Note that [run_h] therefore measures claim-to-settle
        request latency, await time included. *)
     Fiber.run s.fsched (fun () ->
         let start = s.clock () in
-        let expired = match tk.deadline with Some dl -> start > dl | None -> false in
+        let expired = match tk.t_deadline with Some dl -> start > dl | None -> false in
         if expired then ignore (drop s tk Deadline)
         else if Atomic.compare_and_set tk.cell Queued Started then begin
-          note s s.queue_lat (start -. tk.submitted);
+          let l = s.by_lane.(lane_idx tk.tk_lane) in
+          Log_histogram.Sharded.record lat.queue_h ~shard:(rec_shard ()) (start - tk.submitted);
           (match f () with
           | v ->
               Atomic.set tk.cell (Finished v);
               Atomic.incr s.completed;
+              Atomic.incr l.l_completed;
               notify_tk tk (Returned v)
           | exception e ->
               Atomic.set tk.cell (Excepted e);
               Atomic.incr s.exceptions;
+              Atomic.incr l.l_exceptions;
               notify_tk tk (Raised e));
-          note s s.run_lat (s.clock () -. start);
+          let settle = s.clock () in
+          (* The settle may run on a different worker (or pool) than the
+             start when the body suspended and migrated: record into the
+             settling worker's shard. *)
+          let shard = rec_shard () in
+          Log_histogram.Sharded.record lat.run_h ~shard (settle - start);
+          Log_histogram.Sharded.record lat.sojourn_h ~shard (settle - tk.submitted);
           signal_done s
         end
         (* else: cancelled between dequeue and claim — the canceller
            counted and signalled. *))
   in
   let abort () = ignore (drop s tk Shutdown) in
-  { run; abort }
+  let due =
+    match tk.tk_lane with
+    | Bulk -> max_int
+    | Deadline -> ( match tk.t_deadline with Some d -> d | None -> tk.submitted)
+  in
+  { run; abort; due }
 
 (* [count_reject]: a blocking [submit] retries a full inbox rather than
    refusing, so its transient full-inbox probes must not count as
    rejections. *)
-let try_submit_gen ~count_reject ?notify s ?deadline f =
+let try_submit_gen ~count_reject ?notify s ?(lane = (Bulk : lane)) ?deadline f =
+  let li = lane_idx lane in
   if not (Atomic.get s.admitting) then begin
-    if count_reject then Atomic.incr s.rejected;
+    if count_reject then begin
+      Atomic.incr s.rejected;
+      Atomic.incr s.by_lane.(li).l_rejected
+    end;
     Error Draining
   end
   else begin
@@ -265,8 +405,9 @@ let try_submit_gen ~count_reject ?notify s ?deadline f =
       {
         cell = Atomic.make Queued;
         srv = s;
+        tk_lane = lane;
         submitted = now;
-        deadline = Option.map (fun d -> now +. d) deadline;
+        t_deadline = Option.map (fun d -> now + Clock.of_s d) deadline;
         notify;
       }
     in
@@ -275,30 +416,37 @@ let try_submit_gen ~count_reject ?notify s ?deadline f =
        satisfied by a task that is visible to workers but not yet
        counted; a failed push rolls it back immediately. *)
     Atomic.incr s.accepted;
-    if Injector.try_push s.inbox (make_job s tk f) then begin
+    Atomic.incr s.by_lane.(li).l_accepted;
+    let target = match lane with Bulk -> s.inbox | Deadline -> s.dl_inbox in
+    if Injector.try_push target (make_job s tk f) then begin
       note_high_water s;
       Pool.wake s.pool;
       Ok tk
     end
     else begin
       Atomic.decr s.accepted;
-      if count_reject then Atomic.incr s.rejected;
+      Atomic.decr s.by_lane.(li).l_accepted;
+      if count_reject then begin
+        Atomic.incr s.rejected;
+        Atomic.incr s.by_lane.(li).l_rejected
+      end;
       Error Inbox_full
     end
   end
 
-let try_submit s ?deadline f = try_submit_gen ~count_reject:true s ?deadline f
-let try_submit_quiet s ?deadline f = try_submit_gen ~count_reject:false s ?deadline f
+let try_submit s ?lane ?deadline f = try_submit_gen ~count_reject:true s ?lane ?deadline f
+let try_submit_quiet s ?lane ?deadline f = try_submit_gen ~count_reject:false s ?lane ?deadline f
 
-let rec submit s ?deadline f =
-  match try_submit_gen ~count_reject:false s ?deadline f with
+let rec submit s ?lane ?deadline f =
+  match try_submit_gen ~count_reject:false s ?lane ?deadline f with
   | Ok tk -> tk
   | Error Draining -> failwith "Serve.submit: admission stopped (draining or shut down)"
   | Error Inbox_full ->
       Domain.cpu_relax ();
-      submit s ?deadline f
+      submit s ?lane ?deadline f
 
 let cancel tk = drop tk.srv tk Explicit
+let ticket_lane tk = tk.tk_lane
 
 (* Promise-returning admission: the ticket's terminal transition
    fulfils the promise with the request's outcome, so the caller —
@@ -306,25 +454,26 @@ let cancel tk = drop tk.srv tk Explicit
    thread in [await]'s condvar protocol.  The ticket is not returned:
    the promise IS the handle (cancellation still goes through
    [try_submit] + [cancel] when needed). *)
-let try_submit_async_gen ~count_reject s ?deadline f =
+let try_submit_async_gen ~count_reject s ?lane ?deadline f =
   let p = Fiber.Promise.create () in
   let notify o = ignore (Fiber.Promise.try_fulfil p o) in
-  match try_submit_gen ~count_reject ~notify s ?deadline f with
+  match try_submit_gen ~count_reject ~notify s ?lane ?deadline f with
   | Ok _tk -> Ok p
   | Error _ as e -> e
 
-let try_submit_async s ?deadline f = try_submit_async_gen ~count_reject:true s ?deadline f
+let try_submit_async s ?lane ?deadline f =
+  try_submit_async_gen ~count_reject:true s ?lane ?deadline f
 
-let try_submit_async_quiet s ?deadline f =
-  try_submit_async_gen ~count_reject:false s ?deadline f
+let try_submit_async_quiet s ?lane ?deadline f =
+  try_submit_async_gen ~count_reject:false s ?lane ?deadline f
 
-let rec submit_async s ?deadline f =
-  match try_submit_async_gen ~count_reject:false s ?deadline f with
+let rec submit_async s ?lane ?deadline f =
+  match try_submit_async_gen ~count_reject:false s ?lane ?deadline f with
   | Ok p -> p
   | Error Draining -> failwith "Serve.submit_async: admission stopped (draining or shut down)"
   | Error Inbox_full ->
       Domain.cpu_relax ();
-      submit_async s ?deadline f
+      submit_async s ?lane ?deadline f
 
 let poll tk =
   match Atomic.get tk.cell with
@@ -351,11 +500,19 @@ let drain s =
 
 let stop_admission s = Atomic.set s.admitting false
 
-(* Another shard's thief takes up to [n] queued jobs.  The jobs keep
+(* Another shard's thief takes up to [n] queued jobs, deadline lane
+   first (in EDF order) — a cross-shard relief thief must not grab bulk
+   work while deadline-class requests queue behind it.  The jobs keep
    their closures over THIS service's ticket cells and counters, so the
-   per-service conservation invariant is unaffected by where they run. *)
+   per-service conservation invariant is unaffected by where they
+   run. *)
 let steal_inbox s n =
-  if n <= 0 then [] else List.map (fun j -> j.run) (Injector.try_pop_n s.inbox n)
+  if n <= 0 then []
+  else
+    let dl = edf_order (Injector.try_pop_n s.dl_inbox n) in
+    let rest = n - List.length dl in
+    let bulk = if rest > 0 then Injector.try_pop_n s.inbox rest else [] in
+    List.map (fun j -> j.run) (dl @ bulk)
 
 let join_workers s =
   Atomic.set s.admitting false;
@@ -363,15 +520,17 @@ let join_workers s =
 
 let drop_queued s =
   (* Workers are joined (or known not to dequeue anymore): drop what is
-     left so every accepted task reaches a terminal state. *)
-  let rec drop_all () =
-    match Injector.try_pop s.inbox with
+     left on either lane so every accepted task reaches a terminal
+     state. *)
+  let rec drop_all inbox =
+    match Injector.try_pop inbox with
     | Some j ->
         j.abort ();
-        drop_all ()
+        drop_all inbox
     | None -> ()
   in
-  drop_all ()
+  drop_all s.dl_inbox;
+  drop_all s.inbox
 
 let shutdown s =
   join_workers s;
@@ -380,32 +539,44 @@ let shutdown s =
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                           *)
 
-let summarize samples =
-  if Array.length samples = 0 then None
+let latency_of_histogram h =
+  if Log_histogram.count h = 0 then None
   else
-    let q p = Abp_stats.Descriptive.quantile samples p in
+    let q p = float_of_int (Log_histogram.quantile h p) /. 1e9 in
     Some
       {
-        samples = Array.length samples;
-        mean = Abp_stats.Descriptive.mean samples;
+        samples = Log_histogram.count h;
+        mean = Log_histogram.mean h /. 1e9;
         p50 = q 0.5;
         p90 = q 0.9;
         p99 = q 0.99;
-        max = Array.fold_left max neg_infinity samples;
+        p999 = q 0.999;
+        max =
+          (match Log_histogram.max_recorded h with
+          | Some v -> float_of_int v /. 1e9
+          | None -> 0.0);
       }
 
-let queue_latency s = summarize (ring_snapshot s s.queue_lat)
-let run_latency s = summarize (ring_snapshot s s.run_lat)
+let lane_queue_hist s lane = Log_histogram.Sharded.merged s.lat.(lane_idx lane).queue_h
+let lane_run_hist s lane = Log_histogram.Sharded.merged s.lat.(lane_idx lane).run_h
+let lane_sojourn_hist s lane = Log_histogram.Sharded.merged s.lat.(lane_idx lane).sojourn_h
+
+let lane_queue_latency s lane = latency_of_histogram (lane_queue_hist s lane)
+let lane_run_latency s lane = latency_of_histogram (lane_run_hist s lane)
+let lane_sojourn_latency s lane = latency_of_histogram (lane_sojourn_hist s lane)
+
+let merged_over_lanes hist_of s =
+  match List.map (hist_of s) lanes with
+  | [ a; b ] -> Log_histogram.merge a b
+  | _ -> assert false
+
+let queue_latency s = latency_of_histogram (merged_over_lanes lane_queue_hist s)
+let run_latency s = latency_of_histogram (merged_over_lanes lane_run_hist s)
+let sojourn_latency s = latency_of_histogram (merged_over_lanes lane_sojourn_hist s)
 
 let pp_latency ppf l =
-  Fmt.pf ppf "n=%d mean %.3fms p50 %.3fms p90 %.3fms p99 %.3fms max %.3fms" l.samples
-    (l.mean *. 1e3) (l.p50 *. 1e3) (l.p90 *. 1e3) (l.p99 *. 1e3) (l.max *. 1e3)
-
-let histogram_of samples =
-  let hi = (Array.fold_left max 0.0 samples *. 1e3) +. 0.001 in
-  let h = Abp_stats.Histogram.create ~lo:0.0 ~hi ~bins:10 in
-  Array.iter (fun x -> Abp_stats.Histogram.add h (x *. 1e3)) samples;
-  h
+  Fmt.pf ppf "n=%d mean %.3fms p50 %.3fms p90 %.3fms p99 %.3fms p999 %.3fms max %.3fms" l.samples
+    (l.mean *. 1e3) (l.p50 *. 1e3) (l.p90 *. 1e3) (l.p99 *. 1e3) (l.p999 *. 1e3) (l.max *. 1e3)
 
 let pp_report ppf s =
   let st = stats s in
@@ -420,9 +591,19 @@ let pp_report ppf s =
   (match run_latency s with
   | Some l -> Fmt.pf ppf "run latency:   %a@." pp_latency l
   | None -> Fmt.pf ppf "run latency:   no samples@.");
-  let q = ring_snapshot s s.queue_lat in
-  if Array.length q > 0 then
-    Fmt.pf ppf "queue latency histogram (ms):@.%a" Abp_stats.Histogram.pp (histogram_of q);
-  let r = ring_snapshot s s.run_lat in
-  if Array.length r > 0 then
-    Fmt.pf ppf "run latency histogram (ms):@.%a" Abp_stats.Histogram.pp (histogram_of r)
+  List.iter
+    (fun lane ->
+      let ls = lane_stats s lane in
+      if ls.lane_accepted > 0 || ls.lane_rejected > 0 then begin
+        Fmt.pf ppf "%s lane: accepted %d  completed %d  rejected %d  cancelled %d  exceptions %d  depth %d@."
+          (lane_name lane) ls.lane_accepted ls.lane_completed ls.lane_rejected ls.lane_cancelled
+          ls.lane_exceptions (lane_depth s lane);
+        match lane_sojourn_latency s lane with
+        | Some l -> Fmt.pf ppf "%s sojourn: %a@." (lane_name lane) pp_latency l
+        | None -> ()
+      end)
+    lanes;
+  let q = merged_over_lanes lane_queue_hist s in
+  if Log_histogram.count q > 0 then Fmt.pf ppf "queue latency histogram (ns): %a@." Log_histogram.pp q;
+  let r = merged_over_lanes lane_run_hist s in
+  if Log_histogram.count r > 0 then Fmt.pf ppf "run latency histogram (ns):   %a@." Log_histogram.pp r

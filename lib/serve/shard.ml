@@ -136,7 +136,7 @@ let remote_pending cell my () =
 (* Construction                                                        *)
 
 let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_kind ?gates
-    ?inbox_capacity ?latency_window ?clock ?traces ?(cross_period = 8) ?(cross_quota = 4)
+    ?inbox_capacity ?clock ?traces ?(cross_period = 8) ?(cross_quota = 4)
     ~shards () =
   if shards < 1 then invalid_arg "Shard.create: shards >= 1 required";
   if cross_period < 1 then invalid_arg "Shard.create: cross_period >= 1 required";
@@ -163,7 +163,7 @@ let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_
         in
         Serve.create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_kind
           ?gate:(match gates with Some a -> Some a.(i) | None -> None)
-          ?inbox_capacity ?latency_window ?clock
+          ?inbox_capacity ?clock
           ?trace:(match traces with Some a -> Some a.(i) | None -> None)
           ?remote_source ())
   in
@@ -203,12 +203,12 @@ let wake_siblings t i =
    pool.  Waking is cheap when nobody is parked (one atomic read per
    sibling), and over-waking is harmless; the losing racer's extra wake
    is absorbed the same way. *)
-let submit_on ~count_reject t i ?deadline f =
+let submit_on ~count_reject t i ?lane ?deadline f =
   let s = t.serves.(i) in
   let was_empty = Serve.inbox_depth s = 0 in
   let r =
-    if count_reject then Serve.try_submit s ?deadline f
-    else Serve.try_submit_quiet s ?deadline f
+    if count_reject then Serve.try_submit s ?lane ?deadline f
+    else Serve.try_submit_quiet s ?lane ?deadline f
   in
   (match r with
   | Ok _ ->
@@ -221,16 +221,17 @@ let route t = function
   | Some key -> shard_of_key t key
   | None -> Atomic.fetch_and_add t.rr 1 land max_int mod t.shards
 
-let try_submit t ?key ?deadline f = submit_on ~count_reject:true t (route t key) ?deadline f
+let try_submit t ?key ?lane ?deadline f =
+  submit_on ~count_reject:true t (route t key) ?lane ?deadline f
 
 (* Async admission attempt against shard [i]; same wake-siblings
    empty->nonempty protocol as [submit_on]. *)
-let submit_async_on ~count_reject t i ?deadline f =
+let submit_async_on ~count_reject t i ?lane ?deadline f =
   let s = t.serves.(i) in
   let was_empty = Serve.inbox_depth s = 0 in
   let r =
-    if count_reject then Serve.try_submit_async s ?deadline f
-    else Serve.try_submit_async_quiet s ?deadline f
+    if count_reject then Serve.try_submit_async s ?lane ?deadline f
+    else Serve.try_submit_async_quiet s ?lane ?deadline f
   in
   (match r with
   | Ok _ ->
@@ -239,11 +240,11 @@ let submit_async_on ~count_reject t i ?deadline f =
   | Error _ -> ());
   r
 
-let try_submit_async t ?key ?deadline f =
-  submit_async_on ~count_reject:true t (route t key) ?deadline f
+let try_submit_async t ?key ?lane ?deadline f =
+  submit_async_on ~count_reject:true t (route t key) ?lane ?deadline f
 
-let rec submit_async t ?key ?deadline f =
-  match submit_async_on ~count_reject:false t (route t key) ?deadline f with
+let rec submit_async t ?key ?lane ?deadline f =
+  match submit_async_on ~count_reject:false t (route t key) ?lane ?deadline f with
   | Ok p -> p
   | Error Serve.Draining ->
       failwith "Shard.submit_async: admission stopped (draining or shut down)"
@@ -251,10 +252,10 @@ let rec submit_async t ?key ?deadline f =
       (* Same backpressure policy as [submit]: keyless submissions
          re-route via round-robin, keyed ones keep shard affinity. *)
       Domain.cpu_relax ();
-      submit_async t ?key ?deadline f
+      submit_async t ?key ?lane ?deadline f
 
-let rec submit t ?key ?deadline f =
-  match submit_on ~count_reject:false t (route t key) ?deadline f with
+let rec submit t ?key ?lane ?deadline f =
+  match submit_on ~count_reject:false t (route t key) ?lane ?deadline f with
   | Ok tk -> tk
   | Error Serve.Draining -> failwith "Shard.submit: admission stopped (draining or shut down)"
   | Error Serve.Inbox_full ->
@@ -263,7 +264,7 @@ let rec submit t ?key ?deadline f =
          rather than hammering the full one; a keyed submission must
          stay on its shard to preserve affinity. *)
       Domain.cpu_relax ();
-      submit t ?key ?deadline f
+      submit t ?key ?lane ?deadline f
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry                                                           *)
@@ -295,6 +296,46 @@ let conserved t =
       st.Serve.accepted
       = st.Serve.completed + st.Serve.cancelled + st.Serve.exceptions + st.Serve.suspended)
     t.serves
+
+let lane_stats t lane =
+  Array.fold_left
+    (fun acc s ->
+      let ls = Serve.lane_stats s lane in
+      {
+        Serve.lane_accepted = acc.Serve.lane_accepted + ls.Serve.lane_accepted;
+        lane_completed = acc.Serve.lane_completed + ls.Serve.lane_completed;
+        lane_rejected = acc.Serve.lane_rejected + ls.Serve.lane_rejected;
+        lane_cancelled = acc.Serve.lane_cancelled + ls.Serve.lane_cancelled;
+        lane_exceptions = acc.Serve.lane_exceptions + ls.Serve.lane_exceptions;
+      })
+    {
+      Serve.lane_accepted = 0;
+      lane_completed = 0;
+      lane_rejected = 0;
+      lane_cancelled = 0;
+      lane_exceptions = 0;
+    }
+    t.serves
+
+(* Cross-shard latency aggregation: the histograms are mergeable, so
+   the sharded percentiles are computed over the union of samples, not
+   averaged per shard. *)
+let merge_lane_hists hist_of t lane =
+  let hs = Array.to_list (Array.map (fun s -> hist_of s lane) t.serves) in
+  match hs with
+  | [] -> assert false
+  | h :: rest ->
+      let acc = Abp_stats.Log_histogram.copy h in
+      List.iter (fun h' -> Abp_stats.Log_histogram.add ~into:acc h') rest;
+      acc
+
+let lane_sojourn_hist t lane = merge_lane_hists Serve.lane_sojourn_hist t lane
+let lane_sojourn_latency t lane = Serve.latency_of_histogram (lane_sojourn_hist t lane)
+
+let sojourn_latency t =
+  let h = lane_sojourn_hist t Serve.Bulk in
+  Abp_stats.Log_histogram.add ~into:h (lane_sojourn_hist t Serve.Deadline);
+  Serve.latency_of_histogram h
 
 let route_counts t = Array.map Atomic.get t.routed
 let inbox_depths t = Array.map Serve.inbox_depth t.serves

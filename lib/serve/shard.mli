@@ -52,8 +52,7 @@ val create :
   ?yield_kind:Abp_hood.Pool.yield_kind ->
   ?gates:Abp_hood.Pool.gate_hook array ->
   ?inbox_capacity:int ->
-  ?latency_window:int ->
-  ?clock:(unit -> float) ->
+  ?clock:(unit -> int) ->
   ?traces:Abp_trace.Sink.t array ->
   ?cross_period:int ->
   ?cross_quota:int ->
@@ -63,7 +62,8 @@ val create :
 (** Start [shards] micropools of [processes] workers each (so
     [shards * processes] worker domains total).  [processes],
     [deque_capacity], [park_threshold], [deque_impl], [batch],
-    [yield_kind], [inbox_capacity], [latency_window] and [clock] are
+    [yield_kind], [inbox_capacity] and [clock] (monotonic nanoseconds,
+    default {!Abp_trace.Clock.now}) are
     forwarded to each {!Serve.create} identically; [gates] and [traces],
     when given, must have exactly one entry per shard (per-shard
     preemption gates let the {!Abp_mp} adversary suspend shards
@@ -103,14 +103,21 @@ val shard_of_key : t -> 'k -> int
     cache footprint. *)
 
 val try_submit :
-  t -> ?key:'k -> ?deadline:float -> (unit -> 'a) -> ('a Serve.ticket, Serve.reject) result
+  t ->
+  ?key:'k ->
+  ?lane:Serve.lane ->
+  ?deadline:float ->
+  (unit -> 'a) ->
+  ('a Serve.ticket, Serve.reject) result
 (** Admit a task on the shard selected by [key] (or round-robin without
-    one), without blocking; semantics per shard are {!Serve.try_submit}.
+    one), without blocking; semantics per shard are {!Serve.try_submit}
+    ([lane], default [Bulk], selects the shard-local admission lane).
     If the submission flips the target inbox empty->nonempty, every
     sibling pool is woken so an idle shard's parked thief can
     cross-steal it. *)
 
-val submit : t -> ?key:'k -> ?deadline:float -> (unit -> 'a) -> 'a Serve.ticket
+val submit :
+  t -> ?key:'k -> ?lane:Serve.lane -> ?deadline:float -> (unit -> 'a) -> 'a Serve.ticket
 (** Blocking submit: spins politely under backpressure.  A keyless
     submission re-routes round-robin on each retry (landing on the next
     shard instead of hammering a full inbox); a keyed submission stays
@@ -122,6 +129,7 @@ val submit : t -> ?key:'k -> ?deadline:float -> (unit -> 'a) -> 'a Serve.ticket
 val try_submit_async :
   t ->
   ?key:'k ->
+  ?lane:Serve.lane ->
   ?deadline:float ->
   (unit -> 'a) ->
   ('a Serve.outcome Abp_fiber.Fiber.Promise.t, Serve.reject) result
@@ -131,7 +139,12 @@ val try_submit_async :
     {!try_submit}. *)
 
 val submit_async :
-  t -> ?key:'k -> ?deadline:float -> (unit -> 'a) -> 'a Serve.outcome Abp_fiber.Fiber.Promise.t
+  t ->
+  ?key:'k ->
+  ?lane:Serve.lane ->
+  ?deadline:float ->
+  (unit -> 'a) ->
+  'a Serve.outcome Abp_fiber.Fiber.Promise.t
 (** Blocking async admission: backpressure policy of {!submit}
     (keyless retries re-route round-robin, keyed ones keep affinity;
     no [rejected] inflation), handle semantics of
@@ -150,6 +163,21 @@ val conserved : t -> bool
     [accepted = completed + cancelled + exceptions] after {!drain}
     (every promise resolved, so [suspended = 0]).  Meaningful at
     quiescent points and after {!drain}/{!shutdown}. *)
+
+val lane_stats : t -> Serve.lane -> Serve.lane_stats
+(** Field-wise sum of the per-shard {!Serve.lane_stats} for one lane. *)
+
+val lane_sojourn_hist : t -> Serve.lane -> Abp_stats.Log_histogram.t
+(** The lane's submission-to-settle latency histogram (nanoseconds)
+    merged across every shard — percentiles over the union of samples,
+    not per-shard averages. *)
+
+val lane_sojourn_latency : t -> Serve.lane -> Serve.latency option
+(** Summary of {!lane_sojourn_hist}; [None] while the lane has no
+    settled requests group-wide. *)
+
+val sojourn_latency : t -> Serve.latency option
+(** Both lanes merged across every shard. *)
 
 val route_counts : t -> int array
 (** Per-shard count of accepted submissions routed to each shard (the

@@ -1,0 +1,114 @@
+(** HDR-style log-linear histogram with bounded relative quantile error.
+
+    Records non-negative integers (latency nanoseconds, typically) into
+    a fixed array of buckets: values below [2 * 2{^sub_bits}] exactly,
+    larger values into [2{^sub_bits}] linear sub-buckets per
+    power-of-two octave.  Every recorded value — and therefore every
+    reported quantile — is reproduced with relative error at most
+    [1 / 2{^sub_bits}] ({!relative_error}; 0.78% at the default
+    [sub_bits = 7]), from a few KB of memory regardless of range.
+    Histograms with the same layout are mergeable ({!add}, {!merge}):
+    merging is associative and commutative, and counts are conserved.
+
+    {!record} is pure integer arithmetic with plain (non-atomic) writes
+    — tens of nanoseconds, no allocation — and is therefore {e not}
+    safe for concurrent recording into one histogram.  {!Sharded} gives
+    each worker its own copy, recorded without any shared atomics, and
+    merges at report time. *)
+
+type t
+
+val create : ?sub_bits:int -> ?max_value:int -> unit -> t
+(** An empty histogram.  [sub_bits] (default 7, range [[1,20]]) sets the
+    precision: relative quantile error is bounded by [1 / 2{^sub_bits}].
+    [max_value] (default [2{^62} - 1]) caps the trackable range; larger
+    samples clamp there and count in {!overflow}.
+    @raise Invalid_argument outside those ranges. *)
+
+val record : t -> int -> unit
+(** Record one sample.  Negative samples count in {!underflow} and are
+    recorded as 0; samples above [max_value] count in {!overflow} and
+    are recorded as [max_value] — {!count} includes both, so merging
+    conserves totals even under clamping. *)
+
+val count : t -> int
+(** Samples recorded (clamped ones included). *)
+
+val total : t -> int
+(** Sum of recorded samples (after clamping). *)
+
+val mean : t -> float
+(** [total / count]; 0 when empty. *)
+
+val min_recorded : t -> int option
+val max_recorded : t -> int option
+(** Exact extremes of the recorded (clamped) samples; [None] when
+    empty.  Tracked exactly, so [quantile t 0.0] and [quantile t 1.0]
+    are exact. *)
+
+val underflow : t -> int
+(** Negative samples clamped to 0. *)
+
+val overflow : t -> int
+(** Samples clamped to [max_value]. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] is a value [v] such that at least [ceil (q * count)]
+    recorded samples are [<= v'] for some [v'] within
+    [relative_error t * v'] of [v] — i.e. the [q]-quantile up to the
+    documented relative error (exact for values in the linear region
+    and at [q = 0]/[q = 1]).
+    @raise Invalid_argument when empty or [q] outside [[0,1]]. *)
+
+val add : into:t -> t -> unit
+(** Accumulate [c] into [into] bucket-wise.  @raise Invalid_argument on
+    layout mismatch (different [sub_bits] or [max_value]). *)
+
+val merge : t -> t -> t
+(** Fresh merged histogram; both inputs unchanged. *)
+
+val copy : t -> t
+val clear : t -> unit
+
+val sub_bits : t -> int
+val max_value : t -> int
+
+val relative_error : t -> float
+(** The documented quantile error bound, [1 / 2{^sub_bits}]. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: count, mean, p50/p90/p99/p999, min/max, clamp
+    counts. *)
+
+(** Per-worker sharded recording: an array of histograms, one per
+    worker, each cache-line padded.  [record ~shard] touches only shard
+    [shard]'s copy with plain writes — no shared atomics anywhere on
+    the record path — and {!merged} folds the copies at report time.
+    [shards] rounds up to a power of two and out-of-range shard indices
+    mask into range, so recording is always safe; two workers folding
+    to the same shard may (rarely) lose an update, which is acceptable
+    for latency telemetry and impossible in the intended one-shard-
+    per-worker configuration. *)
+module Sharded : sig
+  type h := t
+  type t
+
+  val create : ?sub_bits:int -> ?max_value:int -> shards:int -> unit -> t
+  (** [shards >= 1] padded histograms (rounded up to a power of two).
+      @raise Invalid_argument if [shards < 1] or the layout arguments
+      are out of range. *)
+
+  val shards : t -> int
+  (** The rounded-up shard count. *)
+
+  val record : t -> shard:int -> int -> unit
+  (** Record into shard [shard land (shards - 1)].  Plain writes only;
+      safe from any domain as long as each shard index has (at most)
+      one concurrent writer. *)
+
+  val merged : t -> h
+  (** Fresh merge of every shard — call once the writers have quiesced
+      (or accept a racy snapshot while they run). *)
+
+  val clear : t -> unit
+end

@@ -12,6 +12,16 @@ let pp_event ~scale ppf (e : Event.t) =
 let pp_thread_name ppf i =
   Fmt.pf ppf {|{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"worker %d"}}|} i i
 
+(* Per-worker victim-indexed steal counts as a metadata record (phase
+   "M"): row [tid] of the pairwise steal matrix.  Metadata events carry
+   arbitrary args, so the vector exports as a JSON array without
+   perturbing the counter tracks. *)
+let pp_steal_victims ppf (i, c) =
+  let row =
+    Counters.victim_counts c |> Array.to_list |> List.map string_of_int |> String.concat ","
+  in
+  Fmt.pf ppf {|{"name":"steal_victims","ph":"M","pid":0,"tid":%d,"args":{"victims":[%s]}}|} i row
+
 let pp_counters ppf (i, c) =
   let fields =
     Counters.fields c
@@ -31,7 +41,9 @@ let pp ?(scale = 1e6) ppf sink =
     sep ();
     pp_thread_name ppf i;
     sep ();
-    pp_counters ppf (i, Sink.counters sink i)
+    pp_counters ppf (i, Sink.counters sink i);
+    sep ();
+    pp_steal_victims ppf (i, Sink.counters sink i)
   done;
   List.iter
     (fun e ->

@@ -1,0 +1,33 @@
+(** Monotonic nanosecond timestamps.
+
+    The default timestamp source for the serving layer ({!Abp_serve}):
+    {!now} reads [CLOCK_MONOTONIC] through a C stub and returns integer
+    nanoseconds since an arbitrary epoch (boot, typically).  Unlike
+    [Unix.gettimeofday] it never steps when NTP slews or an operator
+    sets the wall clock, so deadlines computed as [now () + delta] and
+    latency intervals [t1 - t0] are always well-ordered.  The reading
+    fits OCaml's immediate [int] (2{^62} ns is ~146 years), the stub is
+    allocation-free, and a call costs a vDSO read (~20 ns) — cheap
+    enough to stamp every request twice. *)
+
+external now : unit -> int = "abp_clock_monotonic_ns" [@@noalloc]
+(** Nanoseconds of [CLOCK_MONOTONIC].  Monotone non-decreasing within a
+    process; only differences are meaningful (the epoch is arbitrary,
+    so never compare against wall-clock time). *)
+
+val ns_per_s : int
+(** [1_000_000_000]. *)
+
+val to_s : int -> float
+(** Nanoseconds to seconds. *)
+
+val of_s : float -> int
+(** Seconds to nanoseconds (truncating). *)
+
+val to_ms : int -> float
+(** Nanoseconds to milliseconds. *)
+
+val sleep_until : int -> unit
+(** Sleep (via [Unix.sleepf]) until {!now} reaches the given absolute
+    timestamp; returns immediately if it already has.  Re-checks after
+    every wakeup, so an early [sleepf] return only re-sleeps. *)

@@ -1,0 +1,18 @@
+/* Monotonic nanosecond clock for the scheduler and serving layers.
+ *
+ * CLOCK_MONOTONIC never steps with NTP adjustments or settimeofday,
+ * so deadlines and latency intervals measured against it are immune
+ * to wall-clock jumps (gettimeofday is not).  The reading fits an
+ * OCaml immediate int (2^62 ns = ~146 years of uptime), so the stub
+ * is [@@noalloc]: one syscall-free vDSO call and a Val_long.
+ */
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value abp_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

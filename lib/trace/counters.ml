@@ -27,7 +27,14 @@ type t = {
   mutable suspensions : int;
   mutable resumes : int;
   mutable suspended_peak : int;
+  mutable lane_polls : int;
+  mutable lane_tasks : int;
   steal_batch_hist : int array;
+  (* Victim-indexed successful-steal counts, grown on demand (a counter
+     record does not know the pool size at creation).  Row [i] of the
+     pool's pairwise steal matrix when this record belongs to worker
+     [i]. *)
+  mutable steal_victims : int array;
 }
 
 (* Tasks-per-steal histogram buckets: 1, 2, 3-4, 5-8, 9-16, >16. *)
@@ -76,7 +83,10 @@ let create () =
       suspensions = 0;
       resumes = 0;
       suspended_peak = 0;
+      lane_polls = 0;
+      lane_tasks = 0;
       steal_batch_hist = Array.make batch_buckets 0;
+      steal_victims = [||];
     }
 
 let reset c =
@@ -108,11 +118,19 @@ let reset c =
   c.suspensions <- 0;
   c.resumes <- 0;
   c.suspended_peak <- 0;
-  Array.fill c.steal_batch_hist 0 batch_buckets 0
+  c.lane_polls <- 0;
+  c.lane_tasks <- 0;
+  Array.fill c.steal_batch_hist 0 batch_buckets 0;
+  Array.fill c.steal_victims 0 (Array.length c.steal_victims) 0
 
 let copy c =
   Abp_deque.Padding.copy_as_padded
-    { c with pushes = c.pushes; steal_batch_hist = Array.copy c.steal_batch_hist }
+    {
+      c with
+      pushes = c.pushes;
+      steal_batch_hist = Array.copy c.steal_batch_hist;
+      steal_victims = Array.copy c.steal_victims;
+    }
 
 let note_depth c n = if n > c.deque_high_water then c.deque_high_water <- n
 
@@ -122,6 +140,25 @@ let note_batch c n =
   if n > c.max_steal_batch then c.max_steal_batch <- n;
   let b = batch_bucket n in
   c.steal_batch_hist.(b) <- c.steal_batch_hist.(b) + 1
+
+(* Ensure the victim vector spans index [v]; doubling keeps growth
+   amortized O(1) per note on the (cold) first steals from new victims. *)
+let ensure_victims c v =
+  let n = Array.length c.steal_victims in
+  if v >= n then begin
+    let n' = max (v + 1) (max 4 (2 * n)) in
+    let a = Array.make n' 0 in
+    Array.blit c.steal_victims 0 a 0 n;
+    c.steal_victims <- a
+  end
+
+let note_victim c v =
+  if v >= 0 then begin
+    ensure_victims c v;
+    c.steal_victims.(v) <- c.steal_victims.(v) + 1
+  end
+
+let victim_counts c = Array.copy c.steal_victims
 
 let add ~into c =
   into.pushes <- into.pushes + c.pushes;
@@ -152,9 +189,15 @@ let add ~into c =
   into.suspensions <- into.suspensions + c.suspensions;
   into.resumes <- into.resumes + c.resumes;
   into.suspended_peak <- max into.suspended_peak c.suspended_peak;
+  into.lane_polls <- into.lane_polls + c.lane_polls;
+  into.lane_tasks <- into.lane_tasks + c.lane_tasks;
   Array.iteri
     (fun i v -> into.steal_batch_hist.(i) <- into.steal_batch_hist.(i) + v)
-    c.steal_batch_hist
+    c.steal_batch_hist;
+  if Array.length c.steal_victims > 0 then begin
+    ensure_victims into (Array.length c.steal_victims - 1);
+    Array.iteri (fun i v -> into.steal_victims.(i) <- into.steal_victims.(i) + v) c.steal_victims
+  end
 
 let sum cs =
   let acc = create () in
@@ -191,6 +234,8 @@ let fields c =
     ("suspensions", c.suspensions);
     ("resumes", c.resumes);
     ("suspended_peak", c.suspended_peak);
+    ("lane_polls", c.lane_polls);
+    ("lane_tasks", c.lane_tasks);
   ]
 
 let batch_hist c = Array.copy c.steal_batch_hist
@@ -207,7 +252,7 @@ let complete c =
 
 let pp ppf c =
   Fmt.pf ppf
-    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s%s%s%s%s%s"
+    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s%s%s%s%s%s%s"
     c.successful_steals c.steal_attempts c.steal_empties c.cas_failures_pop_top c.pushes c.pops
     c.yields c.parks c.lock_spins c.deque_high_water
     (if c.stolen_tasks > c.successful_steals then
@@ -222,6 +267,7 @@ let pp ppf c =
     (if c.cross_polls > 0 || c.cross_stolen_tasks > 0 then
        Printf.sprintf " cross %d/%d" c.cross_stolen_tasks c.cross_polls
      else "")
+    (if c.lane_polls > 0 then Printf.sprintf " lane %d/%d" c.lane_tasks c.lane_polls else "")
     (if c.suspensions > 0 || c.resumes > 0 then
        Printf.sprintf " fiber-susp %d/%d (peak %d)" c.resumes c.suspensions c.suspended_peak
      else "")

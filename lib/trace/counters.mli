@@ -108,11 +108,29 @@ type t = {
           owning pool, as observed by this worker at its own suspend
           instants; aggregates by [max], so the pool-wide peak is exact
           (the peak-reaching suspension records it) *)
+  mutable lane_polls : int;
+      (** deadline-lane arbiter polls by the serving layer's injector
+          drain ({!Abp_serve.Serve} with lanes): times an idle worker's
+          external-source poll consulted the high-priority deadline
+          injector (whether or not it held work) *)
+  mutable lane_tasks : int;
+      (** tasks acquired from the deadline lane; [<= inject_tasks] on
+          the aggregate, since every lane task is also an injector
+          task *)
   steal_batch_hist : int array;
       (** tasks-per-transfer histogram over {!batch_buckets} fixed
           buckets (see {!batch_bucket_labels}); fed by {!note_batch} on
           every successful steal and injector drain.  Not part of
           {!fields} (exporters get scalars); read via {!batch_hist}. *)
+  mutable steal_victims : int array;
+      (** victim-indexed successful-steal counts (intra-pool steals
+          only), grown on demand by {!note_victim}: when this record
+          belongs to worker [i], slot [v] is the number of successful
+          steals [i] made from victim [v] — row [i] of the pool's
+          pairwise steal (locality) matrix.  Not part of {!fields};
+          read via {!victim_counts}, rendered as a matrix by
+          {!Abp_trace.Report} and exported per worker by
+          {!Abp_trace.Chrome}. *)
 }
 
 val batch_buckets : int
@@ -143,10 +161,20 @@ val note_batch : t -> int -> unit
     transferred [n] tasks: bumps {!field:max_steal_batch} and the
     matching {!field:steal_batch_hist} bucket. *)
 
+val note_victim : t -> int -> unit
+(** [note_victim c v] counts one successful steal from victim [v] in
+    {!field:steal_victims}, growing the vector on demand (amortized
+    O(1)).  Negative [v] is ignored. *)
+
+val victim_counts : t -> int array
+(** Copy of {!field:steal_victims}; index [v] may be absent (shorter
+    array) when this worker never stole from victims that high. *)
+
 val add : into:t -> t -> unit
 (** Accumulate counter-wise; high-water marks ([deque_high_water],
     {!field:max_steal_batch}, {!field:suspended_peak}) combine by
-    [max], the batch histogram element-wise. *)
+    [max], the batch histogram and victim vector element-wise (the
+    victim vector grows to the longer operand). *)
 
 val sum : t array -> t
 (** Fresh aggregate of all records (empty array => all zeros). *)

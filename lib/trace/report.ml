@@ -38,6 +38,28 @@ let pp ppf sink =
         (Counters.fields totals) (Counters.fields c);
       Fmt.pf ppf "@.")
     (Sink.per_worker sink);
+  (* Pairwise steal (locality) matrix: row = thief, column = victim,
+     entry = successful intra-pool steals.  Only printed when some
+     worker recorded per-victim counts (the vectors grow on demand). *)
+  let per_worker = Sink.per_worker sink in
+  let n = Array.length per_worker in
+  if Array.exists (fun c -> Array.exists (fun v -> v > 0) (Counters.victim_counts c)) per_worker
+  then begin
+    Fmt.pf ppf "@.steal matrix (thief row x victim column):@.%-8s" "";
+    for v = 0 to n - 1 do
+      Fmt.pf ppf "%6d" v
+    done;
+    Fmt.pf ppf "@.";
+    Array.iteri
+      (fun i c ->
+        let row = Counters.victim_counts c in
+        Fmt.pf ppf "%-8d" i;
+        for v = 0 to n - 1 do
+          Fmt.pf ppf "%6d" (if v < Array.length row then row.(v) else 0)
+        done;
+        Fmt.pf ppf "@.")
+      per_worker
+  end;
   Fmt.pf ppf "@.steal attempts per worker:@.%a" Abp_stats.Histogram.pp
     (histogram_of sink (fun c -> c.Counters.steal_attempts));
   Fmt.pf ppf "@.successful steals per worker:@.%a" Abp_stats.Histogram.pp

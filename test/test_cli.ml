@@ -170,7 +170,7 @@ let hoodserve_sharded_json_schema () =
     (fun key ->
       Alcotest.(check bool) (Printf.sprintf "json has %s" key) true (contains s key))
     [
-      {|"schema":"hoodserve/2"|};
+      {|"schema":"hoodserve/3"|};
       {|"shards":3|};
       {|"affinity":"key"|};
       {|"conserved":true|};
@@ -209,7 +209,7 @@ let hoodserve_await_json_schema () =
     (fun key ->
       Alcotest.(check bool) (Printf.sprintf "json has %s" key) true (contains s key))
     [
-      {|"schema":"hoodserve/2"|};
+      {|"schema":"hoodserve/3"|};
       {|"await_depth":2|};
       {|"backend_ms":0.200|};
       {|"conserved":true|};
@@ -221,6 +221,41 @@ let hoodserve_await_json_schema () =
       {|"suspensions":|};
       {|"resumes":|};
       {|"suspended_peak":|};
+    ]
+
+(* Open-loop lanes run: requests arrive on a Poisson clock split across
+   the bulk and deadline lanes, and the JSON must carry the per-lane
+   latency blocks with log-histogram percentiles (p50/p99/p999). *)
+let hoodserve_open_loop_lanes_json_schema () =
+  let json = Filename.temp_file "abp_cli" ".json" in
+  let code, err =
+    run_capturing
+      (Printf.sprintf
+         "../bin/hoodserve.exe -p 2 --clients 2 --requests 60 --fib 8 --lanes \
+          --lane-share 0.25 --open-loop --arrival poisson --rate 4000 --json %s"
+         json)
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "silent stderr" "" err;
+  let ic = open_in json in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove json;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (Printf.sprintf "json has %s" key) true (contains s key))
+    [
+      {|"schema":"hoodserve/3"|};
+      {|"lanes":true|};
+      {|"open_loop":true|};
+      {|"arrival":"poisson"|};
+      {|"rate_rps":4000.0|};
+      {|"shed"|};
+      {|"lane_latency"|};
+      {|"bulk"|};
+      {|"deadline"|};
+      {|"p999_ms"|};
+      {|"conserved":true|};
     ]
 
 let hoodserve_hash_affinity_succeeds () =
@@ -245,7 +280,22 @@ let hoodserve_invalid_shards_exit_nonzero () =
       ("await-depth 65", "../bin/hoodserve.exe --await-depth 65 --clients 1 --requests 1");
       ("backend-ms -1", "../bin/hoodserve.exe --backend-ms=-1 --clients 1 --requests 1");
       ("backend-ms 1001", "../bin/hoodserve.exe --backend-ms 1001 --clients 1 --requests 1");
+      ("rate 0", "../bin/hoodserve.exe --open-loop --rate 0 --clients 1 --requests 1");
+      ( "rate 1e8",
+        "../bin/hoodserve.exe --open-loop --rate 100000000 --clients 1 --requests 1" );
+      ( "lane-share 1.5",
+        "../bin/hoodserve.exe --lanes --lane-share 1.5 --clients 1 --requests 1" );
+      ( "lane-share -0.1",
+        "../bin/hoodserve.exe --lanes --lane-share=-0.1 --clients 1 --requests 1" );
     ];
+  (* The range must be named in the message, not just the fatal prefix. *)
+  let _, err = run_capturing "../bin/hoodserve.exe --open-loop --rate 0 --clients 1 --requests 1" in
+  Alcotest.(check bool) "rate range named" true (contains err "rate in (0,1e7] required");
+  let _, err =
+    run_capturing "../bin/hoodserve.exe --lanes --lane-share 1.5 --clients 1 --requests 1"
+  in
+  Alcotest.(check bool) "lane-share range named" true
+    (contains err "lane-share in [0,1] required");
   (* An unknown affinity policy is a cmdliner enum error: exit 124. *)
   let code, _ = run_capturing "../bin/hoodserve.exe --affinity nosuch --clients 1 --requests 1" in
   Alcotest.(check bool) "unknown affinity rejected" true (code <> 0)
@@ -272,6 +322,8 @@ let tests =
       hoodrun_wsm_json_duplicates;
     Alcotest.test_case "hoodserve: sharded json schema" `Quick hoodserve_sharded_json_schema;
     Alcotest.test_case "hoodserve: await-heavy json schema" `Quick hoodserve_await_json_schema;
+    Alcotest.test_case "hoodserve: open-loop lanes json schema" `Quick
+      hoodserve_open_loop_lanes_json_schema;
     Alcotest.test_case "hoodserve: hash affinity runs" `Quick hoodserve_hash_affinity_succeeds;
     Alcotest.test_case "hoodserve: invalid shards exit 1" `Quick
       hoodserve_invalid_shards_exit_nonzero;

@@ -1,0 +1,133 @@
+(* Log-scale histogram properties: the documented relative-error bound
+   checked against a sorted-array oracle, merge algebra (associative,
+   commutative, count-conserving), and the underflow/overflow clamping
+   contract. *)
+
+module H = Abp_stats.Log_histogram
+
+let of_samples ?sub_bits ?max_value xs =
+  let h = H.create ?sub_bits ?max_value () in
+  List.iter (H.record h) xs;
+  h
+
+(* Exact q-quantile of a sample list under the histogram's rank rule:
+   the smallest value with at least [ceil (q * n)] samples <= it. *)
+let oracle_quantile xs q =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+  a.(rank - 1)
+
+let within_rel_error ~err exact approx =
+  let e = float_of_int exact and a = float_of_int approx in
+  Float.abs (a -. e) <= (err *. Float.max (Float.abs e) (Float.abs a)) +. 1.0
+
+let gen_samples =
+  QCheck2.Gen.(
+    list_size (int_range 1 300)
+      (oneof [ int_range 0 255; int_range 0 100_000; int_range 0 1_000_000_000 ]))
+
+let prop_quantile_matches_oracle =
+  QCheck2.Test.make ~name:"quantile within relative error of sorted-array oracle" ~count:200
+    QCheck2.Gen.(pair gen_samples (int_range 1 10))
+    (fun (xs, sub_bits) ->
+      let h = of_samples ~sub_bits xs in
+      let err = H.relative_error h in
+      List.for_all
+        (fun q -> within_rel_error ~err (oracle_quantile xs q) (H.quantile h q))
+        [ 0.0; 0.25; 0.5; 0.9; 0.99; 0.999; 1.0 ])
+
+let prop_extremes_exact =
+  QCheck2.Test.make ~name:"q=0 / q=1 are the exact min/max" ~count:200 gen_samples (fun xs ->
+      let h = of_samples xs in
+      H.quantile h 0.0 = List.fold_left min max_int xs
+      && H.quantile h 1.0 = List.fold_left max 0 xs)
+
+let gen_three_lists = QCheck2.Gen.(triple gen_samples gen_samples gen_samples)
+
+let prop_merge_algebra =
+  QCheck2.Test.make ~name:"merge is associative, commutative, count-conserving" ~count:100
+    gen_three_lists (fun (xs, ys, zs) ->
+      let hx = of_samples xs and hy = of_samples ys and hz = of_samples zs in
+      let ab_c = H.merge (H.merge hx hy) hz in
+      let a_bc = H.merge hx (H.merge hy hz) in
+      let ba = H.merge hy hx in
+      let ab = H.merge hx hy in
+      let same_quantiles a b =
+        List.for_all (fun q -> H.quantile a q = H.quantile b q) [ 0.0; 0.5; 0.99; 1.0 ]
+      in
+      H.count ab_c = List.length xs + List.length ys + List.length zs
+      && H.total ab_c = H.total a_bc
+      && same_quantiles ab_c a_bc && same_quantiles ab ba
+      && H.count ab = H.count ba
+      (* and merging equals recording the concatenation *)
+      && same_quantiles ab (of_samples (xs @ ys)))
+
+let prop_merge_equals_sharded =
+  QCheck2.Test.make ~name:"sharded recording merges to the single-histogram result" ~count:100
+    gen_samples (fun xs ->
+      let sh = H.Sharded.create ~shards:4 () in
+      List.iteri (fun i x -> H.Sharded.record sh ~shard:(i mod 4) x) xs;
+      let merged = H.Sharded.merged sh in
+      let direct = of_samples xs in
+      H.count merged = H.count direct
+      && H.total merged = H.total direct
+      && List.for_all
+           (fun q -> H.quantile merged q = H.quantile direct q)
+           [ 0.0; 0.5; 0.9; 0.99; 1.0 ])
+
+let clamping_contract () =
+  let h = H.create ~max_value:1000 () in
+  H.record h (-5);
+  H.record h 0;
+  H.record h 500;
+  H.record h 5_000;
+  Alcotest.(check int) "count includes clamped" 4 (H.count h);
+  Alcotest.(check int) "underflow counted" 1 (H.underflow h);
+  Alcotest.(check int) "overflow counted" 1 (H.overflow h);
+  Alcotest.(check (option int)) "min clamps to 0" (Some 0) (H.min_recorded h);
+  Alcotest.(check (option int)) "max clamps to max_value" (Some 1000) (H.max_recorded h);
+  (* clamp counts survive merging *)
+  let h2 = H.create ~max_value:1000 () in
+  H.record h2 2_000;
+  let m = H.merge h h2 in
+  Alcotest.(check int) "merged overflow" 2 (H.overflow m);
+  Alcotest.(check int) "merged underflow" 1 (H.underflow m)
+
+let layout_mismatch_rejected () =
+  let a = H.create ~sub_bits:5 () and b = H.create ~sub_bits:6 () in
+  Alcotest.check_raises "sub_bits mismatch"
+    (Invalid_argument "Log_histogram.add: layout mismatch (sub_bits/max_value)") (fun () ->
+      H.add ~into:a b);
+  Alcotest.check_raises "bad sub_bits"
+    (Invalid_argument "Log_histogram.create: sub_bits in [1,20] required") (fun () ->
+      ignore (H.create ~sub_bits:0 ()));
+  let e = H.create () in
+  Alcotest.check_raises "empty quantile"
+    (Invalid_argument "Log_histogram.quantile: empty histogram") (fun () ->
+      ignore (H.quantile e 0.5))
+
+let exhaustive_small_range () =
+  (* Every value in the linear region is reproduced exactly; above it,
+     within the bound — checked exhaustively over a dense range. *)
+  let h = H.create ~sub_bits:4 () in
+  let err = H.relative_error h in
+  for v = 0 to 1 lsl 14 do
+    H.clear h;
+    H.record h v;
+    let got = H.quantile h 0.5 in
+    if not (within_rel_error ~err v got) then
+      Alcotest.failf "value %d came back as %d (err %.4f)" v got err
+  done
+
+let tests =
+  [
+    QCheck_alcotest.to_alcotest prop_quantile_matches_oracle;
+    QCheck_alcotest.to_alcotest prop_extremes_exact;
+    QCheck_alcotest.to_alcotest prop_merge_algebra;
+    QCheck_alcotest.to_alcotest prop_merge_equals_sharded;
+    Alcotest.test_case "clamping: underflow/overflow conserved" `Quick clamping_contract;
+    Alcotest.test_case "layout and argument validation" `Quick layout_mismatch_rejected;
+    Alcotest.test_case "exhaustive roundtrip over a dense range" `Quick exhaustive_small_range;
+  ]

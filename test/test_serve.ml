@@ -5,8 +5,8 @@
 
 open Abp_serve
 
-let with_serve ?processes ?inbox_capacity f =
-  let s = Serve.create ?processes ?inbox_capacity () in
+let with_serve ?processes ?inbox_capacity ?batch f =
+  let s = Serve.create ?processes ?inbox_capacity ?batch () in
   Fun.protect ~finally:(fun () -> Serve.shutdown s) (fun () -> f s)
 
 (* ------------------------------------------------------------------ *)
@@ -136,8 +136,8 @@ let exceptions_are_contained () =
 
 (* Deterministic admission tests run on a single busy worker: the first
    submitted task blocks it, so everything behind queues in the inbox. *)
-let with_blocked_worker ?inbox_capacity f =
-  with_serve ~processes:1 ?inbox_capacity (fun s ->
+let with_blocked_worker ?inbox_capacity ?batch f =
+  with_serve ~processes:1 ?inbox_capacity ?batch (fun s ->
       let release = Atomic.make false in
       let blocker =
         Serve.submit s (fun () ->
@@ -338,6 +338,89 @@ let report_renders () =
 (* ------------------------------------------------------------------ *)
 (* Shard: the sharded multi-pool topology *)
 
+(* ------------------------------------------------------------------ *)
+(* Lanes *)
+
+let lane_conservation_and_latency () =
+  with_serve ~processes:2 (fun s ->
+      let n = 200 in
+      let tks =
+        List.init n (fun i ->
+            let lane = if i mod 4 = 0 then (Serve.Deadline : Serve.lane) else Serve.Bulk in
+            (lane, Serve.submit s ~lane (fun () -> i * i)))
+      in
+      List.iter
+        (fun (lane, tk) ->
+          Alcotest.(check bool) "ticket remembers its lane" true (Serve.ticket_lane tk = lane);
+          match Serve.await tk with
+          | Serve.Returned _ -> ()
+          | _ -> Alcotest.fail "lane submission completes")
+        tks;
+      let st = Serve.drain s in
+      let bulk = Serve.lane_stats s Serve.Bulk and dl = Serve.lane_stats s Serve.Deadline in
+      Alcotest.(check int) "deadline lane accepted" (n / 4) dl.Serve.lane_accepted;
+      Alcotest.(check int) "bulk lane accepted" (n - (n / 4)) bulk.Serve.lane_accepted;
+      (* lane-wise conservation, and the lanes partition the totals *)
+      List.iter
+        (fun ls ->
+          Alcotest.(check int) "lane conserved" ls.Serve.lane_accepted
+            (ls.Serve.lane_completed + ls.Serve.lane_cancelled + ls.Serve.lane_exceptions))
+        [ bulk; dl ];
+      Alcotest.(check int) "lanes partition accepted" st.Serve.accepted
+        (bulk.Serve.lane_accepted + dl.Serve.lane_accepted);
+      Alcotest.(check int) "lanes partition completed" st.Serve.completed
+        (bulk.Serve.lane_completed + dl.Serve.lane_completed);
+      (* per-lane latency recorded for every settled request *)
+      (match (Serve.lane_sojourn_latency s Serve.Bulk, Serve.lane_sojourn_latency s Serve.Deadline)
+       with
+      | Some lb, Some ld ->
+          Alcotest.(check int) "bulk sojourn samples" bulk.Serve.lane_completed lb.Serve.samples;
+          Alcotest.(check int) "deadline sojourn samples" dl.Serve.lane_completed ld.Serve.samples;
+          Alcotest.(check bool) "p999 >= p50" true (ld.Serve.p999 >= ld.Serve.p50)
+      | _ -> Alcotest.fail "both lanes have sojourn latency");
+      match Serve.sojourn_latency s with
+      | Some l -> Alcotest.(check int) "merged sojourn samples" st.Serve.completed l.Serve.samples
+      | None -> Alcotest.fail "merged sojourn latency present")
+
+let deadline_lane_runs_first () =
+  (* With the single worker blocked, queue bulk then deadline work; the
+     arbiter must start deadline-lane tasks first (EDF by explicit
+     deadline), with the bulk anti-starvation credit letting bulk
+     through at least once per 4 non-empty polls.  We assert the
+     relative order of the deadline tasks and that the first completion
+     is a deadline task. *)
+  with_blocked_worker ~batch:8 (fun s ~release ~blocker ->
+      while Serve.inbox_depth s > 0 do
+        Domain.cpu_relax ()
+      done;
+      let order = Atomic.make [] in
+      let note tag () = Atomic.set order (tag :: Atomic.get order) in
+      for i = 0 to 7 do
+        ignore (Serve.submit s (note (Printf.sprintf "b%d" i)))
+      done;
+      Alcotest.(check int) "bulk lane depth" 8 (Serve.lane_depth s Serve.Bulk);
+      (* reversed explicit deadlines: d0 gets the LATEST deadline, d3
+         the earliest, so EDF must reverse submission order *)
+      for i = 0 to 3 do
+        ignore
+          (Serve.submit s ~lane:Serve.Deadline
+             ~deadline:(float_of_int (40 - (10 * i)))
+             (note (Printf.sprintf "d%d" i)))
+      done;
+      Alcotest.(check int) "deadline lane depth" 4 (Serve.lane_depth s Serve.Deadline);
+      Atomic.set release true;
+      (match Serve.await blocker with
+      | Serve.Returned () -> ()
+      | _ -> Alcotest.fail "blocker completes");
+      ignore (Serve.drain s);
+      let ran = List.rev (Atomic.get order) in
+      Alcotest.(check int) "all ran" 12 (List.length ran);
+      let pos tag = Option.get (List.find_index (String.equal tag) ran) in
+      Alcotest.(check bool) "EDF order within the deadline lane" true
+        (pos "d3" < pos "d2" && pos "d2" < pos "d1" && pos "d1" < pos "d0");
+      Alcotest.(check bool) "a deadline task ran before the last bulk task" true
+        (pos "d3" < pos "b7"))
+
 let with_shard ?processes ?inbox_capacity ?cross_period ?cross_quota ~shards f =
   let s = Shard.create ?processes ?inbox_capacity ?cross_period ?cross_quota ~shards () in
   Fun.protect ~finally:(fun () -> Shard.shutdown s) (fun () -> f s)
@@ -492,6 +575,45 @@ let shard_report_renders () =
         (fun needle -> Alcotest.(check bool) (needle ^ " present") true (contains text needle))
         [ "shard report"; "cross"; "shard 0"; "shard 1" ])
 
+let shard_lane_passthrough () =
+  with_shard ~processes:1 ~shards:2 (fun t ->
+      let n = 120 in
+      let ps =
+        List.init n (fun i ->
+            let lane = if i mod 3 = 0 then (Serve.Deadline : Serve.lane) else Serve.Bulk in
+            Shard.submit_async t ~key:i ~lane (fun () -> i))
+      in
+      List.iter
+        (fun p ->
+          (* external domain: poll rather than perform Await *)
+          let rec wait () =
+            match Abp_fiber.Fiber.Promise.try_await p with
+            | Some o -> o
+            | None ->
+                Domain.cpu_relax ();
+                wait ()
+          in
+          match wait () with
+          | Serve.Returned _ -> ()
+          | _ -> Alcotest.fail "sharded lane submission completes")
+        ps;
+      ignore (Shard.drain t);
+      let dl = Shard.lane_stats t Serve.Deadline and bulk = Shard.lane_stats t Serve.Bulk in
+      Alcotest.(check int) "deadline accepted across shards" ((n + 2) / 3)
+        dl.Serve.lane_accepted;
+      Alcotest.(check int) "bulk accepted across shards" (n - ((n + 2) / 3))
+        bulk.Serve.lane_accepted;
+      (* merged-across-shards histogram covers every settled request *)
+      let h = Shard.lane_sojourn_hist t Serve.Deadline in
+      Alcotest.(check int) "merged deadline histogram count" dl.Serve.lane_completed
+        (Abp_stats.Log_histogram.count h);
+      match Shard.lane_sojourn_latency t Serve.Deadline with
+      | Some l ->
+          Alcotest.(check int) "sharded lane latency samples" dl.Serve.lane_completed
+            l.Serve.samples
+      | None -> Alcotest.fail "sharded deadline latency present")
+
+
 let tests =
   [
     Alcotest.test_case "injector: fifo + full + wraparound" `Quick injector_fifo_single_thread;
@@ -512,6 +634,10 @@ let tests =
       drain_invariant_multi_producer;
     Alcotest.test_case "telemetry: inject counters" `Quick telemetry_counts_injection;
     Alcotest.test_case "report renders" `Quick report_renders;
+    Alcotest.test_case "lanes: conservation + per-lane latency" `Quick
+      lane_conservation_and_latency;
+    Alcotest.test_case "lanes: deadline lane runs first, EDF order" `Quick
+      deadline_lane_runs_first;
     Alcotest.test_case "shard: create validation" `Quick shard_create_validation;
     Alcotest.test_case "shard: keyed routing is stable" `Quick shard_routing_is_stable;
     Alcotest.test_case "shard: round-robin spreads" `Quick shard_round_robin_spreads;
@@ -521,4 +647,6 @@ let tests =
     Alcotest.test_case "shard: shutdown resolves every ticket" `Quick
       shard_shutdown_resolves_every_ticket;
     Alcotest.test_case "shard: report renders" `Quick shard_report_renders;
+    Alcotest.test_case "shard: lane passthrough + merged lane latency" `Quick
+      shard_lane_passthrough;
   ]

@@ -220,14 +220,83 @@ let fields_cover_every_counter () =
       "suspensions";
       "resumes";
       "suspended_peak";
+      "lane_polls";
+      "lane_tasks";
     ];
-  Alcotest.(check int) "exactly the 28 fields" 28 (List.length names)
+  Alcotest.(check int) "exactly the 30 fields" 30 (List.length names)
+
+let victim_vectors_grow_sum_and_export () =
+  (* The per-victim steal vector is a growable side table, deliberately
+     OUTSIDE [fields]: it grows on demand, sums element-wise under
+     [add] (ragged lengths included), and exports as a matrix row. *)
+  (* The vector grows by doubling, so its physical length is an
+     implementation detail: compare with trailing zeros trimmed. *)
+  let trimmed c =
+    let v = Counters.victim_counts c in
+    let n = ref (Array.length v) in
+    while !n > 0 && v.(!n - 1) = 0 do
+      decr n
+    done;
+    Array.sub v 0 !n
+  in
+  let a = Counters.create () in
+  Alcotest.(check (array int)) "fresh vector empty" [||] (trimmed a);
+  Counters.note_victim a 2;
+  Counters.note_victim a 2;
+  Counters.note_victim a 0;
+  Counters.note_victim a (-1);
+  (* ignored *)
+  Alcotest.(check (array int)) "grown to victim index" [| 1; 0; 2 |] (trimmed a);
+  let b = Counters.create () in
+  Counters.note_victim b 5;
+  Counters.add ~into:a b;
+  Alcotest.(check (array int)) "ragged add sums element-wise" [| 1; 0; 2; 0; 0; 1 |] (trimmed a);
+  let c = Counters.copy a in
+  Counters.note_victim a 0;
+  Alcotest.(check (array int)) "copy is independent" [| 1; 0; 2; 0; 0; 1 |] (trimmed c);
+  Counters.reset a;
+  Alcotest.(check (array int)) "reset clears the vector" [||] (trimmed a);
+  (* End-to-end: a live pool records per-victim counts, and both
+     exporters surface the matrix. *)
+  let sink = Sink.create ~workers:4 () in
+  let pool = Abp_hood.Pool.create ~processes:4 ~trace:sink () in
+  Abp_hood.Pool.run pool (fun () ->
+      let rec fib n = if n < 2 then n else fib (n - 1) + fib (n - 2) in
+      let futs = List.init 64 (fun _ -> Abp_hood.Future.spawn (fun () -> fib 18)) in
+      List.iter (fun f -> ignore (Abp_hood.Future.force f)) futs);
+  Abp_hood.Pool.shutdown pool;
+  let per_worker = Sink.per_worker sink in
+  let total_steals =
+    Array.fold_left (fun acc c -> acc + c.Counters.successful_steals) 0 per_worker
+  in
+  let matrix_total =
+    Array.fold_left
+      (fun acc c -> Array.fold_left ( + ) acc (Counters.victim_counts c))
+      0 per_worker
+  in
+  Alcotest.(check int) "matrix total = intra-pool successful steals" total_steals matrix_total;
+  Array.iteri
+    (fun i c ->
+      let row = Counters.victim_counts c in
+      if i < Array.length row then
+        Alcotest.(check int) "no self-steals on the diagonal" 0 row.(i))
+    per_worker;
+  if total_steals > 0 then begin
+    let report = Format.asprintf "%a" Abp_trace.Report.pp sink in
+    Alcotest.(check bool) "report prints the steal matrix" true
+      (contains ~affix:"steal matrix" report);
+    let json = Abp_trace.Chrome.to_string sink in
+    Alcotest.(check bool) "chrome export carries steal_victims rows" true
+      (contains ~affix:{|"name":"steal_victims"|} json)
+  end
 
 let tests =
   [
     Alcotest.test_case "counters match run_result (models x policies x seeds)" `Quick
       counters_match_across_configs;
     Alcotest.test_case "fields cover every counter" `Quick fields_cover_every_counter;
+    Alcotest.test_case "victim vectors: grow, sum, matrix export" `Quick
+      victim_vectors_grow_sum_and_export;
     Alcotest.test_case "locked model: spins attributed per worker" `Quick
       locked_model_spins_attributed;
     Alcotest.test_case "sink sees the same counters + round-stamped events" `Quick
