@@ -15,13 +15,18 @@ type 'a t = {
   bottom : int Atomic.t;
   active : 'a buffer Atomic.t;
   grow_count : int Atomic.t;
+  shrink_count : int Atomic.t;
+  (* Reclamation floor: the buffer never shrinks below its creation
+     capacity, so a deque sized for its steady state pays no repeated
+     grow/shrink churn around that size. *)
+  initial_cap : int;
 }
 
 let make_buffer cap = { mask = cap - 1; seg = Array.make cap None }
 
 (* The three hot atomics live on distinct cache lines: [top] is
    thief-CASed, [bottom] is owner-stored, and [active] is read by
-   everyone but written only on (rare) growth. *)
+   everyone but written only on (rare) growth or shrinkage. *)
 let create ?(capacity = 16) () =
   if capacity < 2 then invalid_arg "Circular_deque.create: capacity >= 2 required";
   (* Round up to a power of two. *)
@@ -34,6 +39,8 @@ let create ?(capacity = 16) () =
     bottom = Padding.atomic 0;
     active = Padding.atomic (make_buffer !cap);
     grow_count = Atomic.make 0;
+    shrink_count = Atomic.make 0;
+    initial_cap = !cap;
   }
 
 let put buf i x = buf.seg.(i land buf.mask) <- x
@@ -49,11 +56,43 @@ let grow t ~bottom ~top =
   Atomic.incr t.grow_count;
   bigger
 
+(* Chase-Lev Section 4 reclamation, owner-only like [grow]: copy the
+   live range [top, bottom) into a half-size buffer and publish it.
+   Safety mirrors the growth argument exactly — the old buffer is never
+   written again after the publish, so a thief that read the old
+   (array, mask) pair still sees the correct element at the logical
+   index it validated with its CAS on [top]; a stale [top] passed in by
+   the caller only makes the copied range a superset of the live one
+   (indices below the real [top] are never read again).  Both
+   [bottom - top < cap/4 < cap/2] and monotone [top] guarantee the live
+   range fits the smaller buffer. *)
+let shrink t ~bottom ~top =
+  let old_buf = Atomic.get t.active in
+  let smaller = make_buffer ((old_buf.mask + 1) / 2) in
+  for i = top to bottom - 1 do
+    put smaller i (get old_buf i)
+  done;
+  Atomic.set t.active smaller;
+  Atomic.incr t.shrink_count;
+  smaller
+
+let[@inline] shrinkable t buf ~bottom ~top =
+  let cap = buf.mask + 1 in
+  cap > t.initial_cap && bottom - top < cap / 4
+
+let maybe_shrink t ~bottom ~top =
+  let buf = Atomic.get t.active in
+  if shrinkable t buf ~bottom ~top then ignore (shrink t ~bottom ~top)
+
 let push_bottom t x =
   let b = Atomic.get t.bottom in
   let tp = Atomic.get t.top in
   let buf = Atomic.get t.active in
-  let buf = if b - tp > buf.mask then grow t ~bottom:b ~top:tp else buf in
+  let buf =
+    if b - tp > buf.mask then grow t ~bottom:b ~top:tp
+    else if shrinkable t buf ~bottom:b ~top:tp then shrink t ~bottom:b ~top:tp
+    else buf
+  in
   put buf b (Some x);
   Atomic.set t.bottom (b + 1)
 
@@ -73,6 +112,10 @@ let pop_bottom_detailed t =
     let x = get buf b in
     if b > tp then begin
       put buf b None;
+      (* Reclaim on the pop side too, so a deque that drains after a
+         growth spike gives the memory back without waiting for the
+         next push.  [tp] may be stale — see [shrink]. *)
+      maybe_shrink t ~bottom:b ~top:tp;
       got x
     end
     else begin
@@ -102,6 +145,7 @@ let pop_bottom t =
     let x = get buf b in
     if b > tp then begin
       put buf b None;
+      maybe_shrink t ~bottom:b ~top:tp;
       x
     end
     else begin
@@ -189,3 +233,5 @@ let size t =
 let is_empty t = size t = 0
 let capacity t = (Atomic.get t.active).mask + 1
 let grows t = Atomic.get t.grow_count
+let shrinks t = Atomic.get t.shrink_count
+let initial_capacity t = t.initial_cap

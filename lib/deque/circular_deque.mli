@@ -28,7 +28,13 @@ val pop_bottom_detailed : 'a t -> 'a Spec.detailed
     when the last element's CAS on [top] lost to a thief. *)
 
 val capacity : 'a t -> int
-(** Current buffer capacity (a power of two; grows, never shrinks). *)
+(** Current buffer capacity (a power of two).  Doubles on overflow and
+    halves again once the live size drops below a quarter of it (the
+    Section 4 reclamation), never below {!initial_capacity}. *)
+
+val initial_capacity : 'a t -> int
+(** The creation-time capacity (rounded up to a power of two): the
+    floor the Section 4 reclamation never shrinks below. *)
 
 (** {2 Batched stealing}
 
@@ -45,3 +51,12 @@ val capacity : 'a t -> int
 
 val grows : 'a t -> int
 (** Number of buffer-doubling events so far (diagnostics). *)
+
+val shrinks : 'a t -> int
+(** Number of buffer-halving (reclamation) events so far: the owner
+    halves the buffer when it observes [size < capacity / 4] and the
+    capacity is above {!initial_capacity} — Chase-Lev Section 4's
+    shrinking, published exactly like growth (fresh buffer through the
+    [active] atomic; the old buffer is never written again, so a
+    concurrent thief's CAS-on-[top] validation argument carries over
+    unchanged). *)

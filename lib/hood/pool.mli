@@ -282,6 +282,32 @@ val wake : t -> unit
     the pool's [external_source] so a fully parked pool notices the new
     work. *)
 
+val resume_external : t -> (unit -> unit) -> unit
+(** [resume_external t k] enqueues the ready continuation [k] on [t]'s
+    fiber resume inbox and wakes parked thieves — the same path an
+    off-pool {!Abp_fiber.Promise} fulfil takes.  Safe from any domain.
+    Honors [t]'s resume redirect when one is installed (see
+    {!redirect_resumes}), so a forwarder may target a pool that has
+    itself been quiesced in the meantime. *)
+
+val redirect_resumes : t -> ((unit -> unit) -> unit) -> unit
+(** [redirect_resumes t fwd] installs [fwd] as the destination for every
+    continuation subsequently bound for [t]'s resume inbox, and
+    forwards anything already queued through [fwd] before returning —
+    atomically with the installation, so no continuation is stranded in
+    the window.  The elastic supervisor's migration primitive: [fwd] is
+    typically [resume_external target] plus accounting.  [fwd] must not
+    re-enter [t]'s own inbox (the supervisor points it at a pool that
+    is active at install time and clears it before reactivating [t]).
+    Workers of [t] keep running; only the {e external-fulfil} resume
+    path is re-homed — a fulfil performed on a worker still pushes onto
+    that worker's own deque. *)
+
+val clear_resume_redirect : t -> unit
+(** Remove the redirect installed by {!redirect_resumes} (no-op when
+    none): new off-pool resumes land in [t]'s own inbox again.  Must be
+    called before [t] is put back into admission rotation. *)
+
 val steal_from : t -> victim:int -> max:int -> (unit -> unit) list
 (** [steal_from t ~victim ~max] is the external steal entry point: take
     up to [max] tasks off worker [victim]'s deque top, subject to the
@@ -328,6 +354,11 @@ val note_lane : polls:int -> tasks:int -> unit
     counter record.  For the serving layer's [ext_drain] closure, which
     executes on a worker domain but is written outside the pool; a
     non-worker caller is a no-op. *)
+
+val note_deadline_miss : unit -> unit
+(** Count one deadline-lane ticket settled past its deadline
+    ([deadline_misses], {!Abp_trace.Counters}) against the calling
+    worker's record; a non-worker caller is a no-op. *)
 
 val pool_of : worker -> t
 val push_task : worker -> (unit -> unit) -> unit

@@ -34,6 +34,7 @@ type lane_stats = {
   lane_rejected : int;
   lane_cancelled : int;
   lane_exceptions : int;
+  lane_misses : int;
 }
 
 type latency = {
@@ -63,6 +64,10 @@ type lane_counters = {
   l_rejected : int Atomic.t;
   l_cancelled : int Atomic.t;
   l_exceptions : int Atomic.t;
+  (* Settlements (completions or exceptions) that landed past the
+     ticket's absolute deadline.  Not part of the conservation ledger —
+     a miss is a completed request that was merely late. *)
+  l_misses : int Atomic.t;
 }
 
 (* Per-lane, per-worker-sharded latency histograms (nanoseconds): the
@@ -272,6 +277,7 @@ let create ?processes ?deque_capacity ?park_threshold ?deque_impl ?batch ?yield_
             l_rejected = Padding.atomic 0;
             l_cancelled = Padding.atomic 0;
             l_exceptions = Padding.atomic 0;
+            l_misses = Padding.atomic 0;
           });
     lat = [| mk_lat (); mk_lat () |];
     credit;
@@ -303,6 +309,7 @@ let lane_stats s lane =
     lane_rejected = Atomic.get l.l_rejected;
     lane_cancelled = Atomic.get l.l_cancelled;
     lane_exceptions = Atomic.get l.l_exceptions;
+    lane_misses = Atomic.get l.l_misses;
   }
 
 let suspended s = Atomic.get s.suspended_now
@@ -368,6 +375,14 @@ let make_job s tk f =
               Atomic.incr l.l_exceptions;
               notify_tk tk (Raised e));
           let settle = s.clock () in
+          (* Deadline-miss accounting: the ticket settled (either way)
+             past its absolute deadline.  A drop before the claim is a
+             cancellation, not a miss — it never ran. *)
+          (match tk.t_deadline with
+          | Some dl when settle > dl ->
+              Atomic.incr l.l_misses;
+              Pool.note_deadline_miss ()
+          | _ -> ());
           (* The settle may run on a different worker (or pool) than the
              start when the body suspended and migrated: record into the
              settling worker's shard. *)
@@ -500,6 +515,11 @@ let drain s =
 
 let stop_admission s = Atomic.set s.admitting false
 
+(* Reopen admission on a quiesced-then-reactivated service.  Refuses to
+   resurrect a shut-down service: [drain]/[shutdown] closed admission
+   for good. *)
+let resume_admission s = if not (Atomic.get s.stopped) then Atomic.set s.admitting true
+
 (* Another shard's thief takes up to [n] queued jobs, deadline lane
    first (in EDF order) — a cross-shard relief thief must not grab bulk
    work while deadline-class requests queue behind it.  The jobs keep
@@ -513,6 +533,13 @@ let steal_inbox s n =
     let rest = n - List.length dl in
     let bulk = if rest > 0 then Injector.try_pop_n s.inbox rest else [] in
     List.map (fun j -> j.run) (dl @ bulk)
+
+(* Deadline-lane-only variant: the lane-aware cross-steal path uses it
+   to relieve a sibling's deadline burst without touching its bulk
+   backlog (and without consuming the thief's bulk cross-steal
+   budget). *)
+let steal_inbox_deadline s n =
+  if n <= 0 then [] else List.map (fun j -> j.run) (edf_order (Injector.try_pop_n s.dl_inbox n))
 
 let join_workers s =
   Atomic.set s.admitting false;

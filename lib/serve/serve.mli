@@ -117,6 +117,11 @@ type lane_stats = {
   lane_rejected : int;
   lane_cancelled : int;
   lane_exceptions : int;
+  lane_misses : int;
+      (** settlements (completions or exceptions) that landed past the
+          ticket's absolute deadline; not a conservation term — a miss
+          is a settled request that was merely late.  Drops before the
+          claim count as cancellations, never misses. *)
 }
 (** Per-lane admission counters.  Once drained/shut down,
     [lane_accepted = lane_completed + lane_cancelled + lane_exceptions]
@@ -279,6 +284,13 @@ val stop_admission : t -> unit
     waiting on any, so no shard keeps feeding tasks that another shard's
     thieves could cross-steal mid-stop.  Idempotent. *)
 
+val resume_admission : t -> unit
+(** Reopen admission after {!stop_admission} — the elastic supervisor's
+    reactivation path.  A no-op once workers have been joined
+    ({!drain}'s admission stop is also permanent in {!Shard}'s usage:
+    the supervisor never reactivates a closing topology).
+    Idempotent. *)
+
 val join_workers : t -> unit
 (** Stop admission and join this service's worker domains {e without}
     dropping queued tasks.  In a sharded topology, queued tasks of a
@@ -301,6 +313,11 @@ val steal_inbox : t -> int -> (unit -> unit) list
     matter which pool runs them (the runner's pool counts them in its
     own cross-shard telemetry).  Returns [[]] for [n <= 0].  Callable
     from any domain. *)
+
+val steal_inbox_deadline : t -> int -> (unit -> unit) list
+(** Like {!steal_inbox} but draining the {e deadline lane only} (EDF
+    order): the lane-aware cross-steal path uses it to relieve a
+    sibling's deadline burst without touching its bulk backlog. *)
 
 val stats : t -> stats
 (** Advisory snapshot while running; exact after {!drain}/{!shutdown}. *)

@@ -98,9 +98,51 @@ val serve : t -> int -> Serve.t
     of range. *)
 
 val shard_of_key : t -> 'k -> int
-(** The shard a given affinity key routes to ([Hashtbl.hash key mod k]):
-    stable across the group's lifetime, so equal keys share a shard's
-    cache footprint. *)
+(** The shard a given affinity key routes to ([Hashtbl.hash key] modulo
+    the {e active} table): stable while the topology is static, so equal
+    keys share a shard's cache footprint; a resize re-routes keys over
+    the surviving shards (one routing-table read, rendezvous-safe). *)
+
+(** {2 Elastic resizing}
+
+    The supervisor-facing entry points ({!Abp_serve.Supervisor} drives
+    them; tests may call them directly).  All shards' pools exist for
+    the topology's whole lifetime — OCaml domains cannot be restarted —
+    so "scaling" toggles membership in the routing table: a quiesced
+    shard admits nothing, routes nothing and steals nothing, but its
+    workers stay alive to finish what they hold. *)
+
+val active_shards : t -> int array
+(** Sorted indices of the currently active shards (a fresh copy). *)
+
+val active_count : t -> int
+(** [Array.length (active_shards t)]. *)
+
+val is_active : t -> int -> bool
+(** Whether shard [i] is in the routing table.
+    @raise Invalid_argument if [i] is out of range. *)
+
+val quiesce : ?on_migrate:(unit -> unit) -> t -> shard:int -> target:int -> int option
+(** [quiesce t ~shard ~target] takes [shard] out of rotation and
+    migrates its displaced work to [target]: swaps the routing table,
+    stops admission, pumps still-queued jobs into [target]'s fiber
+    resume inbox, and redirects [shard]'s resume inbox so parked
+    continuations later fulfilled off-pool resume on [target] — no
+    awaiter is stranded, and the migrated jobs keep their closures over
+    [shard]'s tickets so conservation holds shard-wise across the
+    resize.  [on_migrate] fires once per migrated item (including late
+    redirect forwards after the call returns).  Returns the count
+    migrated synchronously, or [None] when refused: topology closing
+    (drain/shutdown started), [shard] not active, [target] not active
+    or equal to [shard], or [shard] is the last active one.
+    @raise Invalid_argument on an out-of-range index. *)
+
+val reactivate : t -> shard:int -> bool
+(** Put a quiesced shard back into rotation: clear its resume redirect,
+    reopen admission, and re-insert it into the routing table (in that
+    order, so no submitter routes to a shard that would bounce it).
+    Returns [false] when refused (closing, or already active).
+    @raise Invalid_argument on an out-of-range index. *)
 
 val try_submit :
   t ->

@@ -29,6 +29,11 @@ type t = {
   mutable suspended_peak : int;
   mutable lane_polls : int;
   mutable lane_tasks : int;
+  mutable deadline_misses : int;
+  mutable supervisor_ticks : int;
+  mutable scale_ups : int;
+  mutable scale_downs : int;
+  mutable migrated_continuations : int;
   steal_batch_hist : int array;
   (* Victim-indexed successful-steal counts, grown on demand (a counter
      record does not know the pool size at creation).  Row [i] of the
@@ -85,6 +90,11 @@ let create () =
       suspended_peak = 0;
       lane_polls = 0;
       lane_tasks = 0;
+      deadline_misses = 0;
+      supervisor_ticks = 0;
+      scale_ups = 0;
+      scale_downs = 0;
+      migrated_continuations = 0;
       steal_batch_hist = Array.make batch_buckets 0;
       steal_victims = [||];
     }
@@ -120,6 +130,11 @@ let reset c =
   c.suspended_peak <- 0;
   c.lane_polls <- 0;
   c.lane_tasks <- 0;
+  c.deadline_misses <- 0;
+  c.supervisor_ticks <- 0;
+  c.scale_ups <- 0;
+  c.scale_downs <- 0;
+  c.migrated_continuations <- 0;
   Array.fill c.steal_batch_hist 0 batch_buckets 0;
   Array.fill c.steal_victims 0 (Array.length c.steal_victims) 0
 
@@ -191,6 +206,11 @@ let add ~into c =
   into.suspended_peak <- max into.suspended_peak c.suspended_peak;
   into.lane_polls <- into.lane_polls + c.lane_polls;
   into.lane_tasks <- into.lane_tasks + c.lane_tasks;
+  into.deadline_misses <- into.deadline_misses + c.deadline_misses;
+  into.supervisor_ticks <- into.supervisor_ticks + c.supervisor_ticks;
+  into.scale_ups <- into.scale_ups + c.scale_ups;
+  into.scale_downs <- into.scale_downs + c.scale_downs;
+  into.migrated_continuations <- into.migrated_continuations + c.migrated_continuations;
   Array.iteri
     (fun i v -> into.steal_batch_hist.(i) <- into.steal_batch_hist.(i) + v)
     c.steal_batch_hist;
@@ -236,6 +256,11 @@ let fields c =
     ("suspended_peak", c.suspended_peak);
     ("lane_polls", c.lane_polls);
     ("lane_tasks", c.lane_tasks);
+    ("deadline_misses", c.deadline_misses);
+    ("supervisor_ticks", c.supervisor_ticks);
+    ("scale_ups", c.scale_ups);
+    ("scale_downs", c.scale_downs);
+    ("migrated_continuations", c.migrated_continuations);
   ]
 
 let batch_hist c = Array.copy c.steal_batch_hist
@@ -252,7 +277,7 @@ let complete c =
 
 let pp ppf c =
   Fmt.pf ppf
-    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s%s%s%s%s%s%s"
+    "steals %d/%d (empty %d, cas-lost %d) push/pop %d/%d yields %d parks %d spins %d hiwater %d%s%s%s%s%s%s%s%s%s%s"
     c.successful_steals c.steal_attempts c.steal_empties c.cas_failures_pop_top c.pushes c.pops
     c.yields c.parks c.lock_spins c.deque_high_water
     (if c.stolen_tasks > c.successful_steals then
@@ -268,6 +293,11 @@ let pp ppf c =
        Printf.sprintf " cross %d/%d" c.cross_stolen_tasks c.cross_polls
      else "")
     (if c.lane_polls > 0 then Printf.sprintf " lane %d/%d" c.lane_tasks c.lane_polls else "")
+    (if c.deadline_misses > 0 then Printf.sprintf " deadline-misses %d" c.deadline_misses else "")
+    (if c.supervisor_ticks > 0 || c.scale_ups > 0 || c.scale_downs > 0 then
+       Printf.sprintf " scale +%d/-%d (%d ticks, %d migrated)" c.scale_ups c.scale_downs
+         c.supervisor_ticks c.migrated_continuations
+     else "")
     (if c.suspensions > 0 || c.resumes > 0 then
        Printf.sprintf " fiber-susp %d/%d (peak %d)" c.resumes c.suspensions c.suspended_peak
      else "")

@@ -117,6 +117,26 @@ type t = {
       (** tasks acquired from the deadline lane; [<= inject_tasks] on
           the aggregate, since every lane task is also an injector
           task *)
+  mutable deadline_misses : int;
+      (** deadline-lane (or plain [~deadline]) tickets whose settlement
+          — completion or exception — landed {e after} the ticket's
+          absolute deadline.  Counted by the worker that settled the
+          ticket; cancellations are not misses (they never ran) *)
+  mutable supervisor_ticks : int;
+      (** sampling ticks executed by the elastic {!Abp_serve.Supervisor}
+          control loop (single-writer: the supervisor's own record) *)
+  mutable scale_ups : int;
+      (** shard activations driven by the supervisor (reactivations of a
+          quiesced spare under sustained overload) *)
+  mutable scale_downs : int;
+      (** shard quiescences driven by the supervisor (admission stopped,
+          injectors drained, parked continuations migrated) *)
+  mutable migrated_continuations : int;
+      (** parked fiber continuations re-homed to a surviving shard's
+          resume inbox during a quiesce, plus queued injector closures
+          forwarded the same way — every one resumes exactly once on its
+          new home, so the aggregate [resumes = suspensions] identity is
+          unaffected *)
   steal_batch_hist : int array;
       (** tasks-per-transfer histogram over {!batch_buckets} fixed
           buckets (see {!batch_bucket_labels}); fed by {!note_batch} on

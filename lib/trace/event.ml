@@ -10,6 +10,7 @@ type kind =
   | Suspend
   | Resume
   | Fiber
+  | Scale
 
 type t = { kind : kind; worker : int; time : float; arg : int }
 
@@ -25,6 +26,7 @@ let kind_name = function
   | Suspend -> "suspend"
   | Resume -> "resume"
   | Fiber -> "fiber"
+  | Scale -> "scale"
 
 let pp ppf e =
   Fmt.pf ppf "[%g] w%d %s%s" e.time e.worker (kind_name e.kind)

@@ -170,7 +170,7 @@ let hoodserve_sharded_json_schema () =
     (fun key ->
       Alcotest.(check bool) (Printf.sprintf "json has %s" key) true (contains s key))
     [
-      {|"schema":"hoodserve/3"|};
+      {|"schema":"hoodserve/4"|};
       {|"shards":3|};
       {|"affinity":"key"|};
       {|"conserved":true|};
@@ -209,7 +209,7 @@ let hoodserve_await_json_schema () =
     (fun key ->
       Alcotest.(check bool) (Printf.sprintf "json has %s" key) true (contains s key))
     [
-      {|"schema":"hoodserve/3"|};
+      {|"schema":"hoodserve/4"|};
       {|"await_depth":2|};
       {|"backend_ms":0.200|};
       {|"conserved":true|};
@@ -245,7 +245,7 @@ let hoodserve_open_loop_lanes_json_schema () =
     (fun key ->
       Alcotest.(check bool) (Printf.sprintf "json has %s" key) true (contains s key))
     [
-      {|"schema":"hoodserve/3"|};
+      {|"schema":"hoodserve/4"|};
       {|"lanes":true|};
       {|"open_loop":true|};
       {|"arrival":"poisson"|};
@@ -255,6 +255,69 @@ let hoodserve_open_loop_lanes_json_schema () =
       {|"bulk"|};
       {|"deadline"|};
       {|"p999_ms"|};
+      {|"conserved":true|};
+    ]
+
+(* Elastic run: the supervisor scales the routing table while the run
+   is live; the JSON must carry the supervisor block, the resize-event
+   log, and stay conserved.  min = max degenerates to a static run with
+   an empty resize log. *)
+let hoodserve_elastic_json_schema () =
+  let json = Filename.temp_file "abp_cli" ".json" in
+  let code, err =
+    run_capturing
+      (Printf.sprintf
+         "../bin/hoodserve.exe -p 1 --shards 3 --elastic --min-shards 1 --tick-ms 2 \
+          --clients 2 --requests 60 --fib 8 --json %s"
+         json)
+  in
+  Alcotest.(check int) "exit 0" 0 code;
+  Alcotest.(check string) "silent stderr" "" err;
+  let ic = open_in json in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove json;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (Printf.sprintf "json has %s" key) true (contains s key))
+    [
+      {|"schema":"hoodserve/4"|};
+      {|"elastic":true|};
+      {|"min_shards":1|};
+      {|"max_shards":3|};
+      {|"active_shards":|};
+      {|"supervisor":{|};
+      {|"ticks":|};
+      {|"scale_ups":|};
+      {|"scale_downs":|};
+      {|"migrated":|};
+      {|"resize_events":|};
+      {|"deadline_misses":|};
+      {|"conserved":true|};
+    ];
+  (* min = max: static in all but name — supervisor present, no resizes. *)
+  let json2 = Filename.temp_file "abp_cli" ".json" in
+  let code, err =
+    run_capturing
+      (Printf.sprintf
+         "../bin/hoodserve.exe -p 1 --shards 2 --elastic --min-shards 2 --max-shards 2 \
+          --clients 2 --requests 40 --fib 8 --json %s"
+         json2)
+  in
+  Alcotest.(check int) "min=max exit 0" 0 code;
+  Alcotest.(check string) "min=max silent stderr" "" err;
+  let ic = open_in json2 in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove json2;
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (Printf.sprintf "min=max json has %s" key) true (contains s key))
+    [
+      {|"scale_ups":0|};
+      {|"scale_downs":0|};
+      {|"resize_events":[]|};
+      {|"active_shards":2|};
       {|"conserved":true|};
     ]
 
@@ -324,6 +387,7 @@ let tests =
     Alcotest.test_case "hoodserve: await-heavy json schema" `Quick hoodserve_await_json_schema;
     Alcotest.test_case "hoodserve: open-loop lanes json schema" `Quick
       hoodserve_open_loop_lanes_json_schema;
+    Alcotest.test_case "hoodserve: elastic json schema" `Quick hoodserve_elastic_json_schema;
     Alcotest.test_case "hoodserve: hash affinity runs" `Quick hoodserve_hash_affinity_succeeds;
     Alcotest.test_case "hoodserve: invalid shards exit 1" `Quick
       hoodserve_invalid_shards_exit_nonzero;

@@ -211,6 +211,66 @@ let circular_no_reset_needed () =
   done;
   Alcotest.(check int) "capacity stayed small" 4 (Circular_deque.capacity d)
 
+let circular_shrinks_after_drain () =
+  (* Chase-Lev Section 4 reclamation: a burst that doubled the buffer is
+     reclaimed as the owner drains it, back down to the creation-time
+     floor — and the deque stays fully usable afterwards. *)
+  let d : int Circular_deque.t = Circular_deque.create ~capacity:4 () in
+  let n = 1_000 in
+  for i = 1 to n do
+    Circular_deque.push_bottom d i
+  done;
+  Alcotest.(check bool) "grew" true (Circular_deque.grows d > 0);
+  for i = n downto 1 do
+    Alcotest.(check (option int)) "pop" (Some i) (Circular_deque.pop_bottom d)
+  done;
+  Alcotest.(check bool) "shrank" true (Circular_deque.shrinks d > 0);
+  Alcotest.(check int) "capacity back at the floor"
+    (Circular_deque.initial_capacity d)
+    (Circular_deque.capacity d);
+  for i = 1 to 100 do
+    Circular_deque.push_bottom d i
+  done;
+  for i = 100 downto 1 do
+    Alcotest.(check (option int)) "re-pop after reclaim" (Some i) (Circular_deque.pop_bottom d)
+  done;
+  Alcotest.(check bool) "empty" true (Circular_deque.is_empty d)
+
+(* qcheck: bursty push/drain phases force repeated grow/shrink cycles;
+   the shrinking deque must stay indistinguishable from the oracle. *)
+let prop_circular_shrink_differential =
+  QCheck2.Test.make ~name:"circular shrink/grow cycles match oracle" ~count:100
+    QCheck2.Gen.(list_size (int_range 1 40) (int_range 0 9))
+    (fun phases ->
+      let d : int Circular_deque.t = Circular_deque.create ~capacity:2 () in
+      let oracle = Spec.Reference.create () in
+      let next = ref 0 in
+      let ok =
+        List.for_all
+          (fun ph ->
+            for _ = 1 to (ph * 7) + 1 do
+              incr next;
+              Circular_deque.push_bottom d !next;
+              Spec.Reference.push_bottom oracle !next
+            done;
+            let pops = (ph * 5) + 3 in
+            let rec drain k =
+              k = 0
+              ||
+              let agree =
+                if ph land 1 = 0 then
+                  Circular_deque.pop_bottom d = Spec.Reference.pop_bottom oracle
+                else Circular_deque.pop_top d = Spec.Reference.pop_top oracle
+              in
+              agree && drain (k - 1)
+            in
+            drain pops)
+          phases
+      in
+      ok
+      && Circular_deque.size d = Spec.Reference.size oracle
+      && Circular_deque.capacity d >= Circular_deque.initial_capacity d)
+
 let circular_concurrent_conservation () =
   let d : int Circular_deque.t = Circular_deque.create ~capacity:4 () in
   let n = 20_000 in
@@ -571,6 +631,8 @@ let tests =
       (differential (module Circular_deque) ~ops:5000 ~seed:103L);
     Alcotest.test_case "circular: grows transparently" `Quick circular_grows_transparently;
     Alcotest.test_case "circular: index space never exhausts" `Quick circular_no_reset_needed;
+    Alcotest.test_case "circular: shrinks after drain" `Quick circular_shrinks_after_drain;
+    QCheck_alcotest.to_alcotest prop_circular_shrink_differential;
     Alcotest.test_case "circular: concurrent conservation" `Quick circular_concurrent_conservation;
     Alcotest.test_case "batch_quota: steal-half policy" `Quick batch_quota_policy;
     Alcotest.test_case "circular: pop_top_n smoke" `Quick (pop_top_n_smoke (module Circular_deque));
